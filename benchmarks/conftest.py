@@ -1,0 +1,51 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Each ``test_figN_*`` benchmark regenerates one figure of the paper at
+reduced scale (see ``ExperimentScale.benchmark``), prints the arm table,
+and asserts the figure's qualitative claims (who wins, by what factor,
+where crossovers fall).  Absolute wall-clock is reported by
+pytest-benchmark but is not itself the point — the *result rows* are.
+
+Set the environment variable ``REPRO_SCALE=paper`` to run the full
+paper-scale experiments (hours), or ``REPRO_SCALE=smoke`` for a quick pass.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """Experiment scale selected via the REPRO_SCALE env var."""
+    name = os.environ.get("REPRO_SCALE", "benchmark")
+    if name == "paper":
+        return ExperimentScale.paper()
+    if name == "smoke":
+        return ExperimentScale.smoke()
+    return ExperimentScale.benchmark()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def publish_table(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/.
+
+    pytest captures stdout of passing tests, so the persisted copy is what
+    survives a quiet run; EXPERIMENTS.md references these files.
+    """
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,61 @@
+"""Ablation A2 — Section IV-B2 communication-load accounting.
+
+Claim: with minibatch size b the crowd transmits N/b gradients up and N/b
+parameter vectors down, a b/2-factor reduction in float volume versus the
+centralized approach's N raw samples (for D-dimensional features and
+C·D-dimensional parameters the exact ratio involves C, which the table
+shows explicitly).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import publish_table, run_once
+from repro.data import iid_partition, make_mnist_like
+from repro.models import MulticlassLogisticRegression
+from repro.simulation import CrowdSimulator, SimulationConfig
+
+
+def run_ablation():
+    train, test = make_mnist_like(num_train=2000, num_test=300)
+    rows = []
+    for b in (1, 5, 20):
+        parts = iid_partition(train, 20, np.random.default_rng(0))
+        config = SimulationConfig(num_devices=20, batch_size=b,
+                                  learning_rate_constant=30.0)
+        trace = CrowdSimulator(
+            MulticlassLogisticRegression(50, 10), parts, test, config, seed=0
+        ).run()
+        comm = trace.communication
+        rows.append(
+            (b, comm.checkins_delivered, comm.uplink_floats, comm.downlink_floats)
+        )
+    # Centralized reference: N samples of D floats (+1 label) go up.
+    centralized_up = 2000 * (50 + 1)
+    return centralized_up, rows
+
+
+def test_communication_scaling(benchmark):
+    centralized_up, rows = run_once(benchmark, run_ablation)
+    lines = [f"centralized uplink: {centralized_up} floats",
+             f"{'b':>4} {'checkins':>9} {'uplink':>10} {'downlink':>10} {'msg ratio':>10}"]
+    base_checkins = rows[0][1]
+    for b, checkins, up, down in rows:
+        lines.append(f"{b:>4d} {checkins:>9d} {up:>10d} {down:>10d} "
+                     f"{base_checkins / checkins:>10.1f}")
+    publish_table("ablation_communication", "\n".join(lines))
+
+    # Message count scales as N/b.
+    for b, checkins, up, down in rows:
+        assert checkins == pytest.approx(2000 / b, rel=0.05)
+
+    # Uplink float volume scales inversely with b (same per-message size).
+    b1_up = rows[0][2]
+    b20_up = rows[2][2]
+    assert b20_up == pytest.approx(b1_up / 20, rel=0.1)
+
+    # Per-sample crowd traffic at b=20 is below the centralized baseline's
+    # (C·D-dim gradients amortized over 20 samples < D+1 floats/sample).
+    per_sample_crowd = (rows[2][2] + rows[2][3]) / 2000
+    per_sample_central = centralized_up / 2000
+    assert per_sample_crowd < per_sample_central

@@ -1,0 +1,75 @@
+"""Ablation A7 — Section IV-B resource comparison across approaches.
+
+Prints the full per-sample resource table (device flops, server flops,
+network floats, device energy, battery lifetime) for the centralized,
+crowd, and decentralized architectures at the paper's deployment shape,
+and asserts the orderings Section IV claims.
+"""
+
+import pytest
+
+from conftest import publish_table, run_once
+from repro.analysis import (
+    Approach,
+    EnergyProfile,
+    SystemShape,
+    battery_lifetime_hours,
+    device_flops_per_sample,
+    server_flops_per_sample,
+    total_energy_per_sample,
+    total_network_floats_per_sample,
+)
+
+
+def run_ablation():
+    # Fs = 1/30 Hz: the pre-decorrelation sensing rate of Section V-B.
+    # Per-sample flops/floats are rate-independent; only the battery
+    # column uses Fs.
+    shape = SystemShape(num_devices=1000, num_features=50, num_classes=10,
+                        batch_size=20, sampling_rate=1.0 / 30.0)
+    profile = EnergyProfile()
+    rows = []
+    for approach in Approach:
+        rows.append(
+            (
+                approach.value,
+                device_flops_per_sample(shape, approach),
+                server_flops_per_sample(shape, approach),
+                total_network_floats_per_sample(shape, approach),
+                total_energy_per_sample(shape, approach, profile),
+                battery_lifetime_hours(shape, approach, profile,
+                                       overhead_watts=0.05),
+            )
+        )
+    return rows
+
+
+def test_section_iv_resource_table(benchmark):
+    rows = run_once(benchmark, run_ablation)
+    lines = [
+        f"{'approach':<14} {'dev flops':>10} {'srv flops':>10} "
+        f"{'net floats':>10} {'dev J/sample':>13} {'battery h':>10}"
+    ]
+    for name, dev, srv, net, joules, hours in rows:
+        lines.append(
+            f"{name:<14} {dev:>10.1f} {srv:>10.1f} {net:>10.1f} "
+            f"{joules:>13.3e} {hours:>10.1f}"
+        )
+    publish_table("ablation_scalability", "\n".join(lines))
+
+    by_name = {r[0]: r for r in rows}
+    central = by_name["centralized"]
+    crowd = by_name["crowd"]
+    local = by_name["decentralized"]
+
+    # IV-B1: server load — centralized highest, decentralized zero.
+    assert central[2] > crowd[2] > local[2] == 0.0
+    # IV-B1: device load — centralized lightest (noise only).
+    assert central[1] < crowd[1] <= local[1]
+    # IV-B2: network — crowd at b=20 beats centralized; local is silent.
+    assert local[3] == 0.0
+    assert crowd[3] < central[3]
+    # Battery lifetimes stay within 1% of each other at this rate: the
+    # learning workload is not the battery's problem (Section V-B).
+    lifetimes = [r[5] for r in rows]
+    assert max(lifetimes) / min(lifetimes) < 1.01

@@ -1,0 +1,67 @@
+"""Ablation A4 — Section IV-B3 staleness model vs measurement.
+
+The paper estimates the number of interleaved updates per round trip as
+roughly (τ_co + τ_ci)·M·F_s / b.  The event-driven simulator measures the
+realized staleness of every applied gradient; this bench compares model
+and measurement across (τ, b) and verifies the 1/b staleness reduction
+that makes Fig. 6's b = 20 arms delay-proof.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import publish_table, run_once
+from repro.analysis import SystemShape, staleness_for_uniform_delay
+from repro.data import iid_partition, make_mnist_like
+from repro.models import MulticlassLogisticRegression
+from repro.network import LinkDelays
+from repro.simulation import CrowdSimulator, SimulationConfig
+
+DEVICES = 50
+
+
+def measure(train, test, batch_size, tau):
+    config = SimulationConfig(
+        num_devices=DEVICES,
+        batch_size=batch_size,
+        link_delays=LinkDelays.uniform(tau),
+        learning_rate_constant=30.0,
+        num_passes=2,
+    )
+    parts = iid_partition(train, DEVICES, np.random.default_rng(0))
+    trace = CrowdSimulator(
+        MulticlassLogisticRegression(50, 10), parts, test, config, seed=0
+    ).run()
+    return trace.mean_staleness
+
+
+def run_ablation():
+    train, test = make_mnist_like(num_train=3000, num_test=300)
+    rows = []
+    for b in (1, 20):
+        for tau in (0.5, 2.0, 8.0):
+            shape = SystemShape(DEVICES, 50, 10, batch_size=b, sampling_rate=1.0)
+            predicted = staleness_for_uniform_delay(shape, tau)
+            measured = measure(train, test, b, tau)
+            rows.append((b, tau, predicted, measured))
+    return rows
+
+
+def test_staleness_model(benchmark):
+    rows = run_once(benchmark, run_ablation)
+    lines = [f"{'b':>4} {'tau':>6} {'model':>10} {'measured':>10}"]
+    for b, tau, predicted, measured in rows:
+        lines.append(f"{b:>4d} {tau:>6.1f} {predicted:>10.2f} {measured:>10.2f}")
+    publish_table("ablation_staleness", "\n".join(lines))
+
+    for b, tau, predicted, measured in rows:
+        # The closed form is a rough upper estimate; measurements sit below
+        # it (waiting devices batch up) but within a small factor.
+        assert measured <= predicted * 1.2 + 1.0
+        if tau >= 2.0:
+            assert measured >= predicted / 10
+
+    # Staleness grows with tau and shrinks with b.
+    by_key = {(b, tau): m for b, tau, _, m in rows}
+    assert by_key[(1, 8.0)] > by_key[(1, 0.5)]
+    assert by_key[(20, 8.0)] < by_key[(1, 8.0)]

@@ -1,0 +1,39 @@
+"""Fig. 5 — MNIST-like under privacy ε⁻¹ = 0.1, minibatch sweep (E3).
+
+Paper claims:
+* both centralized and crowd arms are worse than the non-private Fig. 4
+  (the price of privacy);
+* Crowd-ML b=20 has the smallest asymptotic error, much below the
+  (input-perturbed) Central batch;
+* Crowd-ML improves monotonically with b;
+* Central SGD on perturbed inputs is ~0.9 error regardless of b.
+"""
+
+from conftest import publish_table, run_once
+from repro.experiments import run_fig5_experiment
+
+
+def test_fig5_mnist_privacy(benchmark, scale):
+    result = run_once(benchmark, run_fig5_experiment, scale)
+    publish_table("fig5", result.format_table())
+
+    tails = result.tail_errors()
+    private_batch = result.reference_lines["Central (batch)"]
+
+    # Crowd-ML b=20 beats the private central batch by a wide margin.
+    assert tails["Crowd-ML (SGD,b=20)"] < private_batch - 0.2
+
+    # Larger minibatch = better Crowd-ML (Eq. 13's 1/b noise shrinkage).
+    assert tails["Crowd-ML (SGD,b=20)"] < tails["Crowd-ML (SGD,b=1)"]
+    assert tails["Crowd-ML (SGD,b=10)"] < tails["Crowd-ML (SGD,b=1)"]
+
+    # Central SGD with perturbed inputs is near-useless for every b.
+    for b in (1, 10, 20):
+        assert tails[f"Central (SGD,b={b})"] > 0.6
+
+    # ... and no minibatch size rescues it (constant input noise).
+    central_tails = [tails[f"Central (SGD,b={b})"] for b in (1, 10, 20)]
+    assert max(central_tails) - min(central_tails) < 0.25
+
+    # Crowd-ML b=1/b=10 are at least comparable to the private batch.
+    assert tails["Crowd-ML (SGD,b=10)"] < private_batch + 0.1

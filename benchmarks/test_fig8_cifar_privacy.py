@@ -1,0 +1,28 @@
+"""Fig. 8 — CIFAR-like under privacy ε⁻¹ = 0.1 (E6, Appendix D).
+
+Same claims as Fig. 5 with a higher error floor.
+"""
+
+from conftest import publish_table, run_once
+from repro.experiments import run_fig8_experiment
+
+
+def test_fig8_cifar_privacy(benchmark, scale):
+    result = run_once(benchmark, run_fig8_experiment, scale)
+    publish_table("fig8", result.format_table())
+
+    tails = result.tail_errors()
+    private_batch = result.reference_lines["Central (batch)"]
+
+    # Crowd-ML b=20 beats the input-perturbed central batch.  The margin
+    # widens with iteration count (the paper runs 250k iterations; the
+    # benchmark scale runs ~36k), so assert the direction with a modest
+    # floor rather than the paper's full gap.
+    assert tails["Crowd-ML (SGD,b=20)"] < private_batch - 0.05
+
+    # Monotone improvement with b.
+    assert tails["Crowd-ML (SGD,b=20)"] < tails["Crowd-ML (SGD,b=1)"]
+
+    # Central SGD with perturbed inputs stays near-useless.
+    for b in (1, 10, 20):
+        assert tails[f"Central (SGD,b={b})"] > 0.6

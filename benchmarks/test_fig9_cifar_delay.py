@@ -1,0 +1,25 @@
+"""Fig. 9 — CIFAR-like: delays under privacy (E7, Appendix D).
+
+Same claims as Fig. 6 on the harder features.
+"""
+
+from conftest import publish_table, run_once
+from repro.experiments import run_fig9_experiment
+
+
+def test_fig9_cifar_delay(benchmark, scale):
+    result = run_once(benchmark, run_fig9_experiment, scale)
+    publish_table("fig9", result.format_table())
+
+    tails = result.tail_errors()
+    private_batch = result.reference_lines["Central (batch)"]
+
+    # b=20 is delay-robust.
+    b20 = [tails[f"Crowd-ML (b=20,{d}D)"] for d in (1, 10, 100, 1000)]
+    assert max(b20) - min(b20) < 0.15
+
+    # b=20 beats the private central batch at every delay.
+    assert max(b20) < private_batch - 0.05
+
+    # b=20 beats b=1 at the largest delay.
+    assert tails["Crowd-ML (b=20,1000D)"] < tails["Crowd-ML (b=1,1000D)"]

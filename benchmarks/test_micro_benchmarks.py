@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the hot paths (Section IV-B1 computation load).
+
+The paper argues the per-device work — one gradient per sample, one noise
+vector per minibatch — is light enough for low-end devices, and the server
+work (one SGD update per check-in) is minimal.  These benchmarks time the
+actual operations so the claim can be checked against the numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import make_mnist_like
+from repro.models import MulticlassLogisticRegression
+from repro.optim import SGD, InverseSqrtRate, L2BallProjection
+from repro.privacy import LaplaceMechanism
+from repro.network.events import EventQueue
+
+
+@pytest.fixture(scope="module")
+def batch():
+    train, _ = make_mnist_like(num_train=64, num_test=10)
+    return train.features[:20], train.labels[:20]
+
+
+def test_device_gradient_computation(benchmark, batch):
+    """One minibatch gradient (b=20, D=50, C=10) — the main device cost."""
+    features, labels = batch
+    model = MulticlassLogisticRegression(50, 10, l2_regularization=1e-4)
+    w = np.random.default_rng(0).normal(size=model.num_parameters)
+    benchmark(model.gradient, w, features, labels)
+
+
+def test_device_noise_generation(benchmark):
+    """One Laplace noise vector per minibatch (Eq. 10)."""
+    mech = LaplaceMechanism(10.0, 0.2, np.random.default_rng(0))
+    gradient = np.zeros(500)
+    benchmark(mech.release, gradient)
+
+
+def test_server_update(benchmark):
+    """One projected SGD step (Eq. 3) — the only per-check-in server cost."""
+    optimizer = SGD(
+        np.zeros(500), InverseSqrtRate(30.0), L2BallProjection(100.0)
+    )
+    gradient = np.random.default_rng(0).normal(size=500)
+    benchmark(optimizer.step, gradient)
+
+
+def test_event_queue_throughput(benchmark):
+    """Scheduler overhead per event (bounds achievable simulation scale)."""
+
+    def run_thousand_events():
+        queue = EventQueue()
+        for i in range(1000):
+            queue.schedule(float(i), lambda: None)
+        queue.run()
+
+    benchmark(run_thousand_events)
+
+
+def test_model_prediction_latency(benchmark, batch):
+    """Single-sample prediction — the on-device inference path."""
+    features, _ = batch
+    model = MulticlassLogisticRegression(50, 10)
+    w = np.random.default_rng(0).normal(size=model.num_parameters)
+    one = features[:1]
+    benchmark(model.predict, w, one)

@@ -1,0 +1,66 @@
+"""Activity recognition on simulated smartphones (the Section V-B demo).
+
+Reproduces the paper's real-environment demonstration end to end:
+
+1. synthesize 20 Hz triaxial accelerometer traces for 7 phones with
+   Still / On-Foot / In-Vehicle regimes;
+2. run the exact phone feature pipeline — acceleration magnitude, 3.2 s
+   windows, 64-bin FFT — and the label-change-triggered sampling rule;
+3. learn a shared 3-class logistic-regression classifier online through
+   the Crowd-ML device/server protocol;
+4. print the Fig. 3 time-averaged error curve.
+
+Usage::
+
+    python examples/activity_recognition.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import ACTIVITY_NAMES, NUM_ACTIVITIES, make_activity_stream
+from repro.models import MulticlassLogisticRegression
+from repro.simulation import CrowdSimulator, SimulationConfig
+
+NUM_DEVICES = 7
+SAMPLES_PER_DEVICE = 45
+
+
+def main() -> None:
+    print(f"Synthesizing accelerometer streams for {NUM_DEVICES} phones ...")
+    streams = [
+        make_activity_stream(SAMPLES_PER_DEVICE, np.random.default_rng(100 + d))
+        for d in range(NUM_DEVICES)
+    ]
+    test = make_activity_stream(300, np.random.default_rng(999))
+    for d, stream in enumerate(streams):
+        counts = dict(zip(ACTIVITY_NAMES, stream.class_counts()))
+        print(f"  phone {d}: {counts}")
+
+    print("\nRunning the crowd-learning task (3-class logistic regression,")
+    print("lambda = 0, b = 1, epsilon^-1 = 0, eta(t) = c/sqrt(t)) ...")
+    model = MulticlassLogisticRegression(64, NUM_ACTIVITIES)
+    config = SimulationConfig(
+        num_devices=NUM_DEVICES,
+        batch_size=1,
+        learning_rate_constant=100.0,
+        l2_regularization=0.0,
+    )
+    trace = CrowdSimulator(model, streams, test, config, seed=0).run()
+
+    averaged = trace.time_averaged_error()
+    print(f"\ncollected {averaged.shape[0]} samples across all devices")
+    print("time-averaged prediction error Err(t) (Fig. 3):")
+    for t in (10, 25, 50, 100, 200, averaged.shape[0]):
+        if t <= averaged.shape[0]:
+            print(f"  t = {t:>4d}   Err = {averaged[t - 1]:.3f}")
+    print(f"\nfinal test error on held-out windows: {trace.curve.final_error:.3f}")
+    print(
+        "The curve converges within a few samples per device — the paper's "
+        "proof that a crowd learns a common classifier fast."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Why local sanitization matters: an eavesdropper inverts gradients.
+
+Section III-C's threat model lets the adversary read *all* device-server
+traffic.  This demo plays that adversary against the b = 1 logistic
+update: without noise, the raw feature vector (e.g. a location trace or an
+audio spectrum) can be read straight off the transmitted gradient; with
+the Eq. (10) Laplace mechanism the reconstruction collapses.
+
+Usage::
+
+    python examples/eavesdropper_attack.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.data import make_mnist_like
+from repro.models import MulticlassLogisticRegression
+from repro.privacy import LaplaceMechanism, inversion_attack_success
+
+NUM_SAMPLES = 50
+
+
+def main() -> None:
+    print("Generating victim data (50-dim features, 10 classes) ...")
+    train, _ = make_mnist_like(num_train=NUM_SAMPLES, num_test=10, seed=0)
+    model = MulticlassLogisticRegression(50, 10)
+    rng = np.random.default_rng(0)
+    w = rng.normal(size=model.num_parameters)  # a mid-training public model
+
+    print("\nThe adversary observes one b=1 gradient per victim sample and")
+    print("runs rank-one inversion (see repro.privacy.attacks).\n")
+    print(f"{'privacy level':>16} {'feature cosine':>15} {'label recovery':>15}")
+    for epsilon in (math.inf, 100.0, 10.0, 1.0, 0.1):
+        if math.isinf(epsilon):
+            sanitizer = None
+            label = "none (eps=inf)"
+        else:
+            sanitizer = LaplaceMechanism(
+                epsilon, model.gradient_sensitivity(1), np.random.default_rng(1)
+            )
+            label = f"eps = {epsilon:g}"
+        cosine, label_rate = inversion_attack_success(
+            model, w, train.features, train.labels, sanitizer=sanitizer
+        )
+        print(f"{label:>16} {cosine:>15.3f} {label_rate:>15.2%}")
+
+    print(
+        "\nWithout sanitization the eavesdropper recovers the private\n"
+        "feature vector (cosine ≈ 1.0) and its label from every update.\n"
+        "At the paper's operating points the same attack is reduced to\n"
+        "noise — the concrete meaning of the Theorem 1 guarantee."
+    )
+
+
+if __name__ == "__main__":
+    main()

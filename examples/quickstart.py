@@ -1,0 +1,82 @@
+"""Quickstart: learn a private classifier from a simulated crowd.
+
+Runs a small MNIST-like Crowd-ML task twice — once without privacy and
+once with per-sample ε = 10 and minibatch size 20 — and prints the error
+curves and the communication/privacy accounting.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import SimulationConfig, run_crowd_trials
+from repro.data import MNIST_CLASSES, MNIST_DIM, make_mnist_like
+from repro.models import MulticlassLogisticRegression
+
+
+def model_factory() -> MulticlassLogisticRegression:
+    """A fresh Table-I classifier (multiclass logistic regression)."""
+    return MulticlassLogisticRegression(
+        num_features=MNIST_DIM, num_classes=MNIST_CLASSES, l2_regularization=1e-4
+    )
+
+
+def describe(report, label: str) -> None:
+    trace = report.traces[0]
+    comm = trace.communication
+    print(f"\n--- {label} ---")
+    print(f"final test error        : {report.final_error:.3f}")
+    print(f"asymptotic (tail) error : {report.tail_error():.3f}")
+    print(f"server SGD updates      : {trace.server_iterations}")
+    print(f"samples consumed        : {trace.total_samples_consumed}")
+    print(f"uplink volume (floats)  : {comm.uplink_floats}")
+    print(f"per-sample privacy ε    : {trace.per_sample_epsilon:.3g}")
+    print("error curve (iteration -> test error):")
+    curve = report.mean_curve
+    step = max(1, len(curve) // 8)
+    for i in range(0, len(curve), step):
+        print(f"  {int(curve.iterations[i]):>7d}  {curve.errors[i]:.3f}")
+
+
+def main() -> None:
+    print("Generating MNIST-like crowdsensing data ...")
+    train, test = make_mnist_like(num_train=6000, num_test=1500, seed=0)
+
+    print("Simulating 100 devices, no privacy (epsilon = inf), b = 1 ...")
+    non_private = SimulationConfig(
+        num_devices=100,
+        batch_size=1,
+        epsilon=math.inf,
+        learning_rate_constant=30.0,
+        l2_regularization=1e-4,
+        num_passes=2,
+    )
+    report = run_crowd_trials(model_factory, train, test, non_private, num_trials=1)
+    describe(report, "Crowd-ML, non-private")
+
+    print("\nSimulating the same crowd with per-sample epsilon = 10, b = 20 ...")
+    private = SimulationConfig(
+        num_devices=100,
+        batch_size=20,
+        epsilon=10.0,
+        learning_rate_constant=30.0,
+        l2_regularization=1e-4,
+        num_passes=4,
+    )
+    report = run_crowd_trials(model_factory, train, test, private, num_trials=1)
+    describe(report, "Crowd-ML, epsilon = 10, b = 20")
+
+    print(
+        "\nThe private curve keeps descending toward the non-private floor:"
+        "\nthe minibatch average shrinks the Laplace noise by 1/b (Eq. 13),"
+        "\nso privacy costs convergence speed rather than a higher plateau."
+        "\n(Run longer / with more devices to watch it close the gap.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Regenerate any figure of the paper from the command line.
+
+Usage::
+
+    python examples/regenerate_figures.py --figure 4            # one figure
+    python examples/regenerate_figures.py --figure all          # everything
+    python examples/regenerate_figures.py --figure 5 --scale smoke
+
+Scales: ``smoke`` (seconds), ``benchmark`` (default, ~minutes),
+``paper`` (full Section V-C sizes: M = 1000, 60k samples, 10 trials).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (
+    ExperimentScale,
+    run_fig3_experiment,
+    run_fig4_experiment,
+    run_fig5_experiment,
+    run_fig6_experiment,
+    run_fig7_experiment,
+    run_fig8_experiment,
+    run_fig9_experiment,
+)
+
+RUNNERS = {
+    "3": lambda scale: run_fig3_experiment(),
+    "4": run_fig4_experiment,
+    "5": run_fig5_experiment,
+    "6": run_fig6_experiment,
+    "7": run_fig7_experiment,
+    "8": run_fig8_experiment,
+    "9": run_fig9_experiment,
+}
+
+SCALES = {
+    "smoke": ExperimentScale.smoke,
+    "benchmark": ExperimentScale.benchmark,
+    "paper": ExperimentScale.paper,
+}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--figure", default="all",
+                        choices=[*RUNNERS.keys(), "all"])
+    parser.add_argument("--scale", default="benchmark", choices=list(SCALES))
+    args = parser.parse_args()
+
+    scale = SCALES[args.scale]()
+    figures = list(RUNNERS) if args.figure == "all" else [args.figure]
+    for figure in figures:
+        start = time.time()
+        result = RUNNERS[figure](scale)
+        elapsed = time.time() - start
+        print()
+        print(result.format_table())
+        print(f"(regenerated in {elapsed:.1f} s at scale '{args.scale}')")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""Crowd-ML: a privacy-preserving learning framework for a crowd of smart devices.
+
+Reproduction of Hamm, Champion, Chen, Belkin & Xuan (ICDCS 2015,
+arXiv:1501.02484).  The package is organized as:
+
+* :mod:`repro.core` — the framework itself: device (Algorithm 1) and
+  server (Algorithm 2) runtimes, protocol, authentication, DP monitoring.
+* :mod:`repro.privacy` — Laplace / discrete-Laplace / Gaussian /
+  exponential mechanisms, sensitivity bounds, budget accounting.
+* :mod:`repro.models` — logistic regression (Table I), linear SVM, ridge.
+* :mod:`repro.optim` — projected SGD (Eq. 3), schedules, AdaGrad, averaging.
+* :mod:`repro.network` — event queue, delay/outage models, channels.
+* :mod:`repro.data` — synthetic MNIST-like / CIFAR-like / activity data,
+  partitioning, the PCA + L1 pipeline.
+* :mod:`repro.baselines` — centralized (batch & input-perturbed SGD) and
+  decentralized comparators.
+* :mod:`repro.simulation` — the event-driven crowd simulator and trial
+  runner behind every figure.
+* :mod:`repro.evaluation` — metrics and error-curve aggregation.
+
+Quickstart::
+
+    from repro import quick_crowd_run
+    report = quick_crowd_run(num_devices=50, epsilon=10.0, batch_size=10)
+    print(report.final_error)
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import CrowdMLServer, Device, DeviceConfig, ServerConfig
+from repro.data import make_cifar_like, make_mnist_like
+from repro.experiments import (
+    ExperimentScale,
+    FigureResult,
+    run_fig3_experiment,
+    run_fig4_experiment,
+    run_fig5_experiment,
+    run_fig6_experiment,
+    run_fig7_experiment,
+    run_fig8_experiment,
+    run_fig9_experiment,
+)
+from repro.models import (
+    MulticlassLinearSVM,
+    MulticlassLogisticRegression,
+    RidgeRegression,
+)
+from repro.privacy import PrivacyBudget, split_budget
+from repro.simulation import (
+    CrowdSimulator,
+    RunTrace,
+    SimulationConfig,
+    TrialSetReport,
+    run_crowd_trials,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CrowdMLServer",
+    "CrowdSimulator",
+    "Device",
+    "DeviceConfig",
+    "ExperimentScale",
+    "FigureResult",
+    "run_fig3_experiment",
+    "run_fig4_experiment",
+    "run_fig5_experiment",
+    "run_fig6_experiment",
+    "run_fig7_experiment",
+    "run_fig8_experiment",
+    "run_fig9_experiment",
+    "MulticlassLinearSVM",
+    "MulticlassLogisticRegression",
+    "PrivacyBudget",
+    "RidgeRegression",
+    "RunTrace",
+    "ServerConfig",
+    "SimulationConfig",
+    "TrialSetReport",
+    "make_cifar_like",
+    "make_mnist_like",
+    "quick_crowd_run",
+    "run_crowd_trials",
+    "split_budget",
+    "__version__",
+]
+
+
+def quick_crowd_run(
+    num_devices: int = 50,
+    epsilon: float = math.inf,
+    batch_size: int = 1,
+    num_train: int = 2000,
+    num_test: int = 1000,
+    num_trials: int = 1,
+    seed: int = 0,
+    learning_rate_constant: float = 30.0,
+) -> TrialSetReport:
+    """Run a small MNIST-like Crowd-ML experiment end to end.
+
+    A convenience wrapper for first contact with the library: generates
+    data, partitions it across ``num_devices``, simulates the crowd, and
+    returns the averaged :class:`~repro.simulation.TrialSetReport`.
+    """
+    from repro.data import MNIST_CLASSES, MNIST_DIM
+
+    train, test = make_mnist_like(num_train=num_train, num_test=num_test, seed=seed)
+    config = SimulationConfig(
+        num_devices=num_devices,
+        batch_size=batch_size,
+        epsilon=epsilon,
+        learning_rate_constant=learning_rate_constant,
+    )
+    return run_crowd_trials(
+        model_factory=lambda: MulticlassLogisticRegression(MNIST_DIM, MNIST_CLASSES),
+        train=train,
+        test=test,
+        config=config,
+        num_trials=num_trials,
+        base_seed=seed,
+    )

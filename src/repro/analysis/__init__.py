@@ -1,0 +1,51 @@
+"""Analytic models of Section IV: privacy-performance and scalability."""
+
+from repro.analysis.energy import (
+    EnergyProfile,
+    battery_lifetime_hours,
+    compute_energy_per_sample,
+    radio_energy_per_sample,
+    total_energy_per_sample,
+)
+from repro.analysis.convergence import (
+    GradientMoments,
+    centralized_input_noise_power,
+    convergence_rate_bound,
+    crowd_gradient_moments,
+    decentralized_error_inflation,
+    minimum_batch_for_overhead,
+)
+from repro.analysis.scalability import (
+    Approach,
+    SystemShape,
+    device_flops_per_sample,
+    downlink_floats_per_sample,
+    expected_staleness,
+    server_flops_per_sample,
+    staleness_for_uniform_delay,
+    total_network_floats_per_sample,
+    uplink_floats_per_sample,
+)
+
+__all__ = [
+    "Approach",
+    "EnergyProfile",
+    "battery_lifetime_hours",
+    "compute_energy_per_sample",
+    "radio_energy_per_sample",
+    "total_energy_per_sample",
+    "GradientMoments",
+    "SystemShape",
+    "centralized_input_noise_power",
+    "convergence_rate_bound",
+    "crowd_gradient_moments",
+    "decentralized_error_inflation",
+    "device_flops_per_sample",
+    "downlink_floats_per_sample",
+    "expected_staleness",
+    "minimum_batch_for_overhead",
+    "server_flops_per_sample",
+    "staleness_for_uniform_delay",
+    "total_network_floats_per_sample",
+    "uplink_floats_per_sample",
+]

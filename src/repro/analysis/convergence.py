@@ -1,0 +1,129 @@
+"""Privacy-performance analysis of Section IV-A.
+
+The convergence penalty of SGD is proportional to the second moment of the
+gradient estimate, ``G² = sup_t E[‖ĝ(t)‖²]`` (Shamir & Zhang).  Eq. (13)
+decomposes Crowd-ML's G² into sampling noise ``E[‖g‖²]/b`` and mechanism
+noise ``32·D/(b·ε_g)²``; the centralized approach instead inflates every
+*input* with constant-variance noise that no b can shrink.
+
+This module turns those formulas into comparable "privacy overhead"
+estimates, plus the decentralized approach's sample-size penalty
+(√M / log M per VC theory).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.privacy.sensitivity import (
+    gradient_noise_power,
+    sampling_noise_power,
+)
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class GradientMoments:
+    """Eq. (13) decomposition for one (b, ε, D) configuration."""
+
+    sampling_power: float
+    mechanism_power: float
+
+    @property
+    def total(self) -> float:
+        """G² — the convergence-controlling second moment."""
+        return self.sampling_power + self.mechanism_power
+
+    @property
+    def privacy_overhead(self) -> float:
+        """Fraction of G² caused by the privacy mechanism."""
+        if self.total == 0.0:
+            return 0.0
+        return self.mechanism_power / self.total
+
+
+def crowd_gradient_moments(
+    per_sample_power: float,
+    dimension: int,
+    batch_size: int,
+    epsilon: float,
+) -> GradientMoments:
+    """Eq. (13) for Crowd-ML: both terms shrink with b.
+
+    ``dimension`` is the length of the released gradient (C·D for the
+    linear models).
+    """
+    return GradientMoments(
+        sampling_power=sampling_noise_power(per_sample_power, batch_size),
+        mechanism_power=gradient_noise_power(dimension, batch_size, epsilon),
+    )
+
+
+def centralized_input_noise_power(dimension: int, epsilon_feature: float) -> float:
+    """Per-sample feature-noise power of the centralized approach.
+
+    Eq. (15) adds Laplace(2/ε_x) per coordinate: power = D · 8/ε_x².
+    Constant in any minibatch size — the structural disadvantage of
+    Section IV-A.
+    """
+    check_positive_int(dimension, "dimension")
+    if math.isinf(epsilon_feature):
+        return 0.0
+    check_positive(epsilon_feature, "epsilon_feature")
+    return dimension * 8.0 / epsilon_feature**2
+
+
+def minimum_batch_for_overhead(
+    per_sample_power: float,
+    dimension: int,
+    epsilon: float,
+    max_overhead: float = 0.5,
+) -> int:
+    """Smallest b for which the mechanism term is ≤ ``max_overhead`` of G².
+
+    Solves 32·D/(b·ε)² ≤ max_overhead/(1−max_overhead) · E[‖g‖²]/b for b,
+    i.e. the minibatch needed to make privacy "cheap" at level ε.
+
+    >>> minimum_batch_for_overhead(1.0, 500, 10.0, 0.5) >= 1
+    True
+    """
+    check_positive(per_sample_power, "per_sample_power")
+    check_positive_int(dimension, "dimension")
+    if math.isinf(epsilon):
+        return 1
+    check_positive(epsilon, "epsilon")
+    if not (0.0 < max_overhead < 1.0):
+        raise ValueError(f"max_overhead must be in (0, 1), got {max_overhead}")
+    ratio = max_overhead / (1.0 - max_overhead)
+    # mechanism/sampling = 32 D / (b eps^2 E[g^2]) <= ratio.
+    b = 32.0 * dimension / (epsilon**2 * per_sample_power * ratio)
+    return max(1, math.ceil(b))
+
+
+def decentralized_error_inflation(num_devices: int) -> float:
+    """Estimation-error inflation of the decentralized approach.
+
+    Section IV-A cites VC theory: a 1/M-times smaller sample makes the
+    estimation-error upper bound √(M)/log(M)-times larger (for M ≥ 2).
+    """
+    check_positive_int(num_devices, "num_devices")
+    if num_devices < 2:
+        return 1.0
+    return math.sqrt(num_devices) / math.log(num_devices)
+
+
+def convergence_rate_bound(
+    gradient_second_moment: float,
+    domain_radius: float,
+    iterations: int,
+) -> float:
+    """Standard projected-SGD bound  E[l(w̄) − l(w*)] ≤ R·G/√T.
+
+    With the Eq. (13) G² plugged in, this is the quantitative form of the
+    paper's "privacy costs performance through G²" argument.
+    """
+    check_positive(gradient_second_moment, "gradient_second_moment")
+    check_positive(domain_radius, "domain_radius")
+    check_positive_int(iterations, "iterations")
+    return domain_radius * math.sqrt(gradient_second_moment) / math.sqrt(iterations)

@@ -1,0 +1,151 @@
+"""Scalability models of Section IV-B: computation, communication, latency.
+
+These closed-form calculators quantify the three comparisons the paper
+makes between the centralized, crowd, and decentralized approaches:
+
+* **Computation load** (IV-B1): floating-point work per sample on the
+  device and on the server.
+* **Communication load** (IV-B2): float volume per sample over the
+  network — the centralized approach ships N features, Crowd-ML ships
+  N/b gradients up and N/b parameter vectors down.
+* **Communication latency** (IV-B3): the expected number of interleaved
+  server updates ("staleness") per check-out/check-in round trip,
+  ≈ (τ_co + τ_ci)·M·F_s / b.
+
+The simulator measures the same quantities empirically
+(:class:`repro.simulation.trace.RunTrace`), so model and measurement can
+be compared directly (see ``benchmarks/test_ablation_staleness.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+
+class Approach(Enum):
+    """The three system architectures of Section IV."""
+
+    CENTRALIZED = "centralized"
+    CROWD = "crowd"
+    DECENTRALIZED = "decentralized"
+
+
+@dataclass(frozen=True)
+class SystemShape:
+    """Dimensions of one deployment.
+
+    Attributes
+    ----------
+    num_devices:
+        M.
+    num_features:
+        D (feature dimension).
+    num_classes:
+        C (parameter vector is C·D floats for the linear models).
+    batch_size:
+        b (Crowd-ML minibatch; 1 for the other approaches).
+    sampling_rate:
+        F_s — samples per second per device.
+    """
+
+    num_devices: int
+    num_features: int
+    num_classes: int
+    batch_size: int = 1
+    sampling_rate: float = 1.0
+
+    def __post_init__(self):
+        check_positive_int(self.num_devices, "num_devices")
+        check_positive_int(self.num_features, "num_features")
+        check_positive_int(self.num_classes, "num_classes")
+        check_positive_int(self.batch_size, "batch_size")
+        check_positive(self.sampling_rate, "sampling_rate")
+
+    @property
+    def parameter_floats(self) -> int:
+        """Size of w for the linear model family."""
+        return self.num_features * self.num_classes
+
+
+def device_flops_per_sample(shape: SystemShape, approach: Approach) -> float:
+    """Approximate on-device floating-point work per collected sample.
+
+    Centralized: one Laplace draw per feature coordinate (input
+    perturbation).  Crowd: one gradient (≈ 2·C·D multiply-adds for scores
+    + C·D for the outer product) plus the amortized noise draw.
+    Decentralized: a gradient plus a local SGD update.
+    """
+    scores = 2.0 * shape.parameter_floats
+    outer = shape.parameter_floats
+    gradient = scores + outer
+    if approach is Approach.CENTRALIZED:
+        return 2.0 * shape.num_features  # noise draw + add, per coordinate
+    if approach is Approach.CROWD:
+        noise_amortized = 2.0 * shape.parameter_floats / shape.batch_size
+        return gradient + noise_amortized
+    # Decentralized: gradient + parameter update.
+    return gradient + 2.0 * shape.parameter_floats
+
+
+def server_flops_per_sample(shape: SystemShape, approach: Approach) -> float:
+    """Approximate server work per collected sample.
+
+    Centralized: the server computes the gradient itself.  Crowd: one SGD
+    update (2·C·D) amortized over b samples.  Decentralized: zero.
+    """
+    gradient = 3.0 * shape.parameter_floats
+    if approach is Approach.CENTRALIZED:
+        return gradient + 2.0 * shape.parameter_floats
+    if approach is Approach.CROWD:
+        return 2.0 * shape.parameter_floats / shape.batch_size
+    return 0.0
+
+
+def uplink_floats_per_sample(shape: SystemShape, approach: Approach) -> float:
+    """Float volume device → server per collected sample (IV-B2)."""
+    if approach is Approach.CENTRALIZED:
+        return float(shape.num_features + 1)  # features + label
+    if approach is Approach.CROWD:
+        payload = shape.parameter_floats + shape.num_classes + 2
+        return payload / shape.batch_size
+    return 0.0
+
+
+def downlink_floats_per_sample(shape: SystemShape, approach: Approach) -> float:
+    """Float volume server → device per collected sample."""
+    if approach is Approach.CROWD:
+        return shape.parameter_floats / shape.batch_size
+    return 0.0
+
+
+def total_network_floats_per_sample(shape: SystemShape, approach: Approach) -> float:
+    """Both directions combined — the paper's b/2-reduction claim lives
+    here: crowd ≈ 2·C·D/b vs centralized ≈ D."""
+    return uplink_floats_per_sample(shape, approach) + downlink_floats_per_sample(
+        shape, approach
+    )
+
+
+def expected_staleness(
+    shape: SystemShape, checkout_delay: float, checkin_delay: float
+) -> float:
+    """Expected interleaved updates per round trip (Section IV-B3).
+
+        staleness ≈ (τ_co + τ_ci) · M · F_s / b
+
+    ``checkout_delay`` and ``checkin_delay`` are the *mean* delays of the
+    two legs following the check-out request.
+    """
+    check_non_negative(checkout_delay, "checkout_delay")
+    check_non_negative(checkin_delay, "checkin_delay")
+    crowd_rate = shape.num_devices * shape.sampling_rate
+    return (checkout_delay + checkin_delay) * crowd_rate / shape.batch_size
+
+
+def staleness_for_uniform_delay(shape: SystemShape, tau: float) -> float:
+    """Staleness under the paper's uniform-[0, τ] legs (mean τ/2 each)."""
+    check_non_negative(tau, "tau")
+    return expected_staleness(shape, tau / 2.0, tau / 2.0)

@@ -1,0 +1,22 @@
+"""Comparator systems: centralized (batch & SGD) and decentralized learning.
+
+These are the three non-Crowd-ML arms of every figure in Section V, built
+on the same models/optimizers so that only the system architecture (and its
+privacy mechanism) differs.
+"""
+
+from repro.baselines.centralized import BatchResult, CentralizedBatchTrainer
+from repro.baselines.centralized_sgd import CentralizedSGDResult, CentralizedSGDTrainer
+from repro.baselines.decentralized import DecentralizedResult, DecentralizedTrainer
+from repro.baselines.input_perturbation import perturb_dataset, perturb_features
+
+__all__ = [
+    "BatchResult",
+    "CentralizedBatchTrainer",
+    "CentralizedSGDResult",
+    "CentralizedSGDTrainer",
+    "DecentralizedResult",
+    "DecentralizedTrainer",
+    "perturb_dataset",
+    "perturb_features",
+]

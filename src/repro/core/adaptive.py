@@ -1,0 +1,96 @@
+"""Adaptive minibatch policies (the Dekel et al. refinement, §IV-B3).
+
+Section IV-B3 observes that the number of stale updates per round trip is
+roughly (τ_co + τ_ci)·M·F_s / b, and cites Dekel et al.: delayed
+incremental updates scale with M *by adapting the minibatch size*.  The
+conclusion lists such refinements as natural extensions of Crowd-ML.
+
+A :class:`BatchPolicy` lets each device adapt its own b from what it can
+observe locally and privately: the number of foreign updates interleaved
+between its consecutive check-outs (read off the public server-iteration
+counters — no extra privacy cost).  High staleness → grow b (fewer,
+larger, less-noisy updates); low staleness → shrink toward the configured
+minimum so convergence keeps its per-sample pace.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.utils.exceptions import ConfigurationError
+
+
+class BatchPolicy(ABC):
+    """Decides the next minibatch size from observed interleaving."""
+
+    @abstractmethod
+    def next_batch_size(self, current: int, interleaved_updates: int) -> int:
+        """Return the b to use for the next minibatch.
+
+        ``interleaved_updates`` is the number of *other* devices' updates
+        the server applied between this device's two latest check-outs.
+        """
+
+
+class FixedBatch(BatchPolicy):
+    """The paper's default: b never changes."""
+
+    def __init__(self, batch_size: int):
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+        self._batch_size = int(batch_size)
+
+    def next_batch_size(self, current: int, interleaved_updates: int) -> int:
+        return self._batch_size
+
+
+class StalenessAdaptiveBatch(BatchPolicy):
+    """Multiplicative-increase / additive-decrease adaptation of b.
+
+    Parameters
+    ----------
+    target_staleness:
+        Desired interleaved-updates level.  Above it b doubles (capped);
+        at/below it b decays by one step toward ``min_batch``.
+    min_batch, max_batch:
+        Clamp range for b.
+
+    Examples
+    --------
+    >>> policy = StalenessAdaptiveBatch(target_staleness=10, max_batch=32)
+    >>> policy.next_batch_size(1, interleaved_updates=50)
+    2
+    >>> policy.next_batch_size(16, interleaved_updates=0)
+    15
+    """
+
+    def __init__(
+        self,
+        target_staleness: float,
+        min_batch: int = 1,
+        max_batch: int = 64,
+        growth_factor: float = 2.0,
+    ):
+        if target_staleness < 0:
+            raise ConfigurationError("target_staleness must be non-negative")
+        if min_batch < 1:
+            raise ConfigurationError("min_batch must be >= 1")
+        if max_batch < min_batch:
+            raise ConfigurationError("max_batch must be >= min_batch")
+        if growth_factor <= 1.0:
+            raise ConfigurationError("growth_factor must exceed 1")
+        self._target = float(target_staleness)
+        self._min = int(min_batch)
+        self._max = int(max_batch)
+        self._growth = float(growth_factor)
+
+    @property
+    def target_staleness(self) -> float:
+        return self._target
+
+    def next_batch_size(self, current: int, interleaved_updates: int) -> int:
+        current = max(int(current), self._min)
+        if interleaved_updates > self._target:
+            grown = max(int(current * self._growth), current + 1)
+            return min(grown, self._max)
+        return max(current - 1, self._min)

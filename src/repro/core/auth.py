@@ -1,0 +1,73 @@
+"""Device authentication (Algorithm 2: "Authenticate device").
+
+The prototype authenticates devices over HTTPS with per-device credentials.
+We model that with a registry of per-device shared-secret tokens derived
+from a server key: registering a device mints its token; every check-out
+and check-in must present a matching token or the server rejects it with
+:class:`~repro.utils.exceptions.AuthenticationError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Dict
+
+from repro.utils.exceptions import AuthenticationError
+
+
+class DeviceRegistry:
+    """Mints and verifies per-device authentication tokens.
+
+    Examples
+    --------
+    >>> registry = DeviceRegistry(server_key="secret")
+    >>> token = registry.register(7)
+    >>> registry.authenticate(7, token)
+    >>> registry.authenticate(7, "bogus")
+    Traceback (most recent call last):
+        ...
+    repro.utils.exceptions.AuthenticationError: invalid token for device 7
+    """
+
+    def __init__(self, server_key: str = "crowd-ml-server-key"):
+        self._server_key = str(server_key).encode("utf-8")
+        self._tokens: Dict[int, str] = {}
+        self._revoked: set[int] = set()
+
+    def _mint(self, device_id: int) -> str:
+        digest = hmac.new(
+            self._server_key, f"device:{device_id}".encode("utf-8"), hashlib.sha256
+        )
+        return digest.hexdigest()
+
+    def register(self, device_id: int) -> str:
+        """Enroll a device and return its token (idempotent)."""
+        device_id = int(device_id)
+        self._revoked.discard(device_id)
+        token = self._mint(device_id)
+        self._tokens[device_id] = token
+        return token
+
+    def revoke(self, device_id: int) -> None:
+        """Revoke a device's access (a device leaving the task)."""
+        self._revoked.add(int(device_id))
+
+    @property
+    def num_registered(self) -> int:
+        """Number of currently registered, non-revoked devices."""
+        return len([d for d in self._tokens if d not in self._revoked])
+
+    def is_registered(self, device_id: int) -> bool:
+        return int(device_id) in self._tokens and int(device_id) not in self._revoked
+
+    def authenticate(self, device_id: int, token: str) -> None:
+        """Raise :class:`AuthenticationError` unless the token is valid."""
+        device_id = int(device_id)
+        if device_id in self._revoked:
+            raise AuthenticationError(f"device {device_id} has been revoked")
+        expected = self._tokens.get(device_id)
+        if expected is None:
+            raise AuthenticationError(f"unknown device {device_id}")
+        if not hmac.compare_digest(expected, str(token)):
+            raise AuthenticationError(f"invalid token for device {device_id}")

@@ -1,0 +1,131 @@
+"""Wire codec: serialize protocol messages to/from JSON-compatible dicts.
+
+The prototype ships messages over HTTPS; this codec defines the payload
+format a real deployment would use.  Numeric arrays travel as plain lists
+(clients on any platform can produce them); every message carries a
+``type`` tag so a single endpoint can dispatch.
+
+Round-trip fidelity is exact for the integer fields and float64-precise
+for gradients/parameters; decoding validates shapes through the message
+constructors, so a malformed payload raises
+:class:`~repro.utils.exceptions.ProtocolError` rather than propagating
+garbage into the learning loop.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.core.protocol import (
+    CheckinAck,
+    CheckinMessage,
+    CheckoutRequest,
+    CheckoutResponse,
+)
+from repro.utils.exceptions import ProtocolError
+
+Message = Union[CheckoutRequest, CheckoutResponse, CheckinMessage, CheckinAck]
+
+_TYPE_TAGS = {
+    CheckoutRequest: "checkout_request",
+    CheckoutResponse: "checkout_response",
+    CheckinMessage: "checkin",
+    CheckinAck: "checkin_ack",
+}
+
+
+def encode_message(message: Message) -> Dict[str, Any]:
+    """Encode a protocol message as a JSON-compatible dict."""
+    tag = _TYPE_TAGS.get(type(message))
+    if tag is None:
+        raise ProtocolError(f"cannot encode {type(message).__name__}")
+    if isinstance(message, CheckoutRequest):
+        body = {
+            "device_id": message.device_id,
+            "token": message.token,
+            "request_time": message.request_time,
+        }
+    elif isinstance(message, CheckoutResponse):
+        body = {
+            "device_id": message.device_id,
+            "parameters": message.parameters.tolist(),
+            "server_iteration": message.server_iteration,
+            "issued_time": message.issued_time,
+        }
+    elif isinstance(message, CheckinMessage):
+        body = {
+            "device_id": message.device_id,
+            "token": message.token,
+            "gradient": message.gradient.tolist(),
+            "num_samples": message.num_samples,
+            "noisy_error_count": message.noisy_error_count,
+            "noisy_label_counts": message.noisy_label_counts.tolist(),
+            "checkout_iteration": message.checkout_iteration,
+        }
+    else:  # CheckinAck
+        body = {
+            "device_id": message.device_id,
+            "server_iteration": message.server_iteration,
+        }
+    return {"type": tag, **body}
+
+
+def decode_message(payload: Dict[str, Any]) -> Message:
+    """Decode a dict produced by :func:`encode_message`.
+
+    Raises :class:`ProtocolError` on unknown tags or missing fields.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"payload must be a dict, got {type(payload).__name__}")
+    tag = payload.get("type")
+    try:
+        if tag == "checkout_request":
+            return CheckoutRequest(
+                device_id=int(payload["device_id"]),
+                token=str(payload["token"]),
+                request_time=float(payload["request_time"]),
+            )
+        if tag == "checkout_response":
+            return CheckoutResponse(
+                device_id=int(payload["device_id"]),
+                parameters=np.asarray(payload["parameters"], dtype=np.float64),
+                server_iteration=int(payload["server_iteration"]),
+                issued_time=float(payload["issued_time"]),
+            )
+        if tag == "checkin":
+            return CheckinMessage(
+                device_id=int(payload["device_id"]),
+                token=str(payload["token"]),
+                gradient=np.asarray(payload["gradient"], dtype=np.float64),
+                num_samples=int(payload["num_samples"]),
+                noisy_error_count=int(payload["noisy_error_count"]),
+                noisy_label_counts=np.asarray(
+                    payload["noisy_label_counts"], dtype=np.int64
+                ),
+                checkout_iteration=int(payload["checkout_iteration"]),
+            )
+        if tag == "checkin_ack":
+            return CheckinAck(
+                device_id=int(payload["device_id"]),
+                server_iteration=int(payload["server_iteration"]),
+            )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(f"malformed {tag!r} payload: {error}") from error
+    raise ProtocolError(f"unknown message type {tag!r}")
+
+
+def encode_to_json(message: Message) -> str:
+    """Encode straight to a JSON string (the HTTPS body)."""
+    return json.dumps(encode_message(message), separators=(",", ":"))
+
+
+def decode_from_json(text: str) -> Message:
+    """Decode a JSON string produced by :func:`encode_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"invalid JSON: {error}") from error
+    return decode_message(payload)

@@ -1,0 +1,299 @@
+"""Device runtime — Algorithm 1 (Routines 1-3).
+
+A :class:`Device` buffers locally generated samples (Routine 1), and when a
+minibatch is full it asks for a check-out.  Once the current parameters
+arrive, :meth:`Device.complete_checkout` runs Routine 2 — predict, count
+errors and labels, compute the averaged regularized gradient — and
+Routine 3 — sanitize everything with the device's privacy mechanisms —
+returning the :class:`~repro.core.protocol.CheckinMessage` to upload.
+
+The device is transport-agnostic: the simulator (or a real network stack)
+decides how requests and messages travel.  Failed check-outs simply leave
+the buffer intact and the device retries at the next opportunity
+(Remark 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import DeviceConfig
+from repro.core.protocol import CheckinMessage
+from repro.core.sanitizer import CheckinSanitizer
+from repro.privacy.accountant import PrivacyAccountant
+from repro.models.base import Model
+from repro.utils.exceptions import ConfigurationError, ProtocolError
+
+
+@dataclass(frozen=True)
+class CheckinResult:
+    """Output of one completed check-out/check-in cycle.
+
+    Besides the wire message, exposes the *local, non-released* per-sample
+    prediction outcomes — what the on-phone UI (and Fig. 3's time-averaged
+    error curve) observes.  These never leave the device unsanitized.
+    """
+
+    message: CheckinMessage
+    per_sample_errors: np.ndarray  # bool, aligned with consumed samples
+    consumed_labels: np.ndarray
+
+
+class Device:
+    """One smart device participating in the crowd-learning task.
+
+    Parameters
+    ----------
+    device_id:
+        Unique integer identity.
+    model:
+        The classifier family (shared task definition with the server).
+    config:
+        Algorithm 1 inputs (b, B, privacy levels, holdout fraction).
+    token:
+        Authentication token from the server's registry.
+    rng:
+        Device-local randomness (noise, holdout selection).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.models import MulticlassLogisticRegression
+    >>> from repro.core.config import DeviceConfig
+    >>> model = MulticlassLogisticRegression(num_features=2, num_classes=2)
+    >>> config = DeviceConfig.default(batch_size=2, num_classes=2)
+    >>> device = Device(0, model, config, token="t",
+    ...                 rng=np.random.default_rng(0))
+    >>> device.observe(np.array([0.5, 0.5]), 1)
+    False
+    >>> device.observe(np.array([0.2, 0.8]), 0)
+    True
+    >>> result = device.complete_checkout(np.zeros(4), server_iteration=0)
+    >>> result.message.num_samples
+    2
+    """
+
+    def __init__(
+        self,
+        device_id: int,
+        model: Model,
+        config: DeviceConfig,
+        token: str,
+        rng: np.random.Generator,
+        accountant: Optional[PrivacyAccountant] = None,
+        batch_policy: Optional["BatchPolicy"] = None,
+    ):
+        if config.budget.num_classes != model.num_classes:
+            raise ConfigurationError(
+                f"budget num_classes ({config.budget.num_classes}) != "
+                f"model num_classes ({model.num_classes})"
+            )
+        self._device_id = int(device_id)
+        self._model = model
+        self._config = config
+        self._token = str(token)
+        self._rng = rng
+        self._sanitizer = CheckinSanitizer(
+            model, config.budget, rng,
+            gradient_noise=config.gradient_noise,
+            gaussian_delta=config.gaussian_delta,
+        )
+        self._accountant = accountant if accountant is not None else PrivacyAccountant()
+        self._batch_policy = batch_policy
+        self._current_batch_size = config.batch_size
+        self._last_checkout_iteration: Optional[int] = None
+
+        self._features: List[np.ndarray] = []
+        self._labels: List[int] = []
+        self._holdout_mask: List[bool] = []
+        self._awaiting_checkout = False
+        self._failed_checkouts = 0
+        self._samples_observed = 0
+        self._samples_dropped = 0
+        self._checkins_completed = 0
+
+    @property
+    def device_id(self) -> int:
+        return self._device_id
+
+    @property
+    def token(self) -> str:
+        return self._token
+
+    @property
+    def config(self) -> DeviceConfig:
+        return self._config
+
+    @property
+    def accountant(self) -> PrivacyAccountant:
+        """Privacy-spend ledger for this device's releases."""
+        return self._accountant
+
+    @property
+    def buffer_size(self) -> int:
+        """n_s — samples currently buffered."""
+        return len(self._features)
+
+    @property
+    def samples_observed(self) -> int:
+        """Total samples ever offered to Routine 1."""
+        return self._samples_observed
+
+    @property
+    def samples_dropped(self) -> int:
+        """Samples rejected because the buffer hit capacity B."""
+        return self._samples_dropped
+
+    @property
+    def checkins_completed(self) -> int:
+        return self._checkins_completed
+
+    @property
+    def awaiting_checkout(self) -> bool:
+        """True while a check-out request is in flight."""
+        return self._awaiting_checkout
+
+    @property
+    def current_batch_size(self) -> int:
+        """The b in force right now (fixed unless a batch policy adapts it)."""
+        return self._current_batch_size
+
+    @property
+    def wants_checkout(self) -> bool:
+        """Routine 1's trigger: n_s ≥ b and no request already pending."""
+        return (
+            not self._awaiting_checkout
+            and len(self._features) >= self._current_batch_size
+        )
+
+    def observe(self, features: np.ndarray, label: int) -> bool:
+        """Routine 1: buffer one sample; returns True if a check-out is due.
+
+        Samples arriving with a full buffer (n_s ≥ B) are dropped — the
+        "stop collection to prevent resource outage" branch.
+        """
+        self._samples_observed += 1
+        if len(self._features) >= self._config.buffer_capacity:
+            self._samples_dropped += 1
+            return self.wants_checkout
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape != (self._model.num_features,):
+            raise ConfigurationError(
+                f"sample must have shape ({self._model.num_features},), "
+                f"got {features.shape}"
+            )
+        self._features.append(features)
+        # Classification labels are integer class indices; regression
+        # models (num_classes == 1) carry real-valued targets.
+        if self._model.num_classes > 1:
+            self._labels.append(int(label))
+        else:
+            self._labels.append(float(label))
+        is_holdout = (
+            self._config.holdout_fraction > 0.0
+            and float(self._rng.random()) < self._config.holdout_fraction
+        )
+        self._holdout_mask.append(is_holdout)
+        return self.wants_checkout
+
+    def mark_checkout_requested(self) -> None:
+        """Record that a check-out request left the device."""
+        if self._awaiting_checkout:
+            raise ProtocolError(f"device {self._device_id} already awaiting check-out")
+        self._awaiting_checkout = True
+
+    def on_checkout_failed(self) -> None:
+        """Remark 1: the request/response was lost; keep collecting, retry."""
+        self._awaiting_checkout = False
+        self._failed_checkouts += 1
+
+    @property
+    def failed_checkouts(self) -> int:
+        return self._failed_checkouts
+
+    def complete_checkout(
+        self, parameters: np.ndarray, server_iteration: int
+    ) -> CheckinResult:
+        """Routines 2 + 3: consume the buffer, return the sanitized check-in.
+
+        ``parameters`` is the checked-out w; ``server_iteration`` tags the
+        check-in so delay-aware servers know how stale the gradient is.
+        """
+        self._awaiting_checkout = False
+        if self._batch_policy is not None:
+            # The server-iteration counter is public, so adapting b to the
+            # observed interleaving costs no privacy (§IV-B3 refinement).
+            if self._last_checkout_iteration is not None:
+                interleaved = max(
+                    int(server_iteration) - self._last_checkout_iteration - 1, 0
+                )
+                proposed = self._batch_policy.next_batch_size(
+                    self._current_batch_size, interleaved
+                )
+                self._current_batch_size = int(
+                    min(max(proposed, 1), self._config.buffer_capacity)
+                )
+            self._last_checkout_iteration = int(server_iteration)
+        if not self._features:
+            raise ProtocolError(
+                f"device {self._device_id} has no buffered samples to process"
+            )
+        parameters = np.asarray(parameters, dtype=np.float64)
+        features = np.stack(self._features)
+        is_classification = self._model.num_classes > 1
+        label_dtype = np.int64 if is_classification else np.float64
+        labels = np.asarray(self._labels, dtype=label_dtype)
+        holdout = np.asarray(self._holdout_mask, dtype=bool)
+        num_samples = features.shape[0]
+
+        errors = self._model.prediction_errors(parameters, features, labels)
+
+        # Remark 2: with a holdout, the error statistic comes from held-out
+        # samples only, and their gradients stay out of the average.
+        if holdout.any() and (~holdout).any():
+            error_count = int(errors[holdout].sum())
+            grad_features, grad_labels = features[~holdout], labels[~holdout]
+        else:
+            error_count = int(errors.sum())
+            grad_features, grad_labels = features, labels
+
+        averaged_gradient = self._model.gradient(parameters, grad_features, grad_labels)
+        if is_classification:
+            label_counts = np.bincount(
+                labels, minlength=self._model.num_classes
+            ).astype(np.int64)
+        else:
+            # Regression has no label histogram; report the sample count in
+            # the single "class" slot so monitoring stays well-defined.
+            label_counts = np.array([num_samples], dtype=np.int64)
+
+        sanitized = self._sanitizer.sanitize(
+            averaged_gradient, error_count, label_counts, grad_features.shape[0]
+        )
+        self._accountant.charge_checkin(list(sanitized.releases))
+
+        message = CheckinMessage(
+            device_id=self._device_id,
+            token=self._token,
+            gradient=sanitized.gradient,
+            num_samples=num_samples,
+            noisy_error_count=sanitized.error_count,
+            noisy_label_counts=sanitized.label_counts,
+            checkout_iteration=int(server_iteration),
+            releases=sanitized.releases,
+        )
+
+        # Reset n_s = 0, n_e = 0, n_y^k = 0 (end of Routine 2).
+        self._features.clear()
+        self._labels.clear()
+        self._holdout_mask.clear()
+        self._checkins_completed += 1
+
+        return CheckinResult(
+            message=message,
+            per_sample_errors=errors,
+            consumed_labels=labels,
+        )

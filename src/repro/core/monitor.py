@@ -1,0 +1,135 @@
+"""Server-side progress monitoring from DP counts (Eq. 14).
+
+Server Routine 2 accumulates, per device m, the sample counts N_s^m, the
+noisy misclassification counts N_e^m, and the noisy label counts N_y^{k,m}.
+The global error-rate and label-prior estimates are
+
+    Err_est    = Σ_m N_e^m / Σ_m N_s^m
+    P_est(y=k) = Σ_m N_y^{k,m} / Σ_m N_s^m               (Eq. 14)
+
+Because the discrete Laplace noise is zero-mean with finite variance, both
+estimates converge almost surely to the truth as check-ins accumulate
+(Appendix B, Remark 2); estimates are clipped into their valid ranges for
+presentation but the raw sums are kept for the convergence analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class DeviceProgress:
+    """Per-device accumulators of Algorithm 2."""
+
+    samples: int = 0
+    noisy_errors: int = 0
+
+    def __post_init__(self):
+        self.label_counts: np.ndarray | None = None
+
+
+class ProgressMonitor:
+    """Accumulates DP check-in statistics and exposes the Eq. 14 estimates.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> monitor = ProgressMonitor(num_classes=2)
+    >>> monitor.record(device_id=0, num_samples=10, noisy_error_count=3,
+    ...                noisy_label_counts=np.array([6, 4]))
+    >>> monitor.error_estimate()
+    0.3
+    """
+
+    def __init__(self, num_classes: int):
+        self._num_classes = check_positive_int(num_classes, "num_classes")
+        self._devices: Dict[int, DeviceProgress] = {}
+        self._total_samples = 0
+        self._total_noisy_errors = 0
+        self._total_label_counts = np.zeros(num_classes, dtype=np.int64)
+        self._num_checkins = 0
+
+    @property
+    def num_classes(self) -> int:
+        return self._num_classes
+
+    @property
+    def total_samples(self) -> int:
+        """Σ_m N_s^m — exact, since n_s is transmitted in clear."""
+        return self._total_samples
+
+    @property
+    def num_checkins(self) -> int:
+        return self._num_checkins
+
+    @property
+    def num_devices_seen(self) -> int:
+        return len(self._devices)
+
+    def record(
+        self,
+        device_id: int,
+        num_samples: int,
+        noisy_error_count: int,
+        noisy_label_counts: np.ndarray,
+    ) -> None:
+        """Fold one check-in's statistics into the per-device accumulators."""
+        progress = self._devices.setdefault(int(device_id), DeviceProgress())
+        if progress.label_counts is None:
+            progress.label_counts = np.zeros(self._num_classes, dtype=np.int64)
+        counts = np.asarray(noisy_label_counts, dtype=np.int64)
+        if counts.shape != (self._num_classes,):
+            raise ValueError(
+                f"label counts must have shape ({self._num_classes},), got {counts.shape}"
+            )
+        progress.samples += int(num_samples)
+        progress.noisy_errors += int(noisy_error_count)
+        progress.label_counts += counts
+        self._total_samples += int(num_samples)
+        self._total_noisy_errors += int(noisy_error_count)
+        self._total_label_counts += counts
+        self._num_checkins += 1
+
+    def error_estimate(self) -> float:
+        """Global DP error-rate estimate, clipped to [0, 1].
+
+        Returns 1.0 before any samples arrive (pessimistic default so the
+        ρ-based stop can never fire spuriously).
+        """
+        if self._total_samples == 0:
+            return 1.0
+        raw = self._total_noisy_errors / self._total_samples
+        return float(np.clip(raw, 0.0, 1.0))
+
+    def raw_error_estimate(self) -> float:
+        """Unclipped estimate (may exit [0, 1] due to noise)."""
+        if self._total_samples == 0:
+            return 1.0
+        return self._total_noisy_errors / self._total_samples
+
+    def prior_estimate(self) -> np.ndarray:
+        """DP label-prior estimate P_est(y), clipped and renormalized."""
+        if self._total_samples == 0:
+            return np.full(self._num_classes, 1.0 / self._num_classes)
+        raw = np.maximum(self._total_label_counts / self._total_samples, 0.0)
+        total = raw.sum()
+        if total == 0.0:
+            return np.full(self._num_classes, 1.0 / self._num_classes)
+        return raw / total
+
+    def device_error_estimate(self, device_id: int) -> float:
+        """Per-device DP error estimate (for the Web-portal statistics)."""
+        progress = self._devices.get(int(device_id))
+        if progress is None or progress.samples == 0:
+            return 1.0
+        return float(np.clip(progress.noisy_errors / progress.samples, 0.0, 1.0))
+
+    def device_sample_count(self, device_id: int) -> int:
+        progress = self._devices.get(int(device_id))
+        return progress.samples if progress is not None else 0

@@ -1,0 +1,121 @@
+"""Device-server wire protocol (Fig. 2 workflow).
+
+Four message types cover the whole exchange:
+
+1. :class:`CheckoutRequest` — device asks for the current parameters
+   (step 2 of Fig. 2).
+2. :class:`CheckoutResponse` — server returns ``w`` after authenticating
+   (step 3).
+3. :class:`CheckinMessage` — device uploads the sanitized statistics
+   ``(ĝ, n_s, n̂_e, n̂_y^k)`` (step 4).
+4. :class:`CheckinAck` — server confirms the update was applied (step 5).
+
+Messages are immutable dataclasses; ``payload_floats`` reports the size
+used by the Section IV-B2 communication accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.privacy.mechanism import ReleaseRecord
+from repro.utils.exceptions import ProtocolError
+
+
+@dataclass(frozen=True)
+class CheckoutRequest:
+    """A device's request for the current model parameters."""
+
+    device_id: int
+    token: str
+    request_time: float
+
+    @property
+    def payload_floats(self) -> int:
+        """Requests carry no numeric payload."""
+        return 0
+
+
+@dataclass(frozen=True)
+class CheckoutResponse:
+    """Server's reply: the current parameters and the server iteration."""
+
+    device_id: int
+    parameters: np.ndarray
+    server_iteration: int
+    issued_time: float
+
+    def __post_init__(self):
+        parameters = np.asarray(self.parameters, dtype=np.float64)
+        if parameters.ndim != 1:
+            raise ProtocolError(f"parameters must be a flat vector, got {parameters.shape}")
+        object.__setattr__(self, "parameters", parameters)
+
+    @property
+    def payload_floats(self) -> int:
+        """One parameter vector."""
+        return int(self.parameters.shape[0])
+
+
+@dataclass(frozen=True)
+class CheckinMessage:
+    """Sanitized device statistics: ``(ĝ, n_s, n̂_e, n̂_y^k)``.
+
+    Attributes
+    ----------
+    gradient:
+        The sanitized averaged gradient ĝ (Eq. 10), flat.
+    num_samples:
+        n_s, the exact number of samples averaged (not privatized: it
+        reveals only volume, not content; the paper transmits it in clear).
+    noisy_error_count:
+        n̂_e, discrete-Laplace-perturbed misclassification count (Eq. 11).
+    noisy_label_counts:
+        n̂_y^k for k = 1..C (Eq. 12).
+    checkout_iteration:
+        Server iteration at which the parameters used were issued —
+        available to delay-aware update rules.
+    releases:
+        Privacy-accounting records for the mechanisms applied.
+    """
+
+    device_id: int
+    token: str
+    gradient: np.ndarray
+    num_samples: int
+    noisy_error_count: int
+    noisy_label_counts: np.ndarray
+    checkout_iteration: int
+    releases: Tuple[ReleaseRecord, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        gradient = np.asarray(self.gradient, dtype=np.float64)
+        if gradient.ndim != 1:
+            raise ProtocolError(f"gradient must be a flat vector, got {gradient.shape}")
+        counts = np.asarray(self.noisy_label_counts, dtype=np.int64)
+        if counts.ndim != 1:
+            raise ProtocolError(f"label counts must be 1-D, got {counts.shape}")
+        if self.num_samples <= 0:
+            raise ProtocolError(f"num_samples must be positive, got {self.num_samples}")
+        object.__setattr__(self, "gradient", gradient)
+        object.__setattr__(self, "noisy_label_counts", counts)
+
+    @property
+    def payload_floats(self) -> int:
+        """Gradient plus the C + 2 scalar counters."""
+        return int(self.gradient.shape[0] + self.noisy_label_counts.shape[0] + 2)
+
+
+@dataclass(frozen=True)
+class CheckinAck:
+    """Server's acknowledgement of an applied check-in."""
+
+    device_id: int
+    server_iteration: int
+
+    @property
+    def payload_floats(self) -> int:
+        return 1

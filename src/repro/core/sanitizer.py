@@ -1,0 +1,129 @@
+"""Device Routine 3: sanitize check-in statistics before they leave.
+
+Bundles the three mechanisms of Eqs. (10)-(12): Laplace noise on the
+averaged gradient calibrated to the model's minibatch sensitivity, and
+discrete Laplace noise on the misclassification count and each label count.
+The sanitizer is constructed once per device from its
+:class:`~repro.privacy.budget.PrivacyBudget` and re-calibrates the gradient
+mechanism per check-in, because the realized minibatch size ``n_s`` (≥ b)
+sets the sensitivity ``S = 4/n_s``.
+
+Footnote 1's (ε, δ) variant is available by constructing the sanitizer
+with ``gradient_noise="gaussian"``: the gradient mechanism becomes the
+analytic Gaussian mechanism, calibrated with the same 4/n_s bound (valid
+for L2 since ‖·‖₂ ≤ ‖·‖₁).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.models.base import Model
+from repro.privacy.budget import PrivacyBudget
+from repro.privacy.discrete_laplace import DiscreteLaplaceMechanism
+from repro.privacy.gaussian import GaussianMechanism
+from repro.privacy.laplace import LaplaceMechanism
+from repro.privacy.mechanism import ReleaseRecord
+from repro.utils.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SanitizedCheckin:
+    """The outputs of Device Routine 3 plus accounting records."""
+
+    gradient: np.ndarray
+    error_count: int
+    label_counts: np.ndarray
+    releases: Tuple[ReleaseRecord, ...]
+
+
+class CheckinSanitizer:
+    """Applies Eqs. (10)-(12) to one device's check-in statistics.
+
+    Parameters
+    ----------
+    model:
+        Supplies the gradient-sensitivity oracle (4/b for logistic).
+    budget:
+        The per-sample ε split (ε_g, ε_e, ε_yk).
+    rng:
+        Device-local noise source.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        budget: PrivacyBudget,
+        rng: np.random.Generator,
+        *,
+        gradient_noise: str = "laplace",
+        gaussian_delta: float = 1e-6,
+    ):
+        if gradient_noise not in ("laplace", "gaussian"):
+            raise ConfigurationError(
+                f"gradient_noise must be 'laplace' or 'gaussian', got "
+                f"{gradient_noise!r}"
+            )
+        self._model = model
+        self._budget = budget
+        self._rng = rng
+        self._gradient_noise = gradient_noise
+        self._gaussian_delta = float(gaussian_delta)
+        self._error_mechanism = DiscreteLaplaceMechanism(budget.epsilon_error, rng)
+        self._label_mechanism = DiscreteLaplaceMechanism(budget.epsilon_label, rng)
+
+    @property
+    def budget(self) -> PrivacyBudget:
+        return self._budget
+
+    @property
+    def gradient_noise(self) -> str:
+        """Which mechanism sanitizes gradients: "laplace" or "gaussian"."""
+        return self._gradient_noise
+
+    def gradient_mechanism(
+        self, num_samples: int
+    ) -> Union[LaplaceMechanism, GaussianMechanism]:
+        """Noise mechanism calibrated to this minibatch's sensitivity."""
+        sensitivity = self._model.gradient_sensitivity(num_samples)
+        if self._gradient_noise == "gaussian":
+            return GaussianMechanism(
+                self._budget.epsilon_gradient,
+                self._gaussian_delta,
+                sensitivity_l2=sensitivity,
+                rng=self._rng,
+            )
+        return LaplaceMechanism(self._budget.epsilon_gradient, sensitivity, self._rng)
+
+    def sanitize(
+        self,
+        averaged_gradient: np.ndarray,
+        error_count: int,
+        label_counts: np.ndarray,
+        num_samples: int,
+    ) -> SanitizedCheckin:
+        """Apply all three mechanisms and collect accounting records."""
+        gradient_mech = self.gradient_mechanism(num_samples)
+        noisy_gradient = gradient_mech.release(averaged_gradient)
+        noisy_error = self._error_mechanism.release(int(error_count))
+        noisy_labels = self._label_mechanism.release(
+            np.asarray(label_counts, dtype=np.int64)
+        )
+        gradient_sensitivity = getattr(
+            gradient_mech, "sensitivity", None
+        ) or getattr(gradient_mech, "sensitivity_l2", 0.0)
+        releases = (
+            gradient_mech.record(gradient_sensitivity),
+            self._error_mechanism.record(1.0),
+        ) + tuple(
+            self._label_mechanism.record(1.0) for _ in range(label_counts.shape[0])
+        )
+        return SanitizedCheckin(
+            gradient=noisy_gradient,
+            error_count=noisy_error,
+            label_counts=np.asarray(noisy_labels, dtype=np.int64),
+            releases=releases,
+        )

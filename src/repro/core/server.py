@@ -1,0 +1,183 @@
+"""Server runtime — Algorithm 2 (Routines 1 and 2).
+
+The :class:`CrowdMLServer` owns the model parameters, authenticates devices
+against a :class:`~repro.core.auth.DeviceRegistry`, serves check-outs, and
+applies each check-in's sanitized gradient with its
+:class:`~repro.optim.sgd.Optimizer` (projected SGD by default — Eq. 3 —
+or any Remark-3 alternative, which is pure post-processing and leaves the
+privacy guarantee untouched).  A :class:`~repro.core.monitor.ProgressMonitor`
+keeps the Eq. 14 DP estimates that drive the ρ stopping criterion.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.auth import DeviceRegistry
+from repro.core.config import ServerConfig
+from repro.core.monitor import ProgressMonitor
+from repro.core.protocol import (
+    CheckinAck,
+    CheckinMessage,
+    CheckoutRequest,
+    CheckoutResponse,
+)
+from repro.core.stopping import StopDecision, evaluate_stopping
+from repro.models.base import Model
+from repro.optim.sgd import SGD, Optimizer
+from repro.utils.exceptions import ProtocolError
+
+
+class CrowdMLServer:
+    """The central coordinator of the crowd-learning task.
+
+    Parameters
+    ----------
+    model:
+        Task definition shared with the devices.
+    optimizer:
+        Update rule; owns the parameter vector.  Defaults to projected SGD
+        with the paper's c/√t schedule if ``None``.
+    config:
+        T_max and the ρ stopping criterion.
+    registry:
+        Authentication registry.  A fresh one is created when omitted;
+        devices are registered through :meth:`register_device`.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.models import MulticlassLogisticRegression
+    >>> from repro.core.config import ServerConfig
+    >>> model = MulticlassLogisticRegression(num_features=2, num_classes=2)
+    >>> server = CrowdMLServer(model, config=ServerConfig(max_iterations=100))
+    >>> token = server.register_device(0)
+    >>> response = server.handle_checkout(
+    ...     CheckoutRequest(device_id=0, token=token, request_time=0.0))
+    >>> response.parameters.shape
+    (4,)
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        optimizer: Optional[Optimizer] = None,
+        config: Optional[ServerConfig] = None,
+        registry: Optional[DeviceRegistry] = None,
+    ):
+        self._model = model
+        if optimizer is None:
+            optimizer = SGD(model.init_parameters())
+        if optimizer.parameters.shape[0] != model.num_parameters:
+            raise ProtocolError(
+                f"optimizer parameter length {optimizer.parameters.shape[0]} != "
+                f"model num_parameters {model.num_parameters}"
+            )
+        self._optimizer = optimizer
+        self._config = config if config is not None else ServerConfig(max_iterations=10**9)
+        self._registry = registry if registry is not None else DeviceRegistry()
+        self._monitor = ProgressMonitor(model.num_classes)
+        self._checkouts_served = 0
+        self._rejected_messages = 0
+
+    @property
+    def model(self) -> Model:
+        return self._model
+
+    @property
+    def config(self) -> ServerConfig:
+        return self._config
+
+    @property
+    def monitor(self) -> ProgressMonitor:
+        """The Eq. 14 DP progress estimates."""
+        return self._monitor
+
+    @property
+    def registry(self) -> DeviceRegistry:
+        return self._registry
+
+    @property
+    def parameters(self) -> np.ndarray:
+        """Current model parameters w (copy)."""
+        return self._optimizer.parameters
+
+    @property
+    def iteration(self) -> int:
+        """t — number of applied updates."""
+        return self._optimizer.iteration
+
+    @property
+    def checkouts_served(self) -> int:
+        return self._checkouts_served
+
+    @property
+    def rejected_messages(self) -> int:
+        """Messages refused by authentication or the stopping state."""
+        return self._rejected_messages
+
+    def register_device(self, device_id: int) -> str:
+        """Enroll a device (Web-portal join flow); returns its token."""
+        return self._registry.register(device_id)
+
+    def stopping_decision(self) -> StopDecision:
+        """Evaluate Algorithm 2's stopping criteria right now."""
+        return evaluate_stopping(self._config, self.iteration, self._monitor)
+
+    @property
+    def stopped(self) -> bool:
+        return self.stopping_decision().stopped
+
+    def handle_checkout(self, request: CheckoutRequest) -> CheckoutResponse:
+        """Server Routine 1: authenticate and send current parameters.
+
+        Raises :class:`~repro.utils.exceptions.AuthenticationError` for
+        unknown devices and :class:`ProtocolError` once stopped.
+        """
+        try:
+            self._registry.authenticate(request.device_id, request.token)
+        except Exception:
+            self._rejected_messages += 1
+            raise
+        if self.stopped:
+            self._rejected_messages += 1
+            raise ProtocolError("task has stopped; no further check-outs")
+        self._checkouts_served += 1
+        return CheckoutResponse(
+            device_id=request.device_id,
+            parameters=self._optimizer.parameters,
+            server_iteration=self.iteration,
+            issued_time=request.request_time,
+        )
+
+    def handle_checkin(self, message: CheckinMessage) -> CheckinAck:
+        """Server Routine 2: authenticate, accumulate stats, apply update.
+
+        The update ``w ← Π_W[w − η(t)·ĝ]`` uses whatever optimizer the
+        server was built with; gradient staleness (asynchrony) is inherent
+        — the gradient may have been computed against an older w.
+        """
+        try:
+            self._registry.authenticate(message.device_id, message.token)
+        except Exception:
+            self._rejected_messages += 1
+            raise
+        if message.gradient.shape[0] != self._model.num_parameters:
+            self._rejected_messages += 1
+            raise ProtocolError(
+                f"gradient length {message.gradient.shape[0]} != "
+                f"model num_parameters {self._model.num_parameters}"
+            )
+        if self.stopped:
+            self._rejected_messages += 1
+            raise ProtocolError("task has stopped; no further check-ins")
+        self._monitor.record(
+            device_id=message.device_id,
+            num_samples=message.num_samples,
+            noisy_error_count=message.noisy_error_count,
+            noisy_label_counts=message.noisy_label_counts,
+        )
+        self._optimizer.step(message.gradient)
+        return CheckinAck(device_id=message.device_id, server_iteration=self.iteration)

@@ -1,0 +1,73 @@
+"""Datasets and data plumbing: synthetic generators, partitioning, pipeline.
+
+The generators are the offline substitutes for the paper's datasets (see
+DESIGN.md §3): :func:`make_mnist_like` (digits, Figs. 4-6),
+:func:`make_cifar_like` (objects, Figs. 7-9), and
+:mod:`repro.data.activity` (the Section V-B phone pipeline, Fig. 3).
+"""
+
+from repro.data.activity import (
+    ACTIVITY_NAMES,
+    IN_VEHICLE,
+    NUM_ACTIVITIES,
+    ON_FOOT,
+    STILL,
+    ActivityConfig,
+    ActivityTraceGenerator,
+    collect_on_label_change,
+    make_activity_stream,
+)
+from repro.data.cifar_like import (
+    CIFAR_CLASSES,
+    CIFAR_DIM,
+    cifar_like_generator,
+    make_cifar_like,
+)
+from repro.data.dataset import Dataset, concatenate, train_test_split
+from repro.data.mnist_like import (
+    MNIST_CLASSES,
+    MNIST_DIM,
+    make_mnist_like,
+    mnist_like_generator,
+)
+from repro.data.partition import dirichlet_partition, iid_partition, shard_partition
+from repro.data.preprocessing import PcaL1Pipeline, preprocess_train_test
+from repro.data.synthetic import ClassClusterGenerator, ClusterSpec
+from repro.data.thermostat import (
+    THERMOSTAT_DIM,
+    make_thermostat_data,
+    make_thermostat_split,
+)
+
+__all__ = [
+    "ACTIVITY_NAMES",
+    "ActivityConfig",
+    "ActivityTraceGenerator",
+    "CIFAR_CLASSES",
+    "CIFAR_DIM",
+    "ClassClusterGenerator",
+    "ClusterSpec",
+    "Dataset",
+    "IN_VEHICLE",
+    "MNIST_CLASSES",
+    "MNIST_DIM",
+    "NUM_ACTIVITIES",
+    "ON_FOOT",
+    "PcaL1Pipeline",
+    "STILL",
+    "THERMOSTAT_DIM",
+    "make_thermostat_data",
+    "make_thermostat_split",
+    "cifar_like_generator",
+    "collect_on_label_change",
+    "concatenate",
+    "dirichlet_partition",
+    "iid_partition",
+    "make_activity_stream",
+    "make_cifar_like",
+    "make_mnist_like",
+    "mnist_like_generator",
+    "preprocess_train_test",
+    "shard_partition",
+    "train_test_split",
+]

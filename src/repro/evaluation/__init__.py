@@ -1,0 +1,19 @@
+"""Evaluation utilities: metrics, error curves, multi-trial aggregation."""
+
+from repro.evaluation.curves import ErrorCurve, average_curves, curve_std
+from repro.evaluation.metrics import (
+    snapshot_grid,
+    test_error,
+    test_loss,
+    time_averaged_error,
+)
+
+__all__ = [
+    "ErrorCurve",
+    "average_curves",
+    "curve_std",
+    "snapshot_grid",
+    "test_error",
+    "test_loss",
+    "time_averaged_error",
+]

@@ -1,0 +1,107 @@
+"""Error-vs-iteration curves and multi-trial aggregation.
+
+Every experiment in Section V reports test error as a function of the
+iteration count (= number of samples consumed), averaged over 10 trials.
+:class:`ErrorCurve` is one trial's curve; :func:`average_curves` aligns
+several trials on a common iteration grid (step-wise interpolation — the
+curve holds its last value between snapshots) and averages them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ErrorCurve:
+    """One (iterations, errors) trajectory.
+
+    ``iterations`` must be strictly increasing; ``errors`` is the matching
+    test-error sequence.
+    """
+
+    iterations: np.ndarray
+    errors: np.ndarray
+
+    def __post_init__(self):
+        iterations = np.asarray(self.iterations, dtype=np.int64)
+        errors = np.asarray(self.errors, dtype=np.float64)
+        if iterations.ndim != 1 or errors.ndim != 1:
+            raise ValueError("iterations and errors must be 1-D")
+        if iterations.shape != errors.shape:
+            raise ValueError(
+                f"length mismatch: {iterations.shape} vs {errors.shape}"
+            )
+        if iterations.size and np.any(np.diff(iterations) <= 0):
+            raise ValueError("iterations must be strictly increasing")
+        object.__setattr__(self, "iterations", iterations)
+        object.__setattr__(self, "errors", errors)
+
+    def __len__(self) -> int:
+        return self.iterations.shape[0]
+
+    @property
+    def final_error(self) -> float:
+        """Error at the last recorded iteration."""
+        if len(self) == 0:
+            raise ValueError("empty curve has no final error")
+        return float(self.errors[-1])
+
+    def tail_error(self, fraction: float = 0.2) -> float:
+        """Mean error over the trailing ``fraction`` of snapshots.
+
+        A robust stand-in for the "asymptotic error" the paper eyeballs
+        from its figures.
+        """
+        if not (0.0 < fraction <= 1.0):
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if len(self) == 0:
+            raise ValueError("empty curve has no tail error")
+        count = max(1, int(round(len(self) * fraction)))
+        return float(np.mean(self.errors[-count:]))
+
+    def value_at(self, iteration: int) -> float:
+        """Step-interpolated error at ``iteration`` (hold-last-value)."""
+        if len(self) == 0:
+            raise ValueError("empty curve")
+        idx = int(np.searchsorted(self.iterations, iteration, side="right")) - 1
+        if idx < 0:
+            return float(self.errors[0])
+        return float(self.errors[idx])
+
+
+def average_curves(curves: list[ErrorCurve], grid: np.ndarray | None = None) -> ErrorCurve:
+    """Average several trial curves onto a common iteration grid.
+
+    When ``grid`` is omitted, the union of all snapshot iterations clipped
+    to the shortest curve's horizon is used, so no curve is extrapolated.
+
+    >>> a = ErrorCurve(np.array([1, 2]), np.array([1.0, 0.5]))
+    >>> b = ErrorCurve(np.array([1, 2]), np.array([0.5, 0.3]))
+    >>> average_curves([a, b]).errors.tolist()
+    [0.75, 0.4]
+    """
+    if not curves:
+        raise ValueError("need at least one curve")
+    if grid is None:
+        horizon = min(int(c.iterations[-1]) for c in curves)
+        merged = np.unique(np.concatenate([c.iterations for c in curves]))
+        grid = merged[merged <= horizon]
+        if grid.size == 0:
+            grid = np.array([horizon], dtype=np.int64)
+    grid = np.asarray(grid, dtype=np.int64)
+    stacked = np.stack(
+        [[curve.value_at(int(i)) for i in grid] for curve in curves]
+    )
+    return ErrorCurve(grid, stacked.mean(axis=0))
+
+
+def curve_std(curves: list[ErrorCurve], grid: np.ndarray) -> np.ndarray:
+    """Per-gridpoint standard deviation across trials."""
+    grid = np.asarray(grid, dtype=np.int64)
+    stacked = np.stack(
+        [[curve.value_at(int(i)) for i in grid] for curve in curves]
+    )
+    return stacked.std(axis=0)

@@ -1,0 +1,61 @@
+"""Evaluation metrics: test error, time-averaged online error (Fig. 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.models.base import Model
+from repro.utils.numerics import running_mean
+
+
+def test_error(model: Model, parameters: np.ndarray, dataset: Dataset) -> float:
+    """Misclassification rate of ``parameters`` on ``dataset``.
+
+    >>> import numpy as np
+    >>> from repro.models import MulticlassLogisticRegression
+    >>> from repro.data.dataset import Dataset
+    >>> model = MulticlassLogisticRegression(num_features=1, num_classes=2)
+    >>> ds = Dataset(np.array([[1.0], [-1.0]]), np.array([1, 0]), 2)
+    >>> test_error(model, np.array([-1.0, 1.0]), ds)
+    0.0
+    """
+    if len(dataset) == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
+    return model.error_rate(parameters, dataset.features, dataset.labels)
+
+
+def test_loss(model: Model, parameters: np.ndarray, dataset: Dataset) -> float:
+    """Mean loss of ``parameters`` on ``dataset`` (includes the λ term)."""
+    if len(dataset) == 0:
+        raise ValueError("cannot evaluate on an empty dataset")
+    return model.loss(parameters, dataset.features, dataset.labels)
+
+
+def time_averaged_error(per_sample_errors: np.ndarray) -> np.ndarray:
+    """Fig. 3's ``Err(t) = (1/t) Σ_{i≤t} I[y_i ≠ y_i^pred]``.
+
+    ``per_sample_errors`` is the boolean error indicator sequence in
+    collection order; the output is the running error-rate curve.
+    """
+    errors = np.asarray(per_sample_errors, dtype=np.float64)
+    return running_mean(errors)
+
+
+def snapshot_grid(max_iterations: int, num_points: int = 60) -> np.ndarray:
+    """Iteration checkpoints at which curves record test error.
+
+    Linear grid over ``[1, max_iterations]`` with ``num_points`` unique
+    integer entries, always including the endpoint.
+
+    >>> snapshot_grid(10, 5).tolist()
+    [1, 3, 6, 8, 10]
+    """
+    if max_iterations < 1:
+        raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+    if num_points < 1:
+        raise ValueError(f"num_points must be >= 1, got {num_points}")
+    grid = np.unique(
+        np.round(np.linspace(1, max_iterations, num=min(num_points, max_iterations)))
+    ).astype(np.int64)
+    return grid

@@ -1,0 +1,22 @@
+"""Feature-extraction pipeline: sliding windows, FFT magnitudes, PCA.
+
+Implements the Section V-B phone pipeline (|a| → 3.2 s windows → 64-bin
+FFT) and the Section V-C image preprocessing (PCA to 50/100 dims).
+"""
+
+from repro.features.fft import (
+    acceleration_magnitude,
+    fft_magnitude,
+    fft_magnitude_features,
+)
+from repro.features.pca import PCA
+from repro.features.windows import sliding_windows, window_majority_labels
+
+__all__ = [
+    "PCA",
+    "acceleration_magnitude",
+    "fft_magnitude",
+    "fft_magnitude_features",
+    "sliding_windows",
+    "window_majority_labels",
+]

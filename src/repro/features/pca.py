@@ -1,0 +1,114 @@
+"""Principal component analysis, implemented from scratch on numpy SVD.
+
+Section V-C preprocesses MNIST images with PCA to 50 dimensions and the
+CIFAR CNN features to 100 dimensions before L1 normalization.  This PCA is
+the fit/transform implementation used by that pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.validation import check_matrix, check_positive_int
+
+
+class PCA:
+    """Principal component analysis via singular value decomposition.
+
+    Parameters
+    ----------
+    num_components:
+        Output dimensionality (must not exceed min(n_samples, n_features)).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> data = rng.normal(size=(100, 5))
+    >>> pca = PCA(num_components=2).fit(data)
+    >>> pca.transform(data).shape
+    (100, 2)
+    """
+
+    def __init__(self, num_components: int):
+        self._num_components = check_positive_int(num_components, "num_components")
+        self._mean: Optional[np.ndarray] = None
+        self._components: Optional[np.ndarray] = None
+        self._explained_variance: Optional[np.ndarray] = None
+
+    @property
+    def num_components(self) -> int:
+        return self._num_components
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._components is not None
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Per-feature training mean."""
+        self._require_fitted()
+        return self._mean.copy()
+
+    @property
+    def components(self) -> np.ndarray:
+        """``(num_components, n_features)`` matrix of principal axes."""
+        self._require_fitted()
+        return self._components.copy()
+
+    @property
+    def explained_variance(self) -> np.ndarray:
+        """Variance captured by each retained component."""
+        self._require_fitted()
+        return self._explained_variance.copy()
+
+    @property
+    def explained_variance_ratio(self) -> np.ndarray:
+        """Fraction of total variance captured by each component."""
+        self._require_fitted()
+        total = self._total_variance
+        if total == 0.0:
+            return np.zeros_like(self._explained_variance)
+        return self._explained_variance / total
+
+    def _require_fitted(self):
+        if not self.is_fitted:
+            raise ConfigurationError("PCA must be fitted before use")
+
+    def fit(self, data: np.ndarray) -> "PCA":
+        """Learn the principal axes of ``data`` (rows are samples)."""
+        data = check_matrix(data, "data")
+        n, d = data.shape
+        if self._num_components > min(n, d):
+            raise ConfigurationError(
+                f"num_components={self._num_components} exceeds "
+                f"min(n_samples, n_features)={min(n, d)}"
+            )
+        self._mean = data.mean(axis=0)
+        centered = data - self._mean
+        # Economy SVD: centered = U S V'.
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        self._components = vt[: self._num_components]
+        variances = singular_values**2 / max(n - 1, 1)
+        self._explained_variance = variances[: self._num_components]
+        self._total_variance = float(variances.sum())
+        return self
+
+    def transform(self, data: np.ndarray) -> np.ndarray:
+        """Project ``data`` onto the retained principal axes."""
+        self._require_fitted()
+        data = check_matrix(data, "data", shape=(None, self._mean.shape[0]))
+        return (data - self._mean) @ self._components.T
+
+    def fit_transform(self, data: np.ndarray) -> np.ndarray:
+        """Fit on ``data`` and return its projection."""
+        return self.fit(data).transform(data)
+
+    def inverse_transform(self, projected: np.ndarray) -> np.ndarray:
+        """Map projected points back into the original feature space."""
+        self._require_fitted()
+        projected = check_matrix(projected, "projected", shape=(None, self._num_components))
+        return projected @ self._components + self._mean

@@ -1,0 +1,67 @@
+"""Sliding-window segmentation of sensor streams.
+
+The activity-recognition pipeline (Section V-B) computes acceleration
+magnitudes continuously over 3.2 s sliding windows before the FFT; this
+module provides the generic windowing primitive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+
+
+def sliding_windows(signal: np.ndarray, window_size: int, hop: int) -> np.ndarray:
+    """Segment a 1-D ``signal`` into overlapping windows.
+
+    Parameters
+    ----------
+    signal:
+        1-D array of samples.
+    window_size:
+        Window length in samples (e.g. 64 = 3.2 s at 20 Hz).
+    hop:
+        Stride between consecutive window starts.
+
+    Returns
+    -------
+    ``(num_windows, window_size)`` array; trailing samples that do not fill
+    a window are discarded.
+
+    >>> import numpy as np
+    >>> sliding_windows(np.arange(5.0), window_size=3, hop=2)
+    array([[0., 1., 2.],
+           [2., 3., 4.]])
+    """
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.ndim != 1:
+        raise ConfigurationError(f"signal must be 1-D, got shape {signal.shape}")
+    if window_size <= 0:
+        raise ConfigurationError(f"window_size must be positive, got {window_size}")
+    if hop <= 0:
+        raise ConfigurationError(f"hop must be positive, got {hop}")
+    if signal.shape[0] < window_size:
+        return np.empty((0, window_size), dtype=np.float64)
+    num_windows = 1 + (signal.shape[0] - window_size) // hop
+    starts = np.arange(num_windows) * hop
+    return np.stack([signal[s : s + window_size] for s in starts])
+
+
+def window_majority_labels(labels: np.ndarray, window_size: int, hop: int) -> np.ndarray:
+    """Label each window with the majority label of its samples.
+
+    Mirrors :func:`sliding_windows` segmentation for a per-sample integer
+    label stream, so features and labels stay aligned.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ConfigurationError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.shape[0] < window_size:
+        return np.empty(0, dtype=np.int64)
+    num_windows = 1 + (labels.shape[0] - window_size) // hop
+    out = np.empty(num_windows, dtype=np.int64)
+    for w in range(num_windows):
+        chunk = labels[w * hop : w * hop + window_size]
+        out[w] = np.bincount(chunk).argmax()
+    return out

@@ -1,0 +1,144 @@
+"""Model interface shared by every classifier/predictor in the framework.
+
+Section III-A: a wide range of learning algorithms is represented by a
+predictor ``h(x; w)`` and a loss ``l(y, h(x; w))``; Crowd-ML only needs
+three operations from a model — predict, evaluate the loss, and compute the
+(sub)gradient of the loss with respect to the parameters.  The model also
+reports the L1 global sensitivity of its averaged minibatch gradient, which
+the device uses to calibrate the Laplace mechanism (Theorem 1).
+
+Parameters are stored as a single flat ``numpy`` vector so that the server
+update (Eq. 3), the projection ``Π_W``, and the noise mechanisms are all
+model-agnostic.  Multiclass models internally reshape the flat vector into
+a ``(C, D)`` matrix.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.validation import check_labels, check_matrix, check_non_negative
+
+
+class Model(ABC):
+    """A parametric classifier/predictor with loss and gradient oracles.
+
+    Subclasses implement the static shape of the parameter vector plus the
+    three oracles on *batches*: :meth:`predict`, :meth:`loss`, and
+    :meth:`gradient` (the averaged gradient over the batch, including the
+    λ-regularization term, exactly the quantity each device releases).
+    """
+
+    def __init__(self, num_features: int, num_classes: int, l2_regularization: float = 0.0):
+        if num_features <= 0:
+            raise ConfigurationError(f"num_features must be positive, got {num_features}")
+        if num_classes <= 0:
+            raise ConfigurationError(f"num_classes must be positive, got {num_classes}")
+        self._num_features = int(num_features)
+        self._num_classes = int(num_classes)
+        self._l2_regularization = check_non_negative(l2_regularization, "l2_regularization")
+
+    @property
+    def num_features(self) -> int:
+        """Feature dimension D."""
+        return self._num_features
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes C (1 for scalar regression)."""
+        return self._num_classes
+
+    @property
+    def l2_regularization(self) -> float:
+        """Regularization weight λ of Eq. (2)."""
+        return self._l2_regularization
+
+    @property
+    @abstractmethod
+    def num_parameters(self) -> int:
+        """Length of the flat parameter vector."""
+
+    def init_parameters(self, rng: Optional[np.random.Generator] = None, scale: float = 0.0
+                        ) -> np.ndarray:
+        """Return an initial flat parameter vector.
+
+        ``scale = 0`` gives the all-zeros start; a positive scale draws the
+        "randomized w" initialization of Algorithm 2 from N(0, scale²).
+        """
+        if scale < 0:
+            raise ConfigurationError(f"scale must be non-negative, got {scale}")
+        if scale == 0.0 or rng is None:
+            return np.zeros(self.num_parameters, dtype=np.float64)
+        return rng.normal(0.0, scale, size=self.num_parameters)
+
+    def validate_batch(self, features: np.ndarray, labels: Optional[np.ndarray] = None):
+        """Coerce and check a feature batch (and labels when given)."""
+        features = check_matrix(features, "features", shape=(None, self._num_features))
+        if labels is None:
+            return features, None
+        labels = self._validate_labels(labels, features.shape[0])
+        return features, labels
+
+    def _validate_labels(self, labels: np.ndarray, batch_size: int) -> np.ndarray:
+        labels = check_labels(labels, "labels", self._num_classes)
+        if labels.shape[0] != batch_size:
+            raise ConfigurationError(
+                f"labels length {labels.shape[0]} != batch size {batch_size}"
+            )
+        return labels
+
+    @abstractmethod
+    def predict(self, parameters: np.ndarray, features: np.ndarray) -> np.ndarray:
+        """Predict targets for a ``(n, D)`` feature batch."""
+
+    @abstractmethod
+    def loss(self, parameters: np.ndarray, features: np.ndarray, labels: np.ndarray) -> float:
+        """Mean loss over the batch, including the λ/2‖w‖² term."""
+
+    @abstractmethod
+    def gradient(
+        self, parameters: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Averaged (sub)gradient over the batch, flat, including λw."""
+
+    @abstractmethod
+    def gradient_sensitivity(self, batch_size: int) -> float:
+        """L1 global sensitivity of the averaged gradient (data term only).
+
+        This is the sensitivity with respect to swapping one *sample*; the
+        λw term is sample-independent and contributes nothing.  Assumes
+        ``‖x‖₁ ≤ 1`` (the library's preprocessing enforces this).
+        """
+
+    def prediction_errors(
+        self, parameters: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> np.ndarray:
+        """Boolean per-sample error indicators (Algorithm 1, Routine 2).
+
+        Classification: prediction ≠ label.  Regression models override
+        this with a tolerance criterion.
+        """
+        features, labels = self.validate_batch(features, labels)
+        return self.predict(parameters, features) != labels
+
+    def error_rate(self, parameters: np.ndarray, features: np.ndarray, labels: np.ndarray
+                   ) -> float:
+        """Fraction of misclassified samples."""
+        return float(np.mean(self.prediction_errors(parameters, features, labels)))
+
+    def misclassified_count(
+        self, parameters: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> int:
+        """Number of misclassified samples n_e (Algorithm 1, Routine 2)."""
+        return int(np.sum(self.prediction_errors(parameters, features, labels)))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(num_features={self._num_features}, "
+            f"num_classes={self._num_classes}, "
+            f"l2_regularization={self._l2_regularization})"
+        )

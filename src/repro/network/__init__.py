@@ -1,0 +1,44 @@
+"""Simulated network substrate: event queue, delays, outages, channels.
+
+Models Section IV-B3's three delay legs (τ_req, τ_co, τ_ci) with pluggable
+delay distributions (uniform by default, per footnote 7) and Remark 1's
+non-critical communication failures.
+"""
+
+from repro.network.channel import Channel, ChannelStats
+from repro.network.events import EventHandle, EventQueue
+from repro.network.latency import (
+    ConstantDelay,
+    DelayModel,
+    ExponentialDelay,
+    LinkDelays,
+    LogNormalDelay,
+    UniformDelay,
+    ZeroDelay,
+)
+from repro.network.outage import (
+    BernoulliOutage,
+    BurstyOutage,
+    NoOutage,
+    OutageModel,
+    WindowedOutage,
+)
+
+__all__ = [
+    "BernoulliOutage",
+    "BurstyOutage",
+    "Channel",
+    "ChannelStats",
+    "ConstantDelay",
+    "DelayModel",
+    "EventHandle",
+    "EventQueue",
+    "ExponentialDelay",
+    "LinkDelays",
+    "LogNormalDelay",
+    "NoOutage",
+    "OutageModel",
+    "UniformDelay",
+    "WindowedOutage",
+    "ZeroDelay",
+]

@@ -1,0 +1,104 @@
+"""Network-outage models (Remark 1 of Algorithm 1).
+
+A device's check-out or check-in can fail — a prolonged outage leaves the
+device's parameters stale but is non-critical for overall learning.  An
+:class:`OutageModel` decides, per communication attempt, whether the message
+is lost.  Devices keep buffering and retry on the next minibatch boundary,
+exactly as Remark 1 prescribes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.validation import check_fraction, check_non_negative, check_positive
+
+
+class OutageModel(ABC):
+    """Decides whether a given communication attempt fails."""
+
+    @abstractmethod
+    def attempt_fails(self, rng: np.random.Generator, time: float) -> bool:
+        """Return True when the message at simulation ``time`` is lost."""
+
+
+class NoOutage(OutageModel):
+    """Reliable network — every message is delivered."""
+
+    def attempt_fails(self, rng: np.random.Generator, time: float) -> bool:
+        return False
+
+
+class BernoulliOutage(OutageModel):
+    """Each attempt independently fails with probability ``drop_probability``.
+
+    >>> import numpy as np
+    >>> model = BernoulliOutage(0.0)
+    >>> model.attempt_fails(np.random.default_rng(0), 0.0)
+    False
+    """
+
+    def __init__(self, drop_probability: float):
+        self._drop_probability = check_fraction(drop_probability, "drop_probability")
+
+    @property
+    def drop_probability(self) -> float:
+        return self._drop_probability
+
+    def attempt_fails(self, rng: np.random.Generator, time: float) -> bool:
+        if self._drop_probability == 0.0:
+            return False
+        return bool(rng.random() < self._drop_probability)
+
+
+class WindowedOutage(OutageModel):
+    """Deterministic blackout windows: fails iff ``time`` falls inside one.
+
+    Models the "prolonged period of network outage" of Remark 1; windows
+    are half-open intervals ``[start, end)``.
+    """
+
+    def __init__(self, windows: list[tuple[float, float]]):
+        cleaned = []
+        for start, end in windows:
+            start = check_non_negative(float(start), "window start")
+            end = check_non_negative(float(end), "window end")
+            if end <= start:
+                raise ValueError(f"window end must exceed start, got [{start}, {end})")
+            cleaned.append((start, end))
+        self._windows = sorted(cleaned)
+
+    @property
+    def windows(self) -> list[tuple[float, float]]:
+        return list(self._windows)
+
+    def attempt_fails(self, rng: np.random.Generator, time: float) -> bool:
+        return any(start <= time < end for start, end in self._windows)
+
+
+class BurstyOutage(OutageModel):
+    """Two-state Gilbert-Elliott-style loss: alternating good/bad periods.
+
+    The channel is "bad" (all messages lost) for ``bad_duration`` after each
+    exponentially distributed good period of mean ``good_mean``.  State is
+    derived deterministically from ``time`` via a seeded schedule so that
+    repeated queries at the same time agree.
+    """
+
+    def __init__(self, good_mean: float, bad_duration: float, seed: int = 0,
+                 horizon: float = 1e7):
+        self._good_mean = check_positive(good_mean, "good_mean")
+        self._bad_duration = check_positive(bad_duration, "bad_duration")
+        rng = np.random.default_rng(seed)
+        # Pre-compute the blackout schedule up to the horizon.
+        windows = []
+        clock = float(rng.exponential(self._good_mean))
+        while clock < horizon:
+            windows.append((clock, clock + self._bad_duration))
+            clock += self._bad_duration + float(rng.exponential(self._good_mean))
+        self._schedule = WindowedOutage(windows) if windows else NoOutage()
+
+    def attempt_fails(self, rng: np.random.Generator, time: float) -> bool:
+        return self._schedule.attempt_fails(rng, time)

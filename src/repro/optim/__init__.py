@@ -1,0 +1,39 @@
+"""Optimizers and learning-rate schedules (Eq. 3, Eq. 5, Remark 3).
+
+The server's default is projected :class:`~repro.optim.sgd.SGD` with the
+``c/√t`` schedule; :class:`~repro.optim.sgd.AdaGrad` and
+:class:`~repro.optim.sgd.AveragedSGD` are the drop-in alternatives Remark 3
+permits without affecting the privacy guarantee (they are post-processing
+of already-sanitized gradients).
+"""
+
+from repro.optim.projection import (
+    BoxProjection,
+    IdentityProjection,
+    L2BallProjection,
+    Projection,
+)
+from repro.optim.schedules import (
+    ConstantRate,
+    InverseSqrtRate,
+    InverseTimeRate,
+    LearningRateSchedule,
+    StepDecayRate,
+)
+from repro.optim.sgd import SGD, AdaGrad, AveragedSGD, Optimizer
+
+__all__ = [
+    "AdaGrad",
+    "AveragedSGD",
+    "BoxProjection",
+    "ConstantRate",
+    "IdentityProjection",
+    "InverseSqrtRate",
+    "InverseTimeRate",
+    "L2BallProjection",
+    "LearningRateSchedule",
+    "Optimizer",
+    "Projection",
+    "SGD",
+    "StepDecayRate",
+]

@@ -1,0 +1,71 @@
+"""Projection onto the parameter domain W (Eq. 3).
+
+The paper assumes W is a d-dimensional L2 ball of large radius R and uses
+the rescaling projection ``Π_W(w) = min(1, R/‖w‖)·w``.  We also provide a
+box projection for completeness (useful for per-coordinate constraints).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+class Projection(ABC):
+    """Projection operator onto a convex parameter domain."""
+
+    @abstractmethod
+    def __call__(self, parameters: np.ndarray) -> np.ndarray:
+        """Return the projection of ``parameters`` onto the domain."""
+
+
+class IdentityProjection(Projection):
+    """No constraint (W = R^d)."""
+
+    def __call__(self, parameters: np.ndarray) -> np.ndarray:
+        return np.asarray(parameters, dtype=np.float64)
+
+
+class L2BallProjection(Projection):
+    """``Π_W(w) = min(1, R/‖w‖₂)·w`` — the paper's default domain.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> proj = L2BallProjection(radius=1.0)
+    >>> float(np.linalg.norm(proj(np.array([3.0, 4.0]))))
+    1.0
+    """
+
+    def __init__(self, radius: float):
+        self._radius = check_positive(radius, "radius")
+
+    @property
+    def radius(self) -> float:
+        """Ball radius R."""
+        return self._radius
+
+    def __call__(self, parameters: np.ndarray) -> np.ndarray:
+        parameters = np.asarray(parameters, dtype=np.float64)
+        norm = float(np.linalg.norm(parameters))
+        if norm <= self._radius or norm == 0.0:
+            return parameters
+        return parameters * (self._radius / norm)
+
+
+class BoxProjection(Projection):
+    """Clamp each coordinate to ``[-bound, +bound]``."""
+
+    def __init__(self, bound: float):
+        self._bound = check_positive(bound, "bound")
+
+    @property
+    def bound(self) -> float:
+        """Per-coordinate bound."""
+        return self._bound
+
+    def __call__(self, parameters: np.ndarray) -> np.ndarray:
+        return np.clip(np.asarray(parameters, dtype=np.float64), -self._bound, self._bound)

@@ -1,0 +1,19 @@
+"""The Web-portal substrate of the prototype (Section V-A).
+
+Users browse ongoing crowd-learning tasks, read each task's transparency
+record (objective, data collected, algorithm, privacy mechanism), join
+with their devices, and view differentially private progress statistics.
+"""
+
+from repro.portal.dashboard import Dashboard, ascii_bar_chart, sparkline
+from repro.portal.portal import Enrollment, Portal
+from repro.portal.task import TaskDescriptor
+
+__all__ = [
+    "Dashboard",
+    "Enrollment",
+    "Portal",
+    "TaskDescriptor",
+    "ascii_bar_chart",
+    "sparkline",
+]

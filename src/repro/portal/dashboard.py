@@ -1,0 +1,116 @@
+"""The portal's statistics dashboard (Section V-A).
+
+The prototype "displays timely statistics about crowd-learning applications
+such as error rates and activity label distributions, which are
+differentially private".  Everything rendered here comes from the server's
+:class:`~repro.core.monitor.ProgressMonitor` — i.e. exclusively from the
+DP-sanitized counts, never from raw data — so publishing the dashboard is
+pure post-processing and consumes no extra privacy budget.
+
+Rendering is dependency-free text (the prototype used Matplotlib; an ASCII
+bar chart carries the same information here).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.monitor import ProgressMonitor
+
+
+def ascii_bar_chart(
+    values: Sequence[float],
+    labels: Sequence[str],
+    width: int = 40,
+    fill: str = "#",
+) -> str:
+    """Horizontal ASCII bar chart of non-negative values.
+
+    >>> print(ascii_bar_chart([0.5, 1.0], ["a", "b"], width=4))
+    a |##   0.5
+    b |#### 1
+    """
+    if len(values) != len(labels):
+        raise ValueError("values and labels must have equal length")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    values = [max(float(v), 0.0) for v in values]
+    peak = max(values) if values else 0.0
+    label_width = max((len(l) for l in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        bar_len = int(round(width * value / peak)) if peak > 0 else 0
+        lines.append(
+            f"{label:<{label_width}} |{fill * bar_len}{' ' * (width - bar_len)} "
+            f"{value:g}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend rendering, e.g. for the error-rate history.
+
+    >>> sparkline([1.0, 0.5, 0.0])
+    '█▅▁'
+    """
+    blocks = "▁▂▃▄▅▆▇█"
+    values = np.asarray(list(values), dtype=np.float64)
+    if values.size == 0:
+        return ""
+    low, high = float(values.min()), float(values.max())
+    if high == low:
+        return blocks[0] * values.size
+    scaled = (values - low) / (high - low) * (len(blocks) - 1)
+    return "".join(blocks[int(round(v))] for v in scaled)
+
+
+class Dashboard:
+    """Renders DP statistics for one running task.
+
+    Parameters
+    ----------
+    monitor:
+        The server's progress monitor (the only data source).
+    label_names:
+        Display names for the C classes.
+    """
+
+    def __init__(self, monitor: ProgressMonitor, label_names: Sequence[str]):
+        if len(label_names) != monitor.num_classes:
+            raise ValueError(
+                f"need {monitor.num_classes} label names, got {len(label_names)}"
+            )
+        self._monitor = monitor
+        self._label_names = list(label_names)
+        self._error_history: list[float] = []
+
+    @property
+    def error_history(self) -> list[float]:
+        """Snapshots taken so far (copy)."""
+        return list(self._error_history)
+
+    def snapshot(self) -> float:
+        """Record the current DP error estimate into the trend history."""
+        estimate = self._monitor.error_estimate()
+        self._error_history.append(estimate)
+        return estimate
+
+    def render(self) -> str:
+        """The full dashboard as plain text."""
+        monitor = self._monitor
+        lines = [
+            "=== Crowd-ML task statistics (differentially private) ===",
+            f"devices seen     : {monitor.num_devices_seen}",
+            f"check-ins        : {monitor.num_checkins}",
+            f"samples counted  : {monitor.total_samples}",
+            f"error estimate   : {monitor.error_estimate():.3f}",
+        ]
+        if self._error_history:
+            lines.append(f"error trend      : {sparkline(self._error_history)}")
+        lines.append("label distribution estimate:")
+        lines.append(
+            ascii_bar_chart(monitor.prior_estimate().tolist(), self._label_names)
+        )
+        return "\n".join(lines)

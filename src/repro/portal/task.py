@@ -1,0 +1,87 @@
+"""Crowd-learning task descriptors for the Web portal (Section V-A).
+
+The prototype's portal lets users *browse ongoing crowd-learning tasks and
+join them*, and — "to enhance transparency" — explains each task's
+objective, the sensory data and labels collected, the learning algorithm,
+and the privacy mechanism.  :class:`TaskDescriptor` is that transparency
+record, rendered by :meth:`TaskDescriptor.describe`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.privacy.budget import PrivacyBudget
+from repro.utils.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TaskDescriptor:
+    """Public description of one crowd-learning task.
+
+    Attributes
+    ----------
+    task_id:
+        Stable identifier shown in the portal URL.
+    name, objective:
+        Human-readable title and goal ("recognize user activity ...").
+    sensors:
+        Sensory inputs collected (e.g. ``("accelerometer",)``).
+    labels:
+        The label vocabulary (e.g. Still / On Foot / In Vehicle).
+    algorithm:
+        Learning-algorithm description ("3-class logistic regression").
+    batch_size:
+        Device minibatch size b.
+    budget:
+        Per-sample privacy levels disclosed to participants.
+    """
+
+    task_id: str
+    name: str
+    objective: str
+    sensors: tuple[str, ...]
+    labels: tuple[str, ...]
+    algorithm: str
+    batch_size: int
+    budget: PrivacyBudget
+
+    def __post_init__(self):
+        if not self.task_id:
+            raise ConfigurationError("task_id must be non-empty")
+        if not self.labels:
+            raise ConfigurationError("labels must be non-empty")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if len(self.labels) != self.budget.num_classes:
+            raise ConfigurationError(
+                f"labels ({len(self.labels)}) must match budget classes "
+                f"({self.budget.num_classes})"
+            )
+
+    @property
+    def privacy_summary(self) -> str:
+        """One-line ε disclosure."""
+        total = self.budget.total_epsilon
+        if math.isinf(total):
+            return "no differential-privacy noise (epsilon = inf)"
+        return (
+            f"per-sample epsilon = {total:.4g} "
+            f"(gradient {self.budget.epsilon_gradient:.4g}, "
+            f"error count {self.budget.epsilon_error:.4g}, "
+            f"each label count {self.budget.epsilon_label:.4g})"
+        )
+
+    def describe(self) -> str:
+        """The portal's transparency page, as plain text."""
+        lines = [
+            f"Task: {self.name}  [{self.task_id}]",
+            f"Objective: {self.objective}",
+            f"Sensors collected: {', '.join(self.sensors) if self.sensors else 'none'}",
+            f"Labels collected: {', '.join(self.labels)}",
+            f"Learning algorithm: {self.algorithm}",
+            f"Device minibatch size: {self.batch_size}",
+            f"Privacy mechanism: local differential privacy — {self.privacy_summary}",
+        ]
+        return "\n".join(lines)

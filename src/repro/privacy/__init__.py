@@ -1,0 +1,88 @@
+"""Differential-privacy mechanisms used by Crowd-ML.
+
+This package implements every mechanism the paper relies on:
+
+* :class:`~repro.privacy.laplace.LaplaceMechanism` — Eq. (9)/(10), vector
+  Laplace noise calibrated to L1 sensitivity (Theorem 1).
+* :class:`~repro.privacy.discrete_laplace.DiscreteLaplaceMechanism` —
+  Eqs. (11)/(12), integer-valued noise for counts (Theorem 2).
+* :class:`~repro.privacy.gaussian.GaussianMechanism` — the (ε, δ) variant
+  mentioned in footnote 1.
+* :class:`~repro.privacy.exponential.ExponentialMechanism` — McSherry-Talwar
+  sampling, used for label perturbation in the centralized baseline
+  (Eq. (16), Theorem 3).
+* :mod:`~repro.privacy.sensitivity` — global-sensitivity computations,
+  including the 4/b bound of Appendix A and the Eq. (13) noise-power terms.
+* :class:`~repro.privacy.accountant.PrivacyAccountant` — tracks the
+  per-sample decomposition ε = ε_g + ε_e + C·ε_yk and enforces budget caps.
+* :class:`~repro.privacy.budget.PrivacyBudget` — the ε split itself.
+"""
+
+from repro.privacy.accountant import PrivacyAccountant, PrivacySpend
+from repro.privacy.attacks import (
+    InversionResult,
+    evaluate_inversion,
+    inversion_attack_success,
+    invert_logistic_gradient,
+)
+from repro.privacy.budget import CentralizedBudget, PrivacyBudget, split_budget
+from repro.privacy.discrete_laplace import (
+    DiscreteLaplaceMechanism,
+    discrete_laplace_variance,
+    sample_discrete_laplace,
+)
+from repro.privacy.exponential import (
+    ExponentialMechanism,
+    label_flip_distribution,
+    perturb_label,
+    perturb_labels,
+)
+from repro.privacy.gaussian import GaussianMechanism, gaussian_sigma
+from repro.privacy.laplace import LaplaceMechanism, laplace_scale
+from repro.privacy.mechanism import Mechanism, ReleaseRecord, validate_epsilon
+from repro.privacy.sensitivity import (
+    count_sensitivity,
+    feature_sensitivity,
+    gradient_noise_power,
+    hinge_gradient_sensitivity,
+    laplace_noise_power,
+    logistic_gradient_sensitivity,
+    sampling_noise_power,
+    squared_loss_gradient_sensitivity,
+    total_gradient_noise_power,
+)
+
+__all__ = [
+    "CentralizedBudget",
+    "InversionResult",
+    "evaluate_inversion",
+    "inversion_attack_success",
+    "invert_logistic_gradient",
+    "DiscreteLaplaceMechanism",
+    "ExponentialMechanism",
+    "GaussianMechanism",
+    "LaplaceMechanism",
+    "Mechanism",
+    "PrivacyAccountant",
+    "PrivacyBudget",
+    "PrivacySpend",
+    "ReleaseRecord",
+    "count_sensitivity",
+    "discrete_laplace_variance",
+    "feature_sensitivity",
+    "gaussian_sigma",
+    "gradient_noise_power",
+    "hinge_gradient_sensitivity",
+    "label_flip_distribution",
+    "laplace_noise_power",
+    "laplace_scale",
+    "logistic_gradient_sensitivity",
+    "perturb_label",
+    "perturb_labels",
+    "sample_discrete_laplace",
+    "sampling_noise_power",
+    "split_budget",
+    "squared_loss_gradient_sensitivity",
+    "total_gradient_noise_power",
+    "validate_epsilon",
+]

@@ -1,0 +1,113 @@
+"""Privacy accounting for device releases.
+
+Crowd-ML's guarantee is *per-sample*: because every sample participates in
+exactly one minibatch, the sensitivity of the whole sequence of releases
+equals the sensitivity of a single release (Appendix A/B: "the sensitivity
+of multiple minibatches ... is the same as the sensitivity of a single
+one").  The accountant therefore tracks two views:
+
+* ``per_sample_epsilon`` — the guarantee the paper states, i.e. the maximum
+  over samples of the ε consumed by the (single) minibatch containing it;
+* ``total_epsilon`` — the naive sequential-composition sum over releases,
+  reported for comparison with composition-based analyses.
+
+It also enforces an optional cap on the per-sample ε, raising
+:class:`~repro.utils.exceptions.PrivacyBudgetExceededError` before a release
+that would exceed it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.privacy.mechanism import ReleaseRecord
+from repro.utils.exceptions import PrivacyBudgetExceededError
+
+
+@dataclass(frozen=True)
+class PrivacySpend:
+    """Aggregate ε/δ consumed so far, under both accounting views."""
+
+    per_sample_epsilon: float
+    total_epsilon: float
+    total_delta: float
+    num_releases: int
+
+
+class PrivacyAccountant:
+    """Tracks sanitized releases and enforces a per-sample ε cap.
+
+    Parameters
+    ----------
+    per_sample_cap:
+        Maximum allowed per-sample ε; ``None`` (default) disables the cap.
+
+    Examples
+    --------
+    >>> from repro.privacy.mechanism import ReleaseRecord
+    >>> acct = PrivacyAccountant(per_sample_cap=1.0)
+    >>> acct.charge_checkin([ReleaseRecord(epsilon=0.5, mechanism="laplace")])
+    >>> acct.spend().per_sample_epsilon
+    0.5
+    """
+
+    def __init__(self, per_sample_cap: Optional[float] = None):
+        if per_sample_cap is not None and per_sample_cap <= 0:
+            raise ValueError(f"per_sample_cap must be positive, got {per_sample_cap!r}")
+        self._per_sample_cap = per_sample_cap
+        self._records: List[ReleaseRecord] = []
+        self._per_sample_epsilon = 0.0
+        self._total_epsilon = 0.0
+        self._total_delta = 0.0
+
+    @property
+    def per_sample_cap(self) -> Optional[float]:
+        """The enforced per-sample ε cap, or ``None``."""
+        return self._per_sample_cap
+
+    def charge_checkin(self, records: List[ReleaseRecord]) -> None:
+        """Account for one check-in consisting of several mechanism releases.
+
+        All releases in one check-in touch the *same* minibatch, so their
+        epsilons add for the samples in that minibatch; across check-ins the
+        per-sample guarantee is the max, not the sum.
+        """
+        finite = [r.epsilon for r in records if not math.isinf(r.epsilon)]
+        checkin_epsilon = sum(finite) if finite else 0.0
+        any_noisy = any(not math.isinf(r.epsilon) for r in records)
+        if not any_noisy:
+            checkin_epsilon = 0.0 if not records else checkin_epsilon
+        candidate = max(self._per_sample_epsilon, checkin_epsilon)
+        if self._per_sample_cap is not None and candidate > self._per_sample_cap + 1e-12:
+            raise PrivacyBudgetExceededError(
+                spent=self._per_sample_epsilon,
+                cap=self._per_sample_cap,
+                requested=checkin_epsilon,
+            )
+        self._records.extend(records)
+        self._per_sample_epsilon = candidate
+        self._total_epsilon += checkin_epsilon
+        self._total_delta += sum(r.delta for r in records)
+
+    def spend(self) -> PrivacySpend:
+        """Return the cumulative spend under both accounting views."""
+        return PrivacySpend(
+            per_sample_epsilon=self._per_sample_epsilon,
+            total_epsilon=self._total_epsilon,
+            total_delta=self._total_delta,
+            num_releases=len(self._records),
+        )
+
+    @property
+    def records(self) -> List[ReleaseRecord]:
+        """All release records charged so far (copy)."""
+        return list(self._records)
+
+    def reset(self) -> None:
+        """Forget all history (e.g. between independent trials)."""
+        self._records.clear()
+        self._per_sample_epsilon = 0.0
+        self._total_epsilon = 0.0
+        self._total_delta = 0.0

@@ -1,0 +1,140 @@
+"""Privacy-budget specification and splitting.
+
+The overall per-sample privacy level of a Crowd-ML device decomposes as
+
+    ε = ε_g + ε_e + C · ε_yk                       (Appendix B, Remark 1)
+
+where ε_g protects the averaged gradient, ε_e the misclassification count,
+and ε_yk each of the C label counts.  Because the counts are only used for
+monitoring, the paper sets ε_e and ε_yk much smaller than ε_g so that
+ε ≈ ε_g.  :class:`PrivacyBudget` captures one such assignment;
+:func:`split_budget` constructs the paper's default split.
+
+The centralized baseline's budget instead splits as ε = ε_x + ε_y with
+ε_x = ε_y = ε/2 (Appendix C).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.privacy.mechanism import validate_epsilon
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class PrivacyBudget:
+    """Per-sample privacy levels for one Crowd-ML device.
+
+    Attributes
+    ----------
+    epsilon_gradient:
+        ε_g for the averaged-gradient Laplace mechanism (Eq. 10).
+    epsilon_error:
+        ε_e for the misclassified-count discrete Laplace mechanism (Eq. 11).
+    epsilon_label:
+        ε_yk for *each* of the C label-count mechanisms (Eq. 12).
+    num_classes:
+        C, the number of label counts released per check-in.
+    """
+
+    epsilon_gradient: float
+    epsilon_error: float
+    epsilon_label: float
+    num_classes: int
+
+    def __post_init__(self):
+        validate_epsilon(self.epsilon_gradient, "epsilon_gradient")
+        validate_epsilon(self.epsilon_error, "epsilon_error")
+        validate_epsilon(self.epsilon_label, "epsilon_label")
+        check_positive_int(self.num_classes, "num_classes")
+
+    @property
+    def total_epsilon(self) -> float:
+        """ε = ε_g + ε_e + C·ε_yk (``inf`` if any component is ``inf``)."""
+        if (
+            math.isinf(self.epsilon_gradient)
+            or math.isinf(self.epsilon_error)
+            or math.isinf(self.epsilon_label)
+        ):
+            return math.inf
+        return (
+            self.epsilon_gradient
+            + self.epsilon_error
+            + self.num_classes * self.epsilon_label
+        )
+
+    @property
+    def is_private(self) -> bool:
+        """True when any noise at all is added."""
+        return not math.isinf(self.total_epsilon)
+
+    @classmethod
+    def non_private(cls, num_classes: int) -> "PrivacyBudget":
+        """Budget for the paper's ε⁻¹ = 0 arms: all mechanisms are identity."""
+        return cls(math.inf, math.inf, math.inf, num_classes)
+
+
+def split_budget(
+    total_epsilon: float,
+    num_classes: int,
+    *,
+    monitoring_fraction: float = 0.02,
+) -> PrivacyBudget:
+    """Split a total per-sample ε into (ε_g, ε_e, ε_yk).
+
+    Following Appendix B Remark 1, almost all of the budget goes to the
+    gradient; a small ``monitoring_fraction`` is divided between the error
+    count and the C label counts so that ε ≈ ε_g.
+
+    >>> budget = split_budget(1.0, 10)
+    >>> abs(budget.total_epsilon - 1.0) < 1e-12
+    True
+    >>> budget.epsilon_gradient > 0.97
+    True
+    """
+    if math.isinf(total_epsilon):
+        return PrivacyBudget.non_private(num_classes)
+    total_epsilon = validate_epsilon(total_epsilon, "total_epsilon")
+    num_classes = check_positive_int(num_classes, "num_classes")
+    if not (0.0 < monitoring_fraction < 1.0):
+        raise ConfigurationError(
+            f"monitoring_fraction must be in (0, 1), got {monitoring_fraction!r}"
+        )
+    monitoring = total_epsilon * monitoring_fraction
+    epsilon_error = monitoring / 2.0
+    epsilon_label = monitoring / (2.0 * num_classes)
+    epsilon_gradient = total_epsilon - monitoring
+    return PrivacyBudget(epsilon_gradient, epsilon_error, epsilon_label, num_classes)
+
+
+@dataclass(frozen=True)
+class CentralizedBudget:
+    """Input-perturbation budget for the centralized baseline (Appendix C).
+
+    ε = ε_x + ε_y with features perturbed at ε_x (Eq. 15) and labels at
+    ε_y (Eq. 16).  The paper uses the even split ε_x = ε_y = ε/2.
+    """
+
+    epsilon_feature: float
+    epsilon_label: float
+
+    def __post_init__(self):
+        validate_epsilon(self.epsilon_feature, "epsilon_feature")
+        validate_epsilon(self.epsilon_label, "epsilon_label")
+
+    @property
+    def total_epsilon(self) -> float:
+        if math.isinf(self.epsilon_feature) or math.isinf(self.epsilon_label):
+            return math.inf
+        return self.epsilon_feature + self.epsilon_label
+
+    @classmethod
+    def even_split(cls, total_epsilon: float) -> "CentralizedBudget":
+        """The paper's ε_x = ε_y = ε/2 split (identity mechanisms for ε=∞)."""
+        if math.isinf(total_epsilon):
+            return cls(math.inf, math.inf)
+        total_epsilon = validate_epsilon(total_epsilon, "total_epsilon")
+        return cls(total_epsilon / 2.0, total_epsilon / 2.0)

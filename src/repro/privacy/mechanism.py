@@ -1,0 +1,97 @@
+"""Common interface for differential-privacy mechanisms.
+
+A mechanism is a randomized map from a true value to a sanitized value.  All
+mechanisms in this package share the :class:`Mechanism` interface so the
+device runtime can treat gradient sanitization, count sanitization, and the
+centralized baseline's input perturbation uniformly.
+
+An ``epsilon`` of ``math.inf`` (equivalently, the paper's ε⁻¹ = 0 setting)
+is accepted everywhere and means *no noise*: mechanisms become the identity,
+which is how the non-private arms of the experiments are run through the
+identical code path.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ReleaseRecord:
+    """Metadata describing one sanitized release.
+
+    Attributes
+    ----------
+    epsilon:
+        The ε consumed by this release (``math.inf`` when no noise was added).
+    delta:
+        The δ consumed (0 for pure-ε mechanisms).
+    mechanism:
+        Human-readable mechanism name, e.g. ``"laplace"``.
+    sensitivity:
+        The global sensitivity the noise was calibrated to.
+    """
+
+    epsilon: float
+    delta: float = 0.0
+    mechanism: str = ""
+    sensitivity: float = 0.0
+
+
+def validate_epsilon(epsilon: float, name: str = "epsilon") -> float:
+    """Validate a privacy level: positive, possibly infinite.
+
+    ``math.inf`` encodes the paper's "ε⁻¹ = 0" (non-private) arm.
+    """
+    epsilon = float(epsilon)
+    if math.isnan(epsilon) or epsilon <= 0:
+        raise ConfigurationError(f"{name} must be positive (inf = no privacy), got {epsilon!r}")
+    return epsilon
+
+
+class Mechanism(ABC):
+    """A randomized sanitizer with a fixed per-release privacy level."""
+
+    def __init__(self, epsilon: float, rng: Optional[np.random.Generator] = None):
+        self._epsilon = validate_epsilon(epsilon)
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    @property
+    def epsilon(self) -> float:
+        """Per-release privacy level ε (``inf`` means the identity map)."""
+        return self._epsilon
+
+    @property
+    def delta(self) -> float:
+        """Per-release δ; zero for pure-ε mechanisms."""
+        return 0.0
+
+    @property
+    def is_identity(self) -> bool:
+        """True when this mechanism adds no noise (ε = ∞)."""
+        return math.isinf(self._epsilon)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The random generator used to draw noise."""
+        return self._rng
+
+    @abstractmethod
+    def release(self, value):
+        """Return a sanitized copy of ``value``."""
+
+    def record(self, sensitivity: float = 0.0) -> ReleaseRecord:
+        """Return the :class:`ReleaseRecord` describing one release."""
+        return ReleaseRecord(
+            epsilon=self._epsilon,
+            delta=self.delta,
+            mechanism=type(self).__name__,
+            sensitivity=float(sensitivity),
+        )

@@ -1,0 +1,127 @@
+"""Global-sensitivity computations (Appendices A-C) and Eq. (13) noise power.
+
+The key quantity is the L1 sensitivity of the averaged minibatch gradient
+for multiclass logistic regression.  With ``‖x‖₁ ≤ 1``, swapping one sample
+in a minibatch of size ``b`` changes the averaged gradient matrix by at most
+``4/b`` in L1 norm (Appendix A): each sample contributes ``x·M`` where the
+row vector ``M`` of posterior terms satisfies ``‖M‖₁ = 2(1 - P_y) ≤ 2``, so
+the swap moves the average by at most ``(2 + 2)/b``.
+
+This module also exposes the two terms of Eq. (13),
+
+    E[‖ĝ‖²] = (1/b)·E[‖g‖²]  +  32·D / (b·ε_g)²,
+
+used by the privacy/performance ablation (DESIGN.md A1).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+
+def logistic_gradient_sensitivity(batch_size: int, feature_l1_bound: float = 1.0) -> float:
+    """L1 sensitivity of the averaged multiclass-logistic gradient.
+
+    Appendix A proves ``4/b`` for ``‖x‖₁ ≤ 1``; for a general bound ``R`` on
+    ``‖x‖₁`` the same argument gives ``4R/b``.
+
+    >>> logistic_gradient_sensitivity(20)
+    0.2
+    """
+    batch_size = check_positive_int(batch_size, "batch_size")
+    feature_l1_bound = check_positive(feature_l1_bound, "feature_l1_bound")
+    return 4.0 * feature_l1_bound / batch_size
+
+
+def hinge_gradient_sensitivity(batch_size: int, feature_l1_bound: float = 1.0) -> float:
+    """L1 sensitivity of the averaged multiclass-hinge (SVM) subgradient.
+
+    For the Crammer-Singer multiclass hinge loss the per-sample subgradient
+    is ``±x`` in at most two parameter columns, so swapping one sample moves
+    the minibatch average by at most ``4R/b`` — the same bound as logistic
+    regression, which lets the device reuse one calibration for both models.
+    """
+    return logistic_gradient_sensitivity(batch_size, feature_l1_bound)
+
+
+def squared_loss_gradient_sensitivity(
+    batch_size: int,
+    feature_l1_bound: float = 1.0,
+    residual_bound: float = 1.0,
+) -> float:
+    """L1 sensitivity of the averaged squared-loss gradient with clipping.
+
+    The per-sample gradient is ``(w'x − y)·x``; with ``‖x‖₁ ≤ R`` and the
+    residual clipped to ``|w'x − y| ≤ r`` the swap bound is ``2·r·R/b``.
+    """
+    batch_size = check_positive_int(batch_size, "batch_size")
+    feature_l1_bound = check_positive(feature_l1_bound, "feature_l1_bound")
+    residual_bound = check_positive(residual_bound, "residual_bound")
+    return 2.0 * residual_bound * feature_l1_bound / batch_size
+
+
+def count_sensitivity() -> float:
+    """Sensitivity of the error / label-count score functions (Appendix B).
+
+    Changing one sample changes ``n_e`` and each ``n_y^k`` by at most 1.
+    """
+    return 1.0
+
+
+def feature_sensitivity(feature_l1_bound: float = 1.0) -> float:
+    """Sensitivity of raw feature release in the centralized baseline.
+
+    Feature transmission is the identity, so its sensitivity is the L1
+    diameter of the feature domain: ``2R`` for ``‖x‖₁ ≤ R`` (Theorem 3 uses
+    R = 1, giving the constant 2 behind Eq. (15)'s scale 2/ε).
+    """
+    return 2.0 * check_positive(feature_l1_bound, "feature_l1_bound")
+
+
+def laplace_noise_power(dimension: int, sensitivity: float, epsilon: float) -> float:
+    """``E[‖z‖²] = 2·D·(S/ε)²`` for vector Laplace noise.
+
+    Returns 0 for ε = ∞.
+    """
+    dimension = check_positive_int(dimension, "dimension")
+    if math.isinf(epsilon):
+        return 0.0
+    scale = check_positive(sensitivity, "sensitivity") / check_positive(epsilon, "epsilon")
+    return 2.0 * dimension * scale**2
+
+
+def gradient_noise_power(
+    dimension: int,
+    batch_size: int,
+    epsilon: float,
+    feature_l1_bound: float = 1.0,
+) -> float:
+    """Laplace term of Eq. (13): ``32·D / (b·ε_g)²`` (for R = 1).
+
+    >>> gradient_noise_power(50, 20, 10.0) == 32 * 50 / (20 * 10.0) ** 2
+    True
+    """
+    sensitivity = logistic_gradient_sensitivity(batch_size, feature_l1_bound)
+    return laplace_noise_power(dimension, sensitivity, epsilon)
+
+
+def sampling_noise_power(per_sample_power: float, batch_size: int) -> float:
+    """Sampling term of Eq. (13): ``E[‖g̃‖²] = E[‖g‖²]/b``."""
+    check_non_negative(per_sample_power, "per_sample_power")
+    batch_size = check_positive_int(batch_size, "batch_size")
+    return per_sample_power / batch_size
+
+
+def total_gradient_noise_power(
+    per_sample_power: float,
+    dimension: int,
+    batch_size: int,
+    epsilon: float,
+    feature_l1_bound: float = 1.0,
+) -> float:
+    """Full Eq. (13): sampling noise plus Laplace mechanism noise."""
+    return sampling_noise_power(per_sample_power, batch_size) + gradient_noise_power(
+        dimension, batch_size, epsilon, feature_l1_bound
+    )

@@ -1,0 +1,20 @@
+"""Simulated crowd environment: config, event-driven simulator, trial runner."""
+
+from repro.simulation.churn import ChurnSchedule
+from repro.simulation.config import SimulationConfig
+from repro.simulation.runner import TrialSetReport, run_crowd_trials
+from repro.simulation.selection import SelectionResult, select_hyperparameters
+from repro.simulation.simulator import CrowdSimulator
+from repro.simulation.trace import CommunicationStats, RunTrace
+
+__all__ = [
+    "ChurnSchedule",
+    "CommunicationStats",
+    "CrowdSimulator",
+    "RunTrace",
+    "SelectionResult",
+    "SimulationConfig",
+    "TrialSetReport",
+    "run_crowd_trials",
+    "select_hyperparameters",
+]

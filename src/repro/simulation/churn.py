@@ -1,0 +1,104 @@
+"""Device churn: joins and leaves during a running task (Fig. 2).
+
+"Devices can join or leave the task at any time."  A
+:class:`ChurnSchedule` assigns every device a join time and a leave time;
+the simulator starts a device's sensing at its join time and silences it
+(no further samples, requests, or check-ins) after its leave time.
+Learning must tolerate both — check-ins from the remaining crowd keep the
+asynchronous SGD running.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """Per-device activity windows ``[join_time, leave_time)``.
+
+    Attributes
+    ----------
+    join_times:
+        When each device starts sensing (length M).
+    leave_times:
+        When each device goes silent (``inf`` = stays until the end).
+    """
+
+    join_times: np.ndarray
+    leave_times: np.ndarray
+
+    def __post_init__(self):
+        join = np.asarray(self.join_times, dtype=np.float64)
+        leave = np.asarray(self.leave_times, dtype=np.float64)
+        if join.ndim != 1 or leave.shape != join.shape:
+            raise ConfigurationError(
+                "join_times and leave_times must be equal-length 1-D arrays"
+            )
+        if np.any(join < 0):
+            raise ConfigurationError("join_times must be non-negative")
+        if np.any(leave <= join):
+            raise ConfigurationError("every leave_time must exceed its join_time")
+        object.__setattr__(self, "join_times", join)
+        object.__setattr__(self, "leave_times", leave)
+
+    @property
+    def num_devices(self) -> int:
+        return self.join_times.shape[0]
+
+    def is_active(self, device_index: int, time: float) -> bool:
+        """True while the device is within its activity window."""
+        return (
+            self.join_times[device_index] <= time < self.leave_times[device_index]
+        )
+
+    @classmethod
+    def always_on(cls, num_devices: int) -> "ChurnSchedule":
+        """The default: everyone joins at 0 and never leaves."""
+        return cls(
+            np.zeros(num_devices),
+            np.full(num_devices, math.inf),
+        )
+
+    @classmethod
+    def staggered_joins(
+        cls,
+        num_devices: int,
+        join_window: float,
+        rng: np.random.Generator,
+    ) -> "ChurnSchedule":
+        """Devices trickle in uniformly over ``[0, join_window]``."""
+        rng = as_generator(rng)
+        if join_window < 0:
+            raise ConfigurationError("join_window must be non-negative")
+        joins = rng.uniform(0.0, max(join_window, 1e-12), size=num_devices)
+        return cls(joins, np.full(num_devices, math.inf))
+
+    @classmethod
+    def random_sessions(
+        cls,
+        num_devices: int,
+        horizon: float,
+        mean_session: float,
+        rng: np.random.Generator,
+    ) -> "ChurnSchedule":
+        """Each device is present for one random session inside the horizon.
+
+        Joins are uniform in ``[0, horizon)``; session lengths are
+        exponential with the given mean (clipped to at least one time
+        unit), modelling phones that participate for a while and drop out.
+        """
+        rng = as_generator(rng)
+        if horizon <= 0:
+            raise ConfigurationError("horizon must be positive")
+        if mean_session <= 0:
+            raise ConfigurationError("mean_session must be positive")
+        joins = rng.uniform(0.0, horizon, size=num_devices)
+        lengths = np.maximum(rng.exponential(mean_session, size=num_devices), 1.0)
+        return cls(joins, joins + lengths)

@@ -1,0 +1,114 @@
+"""Configuration for the simulated crowd environment (Section V-C)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.adaptive import BatchPolicy
+from repro.network.latency import LinkDelays
+from repro.network.outage import NoOutage, OutageModel
+from repro.simulation.churn import ChurnSchedule
+from repro.utils.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """All knobs of one simulated Crowd-ML run.
+
+    Attributes
+    ----------
+    num_devices:
+        M (the paper uses 1000 for the image experiments, 7 for activity).
+    batch_size:
+        Minibatch size b.
+    epsilon:
+        Total per-sample privacy level ε (``math.inf`` = the ε⁻¹ = 0 arms).
+    learning_rate_constant:
+        c in η(t) = c/√t (Eq. 5).
+    l2_regularization:
+        λ of Eq. (2).
+    link_delays:
+        The τ_req/τ_co/τ_ci distributions (``LinkDelays.zero()`` for the
+        no-delay arms).
+    sampling_rate:
+        F_s — samples generated per time unit per device.
+    num_passes:
+        Passes through each device's local data (the paper uses up to 5).
+    holdout_fraction:
+        Remark 2 held-out fraction on each device.
+    buffer_factor:
+        Buffer capacity B = buffer_factor × b.
+    num_snapshots:
+        How many (iteration, test-error) points to record.
+    projection_radius:
+        Radius R of the parameter ball W (``None`` = unconstrained).
+    outage:
+        Communication failure model (reliable by default).
+    max_iterations:
+        Optional hard cap on server updates (defaults to "all data").
+    target_error:
+        Optional ρ stopping threshold.
+    churn:
+        Optional :class:`~repro.simulation.churn.ChurnSchedule`; devices
+        sense only inside their activity windows (Fig. 2's join/leave).
+    batch_policy_factory:
+        Optional zero-arg callable building a fresh
+        :class:`~repro.core.adaptive.BatchPolicy` per device — the
+        §IV-B3 adaptive-minibatch refinement.  ``None`` keeps b fixed.
+    """
+
+    num_devices: int
+    batch_size: int = 1
+    epsilon: float = math.inf
+    learning_rate_constant: float = 1.0
+    l2_regularization: float = 0.0
+    link_delays: LinkDelays = field(default_factory=LinkDelays.zero)
+    sampling_rate: float = 1.0
+    num_passes: int = 1
+    holdout_fraction: float = 0.0
+    buffer_factor: int = 50
+    num_snapshots: int = 60
+    projection_radius: Optional[float] = 100.0
+    outage: OutageModel = field(default_factory=NoOutage)
+    max_iterations: Optional[int] = None
+    target_error: Optional[float] = None
+    churn: Optional["ChurnSchedule"] = None
+    batch_policy_factory: Optional[Callable[[], "BatchPolicy"]] = None
+
+    def __post_init__(self):
+        if self.churn is not None and self.churn.num_devices != self.num_devices:
+            raise ConfigurationError(
+                f"churn schedule covers {self.churn.num_devices} devices, "
+                f"config has {self.num_devices}"
+            )
+        if self.num_devices < 1:
+            raise ConfigurationError(f"num_devices must be >= 1, got {self.num_devices}")
+        if self.batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.learning_rate_constant <= 0:
+            raise ConfigurationError("learning_rate_constant must be positive")
+        if self.l2_regularization < 0:
+            raise ConfigurationError("l2_regularization must be non-negative")
+        if self.sampling_rate <= 0:
+            raise ConfigurationError("sampling_rate must be positive")
+        if self.num_passes < 1:
+            raise ConfigurationError(f"num_passes must be >= 1, got {self.num_passes}")
+        if not (0.0 <= self.holdout_fraction < 1.0):
+            raise ConfigurationError("holdout_fraction must be in [0, 1)")
+        if self.buffer_factor < 1:
+            raise ConfigurationError("buffer_factor must be >= 1")
+        if self.num_snapshots < 1:
+            raise ConfigurationError("num_snapshots must be >= 1")
+        if self.projection_radius is not None and self.projection_radius <= 0:
+            raise ConfigurationError("projection_radius must be positive")
+
+    def delay_in_sample_units(self, delta_multiples: float) -> float:
+        """Convert a delay expressed in Δ = 1/(M·F_s) units to time units.
+
+        Section V-C measures delays in Δ, "the number of samples generated
+        by all devices during the delay": a delay of k·Δ spans the time in
+        which the crowd generates k samples.
+        """
+        return float(delta_multiples) / (self.num_devices * self.sampling_rate)

@@ -1,0 +1,383 @@
+"""Event-driven simulation of a Crowd-ML deployment (Section V-C).
+
+The :class:`CrowdSimulator` wires M :class:`~repro.core.device.Device`
+actors and one :class:`~repro.core.server.CrowdMLServer` over delayed,
+possibly lossy :class:`~repro.network.channel.Channel`s, and drives the
+whole system from a deterministic
+:class:`~repro.network.events.EventQueue`:
+
+* each device's samples arrive at rate F_s (staggered start offsets);
+* a full minibatch triggers the Fig. 2 round trip — request (τ_req),
+  check-out (τ_co), local gradient + sanitize, check-in (τ_ci);
+* the server applies updates in arrival order, so staleness emerges
+  naturally: a check-in computed against w(t₀) may be applied at t ≫ t₀.
+
+Test error is snapshotted on an iteration grid (iteration = samples
+consumed crowd-wide, matching the figures' x axes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.core.config import DeviceConfig, ServerConfig
+from repro.core.device import Device
+from repro.core.protocol import CheckinMessage, CheckoutRequest, CheckoutResponse
+from repro.core.server import CrowdMLServer
+from repro.data.dataset import Dataset
+from repro.evaluation.curves import ErrorCurve
+from repro.evaluation.metrics import snapshot_grid, test_error
+from repro.models.base import Model
+from repro.network.channel import Channel
+from repro.network.events import EventQueue
+from repro.optim.projection import IdentityProjection, L2BallProjection
+from repro.optim.schedules import InverseSqrtRate
+from repro.optim.sgd import SGD
+from repro.privacy.budget import split_budget
+from repro.simulation.config import SimulationConfig
+from repro.simulation.trace import CommunicationStats, RunTrace
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import RngFactory
+
+
+class _DeviceActor:
+    """A device plus its sample stream and network endpoints."""
+
+    def __init__(
+        self,
+        device: Device,
+        stream: Iterator[tuple[np.ndarray, int]],
+        request_channel: Channel,
+        checkout_channel: Channel,
+        checkin_channel: Channel,
+        start_offset: float,
+    ):
+        self.device = device
+        self.stream = stream
+        self.request_channel = request_channel
+        self.checkout_channel = checkout_channel
+        self.checkin_channel = checkin_channel
+        self.start_offset = start_offset
+        self.exhausted = False
+
+
+class CrowdSimulator:
+    """Simulates one full Crowd-ML run.
+
+    Parameters
+    ----------
+    model:
+        Task definition (shared by server and devices).
+    device_datasets:
+        One local dataset per device (length = M).
+    test_dataset:
+        Clean evaluation set for the error curve.
+    config:
+        All simulation knobs.
+    seed:
+        Root seed; every random stream (delays, noise, shuffles, offsets)
+        derives from it.
+
+    Examples
+    --------
+    >>> from repro.data import make_mnist_like, iid_partition
+    >>> from repro.models import MulticlassLogisticRegression
+    >>> import numpy as np
+    >>> train, test = make_mnist_like(num_train=200, num_test=100)
+    >>> parts = iid_partition(train, 10, np.random.default_rng(0))
+    >>> model = MulticlassLogisticRegression(50, 10)
+    >>> sim = CrowdSimulator(model, parts, test,
+    ...                      SimulationConfig(num_devices=10), seed=0)
+    >>> trace = sim.run()
+    >>> trace.total_samples_consumed > 0
+    True
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        device_datasets: List[Dataset],
+        test_dataset: Dataset,
+        config: SimulationConfig,
+        seed: int = 0,
+    ):
+        if len(device_datasets) != config.num_devices:
+            raise ConfigurationError(
+                f"got {len(device_datasets)} device datasets for "
+                f"{config.num_devices} devices"
+            )
+        self._model = model
+        self._device_datasets = device_datasets
+        self._test_dataset = test_dataset
+        self._config = config
+        self._rng_factory = RngFactory(seed)
+        self._queue = EventQueue()
+
+        projection = (
+            L2BallProjection(config.projection_radius)
+            if config.projection_radius is not None
+            else IdentityProjection()
+        )
+        optimizer = SGD(
+            model.init_parameters(),
+            schedule=InverseSqrtRate(config.learning_rate_constant),
+            projection=projection,
+        )
+        total_samples = sum(len(ds) for ds in device_datasets) * config.num_passes
+        max_iterations = config.max_iterations
+        if max_iterations is None:
+            # Every check-in applies >= 1 sample, so a cap one beyond the
+            # total sample count can never bind before the data runs out.
+            max_iterations = total_samples + 1
+        server_config = ServerConfig(
+            max_iterations=max_iterations, target_error=config.target_error
+        )
+        self._server = CrowdMLServer(model, optimizer, server_config)
+        self._total_samples = total_samples
+
+        self._actors = [self._build_actor(m) for m in range(config.num_devices)]
+
+        self._grid = snapshot_grid(max(total_samples, 1), config.num_snapshots)
+        self._grid_pos = 0
+        self._snapshot_iters: list[int] = []
+        self._snapshot_errors: list[float] = []
+        self._online_errors: list[np.ndarray] = []
+        self._samples_consumed = 0
+        self._comm = CommunicationStats()
+        self._staleness: list[int] = []
+        self._stopped_reason: Optional[str] = None
+
+    @property
+    def server(self) -> CrowdMLServer:
+        return self._server
+
+    @property
+    def config(self) -> SimulationConfig:
+        return self._config
+
+    def _build_actor(self, device_index: int) -> _DeviceActor:
+        config = self._config
+        budget = split_budget(config.epsilon, self._model.num_classes)
+        device_config = DeviceConfig(
+            batch_size=config.batch_size,
+            buffer_capacity=config.batch_size * config.buffer_factor,
+            budget=budget,
+            holdout_fraction=config.holdout_fraction,
+        )
+        device_rng = self._rng_factory.generator("device", device_index)
+        token = self._server.register_device(device_index)
+        batch_policy = (
+            config.batch_policy_factory()
+            if config.batch_policy_factory is not None
+            else None
+        )
+        device = Device(
+            device_index, self._model, device_config, token, device_rng,
+            batch_policy=batch_policy,
+        )
+
+        network_rng = self._rng_factory.generator("network", device_index)
+        delays = config.link_delays
+        request_channel = Channel(
+            self._queue, delays.request, config.outage, network_rng,
+            name=f"request-{device_index}",
+        )
+        checkout_channel = Channel(
+            self._queue, delays.checkout, config.outage, network_rng,
+            name=f"checkout-{device_index}",
+        )
+        checkin_channel = Channel(
+            self._queue, delays.checkin, config.outage, network_rng,
+            name=f"checkin-{device_index}",
+        )
+        stream = self._sample_stream(device_index)
+        offset_rng = self._rng_factory.generator("offset", device_index)
+        # Stagger device start times over one full minibatch period: real
+        # devices join a task at arbitrary times, so their check-in phases
+        # are desynchronized.  (With a common start, all M devices fill
+        # their minibatches simultaneously and every round delivers M
+        # synchronized check-ins — inflating gradient staleness to ~M/2
+        # independent of the network delay.)
+        start_offset = float(
+            offset_rng.uniform(0.0, config.batch_size / config.sampling_rate)
+        )
+        return _DeviceActor(
+            device, stream, request_channel, checkout_channel, checkin_channel,
+            start_offset,
+        )
+
+    def _sample_stream(self, device_index: int) -> Iterator[tuple[np.ndarray, int]]:
+        """The device's local data, reshuffled each pass."""
+        dataset = self._device_datasets[device_index]
+        shuffle_rng = self._rng_factory.generator("shuffle", device_index)
+        for _ in range(self._config.num_passes):
+            if len(dataset) == 0:
+                return
+            order = shuffle_rng.permutation(len(dataset))
+            for index in order:
+                yield dataset.features[index], int(dataset.labels[index])
+
+    # ------------------------------------------------------------------ #
+    # Event handlers                                                     #
+    # ------------------------------------------------------------------ #
+
+    def _schedule_next_sample(self, actor: _DeviceActor, first: bool = False) -> None:
+        if self._stopped_reason is not None:
+            return
+        delay = actor.start_offset if first else 1.0 / self._config.sampling_rate
+        if first and self._config.churn is not None:
+            # Devices join the task at their scheduled time (Fig. 2).
+            delay += float(self._config.churn.join_times[actor.device.device_id])
+        self._queue.schedule_after(delay, lambda: self._on_sample(actor), tag="sample")
+
+    def _on_sample(self, actor: _DeviceActor) -> None:
+        if self._stopped_reason is not None:
+            return
+        churn = self._config.churn
+        if churn is not None and self._queue.now >= float(
+            churn.leave_times[actor.device.device_id]
+        ):
+            # The device left the task: it goes silent (no more samples,
+            # requests, or check-ins) but the rest of the crowd continues.
+            actor.exhausted = True
+            return
+        try:
+            features, label = next(actor.stream)
+        except StopIteration:
+            actor.exhausted = True
+            return
+        wants_checkout = actor.device.observe(features, label)
+        if wants_checkout:
+            self._send_checkout_request(actor)
+        self._schedule_next_sample(actor)
+
+    def _send_checkout_request(self, actor: _DeviceActor) -> None:
+        actor.device.mark_checkout_requested()
+        request = CheckoutRequest(
+            device_id=actor.device.device_id,
+            token=actor.device.token,
+            request_time=self._queue.now,
+        )
+        self._comm.checkout_requests += 1
+        actor.request_channel.send(
+            deliver=lambda: self._on_request_arrival(actor, request),
+            payload_floats=request.payload_floats,
+            on_drop=actor.device.on_checkout_failed,
+        )
+
+    def _on_request_arrival(self, actor: _DeviceActor, request: CheckoutRequest) -> None:
+        if self._stopped_reason is not None or self._server.stopped:
+            actor.device.on_checkout_failed()
+            return
+        response = self._server.handle_checkout(request)
+        self._comm.downlink_floats += response.payload_floats
+        actor.checkout_channel.send(
+            deliver=lambda: self._on_checkout_arrival(actor, response),
+            payload_floats=response.payload_floats,
+            on_drop=actor.device.on_checkout_failed,
+        )
+
+    def _on_checkout_arrival(self, actor: _DeviceActor, response: CheckoutResponse) -> None:
+        if self._stopped_reason is not None:
+            return
+        self._comm.checkouts_delivered += 1
+        if actor.device.buffer_size == 0:
+            # Buffer was consumed by a racing check-out; nothing to do.
+            actor.device.on_checkout_failed()
+            return
+        result = actor.device.complete_checkout(
+            response.parameters, response.server_iteration
+        )
+        self._online_errors.append(result.per_sample_errors)
+        message = result.message
+        self._comm.uplink_floats += message.payload_floats
+        actor.checkin_channel.send(
+            deliver=lambda: self._on_checkin_arrival(actor, message),
+            payload_floats=message.payload_floats,
+        )
+
+    def _on_checkin_arrival(self, actor: _DeviceActor, message: CheckinMessage) -> None:
+        if self._stopped_reason is not None or self._server.stopped:
+            return
+        self._staleness.append(self._server.iteration - message.checkout_iteration)
+        self._server.handle_checkin(message)
+        self._comm.checkins_delivered += 1
+        self._samples_consumed += message.num_samples
+        self._maybe_snapshot()
+        decision = self._server.stopping_decision()
+        if decision.stopped:
+            self._stopped_reason = decision.reason.value
+
+    def _maybe_snapshot(self) -> None:
+        while (
+            self._grid_pos < self._grid.shape[0]
+            and self._samples_consumed >= self._grid[self._grid_pos]
+        ):
+            self._snapshot_iters.append(self._samples_consumed)
+            self._snapshot_errors.append(
+                test_error(self._model, self._server.parameters, self._test_dataset)
+            )
+            self._grid_pos += 1
+
+    # ------------------------------------------------------------------ #
+    # Run                                                                #
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> RunTrace:
+        """Execute the simulation to completion and return its trace."""
+        for actor in self._actors:
+            self._schedule_next_sample(actor, first=True)
+        while self._queue.step():
+            pass
+
+        if self._stopped_reason is None:
+            self._stopped_reason = "data_exhausted"
+
+        if not self._snapshot_iters or self._snapshot_iters[-1] != self._samples_consumed:
+            if self._samples_consumed > 0:
+                self._snapshot_iters.append(self._samples_consumed)
+                self._snapshot_errors.append(
+                    test_error(self._model, self._server.parameters, self._test_dataset)
+                )
+
+        iters = np.asarray(self._snapshot_iters, dtype=np.int64)
+        errors = np.asarray(self._snapshot_errors, dtype=np.float64)
+        if iters.size:
+            _, first_idx = np.unique(iters, return_index=True)
+            curve = ErrorCurve(iters[first_idx], errors[first_idx])
+        else:
+            curve = ErrorCurve(
+                np.array([1], dtype=np.int64),
+                np.array(
+                    [test_error(self._model, self._server.parameters, self._test_dataset)]
+                ),
+            )
+
+        online = (
+            np.concatenate(self._online_errors)
+            if self._online_errors
+            else np.zeros(0, dtype=bool)
+        )
+        per_sample_epsilon = max(
+            (actor.device.accountant.spend().per_sample_epsilon for actor in self._actors),
+            default=0.0,
+        )
+        self._comm.messages_dropped = sum(
+            actor.request_channel.stats.messages_dropped
+            + actor.checkout_channel.stats.messages_dropped
+            + actor.checkin_channel.stats.messages_dropped
+            for actor in self._actors
+        )
+        return RunTrace(
+            curve=curve,
+            online_errors=online,
+            final_parameters=self._server.parameters,
+            total_samples_consumed=self._samples_consumed,
+            server_iterations=self._server.iteration,
+            communication=self._comm,
+            per_sample_epsilon=per_sample_epsilon,
+            stop_reason=self._stopped_reason,
+            staleness=np.asarray(self._staleness, dtype=np.int64),
+        )

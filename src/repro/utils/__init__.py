@@ -1,0 +1,52 @@
+"""Shared utilities: seeded RNG management, validation, numerics, errors."""
+
+from repro.utils.exceptions import (
+    AuthenticationError,
+    ConfigurationError,
+    PrivacyBudgetExceededError,
+    ProtocolError,
+    ReproError,
+)
+from repro.utils.numerics import (
+    l1_normalize,
+    log_sum_exp,
+    one_hot,
+    running_mean,
+    softmax,
+)
+from repro.utils.rng import RngFactory, as_generator, derive_seed, spawn_generators
+from repro.utils.validation import (
+    check_fraction,
+    check_in_choices,
+    check_labels,
+    check_matrix,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_vector,
+)
+
+__all__ = [
+    "AuthenticationError",
+    "ConfigurationError",
+    "PrivacyBudgetExceededError",
+    "ProtocolError",
+    "ReproError",
+    "RngFactory",
+    "as_generator",
+    "check_fraction",
+    "check_in_choices",
+    "check_labels",
+    "check_matrix",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_vector",
+    "derive_seed",
+    "l1_normalize",
+    "log_sum_exp",
+    "one_hot",
+    "running_mean",
+    "softmax",
+    "spawn_generators",
+]

@@ -1,0 +1,123 @@
+"""Argument validation helpers.
+
+These raise :class:`~repro.utils.exceptions.ConfigurationError` with a
+message naming the offending parameter, so misconfiguration surfaces at
+construction time rather than as a cryptic numpy broadcast error mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.utils.exceptions import ConfigurationError
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number strictly greater than zero."""
+    value = float(value)
+    if not np.isfinite(value) or value <= 0:
+        raise ConfigurationError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is a finite number greater than or equal to zero."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0:
+        raise ConfigurationError(f"{name} must be a non-negative finite number, got {value!r}")
+    return value
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is an integer strictly greater than zero."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {type(value).__name__}")
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be a positive integer, got {value}")
+    return int(value)
+
+
+def check_fraction(value: float, name: str, *, inclusive: bool = True) -> float:
+    """Validate that ``value`` lies in ``[0, 1]`` (or ``(0, 1)`` if not inclusive)."""
+    value = float(value)
+    if inclusive:
+        if not (0.0 <= value <= 1.0):
+            raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    else:
+        if not (0.0 < value < 1.0):
+            raise ConfigurationError(f"{name} must be in (0, 1), got {value!r}")
+    return value
+
+
+def check_in_choices(value: object, name: str, choices: Iterable[object]) -> object:
+    """Validate that ``value`` is one of ``choices``."""
+    choices = tuple(choices)
+    if value not in choices:
+        raise ConfigurationError(f"{name} must be one of {choices}, got {value!r}")
+    return value
+
+
+def check_vector(
+    array: np.ndarray,
+    name: str,
+    *,
+    size: Optional[int] = None,
+    dtype: type = np.float64,
+) -> np.ndarray:
+    """Coerce ``array`` to a 1-D float array, optionally of a fixed size."""
+    array = np.asarray(array, dtype=dtype)
+    if array.ndim != 1:
+        raise ConfigurationError(f"{name} must be 1-dimensional, got shape {array.shape}")
+    if size is not None and array.shape[0] != size:
+        raise ConfigurationError(f"{name} must have length {size}, got {array.shape[0]}")
+    if not np.all(np.isfinite(array)):
+        raise ConfigurationError(f"{name} must contain only finite values")
+    return array
+
+
+def check_matrix(
+    array: np.ndarray,
+    name: str,
+    *,
+    shape: Optional[Sequence[Optional[int]]] = None,
+    dtype: type = np.float64,
+) -> np.ndarray:
+    """Coerce ``array`` to a 2-D float array, optionally checking each dim.
+
+    ``shape`` entries of ``None`` are wildcards, e.g. ``shape=(None, 50)``
+    requires 50 columns but any number of rows.
+    """
+    array = np.asarray(array, dtype=dtype)
+    if array.ndim != 2:
+        raise ConfigurationError(f"{name} must be 2-dimensional, got shape {array.shape}")
+    if shape is not None:
+        for axis, want in enumerate(shape):
+            if want is not None and array.shape[axis] != want:
+                raise ConfigurationError(
+                    f"{name} must have shape {tuple(shape)} (None=any), got {array.shape}"
+                )
+    if not np.all(np.isfinite(array)):
+        raise ConfigurationError(f"{name} must contain only finite values")
+    return array
+
+
+def check_labels(labels: np.ndarray, name: str, num_classes: int) -> np.ndarray:
+    """Coerce ``labels`` to integer class indices in ``[0, num_classes)``."""
+    labels = np.asarray(labels)
+    if labels.ndim != 1:
+        raise ConfigurationError(f"{name} must be 1-dimensional, got shape {labels.shape}")
+    if not np.issubdtype(labels.dtype, np.integer):
+        rounded = np.rint(labels)
+        if not np.allclose(labels, rounded):
+            raise ConfigurationError(f"{name} must contain integer class labels")
+        labels = rounded.astype(np.int64)
+    else:
+        labels = labels.astype(np.int64)
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ConfigurationError(
+            f"{name} must lie in [0, {num_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    return labels

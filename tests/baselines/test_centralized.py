@@ -1,0 +1,84 @@
+"""Tests for the centralized batch baseline."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import CentralizedBatchTrainer
+from repro.models import MulticlassLogisticRegression
+from repro.privacy import CentralizedBudget
+
+
+class TestCleanTraining:
+    def test_fits_separable_data(self, small_dataset):
+        model = MulticlassLogisticRegression(4, 3, l2_regularization=1e-3)
+        trainer = CentralizedBatchTrainer(model)
+        result = trainer.fit(small_dataset, np.random.default_rng(0))
+        assert result.converged
+        error = model.error_rate(
+            result.parameters, small_dataset.features, small_dataset.labels
+        )
+        assert error == 0.0
+
+    def test_achieves_lower_loss_than_zero_vector(self, small_dataset):
+        model = MulticlassLogisticRegression(4, 3, l2_regularization=1e-3)
+        result = CentralizedBatchTrainer(model).fit(
+            small_dataset, np.random.default_rng(0)
+        )
+        zero_loss = model.loss(
+            model.init_parameters(), small_dataset.features, small_dataset.labels
+        )
+        assert result.train_loss < zero_loss
+
+    def test_deterministic_given_data(self, small_dataset):
+        model = MulticlassLogisticRegression(4, 3, l2_regularization=1e-3)
+        a = CentralizedBatchTrainer(model).fit(small_dataset, np.random.default_rng(0))
+        b = CentralizedBatchTrainer(model).fit(small_dataset, np.random.default_rng(1))
+        # No perturbation -> rng unused -> identical fits.
+        assert np.allclose(a.parameters, b.parameters)
+
+    def test_evaluate_returns_test_error(self, small_dataset):
+        model = MulticlassLogisticRegression(4, 3, l2_regularization=1e-3)
+        err = CentralizedBatchTrainer(model).evaluate(
+            small_dataset, small_dataset, np.random.default_rng(0)
+        )
+        assert err == 0.0
+
+
+class TestPrivateTraining:
+    def test_privacy_degrades_performance(self, small_dataset):
+        """Fig. 5's premise: input perturbation hurts the batch learner."""
+        model = MulticlassLogisticRegression(4, 3, l2_regularization=1e-3)
+        clean = CentralizedBatchTrainer(model).evaluate(
+            small_dataset, small_dataset, np.random.default_rng(0)
+        )
+        noisy = CentralizedBatchTrainer(
+            model, budget=CentralizedBudget.even_split(0.2)
+        ).evaluate(small_dataset, small_dataset, np.random.default_rng(0))
+        assert noisy > clean
+
+    def test_infinite_budget_matches_clean(self, small_dataset):
+        model = MulticlassLogisticRegression(4, 3, l2_regularization=1e-3)
+        clean = CentralizedBatchTrainer(model).fit(
+            small_dataset, np.random.default_rng(0)
+        )
+        inf_budget = CentralizedBatchTrainer(
+            model, budget=CentralizedBudget.even_split(math.inf)
+        ).fit(small_dataset, np.random.default_rng(0))
+        assert np.allclose(clean.parameters, inf_budget.parameters)
+
+    def test_test_data_never_perturbed(self, small_dataset):
+        """Footnote 8: evaluation is on clean test inputs, so two trainers
+        with different budgets still evaluate on identical test data."""
+        model = MulticlassLogisticRegression(4, 3, l2_regularization=1e-3)
+        trainer = CentralizedBatchTrainer(model, CentralizedBudget.even_split(0.5))
+        result = trainer.fit(small_dataset, np.random.default_rng(0))
+        # evaluate() == test_error on the clean set with fitted parameters.
+        err_direct = model.error_rate(
+            result.parameters, small_dataset.features, small_dataset.labels
+        )
+        err_eval = trainer.evaluate(
+            small_dataset, small_dataset, np.random.default_rng(0)
+        )
+        assert err_eval == pytest.approx(err_direct)

@@ -1,0 +1,96 @@
+"""Tests for the centralized-SGD (input-perturbed) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CentralizedSGDTrainer
+from repro.models import MulticlassLogisticRegression
+from repro.optim import InverseSqrtRate
+from repro.privacy import CentralizedBudget
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return MulticlassLogisticRegression(4, 3, l2_regularization=1e-3)
+
+
+class TestCleanSGD:
+    def test_learns_separable_data(self, model, small_dataset):
+        trainer = CentralizedSGDTrainer(model, InverseSqrtRate(2.0), batch_size=1)
+        result = trainer.fit(
+            small_dataset, small_dataset, np.random.default_rng(0), num_passes=10
+        )
+        assert result.curve.final_error <= 0.05
+
+    def test_curve_iterations_count_samples(self, model, small_dataset):
+        trainer = CentralizedSGDTrainer(model, InverseSqrtRate(2.0), batch_size=5)
+        result = trainer.fit(
+            small_dataset, small_dataset, np.random.default_rng(0), num_passes=2
+        )
+        assert result.curve.iterations[-1] == 2 * len(small_dataset)
+
+    def test_batch_size_changes_update_count_not_samples(self, model, small_dataset):
+        for b in (1, 10):
+            trainer = CentralizedSGDTrainer(model, InverseSqrtRate(2.0), batch_size=b)
+            result = trainer.fit(
+                small_dataset, small_dataset, np.random.default_rng(0)
+            )
+            assert result.curve.iterations[-1] == len(small_dataset)
+
+    def test_snapshot_count_respected(self, model, small_dataset):
+        trainer = CentralizedSGDTrainer(model, InverseSqrtRate(2.0))
+        result = trainer.fit(
+            small_dataset, small_dataset, np.random.default_rng(0), num_snapshots=10
+        )
+        assert len(result.curve) <= 12
+
+    def test_rejects_bad_batch_size(self, model):
+        with pytest.raises(ConfigurationError):
+            CentralizedSGDTrainer(model, InverseSqrtRate(1.0), batch_size=0)
+
+
+class TestPerturbedSGD:
+    def test_strong_privacy_destroys_learning(self, model, small_dataset):
+        """The Fig. 5 phenomenon: at small ε the perturbed-input learner is
+        near-useless regardless of minibatch size."""
+        errors = {}
+        for b in (1, 10):
+            trainer = CentralizedSGDTrainer(
+                model,
+                InverseSqrtRate(2.0),
+                batch_size=b,
+                budget=CentralizedBudget.even_split(0.1),
+            )
+            result = trainer.fit(
+                small_dataset, small_dataset, np.random.default_rng(0), num_passes=5
+            )
+            errors[b] = result.curve.final_error
+        assert errors[1] > 0.4
+        assert errors[10] > 0.4
+
+    def test_minibatch_cannot_rescue_perturbed_inputs(self, model, small_dataset):
+        """Increasing b gives no significant improvement (constant noise)."""
+        def tail(b):
+            trainer = CentralizedSGDTrainer(
+                model,
+                InverseSqrtRate(2.0),
+                batch_size=b,
+                budget=CentralizedBudget.even_split(0.1),
+            )
+            return trainer.fit(
+                small_dataset, small_dataset, np.random.default_rng(0), num_passes=5
+            ).curve.tail_error()
+
+        assert abs(tail(1) - tail(20)) < 0.25
+
+    def test_weak_privacy_close_to_clean(self, model, small_dataset):
+        clean = CentralizedSGDTrainer(model, InverseSqrtRate(2.0)).fit(
+            small_dataset, small_dataset, np.random.default_rng(0), num_passes=5
+        )
+        weak = CentralizedSGDTrainer(
+            model,
+            InverseSqrtRate(2.0),
+            budget=CentralizedBudget.even_split(1e6),
+        ).fit(small_dataset, small_dataset, np.random.default_rng(0), num_passes=5)
+        assert abs(clean.curve.final_error - weak.curve.final_error) < 0.1

@@ -1,0 +1,70 @@
+"""Tests for the decentralized (no-communication) baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DecentralizedTrainer
+from repro.data import Dataset, iid_partition, make_mnist_like
+from repro.models import MulticlassLogisticRegression
+from repro.optim import InverseSqrtRate
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestMechanics:
+    def test_curve_x_axis_scaled_by_m(self, small_dataset, rng):
+        parts = iid_partition(small_dataset, 3, rng)
+        model = MulticlassLogisticRegression(4, 3)
+        trainer = DecentralizedTrainer(model, InverseSqrtRate(1.0))
+        result = trainer.fit(parts, small_dataset, rng, num_passes=1)
+        # Each device consumes 30 samples; x axis counts crowd-wide samples.
+        assert result.curve.iterations[-1] == 30 * 3
+
+    def test_evaluation_subsample(self, small_dataset, rng):
+        parts = iid_partition(small_dataset, 9, rng)
+        model = MulticlassLogisticRegression(4, 3)
+        trainer = DecentralizedTrainer(
+            model, InverseSqrtRate(1.0), evaluation_devices=4
+        )
+        result = trainer.fit(parts, small_dataset, rng)
+        assert result.final_errors.shape == (4,)
+
+    def test_rejects_empty_device_list(self, small_dataset, rng):
+        model = MulticlassLogisticRegression(4, 3)
+        trainer = DecentralizedTrainer(model, InverseSqrtRate(1.0))
+        with pytest.raises(ConfigurationError):
+            trainer.fit([], small_dataset, rng)
+
+    def test_skips_empty_devices(self, small_dataset, rng):
+        model = MulticlassLogisticRegression(4, 3)
+        empty = Dataset(np.zeros((0, 4)), np.zeros(0, dtype=int), 3)
+        parts = [small_dataset, empty, small_dataset]
+        trainer = DecentralizedTrainer(model, InverseSqrtRate(1.0),
+                                       evaluation_devices=3)
+        result = trainer.fit(parts, small_dataset, rng)
+        assert len(result.final_errors) <= 3
+
+    def test_rejects_bad_eval_count(self):
+        model = MulticlassLogisticRegression(4, 3)
+        with pytest.raises(ConfigurationError):
+            DecentralizedTrainer(model, InverseSqrtRate(1.0), evaluation_devices=0)
+
+
+class TestDataFragmentationPenalty:
+    def test_many_devices_worse_than_few(self):
+        """Section IV-A: each device sees ~1/M of the data, so the average
+        local model degrades as M grows."""
+        train, test = make_mnist_like(num_train=3000, num_test=600)
+        model = MulticlassLogisticRegression(50, 10)
+        trainer = DecentralizedTrainer(
+            model, InverseSqrtRate(30.0), evaluation_devices=8
+        )
+
+        def final(num_devices, seed):
+            parts = iid_partition(train, num_devices, np.random.default_rng(seed))
+            return trainer.fit(
+                parts, test, np.random.default_rng(seed), num_passes=3
+            ).curve.final_error
+
+        few = final(5, 0)  # 600 samples/device
+        many = final(100, 0)  # 30 samples/device
+        assert many > few + 0.1

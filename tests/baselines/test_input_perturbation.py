@@ -1,0 +1,65 @@
+"""Tests for Appendix C input perturbation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines import perturb_dataset, perturb_features
+from repro.data import Dataset
+from repro.privacy import CentralizedBudget
+
+
+@pytest.fixture
+def dataset(rng):
+    features = rng.normal(size=(200, 5))
+    features /= np.abs(features).sum(axis=1, keepdims=True)
+    return Dataset(features, rng.integers(0, 4, 200), 4)
+
+
+class TestFeaturePerturbation:
+    def test_identity_when_non_private(self, dataset, rng):
+        out = perturb_features(dataset.features, math.inf, rng)
+        assert np.array_equal(out, dataset.features)
+
+    def test_noise_variance_is_eight_over_eps_squared(self, rng):
+        """Section IV-A: 'Laplace noise of constant variance 8/ε²'."""
+        eps = 2.0
+        out = perturb_features(np.zeros((2000, 50)), eps, rng)
+        assert out.var() == pytest.approx(8.0 / eps**2, rel=0.05)
+
+    def test_noise_independent_of_batch_size(self, rng):
+        """The centralized approach's structural weakness: unlike Crowd-ML,
+        per-sample noise does not shrink with any minibatch size."""
+        eps = 1.0
+        small = perturb_features(np.zeros((500, 20)), eps, np.random.default_rng(1))
+        large = perturb_features(np.zeros((5000, 20)), eps, np.random.default_rng(2))
+        assert small.var() == pytest.approx(large.var(), rel=0.1)
+
+
+class TestDatasetPerturbation:
+    def test_identity_when_non_private(self, dataset, rng):
+        out = perturb_dataset(dataset, CentralizedBudget.even_split(math.inf), rng)
+        assert np.array_equal(out.features, dataset.features)
+        assert np.array_equal(out.labels, dataset.labels)
+
+    def test_both_features_and_labels_perturbed(self, dataset, rng):
+        out = perturb_dataset(dataset, CentralizedBudget.even_split(0.5), rng)
+        assert not np.allclose(out.features, dataset.features)
+        assert not np.array_equal(out.labels, dataset.labels)
+
+    def test_label_flip_rate_matches_mechanism(self, rng):
+        eps = 1.0
+        ds = Dataset(np.zeros((50_000, 2)), np.zeros(50_000, dtype=int), 10)
+        out = perturb_dataset(ds, CentralizedBudget.even_split(eps), rng)
+        from repro.privacy import label_flip_distribution
+
+        keep = np.mean(out.labels == 0)
+        # eps_y = eps/2 under the even split.
+        expected = label_flip_distribution(eps / 2.0, 10)[0]
+        assert keep == pytest.approx(expected, rel=0.05)
+
+    def test_num_classes_preserved(self, dataset, rng):
+        out = perturb_dataset(dataset, CentralizedBudget.even_split(1.0), rng)
+        assert out.num_classes == dataset.num_classes
+        assert len(out) == len(dataset)

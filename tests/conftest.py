@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.models import MulticlassLogisticRegression
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for test randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_model() -> MulticlassLogisticRegression:
+    """A tiny 3-class logistic model (D=4)."""
+    return MulticlassLogisticRegression(num_features=4, num_classes=3)
+
+
+@pytest.fixture
+def small_dataset(rng) -> Dataset:
+    """A small, linearly-structured 3-class dataset with ‖x‖₁ ≤ 1."""
+    num = 90
+    labels = np.arange(num) % 3
+    centers = np.array(
+        [
+            [0.8, 0.1, 0.05, 0.05],
+            [0.05, 0.8, 0.1, 0.05],
+            [0.05, 0.1, 0.05, 0.8],
+        ]
+    )
+    features = centers[labels] + rng.normal(0, 0.05, size=(num, 4))
+    norms = np.sum(np.abs(features), axis=1, keepdims=True)
+    features = features / np.maximum(norms, 1.0)
+    return Dataset(features, labels.astype(np.int64), num_classes=3)

@@ -1,0 +1,82 @@
+"""Tests for device authentication."""
+
+import pytest
+
+from repro.core import DeviceRegistry
+from repro.utils.exceptions import AuthenticationError
+
+
+class TestRegistration:
+    def test_register_and_authenticate(self):
+        registry = DeviceRegistry()
+        token = registry.register(1)
+        registry.authenticate(1, token)  # must not raise
+
+    def test_tokens_differ_across_devices(self):
+        registry = DeviceRegistry()
+        assert registry.register(1) != registry.register(2)
+
+    def test_registration_idempotent(self):
+        registry = DeviceRegistry()
+        assert registry.register(1) == registry.register(1)
+
+    def test_tokens_differ_across_server_keys(self):
+        a = DeviceRegistry(server_key="alpha").register(1)
+        b = DeviceRegistry(server_key="beta").register(1)
+        assert a != b
+
+    def test_num_registered(self):
+        registry = DeviceRegistry()
+        registry.register(1)
+        registry.register(2)
+        assert registry.num_registered == 2
+
+    def test_is_registered(self):
+        registry = DeviceRegistry()
+        registry.register(1)
+        assert registry.is_registered(1)
+        assert not registry.is_registered(2)
+
+
+class TestAuthenticationFailures:
+    def test_unknown_device(self):
+        with pytest.raises(AuthenticationError, match="unknown"):
+            DeviceRegistry().authenticate(9, "whatever")
+
+    def test_wrong_token(self):
+        registry = DeviceRegistry()
+        registry.register(1)
+        with pytest.raises(AuthenticationError, match="invalid token"):
+            registry.authenticate(1, "forged")
+
+    def test_token_from_other_device_rejected(self):
+        """A malignant device cannot impersonate another with its own token."""
+        registry = DeviceRegistry()
+        token2 = registry.register(2)
+        registry.register(1)
+        with pytest.raises(AuthenticationError):
+            registry.authenticate(1, token2)
+
+
+class TestRevocation:
+    def test_revoked_device_rejected(self):
+        registry = DeviceRegistry()
+        token = registry.register(1)
+        registry.revoke(1)
+        with pytest.raises(AuthenticationError, match="revoked"):
+            registry.authenticate(1, token)
+
+    def test_revoked_not_counted(self):
+        registry = DeviceRegistry()
+        registry.register(1)
+        registry.revoke(1)
+        assert registry.num_registered == 0
+        assert not registry.is_registered(1)
+
+    def test_reregistration_after_revoke(self):
+        """Devices can leave and rejoin the task (Fig. 2 caption)."""
+        registry = DeviceRegistry()
+        registry.register(1)
+        registry.revoke(1)
+        token = registry.register(1)
+        registry.authenticate(1, token)

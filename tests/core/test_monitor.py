@@ -1,0 +1,93 @@
+"""Tests for the Eq. 14 DP progress monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProgressMonitor
+from repro.privacy import DiscreteLaplaceMechanism
+
+
+class TestEstimates:
+    def test_initial_error_is_pessimistic(self):
+        assert ProgressMonitor(3).error_estimate() == 1.0
+
+    def test_initial_prior_uniform(self):
+        assert np.allclose(ProgressMonitor(4).prior_estimate(), 0.25)
+
+    def test_error_estimate_eq14(self):
+        monitor = ProgressMonitor(2)
+        monitor.record(0, 10, 3, np.array([5, 5]))
+        monitor.record(1, 10, 1, np.array([4, 6]))
+        assert monitor.error_estimate() == pytest.approx(4 / 20)
+
+    def test_prior_estimate_eq14(self):
+        monitor = ProgressMonitor(2)
+        monitor.record(0, 10, 0, np.array([7, 3]))
+        assert np.allclose(monitor.prior_estimate(), [0.7, 0.3])
+
+    def test_clipping_of_noisy_negative_counts(self):
+        monitor = ProgressMonitor(2)
+        monitor.record(0, 10, -3, np.array([-2, 12]))
+        assert monitor.error_estimate() == 0.0
+        assert monitor.raw_error_estimate() == pytest.approx(-0.3)
+        prior = monitor.prior_estimate()
+        assert prior.min() >= 0.0
+        assert prior.sum() == pytest.approx(1.0)
+
+    def test_per_device_views(self):
+        monitor = ProgressMonitor(2)
+        monitor.record(0, 10, 5, np.array([5, 5]))
+        monitor.record(1, 20, 2, np.array([10, 10]))
+        assert monitor.device_error_estimate(0) == pytest.approx(0.5)
+        assert monitor.device_error_estimate(1) == pytest.approx(0.1)
+        assert monitor.device_sample_count(0) == 10
+        assert monitor.device_error_estimate(99) == 1.0
+        assert monitor.device_sample_count(99) == 0
+
+    def test_counters(self):
+        monitor = ProgressMonitor(2)
+        monitor.record(0, 5, 0, np.array([3, 2]))
+        monitor.record(0, 5, 0, np.array([2, 3]))
+        assert monitor.num_checkins == 2
+        assert monitor.num_devices_seen == 1
+        assert monitor.total_samples == 10
+
+    def test_rejects_wrong_count_shape(self):
+        monitor = ProgressMonitor(3)
+        with pytest.raises(ValueError):
+            monitor.record(0, 5, 0, np.array([1, 2]))
+
+
+class TestConvergenceUnderNoise:
+    def test_estimate_converges_despite_dp_noise(self):
+        """Appendix B Remark 2: noisy estimates converge to the truth."""
+        rng = np.random.default_rng(0)
+        mech = DiscreteLaplaceMechanism(0.5, rng)
+        monitor = ProgressMonitor(2)
+        true_error_rate, batch = 0.25, 20
+        for device in range(400):
+            errors = int(round(true_error_rate * batch))
+            counts = np.array([batch // 2, batch - batch // 2])
+            monitor.record(
+                device,
+                batch,
+                mech.release(errors),
+                np.array([mech.release(int(c)) for c in counts]),
+            )
+        assert monitor.error_estimate() == pytest.approx(true_error_rate, abs=0.03)
+        assert np.allclose(monitor.prior_estimate(), [0.5, 0.5], atol=0.03)
+
+    def test_estimate_variance_shrinks_with_checkins(self):
+        """Std of the estimate decreases roughly like 1/√T."""
+        def estimate_std(num_checkins, trials=40):
+            outs = []
+            for t in range(trials):
+                rng = np.random.default_rng(t)
+                mech = DiscreteLaplaceMechanism(0.5, rng)
+                monitor = ProgressMonitor(2)
+                for d in range(num_checkins):
+                    monitor.record(d, 10, mech.release(2), np.array([5, 5]))
+                outs.append(monitor.raw_error_estimate())
+            return np.std(outs)
+
+        assert estimate_std(100) < estimate_std(4) / 2

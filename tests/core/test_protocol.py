@@ -1,0 +1,90 @@
+"""Tests for the wire-protocol messages."""
+
+import numpy as np
+import pytest
+
+from repro.core import CheckinAck, CheckinMessage, CheckoutRequest, CheckoutResponse
+from repro.utils.exceptions import ProtocolError
+
+
+class TestCheckoutMessages:
+    def test_request_has_no_payload(self):
+        request = CheckoutRequest(device_id=1, token="t", request_time=0.0)
+        assert request.payload_floats == 0
+
+    def test_response_payload_is_parameter_count(self):
+        response = CheckoutResponse(
+            device_id=1, parameters=np.zeros(12), server_iteration=5, issued_time=1.0
+        )
+        assert response.payload_floats == 12
+
+    def test_response_rejects_matrix_parameters(self):
+        with pytest.raises(ProtocolError):
+            CheckoutResponse(1, np.zeros((3, 4)), 0, 0.0)
+
+
+class TestCheckinMessage:
+    def _message(self, **overrides):
+        kwargs = dict(
+            device_id=1,
+            token="t",
+            gradient=np.zeros(10),
+            num_samples=5,
+            noisy_error_count=2,
+            noisy_label_counts=np.array([3, 2, 0]),
+            checkout_iteration=7,
+        )
+        kwargs.update(overrides)
+        return CheckinMessage(**kwargs)
+
+    def test_payload_accounting(self):
+        message = self._message()
+        # gradient (10) + label counts (3) + n_s + n_e.
+        assert message.payload_floats == 15
+
+    def test_negative_noisy_counts_allowed(self):
+        """DP noise can push counts negative (Appendix B Remark 2)."""
+        message = self._message(noisy_error_count=-1,
+                                noisy_label_counts=np.array([-2, 1, 0]))
+        assert message.noisy_error_count == -1
+
+    def test_rejects_nonpositive_num_samples(self):
+        with pytest.raises(ProtocolError):
+            self._message(num_samples=0)
+
+    def test_rejects_matrix_gradient(self):
+        with pytest.raises(ProtocolError):
+            self._message(gradient=np.zeros((2, 5)))
+
+    def test_rejects_2d_label_counts(self):
+        with pytest.raises(ProtocolError):
+            self._message(noisy_label_counts=np.zeros((2, 2), dtype=int))
+
+    def test_immutable(self):
+        message = self._message()
+        with pytest.raises(Exception):
+            message.num_samples = 10
+
+    def test_ack_payload(self):
+        assert CheckinAck(device_id=1, server_iteration=3).payload_floats == 1
+
+
+class TestCommunicationReduction:
+    def test_minibatch_reduces_uplink_by_factor_b(self):
+        """Section IV-B2: crowd sends N/b gradients instead of N samples —
+        uplink volume per sample shrinks linearly in b."""
+        dim = 500
+
+        def uplink_per_sample(b):
+            message = CheckinMessage(
+                device_id=0,
+                token="t",
+                gradient=np.zeros(dim),
+                num_samples=b,
+                noisy_error_count=0,
+                noisy_label_counts=np.zeros(10, dtype=int),
+                checkout_iteration=0,
+            )
+            return message.payload_floats / b
+
+        assert uplink_per_sample(20) == pytest.approx(uplink_per_sample(1) / 20)

@@ -1,0 +1,127 @@
+"""Tests for Device Routine 3 (check-in sanitization)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.sanitizer import CheckinSanitizer
+from repro.models import MulticlassLogisticRegression
+from repro.privacy import PrivacyBudget, split_budget
+
+
+@pytest.fixture
+def model():
+    return MulticlassLogisticRegression(num_features=4, num_classes=3)
+
+
+class TestNonPrivate:
+    def test_identity_for_infinite_budget(self, model, rng):
+        sanitizer = CheckinSanitizer(model, PrivacyBudget.non_private(3), rng)
+        gradient = np.arange(12.0)
+        out = sanitizer.sanitize(gradient, 2, np.array([1, 2, 2]), num_samples=5)
+        assert np.array_equal(out.gradient, gradient)
+        assert out.error_count == 2
+        assert np.array_equal(out.label_counts, [1, 2, 2])
+
+    def test_records_present_even_when_non_private(self, model, rng):
+        sanitizer = CheckinSanitizer(model, PrivacyBudget.non_private(3), rng)
+        out = sanitizer.sanitize(np.zeros(12), 0, np.zeros(3, dtype=int), 5)
+        # gradient + error + 3 label counts.
+        assert len(out.releases) == 5
+        assert all(math.isinf(r.epsilon) for r in out.releases)
+
+
+class TestPrivate:
+    def test_gradient_noised(self, model, rng):
+        budget = split_budget(1.0, 3)
+        sanitizer = CheckinSanitizer(model, budget, rng)
+        out = sanitizer.sanitize(np.zeros(12), 0, np.zeros(3, dtype=int), 5)
+        assert not np.allclose(out.gradient, 0.0)
+
+    def test_counts_are_integers(self, model, rng):
+        budget = split_budget(1.0, 3)
+        sanitizer = CheckinSanitizer(model, budget, rng)
+        out = sanitizer.sanitize(np.zeros(12), 3, np.array([2, 2, 1]), 5)
+        assert isinstance(out.error_count, int)
+        assert out.label_counts.dtype == np.int64
+
+    def test_gradient_mechanism_calibrated_to_batch(self, model, rng):
+        """Sensitivity 4/n_s: the mechanism's scale must track n_s."""
+        budget = split_budget(1.0, 3)
+        sanitizer = CheckinSanitizer(model, budget, rng)
+        small = sanitizer.gradient_mechanism(1)
+        large = sanitizer.gradient_mechanism(20)
+        assert small.sensitivity == pytest.approx(4.0)
+        assert large.sensitivity == pytest.approx(0.2)
+        assert large.scale == pytest.approx(small.scale / 20)
+
+    def test_release_records_decompose_budget(self, model, rng):
+        budget = split_budget(1.0, 3)
+        sanitizer = CheckinSanitizer(model, budget, rng)
+        out = sanitizer.sanitize(np.zeros(12), 0, np.zeros(3, dtype=int), 5)
+        total = sum(r.epsilon for r in out.releases)
+        assert total == pytest.approx(budget.total_epsilon)
+
+    def test_noise_shrinks_with_batch_size(self, model):
+        """Eq. 13's mechanism term: larger n_s → less gradient noise."""
+        budget = split_budget(1.0, 3)
+
+        def noise_norm(ns, seed):
+            sanitizer = CheckinSanitizer(model, budget, np.random.default_rng(seed))
+            out = sanitizer.sanitize(np.zeros(12), 0, np.zeros(3, dtype=int), ns)
+            return float(np.abs(out.gradient).sum())
+
+        small = np.mean([noise_norm(1, s) for s in range(200)])
+        large = np.mean([noise_norm(50, s) for s in range(200)])
+        assert large < small / 10
+
+
+class TestGaussianVariant:
+    """Footnote 1: the (eps, delta) Gaussian variant as a drop-in."""
+
+    def test_gaussian_sanitizer_noises_gradient(self, model, rng):
+        budget = split_budget(0.5, 3)
+        sanitizer = CheckinSanitizer(model, budget, rng, gradient_noise="gaussian")
+        out = sanitizer.sanitize(np.zeros(12), 0, np.zeros(3, dtype=int), 5)
+        assert not np.allclose(out.gradient, 0.0)
+
+    def test_gaussian_mechanism_selected(self, model, rng):
+        from repro.privacy import GaussianMechanism
+
+        budget = split_budget(0.5, 3)
+        sanitizer = CheckinSanitizer(model, budget, rng, gradient_noise="gaussian")
+        assert isinstance(sanitizer.gradient_mechanism(5), GaussianMechanism)
+        assert sanitizer.gradient_noise == "gaussian"
+
+    def test_gaussian_release_records_delta(self, model, rng):
+        budget = split_budget(0.5, 3)
+        sanitizer = CheckinSanitizer(
+            model, budget, rng, gradient_noise="gaussian", gaussian_delta=1e-5
+        )
+        out = sanitizer.sanitize(np.zeros(12), 0, np.zeros(3, dtype=int), 5)
+        assert out.releases[0].delta == 1e-5
+
+    def test_rejects_unknown_mechanism(self, model, rng):
+        from repro.utils.exceptions import ConfigurationError
+
+        budget = split_budget(0.5, 3)
+        with pytest.raises(ConfigurationError):
+            CheckinSanitizer(model, budget, rng, gradient_noise="cauchy")
+
+    def test_gaussian_lighter_tails_than_laplace(self, model):
+        """Same eps: Gaussian noise has fewer extreme coordinates."""
+        budget = split_budget(0.5, 3)
+
+        def extremes(kind):
+            sanitizer = CheckinSanitizer(
+                model, budget, np.random.default_rng(0), gradient_noise=kind
+            )
+            mech = sanitizer.gradient_mechanism(1)
+            draws = np.concatenate(
+                [mech.release(np.zeros(12)) for _ in range(2000)]
+            )
+            scale = np.std(draws)
+            return np.mean(np.abs(draws) > 4 * scale)
+
+        assert extremes("gaussian") < extremes("laplace")

@@ -1,0 +1,62 @@
+"""Tests for Algorithm 2's stopping criteria."""
+
+import numpy as np
+import pytest
+
+from repro.core import ProgressMonitor, ServerConfig, StopReason, evaluate_stopping
+
+
+@pytest.fixture
+def monitor():
+    monitor = ProgressMonitor(2)
+    monitor.record(0, 200, 10, np.array([100, 100]))  # error estimate 0.05
+    return monitor
+
+
+class TestMaxIterations:
+    def test_running_below_cap(self, monitor):
+        config = ServerConfig(max_iterations=10)
+        decision = evaluate_stopping(config, 5, monitor)
+        assert not decision.stopped
+        assert decision.reason is StopReason.RUNNING
+
+    def test_stops_at_cap(self, monitor):
+        config = ServerConfig(max_iterations=10)
+        decision = evaluate_stopping(config, 10, monitor)
+        assert decision.stopped
+        assert decision.reason is StopReason.MAX_ITERATIONS
+
+    def test_stops_beyond_cap(self, monitor):
+        config = ServerConfig(max_iterations=10)
+        assert evaluate_stopping(config, 11, monitor).stopped
+
+
+class TestTargetError:
+    def test_stops_when_error_below_rho(self, monitor):
+        config = ServerConfig(max_iterations=10**6, target_error=0.1,
+                              min_samples_for_error_stop=100)
+        decision = evaluate_stopping(config, 1, monitor)
+        assert decision.stopped
+        assert decision.reason is StopReason.TARGET_ERROR
+
+    def test_keeps_running_above_rho(self, monitor):
+        config = ServerConfig(max_iterations=10**6, target_error=0.01,
+                              min_samples_for_error_stop=100)
+        assert not evaluate_stopping(config, 1, monitor).stopped
+
+    def test_min_samples_guard(self):
+        """Too few counted samples: the noisy estimate is not trusted."""
+        monitor = ProgressMonitor(2)
+        monitor.record(0, 10, 0, np.array([5, 5]))  # estimate 0.0 but n=10
+        config = ServerConfig(max_iterations=10**6, target_error=0.5,
+                              min_samples_for_error_stop=100)
+        assert not evaluate_stopping(config, 1, monitor).stopped
+
+    def test_disabled_when_none(self, monitor):
+        config = ServerConfig(max_iterations=10**6, target_error=None)
+        assert not evaluate_stopping(config, 1, monitor).stopped
+
+    def test_max_iterations_takes_priority(self, monitor):
+        config = ServerConfig(max_iterations=1, target_error=0.9)
+        decision = evaluate_stopping(config, 1, monitor)
+        assert decision.reason is StopReason.MAX_ITERATIONS

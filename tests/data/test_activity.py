@@ -1,0 +1,122 @@
+"""Tests for the synthetic activity-recognition pipeline (Section V-B)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ACTIVITY_NAMES,
+    IN_VEHICLE,
+    NUM_ACTIVITIES,
+    ON_FOOT,
+    STILL,
+    ActivityConfig,
+    ActivityTraceGenerator,
+    collect_on_label_change,
+    make_activity_stream,
+)
+from repro.data.dataset import Dataset
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestTraceGeneration:
+    def test_shapes(self, rng):
+        gen = ActivityTraceGenerator()
+        signal, labels = gen.generate_trace(30.0, rng)
+        assert signal.shape == (600, 3)  # 30 s at 20 Hz
+        assert labels.shape == (600,)
+
+    def test_labels_in_range(self, rng):
+        gen = ActivityTraceGenerator()
+        _, labels = gen.generate_trace(600.0, rng)
+        assert set(np.unique(labels)) <= {STILL, ON_FOOT, IN_VEHICLE}
+
+    def test_all_regimes_eventually_visited(self, rng):
+        gen = ActivityTraceGenerator(ActivityConfig(mean_dwell_s=20.0))
+        _, labels = gen.generate_trace(2000.0, rng)
+        assert set(np.unique(labels)) == {STILL, ON_FOOT, IN_VEHICLE}
+
+    def test_gravity_baseline_when_still(self, rng):
+        gen = ActivityTraceGenerator(ActivityConfig(mean_dwell_s=1e9))
+        # Force an all-still trace by trying seeds until the first regime is Still.
+        for seed in range(20):
+            signal, labels = gen.generate_trace(10.0, np.random.default_rng(seed))
+            if np.all(labels == STILL):
+                magnitudes = np.linalg.norm(signal, axis=1)
+                assert magnitudes.mean() == pytest.approx(9.81, abs=0.1)
+                return
+        pytest.fail("no all-still trace found")
+
+    def test_walking_has_more_dynamic_energy_than_still(self, rng):
+        gen = ActivityTraceGenerator(ActivityConfig(mean_dwell_s=30.0))
+        signal, labels = gen.generate_trace(3000.0, rng)
+        magnitudes = np.linalg.norm(signal, axis=1)
+        def dynamic_power(mask):
+            vals = magnitudes[mask]
+            return np.var(vals)
+        assert dynamic_power(labels == ON_FOOT) > 10 * dynamic_power(labels == STILL)
+
+    def test_rejects_bad_duration(self, rng):
+        with pytest.raises(ConfigurationError):
+            ActivityTraceGenerator().generate_trace(0.0, rng)
+
+
+class TestWindowedFeatures:
+    def test_dataset_shape(self, rng):
+        gen = ActivityTraceGenerator()
+        ds = gen.windowed_features(320.0, rng)
+        assert isinstance(ds, Dataset)
+        assert ds.num_features == 64
+        assert ds.num_classes == NUM_ACTIVITIES
+        assert len(ds) == 100  # 320 s / 3.2 s windows
+
+    def test_l1_normalized(self, rng):
+        ds = ActivityTraceGenerator().windowed_features(320.0, rng)
+        assert ds.max_l1_norm <= 1.0 + 1e-9
+
+    def test_features_are_separable(self, rng):
+        """A linear model must learn the 3 activities well above chance —
+        the property that makes Fig. 3's fast convergence possible."""
+        from repro.models import MulticlassLogisticRegression
+
+        gen = ActivityTraceGenerator(ActivityConfig(mean_dwell_s=30.0))
+        train = gen.windowed_features(6000.0, np.random.default_rng(0))
+        test = gen.windowed_features(2000.0, np.random.default_rng(1))
+        model = MulticlassLogisticRegression(64, 3)
+        w = model.init_parameters()
+        for _ in range(400):
+            w = w - 2.0 * model.gradient(w, train.features, train.labels)
+        error = model.error_rate(w, test.features, test.labels)
+        assert error < 0.25
+
+
+class TestCollectOnChange:
+    def test_removes_repeats(self):
+        ds = Dataset(np.zeros((6, 2)), np.array([0, 0, 1, 1, 1, 2]), 3)
+        out = collect_on_label_change(ds)
+        assert out.labels.tolist() == [0, 1, 2]
+
+    def test_keeps_first_sample(self):
+        ds = Dataset(np.zeros((3, 2)), np.array([1, 1, 1]), 3)
+        out = collect_on_label_change(ds)
+        assert len(out) == 1
+
+    def test_empty_passthrough(self):
+        ds = Dataset(np.zeros((0, 2)), np.zeros(0, dtype=int), 3)
+        assert len(collect_on_label_change(ds)) == 0
+
+    def test_no_consecutive_duplicates_in_output(self, rng):
+        stream = make_activity_stream(60, rng)
+        assert np.all(np.diff(stream.labels) != 0)
+
+
+class TestActivityStream:
+    def test_exact_count(self, rng):
+        ds = make_activity_stream(25, rng)
+        assert len(ds) == 25
+
+    def test_rejects_bad_count(self, rng):
+        with pytest.raises(ConfigurationError):
+            make_activity_stream(0, rng)
+
+    def test_names_match_classes(self):
+        assert len(ACTIVITY_NAMES) == NUM_ACTIVITIES == 3

@@ -1,0 +1,89 @@
+"""Tests for the MNIST-like and CIFAR-like benchmark datasets."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CIFAR_CLASSES,
+    CIFAR_DIM,
+    MNIST_CLASSES,
+    MNIST_DIM,
+    make_cifar_like,
+    make_mnist_like,
+)
+
+
+class TestMnistLike:
+    def test_dimensions_match_paper(self):
+        train, test = make_mnist_like(num_train=100, num_test=50)
+        assert train.num_features == MNIST_DIM == 50
+        assert train.num_classes == MNIST_CLASSES == 10
+        assert len(train) == 100
+        assert len(test) == 50
+
+    def test_l1_normalized(self):
+        train, _ = make_mnist_like(num_train=200, num_test=10)
+        assert train.max_l1_norm <= 1.0 + 1e-9
+
+    def test_reproducible(self):
+        a, _ = make_mnist_like(num_train=50, num_test=10, seed=3)
+        b, _ = make_mnist_like(num_train=50, num_test=10, seed=3)
+        assert np.array_equal(a.features, b.features)
+
+    def test_seed_varies_samples_not_structure(self):
+        a, _ = make_mnist_like(num_train=50, num_test=10, seed=0)
+        b, _ = make_mnist_like(num_train=50, num_test=10, seed=1)
+        assert not np.allclose(a.features, b.features)
+
+    def test_default_sizes_are_paper_sizes(self):
+        import inspect
+
+        sig = inspect.signature(make_mnist_like)
+        assert sig.parameters["num_train"].default == 60_000
+        assert sig.parameters["num_test"].default == 10_000
+
+    def test_linear_classifier_error_near_paper_floor(self):
+        """A trained linear model reaches roughly the paper's 0.1 floor."""
+        from repro.baselines import CentralizedBatchTrainer
+        from repro.models import MulticlassLogisticRegression
+
+        train, test = make_mnist_like(num_train=6000, num_test=1500)
+        model = MulticlassLogisticRegression(50, 10, l2_regularization=1e-4)
+        err = CentralizedBatchTrainer(model).evaluate(
+            train, test, np.random.default_rng(0)
+        )
+        assert 0.05 <= err <= 0.18
+
+
+class TestCifarLike:
+    def test_dimensions_match_paper(self):
+        train, test = make_cifar_like(num_train=100, num_test=50)
+        assert train.num_features == CIFAR_DIM == 100
+        assert train.num_classes == CIFAR_CLASSES == 10
+
+    def test_l1_normalized(self):
+        train, _ = make_cifar_like(num_train=200, num_test=10)
+        assert train.max_l1_norm <= 1.0 + 1e-9
+
+    def test_default_sizes_are_paper_sizes(self):
+        import inspect
+
+        sig = inspect.signature(make_cifar_like)
+        assert sig.parameters["num_train"].default == 50_000
+        assert sig.parameters["num_test"].default == 10_000
+
+    def test_harder_than_mnist_like(self):
+        """CIFAR-like must have the higher error floor (0.3 vs 0.1)."""
+        from repro.baselines import CentralizedBatchTrainer
+        from repro.models import MulticlassLogisticRegression
+
+        mtrain, mtest = make_mnist_like(num_train=6000, num_test=1500)
+        ctrain, ctest = make_cifar_like(num_train=6000, num_test=1500)
+        m_err = CentralizedBatchTrainer(
+            MulticlassLogisticRegression(50, 10, l2_regularization=1e-4)
+        ).evaluate(mtrain, mtest, np.random.default_rng(0))
+        c_err = CentralizedBatchTrainer(
+            MulticlassLogisticRegression(100, 10, l2_regularization=1e-4)
+        ).evaluate(ctrain, ctest, np.random.default_rng(0))
+        assert c_err > m_err + 0.1
+        assert 0.2 <= c_err <= 0.45

@@ -1,0 +1,94 @@
+"""Tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, concatenate, train_test_split
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def dataset(rng):
+    return Dataset(rng.normal(size=(20, 3)) * 0.1, rng.integers(0, 4, 20), 4)
+
+
+class TestConstruction:
+    def test_length_and_dims(self, dataset):
+        assert len(dataset) == 20
+        assert dataset.num_features == 3
+
+    def test_rejects_row_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(np.zeros((3, 2)), np.zeros(4, dtype=int), 2)
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(np.zeros((2, 2)), np.array([0, 5]), 3)
+
+    def test_class_counts(self):
+        ds = Dataset(np.zeros((5, 2)), np.array([0, 0, 1, 2, 2]), 4)
+        assert ds.class_counts().tolist() == [2, 1, 2, 0]
+
+    def test_max_l1_norm(self):
+        ds = Dataset(np.array([[0.5, -0.25], [0.1, 0.1]]), np.array([0, 1]), 2)
+        assert ds.max_l1_norm == pytest.approx(0.75)
+
+    def test_empty_dataset_l1(self):
+        ds = Dataset(np.zeros((0, 2)), np.zeros(0, dtype=int), 2)
+        assert ds.max_l1_norm == 0.0
+
+
+class TestSubsetAndShuffle:
+    def test_subset(self, dataset):
+        sub = dataset.subset(np.array([0, 5, 7]))
+        assert len(sub) == 3
+        assert np.array_equal(sub.features[1], dataset.features[5])
+
+    def test_subset_copies(self, dataset):
+        sub = dataset.subset(np.array([0]))
+        sub.features[0, 0] = 99.0
+        assert dataset.features[0, 0] != 99.0
+
+    def test_shuffled_preserves_pairs(self, dataset, rng):
+        shuffled = dataset.shuffled(rng)
+        # Every (feature row, label) pair must still co-occur.
+        original = {
+            (tuple(np.round(f, 9)), int(l)) for f, l in dataset.samples()
+        }
+        permuted = {
+            (tuple(np.round(f, 9)), int(l)) for f, l in shuffled.samples()
+        }
+        assert original == permuted
+
+    def test_samples_iterator(self, dataset):
+        pairs = list(dataset.samples())
+        assert len(pairs) == 20
+        assert pairs[3][1] == int(dataset.labels[3])
+
+
+class TestSplitAndConcat:
+    def test_split_sizes(self, dataset, rng):
+        train, test = train_test_split(dataset, 0.25, rng)
+        assert len(train) == 15
+        assert len(test) == 5
+
+    def test_split_disjoint_and_complete(self, dataset, rng):
+        train, test = train_test_split(dataset, 0.5, rng)
+        assert len(train) + len(test) == len(dataset)
+
+    def test_split_rejects_bad_fraction(self, dataset, rng):
+        with pytest.raises(ConfigurationError):
+            train_test_split(dataset, 0.0, rng)
+
+    def test_concatenate(self, dataset):
+        merged = concatenate([dataset, dataset])
+        assert len(merged) == 40
+
+    def test_concatenate_rejects_mismatch(self, dataset):
+        other = Dataset(np.zeros((2, 3)), np.zeros(2, dtype=int), 5)
+        with pytest.raises(ConfigurationError):
+            concatenate([dataset, other])
+
+    def test_concatenate_rejects_empty_list(self):
+        with pytest.raises(ConfigurationError):
+            concatenate([])

@@ -1,0 +1,93 @@
+"""Tests for sample-to-device partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, dirichlet_partition, iid_partition, shard_partition
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def dataset(rng):
+    return Dataset(rng.normal(size=(100, 2)) * 0.1, np.arange(100) % 5, 5)
+
+
+def all_indices_covered(dataset, parts):
+    total = sum(len(p) for p in parts)
+    return total == len(dataset)
+
+
+class TestIid:
+    def test_balanced_sizes(self, dataset, rng):
+        parts = iid_partition(dataset, 10, rng)
+        assert [len(p) for p in parts] == [10] * 10
+
+    def test_complete_coverage(self, dataset, rng):
+        parts = iid_partition(dataset, 7, rng)
+        assert all_indices_covered(dataset, parts)
+
+    def test_uneven_division(self, rng):
+        ds = Dataset(np.zeros((10, 2)), np.zeros(10, dtype=int), 2)
+        parts = iid_partition(ds, 3, rng)
+        assert sorted(len(p) for p in parts) == [3, 3, 4]
+
+    def test_randomized_across_rngs(self, dataset):
+        a = iid_partition(dataset, 4, np.random.default_rng(0))
+        b = iid_partition(dataset, 4, np.random.default_rng(1))
+        assert not np.array_equal(a[0].labels, b[0].labels)
+
+    def test_roughly_uniform_labels_per_device(self, rng):
+        """i.i.d. assignment keeps per-device class mixes close to global."""
+        big = Dataset(np.zeros((5000, 2)), np.arange(5000) % 5, 5)
+        parts = iid_partition(big, 10, rng)
+        for part in parts:
+            freqs = part.class_counts() / len(part)
+            assert np.allclose(freqs, 0.2, atol=0.06)
+
+
+class TestDirichlet:
+    def test_complete_coverage(self, dataset, rng):
+        parts = dirichlet_partition(dataset, 5, rng, alpha=0.5)
+        assert all_indices_covered(dataset, parts)
+
+    def test_small_alpha_skews_labels(self, rng):
+        big = Dataset(np.zeros((5000, 2)), np.arange(5000) % 5, 5)
+        parts = dirichlet_partition(big, 10, rng, alpha=0.05)
+        # At least one device must be strongly dominated by one class.
+        max_shares = [
+            part.class_counts().max() / max(len(part), 1)
+            for part in parts
+            if len(part) > 10
+        ]
+        assert max(max_shares) > 0.6
+
+    def test_large_alpha_near_iid(self, rng):
+        big = Dataset(np.zeros((5000, 2)), np.arange(5000) % 5, 5)
+        parts = dirichlet_partition(big, 10, rng, alpha=1000.0)
+        for part in parts:
+            if len(part) > 100:
+                freqs = part.class_counts() / len(part)
+                assert np.allclose(freqs, 0.2, atol=0.08)
+
+    def test_rejects_bad_alpha(self, dataset, rng):
+        with pytest.raises(ConfigurationError):
+            dirichlet_partition(dataset, 5, rng, alpha=0.0)
+
+
+class TestShard:
+    def test_complete_coverage(self, dataset, rng):
+        parts = shard_partition(dataset, 10, rng, shards_per_device=2)
+        assert all_indices_covered(dataset, parts)
+
+    def test_two_shards_limits_class_diversity(self, rng):
+        big = Dataset(np.zeros((5000, 2)), np.arange(5000) % 10, 10)
+        parts = shard_partition(big, 25, rng, shards_per_device=2)
+        classes_per_device = [
+            int((part.class_counts() > 0).sum()) for part in parts
+        ]
+        assert max(classes_per_device) <= 4  # ≈2 shards → ≈2-3 classes
+
+    def test_rejects_too_many_shards(self, rng):
+        ds = Dataset(np.zeros((5, 2)), np.zeros(5, dtype=int), 2)
+        with pytest.raises(ConfigurationError):
+            shard_partition(ds, 10, rng, shards_per_device=2)

@@ -1,0 +1,74 @@
+"""Tests for the PCA + L1 preprocessing pipeline (Section V-C)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, PcaL1Pipeline, preprocess_train_test
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def raw(rng):
+    features = rng.normal(size=(300, 20)) * np.linspace(5, 0.1, 20)
+    labels = rng.integers(0, 3, 300)
+    return Dataset(features, labels, 3)
+
+
+class TestPipeline:
+    def test_output_dims(self, raw):
+        out = PcaL1Pipeline(5).fit_transform(raw)
+        assert out.num_features == 5
+        assert len(out) == len(raw)
+
+    def test_l1_bound_enforced(self, raw):
+        out = PcaL1Pipeline(5).fit_transform(raw)
+        assert out.max_l1_norm <= 1.0 + 1e-9
+
+    def test_labels_pass_through(self, raw):
+        out = PcaL1Pipeline(5).fit_transform(raw)
+        assert np.array_equal(out.labels, raw.labels)
+
+    def test_unfitted_transform_raises(self, raw):
+        with pytest.raises(ConfigurationError):
+            PcaL1Pipeline(5).transform(raw)
+
+    def test_fit_on_train_only(self, raw, rng):
+        """Transforming test data must use the train-fitted PCA (no leak)."""
+        pipeline = PcaL1Pipeline(5).fit(raw)
+        other = Dataset(rng.normal(size=(50, 20)), rng.integers(0, 3, 50), 3)
+        out_a = pipeline.transform(other)
+        # Refitting on `other` gives a different projection.
+        out_b = PcaL1Pipeline(5).fit(other).transform(other)
+        assert not np.allclose(out_a.features, out_b.features)
+
+    def test_is_fitted_flag(self, raw):
+        pipeline = PcaL1Pipeline(5)
+        assert not pipeline.is_fitted
+        pipeline.fit(raw)
+        assert pipeline.is_fitted
+
+
+class TestPreprocessTrainTest:
+    def test_both_splits_transformed(self, raw, rng):
+        test = Dataset(rng.normal(size=(40, 20)), rng.integers(0, 3, 40), 3)
+        out_train, out_test = preprocess_train_test(raw, test, 6)
+        assert out_train.num_features == 6
+        assert out_test.num_features == 6
+        assert out_test.max_l1_norm <= 1.0 + 1e-9
+
+    def test_preserves_class_structure(self, rng):
+        """Separable raw data stays separable through the pipeline."""
+        labels = rng.integers(0, 2, 400)
+        centers = np.array([[3.0] * 20, [-3.0] * 20])
+        features = centers[labels] + rng.normal(size=(400, 20))
+        raw_train = Dataset(features[:300], labels[:300], 2)
+        raw_test = Dataset(features[300:], labels[300:], 2)
+        train, test = preprocess_train_test(raw_train, raw_test, 3)
+
+        from repro.models import MulticlassLogisticRegression
+
+        model = MulticlassLogisticRegression(3, 2)
+        w = model.init_parameters()
+        for _ in range(300):
+            w = w - 2.0 * model.gradient(w, train.features, train.labels)
+        assert model.error_rate(w, test.features, test.labels) < 0.1

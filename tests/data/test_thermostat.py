@@ -1,0 +1,68 @@
+"""Tests for the thermostat regression dataset."""
+
+import numpy as np
+import pytest
+
+from repro.data import THERMOSTAT_DIM, make_thermostat_data, make_thermostat_split
+from repro.models import RidgeRegression
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestGeneration:
+    def test_shapes(self):
+        x, y = make_thermostat_data(200)
+        assert x.shape == (200, THERMOSTAT_DIM)
+        assert y.shape == (200,)
+
+    def test_l1_precondition(self):
+        x, _ = make_thermostat_data(500)
+        assert np.all(np.sum(np.abs(x), axis=1) <= 1.0 + 1e-9)
+
+    def test_targets_bounded(self):
+        _, y = make_thermostat_data(500)
+        assert y.min() >= -1.0
+        assert y.max() <= 1.0
+
+    def test_reproducible(self):
+        a = make_thermostat_data(50, seed=3)
+        b = make_thermostat_data(50, seed=3)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_structure_seed_changes_preferences(self):
+        _, y0 = make_thermostat_data(2000, seed=0, structure_seed=0)
+        _, y1 = make_thermostat_data(2000, seed=0, structure_seed=9)
+        assert not np.allclose(y0, y1)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            make_thermostat_data(0)
+        with pytest.raises(ConfigurationError):
+            make_thermostat_data(10, noise=-1.0)
+
+    def test_split_shares_structure(self):
+        (train_x, train_y), (test_x, test_y) = make_thermostat_split(
+            num_train=300, num_test=100
+        )
+        assert train_x.shape[0] == 300
+        assert test_x.shape[0] == 100
+        # Independent draws.
+        assert not np.allclose(train_x[:100], test_x)
+
+
+class TestLearnability:
+    def test_ridge_learns_preferences(self):
+        """The regression model must recover the preference function well
+        enough for RMSE ≪ target spread — the property the thermostat
+        example relies on."""
+        (train_x, train_y), (test_x, test_y) = make_thermostat_split(
+            num_train=3000, num_test=800
+        )
+        model = RidgeRegression(THERMOSTAT_DIM, l2_regularization=1e-5,
+                                residual_bound=2.0)
+        w = model.init_parameters()
+        for _ in range(3000):
+            w = w - 2.0 * model.gradient(w, train_x, train_y)
+        rmse = float(np.sqrt(np.mean((model.predict(w, test_x) - test_y) ** 2)))
+        assert rmse < 0.12
+        assert rmse < np.std(test_y) / 1.5

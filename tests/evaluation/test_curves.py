@@ -1,0 +1,88 @@
+"""Tests for error curves and multi-trial aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import ErrorCurve, average_curves, curve_std
+
+
+class TestErrorCurve:
+    def test_basic_properties(self):
+        curve = ErrorCurve(np.array([1, 10, 100]), np.array([0.9, 0.5, 0.1]))
+        assert len(curve) == 3
+        assert curve.final_error == pytest.approx(0.1)
+
+    def test_rejects_non_increasing_iterations(self):
+        with pytest.raises(ValueError):
+            ErrorCurve(np.array([1, 1]), np.array([0.5, 0.4]))
+        with pytest.raises(ValueError):
+            ErrorCurve(np.array([2, 1]), np.array([0.5, 0.4]))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ErrorCurve(np.array([1, 2]), np.array([0.5]))
+
+    def test_value_at_holds_last(self):
+        curve = ErrorCurve(np.array([10, 20]), np.array([0.8, 0.4]))
+        assert curve.value_at(5) == 0.8  # before first snapshot
+        assert curve.value_at(10) == 0.8
+        assert curve.value_at(15) == 0.8
+        assert curve.value_at(20) == 0.4
+        assert curve.value_at(1000) == 0.4
+
+    def test_tail_error(self):
+        curve = ErrorCurve(np.arange(1, 11), np.linspace(1.0, 0.1, 10))
+        assert curve.tail_error(0.2) == pytest.approx((0.1 + 0.2) / 2)
+
+    def test_tail_error_full_fraction(self):
+        curve = ErrorCurve(np.array([1, 2]), np.array([0.4, 0.2]))
+        assert curve.tail_error(1.0) == pytest.approx(0.3)
+
+    def test_tail_error_rejects_bad_fraction(self):
+        curve = ErrorCurve(np.array([1]), np.array([0.5]))
+        with pytest.raises(ValueError):
+            curve.tail_error(0.0)
+
+    def test_empty_curve_guards(self):
+        curve = ErrorCurve(np.array([], dtype=int), np.array([]))
+        with pytest.raises(ValueError):
+            _ = curve.final_error
+
+
+class TestAverageCurves:
+    def test_pointwise_mean_on_shared_grid(self):
+        a = ErrorCurve(np.array([1, 2]), np.array([1.0, 0.5]))
+        b = ErrorCurve(np.array([1, 2]), np.array([0.5, 0.3]))
+        avg = average_curves([a, b])
+        assert np.allclose(avg.errors, [0.75, 0.4])
+
+    def test_mixed_grids_use_union_clipped_to_shortest(self):
+        a = ErrorCurve(np.array([1, 4]), np.array([1.0, 0.4]))
+        b = ErrorCurve(np.array([2, 8]), np.array([0.8, 0.2]))
+        avg = average_curves([a, b])
+        assert avg.iterations.tolist() == [1, 2, 4]
+
+    def test_explicit_grid(self):
+        a = ErrorCurve(np.array([1, 10]), np.array([1.0, 0.0]))
+        avg = average_curves([a], grid=np.array([5]))
+        assert avg.errors.tolist() == [1.0]  # hold-last between snapshots
+
+    def test_single_curve_identity(self):
+        a = ErrorCurve(np.array([1, 2, 3]), np.array([0.9, 0.6, 0.3]))
+        avg = average_curves([a])
+        assert np.allclose(avg.errors, a.errors)
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            average_curves([])
+
+    def test_std_zero_for_identical_curves(self):
+        a = ErrorCurve(np.array([1, 2]), np.array([0.5, 0.25]))
+        std = curve_std([a, a], grid=np.array([1, 2]))
+        assert np.allclose(std, 0.0)
+
+    def test_std_positive_for_distinct_curves(self):
+        a = ErrorCurve(np.array([1]), np.array([0.4]))
+        b = ErrorCurve(np.array([1]), np.array([0.8]))
+        std = curve_std([a, b], grid=np.array([1]))
+        assert std[0] == pytest.approx(0.2)

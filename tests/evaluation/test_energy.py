@@ -1,0 +1,101 @@
+"""Tests for the device energy model (Section IV-B1/B2 extension)."""
+
+import pytest
+
+from repro.analysis import (
+    Approach,
+    EnergyProfile,
+    SystemShape,
+    battery_lifetime_hours,
+    compute_energy_per_sample,
+    radio_energy_per_sample,
+    total_energy_per_sample,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def shape():
+    return SystemShape(num_devices=1000, num_features=50, num_classes=10,
+                       batch_size=20, sampling_rate=1.0)
+
+
+@pytest.fixture
+def profile():
+    return EnergyProfile()
+
+
+class TestComponents:
+    def test_compute_energy_ordering(self, shape, profile):
+        """Crowd devices compute more than centralized ones (gradients),
+        decentralized at least as much as crowd (adds local update)."""
+        central = compute_energy_per_sample(shape, Approach.CENTRALIZED, profile)
+        crowd = compute_energy_per_sample(shape, Approach.CROWD, profile)
+        local = compute_energy_per_sample(shape, Approach.DECENTRALIZED, profile)
+        assert local >= crowd > central
+
+    def test_radio_energy_ordering_large_batch(self, shape, profile):
+        """With b = 20 the crowd radio cost per sample is below the
+        centralized approach's (fewer wake-ups, less volume)."""
+        central = radio_energy_per_sample(shape, Approach.CENTRALIZED, profile)
+        crowd = radio_energy_per_sample(shape, Approach.CROWD, profile)
+        local = radio_energy_per_sample(shape, Approach.DECENTRALIZED, profile)
+        assert local == 0.0
+        assert crowd < central
+
+    def test_radio_energy_scales_inversely_with_b(self, profile):
+        def radio(b):
+            shape = SystemShape(1000, 50, 10, batch_size=b)
+            return radio_energy_per_sample(shape, Approach.CROWD, profile)
+
+        assert radio(20) == pytest.approx(radio(1) / 20)
+
+    def test_total_is_sum(self, shape, profile):
+        total = total_energy_per_sample(shape, Approach.CROWD, profile)
+        assert total == pytest.approx(
+            compute_energy_per_sample(shape, Approach.CROWD, profile)
+            + radio_energy_per_sample(shape, Approach.CROWD, profile)
+        )
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyProfile(joules_per_flop=-1.0)
+
+
+class TestBatteryLifetime:
+    def test_paper_rate_is_no_battery_problem(self, profile):
+        """At the deployment's F_s = 1/352 Hz the workload alone would run
+        for years — the paper's 'no battery problem was observed'."""
+        shape = SystemShape(7, 64, 3, batch_size=1, sampling_rate=1.0 / 352.0)
+        hours = battery_lifetime_hours(shape, Approach.CROWD, profile)
+        assert hours > 24 * 365  # > a year on the workload alone
+
+    def test_overhead_dominates_at_low_rates(self, profile):
+        """With a realistic platform draw the workload is negligible."""
+        shape = SystemShape(7, 64, 3, batch_size=1, sampling_rate=1.0 / 352.0)
+        idle_only = battery_lifetime_hours(
+            shape, Approach.DECENTRALIZED, profile, overhead_watts=0.05
+        )
+        with_workload = battery_lifetime_hours(
+            shape, Approach.CROWD, profile, overhead_watts=0.05
+        )
+        assert with_workload == pytest.approx(idle_only, rel=0.01)
+
+    def test_lifetime_decreases_with_rate(self, profile):
+        slow = SystemShape(100, 50, 10, batch_size=20, sampling_rate=0.01)
+        fast = SystemShape(100, 50, 10, batch_size=20, sampling_rate=100.0)
+        assert battery_lifetime_hours(
+            fast, Approach.CROWD, profile
+        ) < battery_lifetime_hours(slow, Approach.CROWD, profile)
+
+    def test_zero_draw_infinite_lifetime(self):
+        free = EnergyProfile(0.0, 0.0, 0.0, 0.0)
+        shape = SystemShape(10, 5, 2, batch_size=1)
+        assert battery_lifetime_hours(shape, Approach.DECENTRALIZED, free) == float(
+            "inf"
+        )
+
+    def test_rejects_bad_battery(self, shape, profile):
+        with pytest.raises(ConfigurationError):
+            battery_lifetime_hours(shape, Approach.CROWD, profile,
+                                   battery_joules=0.0)

@@ -1,0 +1,88 @@
+"""Tests for the from-scratch PCA (Section V-C preprocessing)."""
+
+import numpy as np
+import pytest
+
+from repro.features import PCA
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def data(rng):
+    # Anisotropic Gaussian: variance concentrated in two directions.
+    basis = rng.normal(size=(5, 5))
+    scales = np.array([10.0, 5.0, 0.5, 0.1, 0.01])
+    return rng.normal(size=(400, 5)) * scales @ basis
+
+
+class TestFitTransform:
+    def test_output_shape(self, data):
+        out = PCA(2).fit_transform(data)
+        assert out.shape == (400, 2)
+
+    def test_components_orthonormal(self, data):
+        pca = PCA(3).fit(data)
+        gram = pca.components @ pca.components.T
+        assert np.allclose(gram, np.eye(3), atol=1e-10)
+
+    def test_projected_mean_is_zero(self, data):
+        out = PCA(2).fit_transform(data)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-10)
+
+    def test_explained_variance_decreasing(self, data):
+        pca = PCA(4).fit(data)
+        ev = pca.explained_variance
+        assert np.all(np.diff(ev) <= 1e-9)
+
+    def test_explained_variance_ratio_sums_below_one(self, data):
+        pca = PCA(2).fit(data)
+        ratio = pca.explained_variance_ratio
+        assert 0.0 < ratio.sum() <= 1.0 + 1e-12
+
+    def test_captures_dominant_directions(self, data):
+        """Two components of this data carry almost all the variance."""
+        pca = PCA(2).fit(data)
+        assert pca.explained_variance_ratio.sum() > 0.95
+
+    def test_matches_covariance_eigenvalues(self, rng):
+        data = rng.normal(size=(500, 4)) * np.array([3.0, 2.0, 1.0, 0.5])
+        pca = PCA(4).fit(data)
+        cov_eigs = np.sort(np.linalg.eigvalsh(np.cov(data.T)))[::-1]
+        assert np.allclose(pca.explained_variance, cov_eigs, rtol=1e-8)
+
+
+class TestInverseTransform:
+    def test_roundtrip_with_full_rank(self, rng):
+        data = rng.normal(size=(50, 4))
+        pca = PCA(4).fit(data)
+        recon = pca.inverse_transform(pca.transform(data))
+        assert np.allclose(recon, data, atol=1e-8)
+
+    def test_reconstruction_error_decreases_with_components(self, data):
+        errors = []
+        for k in (1, 2, 3):
+            pca = PCA(k).fit(data)
+            recon = pca.inverse_transform(pca.transform(data))
+            errors.append(np.mean((recon - data) ** 2))
+        assert errors[0] >= errors[1] >= errors[2]
+
+
+class TestValidation:
+    def test_unfitted_raises(self):
+        with pytest.raises(ConfigurationError):
+            PCA(2).transform(np.zeros((3, 5)))
+
+    def test_too_many_components(self):
+        with pytest.raises(ConfigurationError):
+            PCA(10).fit(np.zeros((5, 4)) + np.eye(5, 4))
+
+    def test_dimension_mismatch_on_transform(self, data):
+        pca = PCA(2).fit(data)
+        with pytest.raises(ConfigurationError):
+            pca.transform(np.zeros((3, 7)))
+
+    def test_is_fitted_flag(self, data):
+        pca = PCA(2)
+        assert not pca.is_fitted
+        pca.fit(data)
+        assert pca.is_fitted

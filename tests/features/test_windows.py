@@ -1,0 +1,53 @@
+"""Tests for sliding-window segmentation."""
+
+import numpy as np
+import pytest
+
+from repro.features import sliding_windows, window_majority_labels
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestSlidingWindows:
+    def test_non_overlapping(self):
+        out = sliding_windows(np.arange(6.0), window_size=3, hop=3)
+        assert out.tolist() == [[0, 1, 2], [3, 4, 5]]
+
+    def test_overlapping(self):
+        out = sliding_windows(np.arange(5.0), window_size=3, hop=1)
+        assert out.shape == (3, 3)
+        assert out[1].tolist() == [1, 2, 3]
+
+    def test_trailing_samples_discarded(self):
+        out = sliding_windows(np.arange(7.0), window_size=3, hop=3)
+        assert out.shape == (2, 3)
+
+    def test_short_signal_gives_empty(self):
+        out = sliding_windows(np.arange(2.0), window_size=3, hop=1)
+        assert out.shape == (0, 3)
+
+    def test_rejects_2d_signal(self):
+        with pytest.raises(ConfigurationError):
+            sliding_windows(np.zeros((3, 3)), 2, 1)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            sliding_windows(np.arange(5.0), 0, 1)
+        with pytest.raises(ConfigurationError):
+            sliding_windows(np.arange(5.0), 2, 0)
+
+
+class TestMajorityLabels:
+    def test_majority(self):
+        labels = np.array([0, 0, 1, 1, 1, 2])
+        out = window_majority_labels(labels, window_size=3, hop=3)
+        assert out.tolist() == [0, 1]
+
+    def test_alignment_with_windows(self):
+        signal = np.arange(10.0)
+        labels = np.arange(10) % 2
+        windows = sliding_windows(signal, 4, 2)
+        window_labels = window_majority_labels(labels, 4, 2)
+        assert windows.shape[0] == window_labels.shape[0]
+
+    def test_short_stream_empty(self):
+        assert window_majority_labels(np.array([0]), 3, 3).size == 0

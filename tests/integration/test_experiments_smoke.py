@@ -1,0 +1,61 @@
+"""Smoke tests of the figure-experiment definitions (full runs live in
+benchmarks/)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    FigureResult,
+    run_fig3_experiment,
+    run_fig4_experiment,
+)
+
+
+class TestScales:
+    def test_paper_scale_matches_section_vc(self):
+        scale = ExperimentScale.paper()
+        assert scale.num_train == 60_000
+        assert scale.num_test == 10_000
+        assert scale.num_devices == 1000
+        assert scale.num_trials == 10
+        assert scale.num_passes == 5
+
+    def test_benchmark_preserves_samples_per_device(self):
+        paper = ExperimentScale.paper()
+        bench = ExperimentScale.benchmark()
+        assert bench.num_train / bench.num_devices == pytest.approx(
+            paper.num_train / paper.num_devices
+        )
+
+
+class TestFig3Smoke:
+    def test_returns_curves_per_learning_rate(self):
+        result = run_fig3_experiment(
+            num_devices=3, samples_per_device=10, learning_rates=(1.0, 100.0)
+        )
+        assert isinstance(result, FigureResult)
+        assert set(result.curves) == {"c=1", "c=100"}
+        for curve in result.curves.values():
+            assert len(curve) == 30  # one point per online sample
+
+    def test_format_table_renders(self):
+        result = run_fig3_experiment(num_devices=2, samples_per_device=5,
+                                     learning_rates=(1.0,))
+        table = result.format_table()
+        assert "Fig. 3" in table
+        assert "c=1" in table
+
+
+class TestFig4Smoke:
+    def test_all_arms_present(self):
+        result = run_fig4_experiment(ExperimentScale.smoke())
+        assert "Crowd-ML (SGD)" in result.curves
+        assert "Decentral (SGD)" in result.curves
+        assert "Central (batch)" in result.reference_lines
+
+    def test_tail_errors_accessor(self):
+        result = run_fig4_experiment(ExperimentScale.smoke())
+        tails = result.tail_errors()
+        assert set(tails) == set(result.curves)
+        assert all(0.0 <= v <= 1.0 for v in tails.values())

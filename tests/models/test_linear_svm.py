@@ -1,0 +1,110 @@
+"""Tests for the multiclass linear SVM (Crammer-Singer hinge)."""
+
+import numpy as np
+import pytest
+
+from repro.models import MulticlassLinearSVM
+
+
+@pytest.fixture
+def model():
+    return MulticlassLinearSVM(num_features=4, num_classes=3, l2_regularization=0.05)
+
+
+@pytest.fixture
+def batch(rng):
+    features = rng.normal(size=(10, 4))
+    features /= np.abs(features).sum(axis=1, keepdims=True)
+    labels = rng.integers(0, 3, 10)
+    return features, labels
+
+
+class TestHingeLoss:
+    def test_loss_at_zero_is_one(self, batch):
+        """With w = 0 every margin is violated by exactly 1."""
+        features, labels = batch
+        plain = MulticlassLinearSVM(4, 3)
+        assert plain.loss(np.zeros(12), features, labels) == pytest.approx(1.0)
+
+    def test_zero_loss_when_margin_satisfied(self):
+        plain = MulticlassLinearSVM(2, 2)
+        w = np.array([10.0, 0.0, 0.0, 10.0])  # class scores: 10*x_k
+        features = np.array([[1.0, 0.0], [0.0, 1.0]])
+        labels = np.array([0, 1])
+        assert plain.loss(w, features, labels) == 0.0
+
+    def test_loss_is_max_violation_form(self):
+        plain = MulticlassLinearSVM(2, 3)
+        w = np.array([1.0, 0.0, 0.0, 1.0, 0.5, 0.5])
+        x = np.array([[1.0, 0.0]])
+        y = np.array([0])
+        # scores: [1.0, 0.0, 0.5]; rival max = 0.5 -> hinge = 1 + 0.5 - 1.0.
+        assert plain.loss(w, x, y) == pytest.approx(0.5)
+
+    def test_subgradient_is_valid_descent_direction(self, model, batch, rng):
+        """Moving against the subgradient decreases the loss locally."""
+        features, labels = batch
+        w = rng.normal(size=12)
+        g = model.gradient(w, features, labels)
+        before = model.loss(w, features, labels)
+        after = model.loss(w - 1e-4 * g, features, labels)
+        assert after <= before + 1e-12
+
+    def test_subgradient_zero_in_flat_region(self):
+        plain = MulticlassLinearSVM(2, 2)
+        w = np.array([10.0, 0.0, -10.0, 0.0])
+        features = np.array([[1.0, 0.0]])
+        labels = np.array([0])
+        # Margin comfortably satisfied: subgradient (no reg) is zero.
+        assert np.allclose(plain.gradient(w, features, labels), 0.0)
+
+    def test_gradient_includes_regularization(self, batch, rng):
+        features, labels = batch
+        plain = MulticlassLinearSVM(4, 3)
+        reg = MulticlassLinearSVM(4, 3, l2_regularization=0.5)
+        w = rng.normal(size=12)
+        diff = reg.gradient(w, features, labels) - plain.gradient(w, features, labels)
+        assert np.allclose(diff, 0.5 * w)
+
+
+class TestSensitivity:
+    def test_same_bound_as_logistic(self, model):
+        assert model.gradient_sensitivity(8) == pytest.approx(0.5)
+
+    def test_empirical_swap_bound(self, rng):
+        """One-sample swap moves the averaged subgradient by ≤ 4/b."""
+        model = MulticlassLinearSVM(5, 4)
+        b = 6
+        worst = 0.0
+        for _ in range(50):
+            w = rng.normal(size=20)
+            features = rng.normal(size=(b, 5))
+            features /= np.abs(features).sum(axis=1, keepdims=True)
+            labels = rng.integers(0, 4, b)
+            features2, labels2 = features.copy(), labels.copy()
+            alt = rng.normal(size=5)
+            features2[0] = alt / np.abs(alt).sum()
+            labels2[0] = (labels[0] + 2) % 4
+            g1 = model.gradient(w, features, labels)
+            g2 = model.gradient(w, features2, labels2)
+            worst = max(worst, np.abs(g1 - g2).sum())
+        assert worst <= 4.0 / b + 1e-9
+
+
+class TestLearning:
+    def test_learns_separable_data(self, small_dataset):
+        model = MulticlassLinearSVM(4, 3)
+        w = model.init_parameters()
+        for _ in range(500):
+            w = w - 0.5 * model.gradient(
+                w, small_dataset.features, small_dataset.labels
+            )
+        assert (
+            model.error_rate(w, small_dataset.features, small_dataset.labels) <= 0.05
+        )
+
+    def test_predict_is_argmax(self, model, batch, rng):
+        features, _ = batch
+        w = rng.normal(size=12)
+        scores = features @ w.reshape(3, 4).T
+        assert np.array_equal(model.predict(w, features), scores.argmax(axis=1))

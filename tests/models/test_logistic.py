@@ -1,0 +1,158 @@
+"""Tests for multiclass logistic regression (Table I) — E8 of DESIGN.md."""
+
+import numpy as np
+import pytest
+
+from repro.models import MulticlassLogisticRegression
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.numerics import softmax
+
+
+def finite_difference_gradient(model, parameters, features, labels, step=1e-6):
+    """Central-difference gradient of the model's loss."""
+    grad = np.zeros_like(parameters)
+    for i in range(parameters.shape[0]):
+        plus = parameters.copy()
+        plus[i] += step
+        minus = parameters.copy()
+        minus[i] -= step
+        grad[i] = (
+            model.loss(plus, features, labels) - model.loss(minus, features, labels)
+        ) / (2 * step)
+    return grad
+
+
+@pytest.fixture
+def model():
+    return MulticlassLogisticRegression(num_features=4, num_classes=3,
+                                        l2_regularization=0.1)
+
+
+@pytest.fixture
+def batch(rng):
+    features = rng.normal(size=(12, 4))
+    features /= np.abs(features).sum(axis=1, keepdims=True)
+    labels = rng.integers(0, 3, 12)
+    return features, labels
+
+
+class TestShapes:
+    def test_num_parameters(self, model):
+        assert model.num_parameters == 12
+
+    def test_init_zeros(self, model):
+        assert np.array_equal(model.init_parameters(), np.zeros(12))
+
+    def test_init_randomized(self, model, rng):
+        w = model.init_parameters(rng, scale=0.1)
+        assert w.shape == (12,)
+        assert not np.allclose(w, 0.0)
+
+    def test_predict_shape(self, model, batch):
+        features, _ = batch
+        assert model.predict(np.zeros(12), features).shape == (12,)
+
+    def test_posterior_rows_sum_to_one(self, model, batch, rng):
+        features, _ = batch
+        w = rng.normal(size=12)
+        probs = model.posterior(w, features)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_rejects_wrong_parameter_shape(self, model, batch):
+        features, labels = batch
+        with pytest.raises(ValueError):
+            model.predict(np.zeros(5), features)
+
+    def test_rejects_wrong_feature_dim(self, model):
+        with pytest.raises(ConfigurationError):
+            model.predict(np.zeros(12), np.zeros((2, 7)))
+
+
+class TestTableIFormulas:
+    def test_prediction_is_argmax_of_scores(self, model, batch, rng):
+        features, _ = batch
+        w = rng.normal(size=12)
+        scores = features @ w.reshape(3, 4).T
+        assert np.array_equal(model.predict(w, features), scores.argmax(axis=1))
+
+    def test_loss_at_zero_is_log_c(self, model, batch):
+        """With w = 0 all classes are equally likely: loss = log C."""
+        features, labels = batch
+        plain = MulticlassLogisticRegression(4, 3)  # no regularization
+        assert plain.loss(np.zeros(12), features, labels) == pytest.approx(np.log(3.0))
+
+    def test_gradient_matches_finite_differences(self, model, batch, rng):
+        features, labels = batch
+        w = rng.normal(size=12)
+        analytic = model.gradient(w, features, labels)
+        numeric = finite_difference_gradient(model, w, features, labels)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_gradient_matches_table_i_closed_form(self, model, batch, rng):
+        """∇_{w_k} = (1/N) Σ_i x_i [P(y=k|x_i) − I[y_i=k]] + λ w_k."""
+        features, labels = batch
+        w = rng.normal(size=12)
+        probs = softmax(features @ w.reshape(3, 4).T, axis=1)
+        expected = np.zeros((3, 4))
+        for i in range(features.shape[0]):
+            for k in range(3):
+                coeff = probs[i, k] - (1.0 if labels[i] == k else 0.0)
+                expected[k] += coeff * features[i]
+        expected = expected / features.shape[0] + 0.1 * w.reshape(3, 4)
+        assert np.allclose(model.gradient(w, features, labels), expected.reshape(-1))
+
+    def test_regularization_term_in_loss(self, batch, rng):
+        features, labels = batch
+        w = rng.normal(size=12)
+        plain = MulticlassLogisticRegression(4, 3)
+        reg = MulticlassLogisticRegression(4, 3, l2_regularization=0.5)
+        diff = reg.loss(w, features, labels) - plain.loss(w, features, labels)
+        assert diff == pytest.approx(0.25 * np.dot(w, w))
+
+    def test_gradient_zero_at_optimum_of_separable_problem(self):
+        """On a tiny separable problem, SGD drives the gradient toward 0."""
+        model = MulticlassLogisticRegression(2, 2, l2_regularization=0.1)
+        features = np.array([[0.9, 0.1], [0.1, 0.9]] * 5)
+        labels = np.array([0, 1] * 5)
+        w = np.zeros(4)
+        for _ in range(2000):
+            w = w - 0.5 * model.gradient(w, features, labels)
+        assert np.linalg.norm(model.gradient(w, features, labels)) < 1e-6
+
+
+class TestPerSampleGradients:
+    def test_mean_matches_batch_gradient(self, batch, rng):
+        features, labels = batch
+        plain = MulticlassLogisticRegression(4, 3)  # data term only
+        w = rng.normal(size=12)
+        per_sample = plain.per_sample_gradients(w, features, labels)
+        assert per_sample.shape == (12, 12)
+        assert np.allclose(per_sample.mean(axis=0), plain.gradient(w, features, labels))
+
+    def test_per_sample_l1_bound(self, batch, rng):
+        """Each sample's gradient has ‖g_i‖₁ = ‖x‖₁·2(1−P_y) ≤ 2."""
+        features, labels = batch
+        plain = MulticlassLogisticRegression(4, 3)
+        w = rng.normal(size=12)
+        per_sample = plain.per_sample_gradients(w, features, labels)
+        assert np.all(np.abs(per_sample).sum(axis=1) <= 2.0 + 1e-12)
+
+
+class TestLearning:
+    def test_learns_linearly_separable_data(self, small_dataset):
+        model = MulticlassLogisticRegression(4, 3)
+        w = model.init_parameters()
+        for _ in range(300):
+            w = w - 1.0 * model.gradient(
+                w, small_dataset.features, small_dataset.labels
+            )
+        assert model.error_rate(w, small_dataset.features, small_dataset.labels) == 0.0
+
+    def test_error_rate_and_count_consistent(self, small_dataset, rng):
+        model = MulticlassLogisticRegression(4, 3)
+        w = rng.normal(size=12)
+        rate = model.error_rate(w, small_dataset.features, small_dataset.labels)
+        count = model.misclassified_count(
+            w, small_dataset.features, small_dataset.labels
+        )
+        assert rate == pytest.approx(count / len(small_dataset))

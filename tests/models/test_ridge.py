@@ -1,0 +1,102 @@
+"""Tests for ridge regression (the framework's regression instantiation)."""
+
+import numpy as np
+import pytest
+
+from repro.models import RidgeRegression
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return RidgeRegression(num_features=3, l2_regularization=0.01)
+
+
+class TestBasics:
+    def test_num_parameters(self, model):
+        assert model.num_parameters == 3
+
+    def test_predict_linear(self, model):
+        w = np.array([1.0, 2.0, -1.0])
+        x = np.array([[1.0, 1.0, 1.0]])
+        assert model.predict(w, x)[0] == pytest.approx(2.0)
+
+    def test_real_valued_labels_accepted(self, model):
+        loss = model.loss(np.zeros(3), np.array([[0.1, 0.2, 0.3]]), np.array([0.75]))
+        assert loss == pytest.approx(0.5 * 0.75**2 + 0.0)
+
+    def test_rejects_wrong_parameter_shape(self, model):
+        with pytest.raises(ValueError):
+            model.predict(np.zeros(5), np.zeros((1, 3)))
+
+
+class TestGradient:
+    def test_matches_finite_differences_inside_clip(self, rng):
+        model = RidgeRegression(3, l2_regularization=0.1, residual_bound=100.0)
+        w = rng.normal(size=3) * 0.1
+        features = rng.normal(size=(8, 3)) * 0.1
+        labels = rng.normal(size=8) * 0.1
+        analytic = model.gradient(w, features, labels)
+        step = 1e-6
+        numeric = np.zeros(3)
+        for i in range(3):
+            plus, minus = w.copy(), w.copy()
+            plus[i] += step
+            minus[i] -= step
+            numeric[i] = (
+                model.loss(plus, features, labels) - model.loss(minus, features, labels)
+            ) / (2 * step)
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+    def test_residual_clipping_bounds_gradient(self):
+        model = RidgeRegression(2, residual_bound=1.0)
+        features = np.array([[1.0, 0.0]])
+        labels = np.array([1000.0])  # huge residual, must be clipped
+        g = model.gradient(np.zeros(2), features, labels)
+        assert np.abs(g).sum() <= 1.0 + 1e-12
+
+    def test_sensitivity_formula(self):
+        model = RidgeRegression(2, residual_bound=2.0)
+        assert model.gradient_sensitivity(10) == pytest.approx(2 * 2.0 / 10)
+
+    def test_empirical_swap_bound(self, rng):
+        model = RidgeRegression(4, residual_bound=1.0)
+        b = 5
+        worst = 0.0
+        for _ in range(50):
+            w = rng.normal(size=4)
+            features = rng.normal(size=(b, 4))
+            features /= np.abs(features).sum(axis=1, keepdims=True)
+            labels = rng.normal(size=b)
+            features2, labels2 = features.copy(), labels.copy()
+            alt = rng.normal(size=4)
+            features2[0] = alt / np.abs(alt).sum()
+            labels2[0] = -labels[0]
+            g1 = model.gradient(w, features, labels)
+            g2 = model.gradient(w, features2, labels2)
+            worst = max(worst, np.abs(g1 - g2).sum())
+        assert worst <= model.gradient_sensitivity(b) + 1e-9
+
+
+class TestLearning:
+    def test_recovers_linear_relation(self, rng):
+        true_w = np.array([0.5, -0.3, 0.2])
+        features = rng.normal(size=(200, 3)) * 0.3
+        labels = features @ true_w
+        model = RidgeRegression(3, residual_bound=10.0)
+        w = model.init_parameters()
+        for _ in range(3000):
+            w = w - 0.5 * model.gradient(w, features, labels)
+        assert np.allclose(w, true_w, atol=0.01)
+
+    def test_error_rate_uses_tolerance(self):
+        model = RidgeRegression(1, error_tolerance=0.5)
+        w = np.array([1.0])
+        features = np.array([[1.0], [1.0]])
+        labels = np.array([1.2, 3.0])  # errors: 0.2 (ok), 2.0 (miss)
+        assert model.error_rate(w, features, labels) == 0.5
+        assert model.misclassified_count(w, features, labels) == 1
+
+    def test_rejects_bad_residual_bound(self):
+        with pytest.raises(ConfigurationError):
+            RidgeRegression(3, residual_bound=0.0)

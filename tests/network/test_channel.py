@@ -1,0 +1,93 @@
+"""Tests for the delayed, lossy message channel."""
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    BernoulliOutage,
+    Channel,
+    ConstantDelay,
+    EventQueue,
+    UniformDelay,
+)
+
+
+@pytest.fixture
+def queue():
+    return EventQueue()
+
+
+class TestDelivery:
+    def test_zero_delay_delivery(self, queue, rng):
+        channel = Channel(queue, rng=rng)
+        received = []
+        channel.send(lambda: received.append(queue.now))
+        queue.run()
+        assert received == [0.0]
+
+    def test_constant_delay(self, queue, rng):
+        channel = Channel(queue, ConstantDelay(2.5), rng=rng)
+        received = []
+        channel.send(lambda: received.append(queue.now))
+        queue.run()
+        assert received == [2.5]
+
+    def test_uniform_delay_within_bounds(self, queue, rng):
+        channel = Channel(queue, UniformDelay(1.0), rng=rng)
+        received = []
+        for _ in range(100):
+            channel.send(lambda: received.append(queue.now))
+        queue.run()
+        assert all(0.0 <= t <= 1.0 for t in received)
+
+    def test_messages_can_reorder(self, rng):
+        """Independent per-message delays allow overtaking — the source of
+        gradient staleness in the asynchronous protocol."""
+        queue = EventQueue()
+        channel = Channel(queue, UniformDelay(10.0), rng=np.random.default_rng(3))
+        order = []
+        for tag in range(20):
+            channel.send(lambda tag=tag: order.append(tag))
+        queue.run()
+        assert order != sorted(order)
+
+
+class TestDrops:
+    def test_dropped_message_never_delivers(self, queue, rng):
+        channel = Channel(queue, outage_model=BernoulliOutage(1.0), rng=rng)
+        received, dropped = [], []
+        sent = channel.send(lambda: received.append(1), on_drop=lambda: dropped.append(1))
+        queue.run()
+        assert sent is False
+        assert received == []
+        assert dropped == [1]
+
+    def test_send_returns_true_on_success(self, queue, rng):
+        channel = Channel(queue, rng=rng)
+        assert channel.send(lambda: None) is True
+
+
+class TestStats:
+    def test_counters(self, queue, rng):
+        channel = Channel(queue, outage_model=BernoulliOutage(0.5),
+                          rng=np.random.default_rng(0))
+        for _ in range(200):
+            channel.send(lambda: None, payload_floats=10)
+        queue.run()
+        stats = channel.stats
+        assert stats.messages_sent == 200
+        assert stats.payload_floats == 2000
+        assert 0 < stats.messages_dropped < 200
+        assert stats.messages_delivered == 200 - stats.messages_dropped
+
+    def test_mean_delay(self, queue):
+        channel = Channel(queue, ConstantDelay(2.0), rng=np.random.default_rng(0))
+        for _ in range(5):
+            channel.send(lambda: None)
+        queue.run()
+        assert channel.stats.mean_delay == pytest.approx(2.0)
+
+    def test_mean_delay_zero_when_nothing_delivered(self, queue, rng):
+        channel = Channel(queue, outage_model=BernoulliOutage(1.0), rng=rng)
+        channel.send(lambda: None)
+        assert channel.stats.mean_delay == 0.0

@@ -1,0 +1,71 @@
+"""Tests for network-outage models (Remark 1)."""
+
+import numpy as np
+import pytest
+
+from repro.network import BernoulliOutage, BurstyOutage, NoOutage, WindowedOutage
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestNoOutage:
+    def test_never_fails(self, rng):
+        model = NoOutage()
+        assert not any(model.attempt_fails(rng, float(t)) for t in range(100))
+
+
+class TestBernoulli:
+    def test_zero_probability_never_fails(self, rng):
+        model = BernoulliOutage(0.0)
+        assert not any(model.attempt_fails(rng, 0.0) for _ in range(100))
+
+    def test_one_probability_always_fails(self, rng):
+        model = BernoulliOutage(1.0)
+        assert all(model.attempt_fails(rng, 0.0) for _ in range(100))
+
+    def test_empirical_rate(self, rng):
+        model = BernoulliOutage(0.3)
+        fails = sum(model.attempt_fails(rng, 0.0) for _ in range(50_000))
+        assert fails / 50_000 == pytest.approx(0.3, rel=0.05)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliOutage(1.5)
+
+
+class TestWindowed:
+    def test_fails_inside_window_only(self, rng):
+        model = WindowedOutage([(1.0, 2.0), (5.0, 6.0)])
+        assert not model.attempt_fails(rng, 0.5)
+        assert model.attempt_fails(rng, 1.5)
+        assert not model.attempt_fails(rng, 3.0)
+        assert model.attempt_fails(rng, 5.0)  # inclusive start
+        assert not model.attempt_fails(rng, 6.0)  # exclusive end
+
+    def test_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            WindowedOutage([(2.0, 1.0)])
+
+    def test_windows_property_sorted(self):
+        model = WindowedOutage([(5.0, 6.0), (1.0, 2.0)])
+        assert model.windows == [(1.0, 2.0), (5.0, 6.0)]
+
+
+class TestBursty:
+    def test_alternates_states(self, rng):
+        model = BurstyOutage(good_mean=10.0, bad_duration=5.0, seed=0, horizon=1000.0)
+        outcomes = [model.attempt_fails(rng, float(t)) for t in range(1000)]
+        assert any(outcomes)
+        assert not all(outcomes)
+
+    def test_deterministic_given_time(self, rng):
+        model = BurstyOutage(good_mean=10.0, bad_duration=5.0, seed=0)
+        a = [model.attempt_fails(rng, float(t)) for t in range(200)]
+        b = [model.attempt_fails(rng, float(t)) for t in range(200)]
+        assert a == b
+
+    def test_bad_fraction_roughly_matches(self, rng):
+        good, bad = 10.0, 10.0
+        model = BurstyOutage(good_mean=good, bad_duration=bad, seed=1, horizon=100_000.0)
+        times = np.linspace(0, 99_999, 50_000)
+        frac = np.mean([model.attempt_fails(rng, float(t)) for t in times])
+        assert frac == pytest.approx(bad / (good + bad), abs=0.1)

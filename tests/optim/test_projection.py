@@ -1,0 +1,62 @@
+"""Tests for the parameter-domain projections Π_W (Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.optim import BoxProjection, IdentityProjection, L2BallProjection
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestL2Ball:
+    def test_inside_unchanged(self):
+        proj = L2BallProjection(radius=5.0)
+        w = np.array([1.0, 2.0])
+        assert np.array_equal(proj(w), w)
+
+    def test_outside_rescaled_to_boundary(self):
+        proj = L2BallProjection(radius=1.0)
+        out = proj(np.array([3.0, 4.0]))
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    def test_direction_preserved(self):
+        proj = L2BallProjection(radius=1.0)
+        w = np.array([3.0, 4.0])
+        out = proj(w)
+        assert np.allclose(out / np.linalg.norm(out), w / np.linalg.norm(w))
+
+    def test_matches_paper_formula(self):
+        """Π_W(w) = min(1, R/‖w‖)·w."""
+        proj = L2BallProjection(radius=2.0)
+        w = np.array([0.0, 4.0])
+        assert np.allclose(proj(w), min(1.0, 2.0 / 4.0) * w)
+
+    def test_zero_vector_fixed(self):
+        proj = L2BallProjection(radius=1.0)
+        assert np.array_equal(proj(np.zeros(3)), np.zeros(3))
+
+    def test_idempotent(self):
+        proj = L2BallProjection(radius=1.0)
+        w = np.array([10.0, -10.0])
+        assert np.allclose(proj(proj(w)), proj(w))
+
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(ConfigurationError):
+            L2BallProjection(0.0)
+
+
+class TestBox:
+    def test_clamps_coordinates(self):
+        proj = BoxProjection(bound=1.0)
+        assert np.array_equal(proj(np.array([2.0, -3.0, 0.5])), [1.0, -1.0, 0.5])
+
+    def test_idempotent(self):
+        proj = BoxProjection(bound=1.0)
+        w = np.array([5.0, -5.0])
+        assert np.array_equal(proj(proj(w)), proj(w))
+
+
+class TestIdentity:
+    def test_noop(self):
+        proj = IdentityProjection()
+        w = np.array([1e9, -1e9])
+        assert np.array_equal(proj(w), w)

@@ -1,0 +1,139 @@
+"""Tests for the server-side optimizers (Eq. 3, Remark 3)."""
+
+import numpy as np
+import pytest
+
+from repro.optim import (
+    SGD,
+    AdaGrad,
+    AveragedSGD,
+    ConstantRate,
+    InverseSqrtRate,
+    L2BallProjection,
+)
+
+
+class TestSGD:
+    def test_single_step_eq3(self):
+        opt = SGD(np.zeros(2), schedule=ConstantRate(0.5))
+        out = opt.step(np.array([1.0, -2.0]))
+        assert np.allclose(out, [-0.5, 1.0])
+
+    def test_schedule_decay(self):
+        """η(t) = c/√t: step t=4 moves half as far as step t=1."""
+        opt = SGD(np.zeros(1), schedule=InverseSqrtRate(1.0))
+        g = np.array([1.0])
+        w1 = opt.step(g)[0]
+        opt.step(g)
+        opt.step(g)
+        w3 = opt.parameters[0]
+        w4 = opt.step(g)[0]
+        assert (w3 - w4) == pytest.approx(0.5 * abs(w1))
+
+    def test_projection_applied(self):
+        opt = SGD(np.zeros(2), schedule=ConstantRate(10.0),
+                  projection=L2BallProjection(1.0))
+        out = opt.step(np.array([1.0, 0.0]))
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    def test_iteration_counter(self):
+        opt = SGD(np.zeros(1))
+        for _ in range(5):
+            opt.step(np.array([0.0]))
+        assert opt.iteration == 5
+
+    def test_rejects_wrong_gradient_shape(self):
+        opt = SGD(np.zeros(3))
+        with pytest.raises(Exception):
+            opt.step(np.zeros(2))
+
+    def test_parameters_are_copies(self):
+        opt = SGD(np.zeros(2))
+        opt.parameters[0] = 99.0
+        assert opt.parameters[0] == 0.0
+
+    def test_initial_parameters_copied(self):
+        init = np.zeros(2)
+        opt = SGD(init)
+        init[0] = 42.0
+        assert opt.parameters[0] == 0.0
+
+    def test_converges_on_quadratic(self):
+        """Minimize ½‖w − w*‖² with noisy gradients; SGD must converge."""
+        rng = np.random.default_rng(0)
+        target = np.array([1.0, -2.0, 0.5])
+        opt = SGD(np.zeros(3), schedule=InverseSqrtRate(0.5))
+        for _ in range(4000):
+            noise = rng.normal(0, 0.1, 3)
+            opt.step(opt.parameters - target + noise)
+        assert np.allclose(opt.parameters, target, atol=0.1)
+
+
+class TestAdaGrad:
+    def test_accumulator_grows(self):
+        opt = AdaGrad(np.zeros(2), constant=0.1)
+        opt.step(np.array([1.0, 2.0]))
+        assert np.allclose(opt.accumulator, [1.0, 4.0])
+
+    def test_per_coordinate_scaling(self):
+        """A coordinate with a history of large gradients moves less."""
+        opt = AdaGrad(np.zeros(2), constant=1.0)
+        for _ in range(10):
+            opt.step(np.array([10.0, 0.1]))
+        w = opt.parameters
+        # Relative movement per unit gradient is much smaller on coord 0.
+        assert abs(w[0]) / 10.0 < abs(w[1]) / 0.1
+
+    def test_robust_to_one_huge_gradient(self):
+        """Remark 3's motivation: a single outlier gradient cannot blow up
+        AdaGrad the way it does plain constant-rate SGD."""
+        sgd = SGD(np.zeros(1), schedule=ConstantRate(1.0))
+        ada = AdaGrad(np.zeros(1), constant=1.0)
+        huge = np.array([1e6])
+        sgd.step(huge)
+        ada.step(huge)
+        assert abs(ada.parameters[0]) < abs(sgd.parameters[0]) / 1000
+
+    def test_converges_on_quadratic(self):
+        rng = np.random.default_rng(1)
+        target = np.array([0.5, -0.5])
+        opt = AdaGrad(np.zeros(2), constant=0.5)
+        for _ in range(5000):
+            opt.step(opt.parameters - target + rng.normal(0, 0.05, 2))
+        assert np.allclose(opt.parameters, target, atol=0.1)
+
+    def test_rejects_bad_constants(self):
+        with pytest.raises(ValueError):
+            AdaGrad(np.zeros(1), constant=0.0)
+        with pytest.raises(ValueError):
+            AdaGrad(np.zeros(1), damping=0.0)
+
+
+class TestAveragedSGD:
+    def test_average_tracks_iterates(self):
+        opt = AveragedSGD(np.zeros(1), schedule=ConstantRate(1.0))
+        opt.step(np.array([-1.0]))  # w = 1
+        opt.step(np.array([1.0]))  # w = 0
+        assert opt.averaged_parameters[0] == pytest.approx(0.5)
+
+    def test_burn_in_skips_early_iterates(self):
+        opt = AveragedSGD(np.zeros(1), schedule=ConstantRate(1.0), burn_in=1)
+        opt.step(np.array([-10.0]))  # burn-in iterate w=10, not averaged
+        opt.step(np.array([9.0]))  # w = 1
+        assert opt.averaged_parameters[0] == pytest.approx(1.0)
+
+    def test_average_has_lower_variance_than_last_iterate(self):
+        """Polyak averaging suppresses gradient-noise variance."""
+        rng = np.random.default_rng(2)
+        final_iterates, final_averages = [], []
+        for trial in range(20):
+            opt = AveragedSGD(np.zeros(1), schedule=InverseSqrtRate(0.5), burn_in=100)
+            for _ in range(1000):
+                opt.step(opt.parameters - 1.0 + rng.normal(0, 1.0, 1))
+            final_iterates.append(opt.parameters[0])
+            final_averages.append(opt.averaged_parameters[0])
+        assert np.var(final_averages) < np.var(final_iterates)
+
+    def test_rejects_negative_burn_in(self):
+        with pytest.raises(ValueError):
+            AveragedSGD(np.zeros(1), burn_in=-1)

@@ -1,0 +1,98 @@
+"""Tests for the privacy accountant."""
+
+import math
+
+import pytest
+
+from repro.privacy.accountant import PrivacyAccountant
+from repro.privacy.mechanism import ReleaseRecord
+from repro.utils.exceptions import PrivacyBudgetExceededError
+
+
+def _checkin(eps_g=0.98, eps_e=0.01, eps_y=0.001, classes=10):
+    records = [ReleaseRecord(epsilon=eps_g, mechanism="laplace")]
+    records.append(ReleaseRecord(epsilon=eps_e, mechanism="discrete"))
+    records.extend(ReleaseRecord(epsilon=eps_y, mechanism="discrete") for _ in range(classes))
+    return records
+
+
+class TestPerSampleAccounting:
+    def test_single_checkin_sums_releases(self):
+        acct = PrivacyAccountant()
+        acct.charge_checkin(_checkin())
+        spend = acct.spend()
+        assert spend.per_sample_epsilon == pytest.approx(0.98 + 0.01 + 10 * 0.001)
+
+    def test_per_sample_is_max_across_checkins(self):
+        """Appendix A: sensitivity of many minibatches = one minibatch, so
+        the per-sample guarantee does not accumulate across check-ins."""
+        acct = PrivacyAccountant()
+        for _ in range(50):
+            acct.charge_checkin(_checkin())
+        single = 0.98 + 0.01 + 10 * 0.001
+        assert acct.spend().per_sample_epsilon == pytest.approx(single)
+
+    def test_total_epsilon_accumulates(self):
+        acct = PrivacyAccountant()
+        for _ in range(3):
+            acct.charge_checkin(_checkin())
+        single = 0.98 + 0.01 + 10 * 0.001
+        assert acct.spend().total_epsilon == pytest.approx(3 * single)
+
+    def test_infinite_releases_cost_nothing(self):
+        acct = PrivacyAccountant()
+        acct.charge_checkin([ReleaseRecord(epsilon=math.inf, mechanism="identity")])
+        assert acct.spend().per_sample_epsilon == 0.0
+        assert acct.spend().total_epsilon == 0.0
+
+    def test_num_releases_counted(self):
+        acct = PrivacyAccountant()
+        acct.charge_checkin(_checkin())
+        assert acct.spend().num_releases == 12
+
+    def test_delta_accumulates(self):
+        acct = PrivacyAccountant()
+        acct.charge_checkin([ReleaseRecord(epsilon=0.5, delta=1e-6, mechanism="gauss")])
+        acct.charge_checkin([ReleaseRecord(epsilon=0.5, delta=1e-6, mechanism="gauss")])
+        assert acct.spend().total_delta == pytest.approx(2e-6)
+
+
+class TestBudgetCap:
+    def test_cap_allows_within_budget(self):
+        acct = PrivacyAccountant(per_sample_cap=1.0)
+        acct.charge_checkin(_checkin())  # per-sample exactly 1.0
+        assert acct.spend().per_sample_epsilon == pytest.approx(1.0)
+
+    def test_cap_blocks_excess(self):
+        acct = PrivacyAccountant(per_sample_cap=0.5)
+        with pytest.raises(PrivacyBudgetExceededError) as info:
+            acct.charge_checkin(_checkin())
+        assert info.value.cap == 0.5
+
+    def test_blocked_checkin_not_recorded(self):
+        acct = PrivacyAccountant(per_sample_cap=0.5)
+        with pytest.raises(PrivacyBudgetExceededError):
+            acct.charge_checkin(_checkin())
+        assert acct.spend().num_releases == 0
+        assert acct.spend().per_sample_epsilon == 0.0
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            PrivacyAccountant(per_sample_cap=0.0)
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        acct = PrivacyAccountant()
+        acct.charge_checkin(_checkin())
+        acct.reset()
+        spend = acct.spend()
+        assert spend.per_sample_epsilon == 0.0
+        assert spend.total_epsilon == 0.0
+        assert spend.num_releases == 0
+
+    def test_records_copy_is_defensive(self):
+        acct = PrivacyAccountant()
+        acct.charge_checkin(_checkin())
+        acct.records.clear()
+        assert acct.spend().num_releases == 12

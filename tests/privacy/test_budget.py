@@ -1,0 +1,85 @@
+"""Tests for privacy-budget splitting (Appendix B Remark 1, Appendix C)."""
+
+import math
+
+import pytest
+
+from repro.privacy.budget import CentralizedBudget, PrivacyBudget, split_budget
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestPrivacyBudget:
+    def test_total_epsilon_decomposition(self):
+        budget = PrivacyBudget(1.0, 0.1, 0.01, num_classes=10)
+        assert budget.total_epsilon == pytest.approx(1.0 + 0.1 + 10 * 0.01)
+
+    def test_infinite_component_makes_total_infinite(self):
+        budget = PrivacyBudget(math.inf, 0.1, 0.01, num_classes=10)
+        assert math.isinf(budget.total_epsilon)
+        assert not budget.is_private
+
+    def test_non_private_constructor(self):
+        budget = PrivacyBudget.non_private(5)
+        assert not budget.is_private
+        assert budget.num_classes == 5
+
+    def test_is_private(self):
+        assert PrivacyBudget(1.0, 1.0, 1.0, 2).is_private
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0])
+    def test_rejects_nonpositive_epsilon(self, bad):
+        with pytest.raises(ConfigurationError):
+            PrivacyBudget(bad, 1.0, 1.0, 2)
+
+    def test_rejects_bad_num_classes(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyBudget(1.0, 1.0, 1.0, 0)
+
+
+class TestSplitBudget:
+    def test_total_preserved(self):
+        budget = split_budget(1.0, 10)
+        assert budget.total_epsilon == pytest.approx(1.0)
+
+    def test_gradient_dominates(self):
+        """Remark 1: eps ≈ eps_g (monitoring budget is tiny)."""
+        budget = split_budget(1.0, 10)
+        assert budget.epsilon_gradient >= 0.95
+
+    def test_monitoring_fraction_respected(self):
+        budget = split_budget(1.0, 10, monitoring_fraction=0.1)
+        monitoring = budget.epsilon_error + 10 * budget.epsilon_label
+        assert monitoring == pytest.approx(0.1)
+
+    def test_infinite_total_gives_non_private(self):
+        budget = split_budget(math.inf, 10)
+        assert not budget.is_private
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            split_budget(1.0, 10, monitoring_fraction=1.5)
+
+    def test_more_classes_smaller_per_label_epsilon(self):
+        few = split_budget(1.0, 2)
+        many = split_budget(1.0, 100)
+        assert many.epsilon_label < few.epsilon_label
+
+
+class TestCentralizedBudget:
+    def test_even_split(self):
+        budget = CentralizedBudget.even_split(1.0)
+        assert budget.epsilon_feature == 0.5
+        assert budget.epsilon_label == 0.5
+        assert budget.total_epsilon == pytest.approx(1.0)
+
+    def test_infinite_split(self):
+        budget = CentralizedBudget.even_split(math.inf)
+        assert math.isinf(budget.total_epsilon)
+
+    def test_custom_split(self):
+        budget = CentralizedBudget(0.7, 0.3)
+        assert budget.total_epsilon == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            CentralizedBudget(0.0, 1.0)

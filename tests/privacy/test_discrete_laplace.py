@@ -1,0 +1,107 @@
+"""Tests for the discrete Laplace mechanism (Eqs. 11-12)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.privacy.discrete_laplace import (
+    DiscreteLaplaceMechanism,
+    discrete_laplace_variance,
+    sample_discrete_laplace,
+)
+
+
+class TestVarianceFormula:
+    def test_paper_formula(self):
+        # Var = 2 p / (1-p)^2 with p = e^{-eps/2} (Appendix B, Remark 2).
+        eps = 1.0
+        p = math.exp(-eps / 2.0)
+        assert discrete_laplace_variance(eps) == pytest.approx(2 * p / (1 - p) ** 2)
+
+    def test_zero_for_infinite_epsilon(self):
+        assert discrete_laplace_variance(math.inf) == 0.0
+
+    def test_decreasing_in_epsilon(self):
+        assert discrete_laplace_variance(0.5) > discrete_laplace_variance(2.0)
+
+
+class TestSampling:
+    def test_scalar_type(self):
+        z = sample_discrete_laplace(1.0, np.random.default_rng(0))
+        assert isinstance(z, int)
+
+    def test_array_shape_and_dtype(self):
+        z = sample_discrete_laplace(1.0, np.random.default_rng(0), size=(10,))
+        assert z.shape == (10,)
+        assert z.dtype == np.int64
+
+    def test_infinite_epsilon_is_zero(self):
+        assert sample_discrete_laplace(math.inf, np.random.default_rng(0)) == 0
+        z = sample_discrete_laplace(math.inf, np.random.default_rng(0), size=5)
+        assert np.all(z == 0)
+
+    def test_zero_mean(self):
+        z = sample_discrete_laplace(1.0, np.random.default_rng(1), size=200_000)
+        assert abs(z.mean()) < 0.05
+
+    def test_empirical_variance_matches(self):
+        eps = 1.0
+        z = sample_discrete_laplace(eps, np.random.default_rng(2), size=400_000)
+        assert z.var() == pytest.approx(discrete_laplace_variance(eps), rel=0.05)
+
+    def test_distribution_shape(self):
+        """P(z) ∝ exp(-eps|z|/2): the ratio P(1)/P(0) must be e^{-eps/2}."""
+        eps = 2.0
+        z = sample_discrete_laplace(eps, np.random.default_rng(3), size=400_000)
+        p0 = np.mean(z == 0)
+        p1 = np.mean(z == 1)
+        assert p1 / p0 == pytest.approx(math.exp(-eps / 2.0), rel=0.05)
+
+    def test_symmetry(self):
+        z = sample_discrete_laplace(1.0, np.random.default_rng(4), size=400_000)
+        assert np.mean(z > 0) == pytest.approx(np.mean(z < 0), abs=0.01)
+
+
+class TestDiscreteLaplaceMechanism:
+    def test_identity_when_non_private(self):
+        mech = DiscreteLaplaceMechanism(math.inf)
+        assert mech.release(7) == 7
+        assert np.array_equal(mech.release(np.array([1, 2, 3])), [1, 2, 3])
+
+    def test_scalar_release_is_int(self):
+        mech = DiscreteLaplaceMechanism(1.0, np.random.default_rng(0))
+        assert isinstance(mech.release(5), int)
+
+    def test_vector_release_integer_valued(self):
+        mech = DiscreteLaplaceMechanism(1.0, np.random.default_rng(0))
+        out = mech.release(np.array([10, 20, 30]))
+        assert out.dtype == np.int64
+
+    def test_can_be_negative_by_default(self):
+        mech = DiscreteLaplaceMechanism(0.1, np.random.default_rng(0))
+        samples = [mech.release(0) for _ in range(200)]
+        assert min(samples) < 0  # Appendix B Remark 2's caveat
+
+    def test_clip_negative(self):
+        mech = DiscreteLaplaceMechanism(0.1, np.random.default_rng(0), clip_negative=True)
+        samples = [mech.release(0) for _ in range(200)]
+        assert min(samples) >= 0
+
+    def test_clip_negative_vector(self):
+        mech = DiscreteLaplaceMechanism(0.1, np.random.default_rng(0), clip_negative=True)
+        out = mech.release(np.zeros(500, dtype=np.int64))
+        assert out.min() >= 0
+
+    def test_noise_variance_property(self):
+        mech = DiscreteLaplaceMechanism(1.0)
+        assert mech.noise_variance() == pytest.approx(discrete_laplace_variance(1.0))
+
+    def test_monitoring_estimate_converges(self):
+        """Eq. 14's error estimate converges despite the DP noise."""
+        eps = 0.5
+        mech = DiscreteLaplaceMechanism(eps, np.random.default_rng(5))
+        true_errors, samples_per_batch, batches = 3, 10, 5000
+        noisy_total = sum(mech.release(true_errors) for _ in range(batches))
+        estimate = noisy_total / (samples_per_batch * batches)
+        assert estimate == pytest.approx(true_errors / samples_per_batch, abs=0.01)

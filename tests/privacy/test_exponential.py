@@ -1,0 +1,121 @@
+"""Tests for the exponential mechanism and label perturbation (Eq. 16)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.privacy.exponential import (
+    ExponentialMechanism,
+    label_flip_distribution,
+    perturb_label,
+    perturb_labels,
+)
+
+
+class TestLabelFlipDistribution:
+    def test_sums_to_one(self):
+        dist = label_flip_distribution(1.0, 10)
+        assert dist.sum() == pytest.approx(1.0)
+
+    def test_keep_probability_formula(self):
+        # P(keep) = e^{eps/2} / (e^{eps/2} + C - 1).
+        eps, classes = 2.0, 5
+        keep = math.exp(eps / 2) / (math.exp(eps / 2) + classes - 1)
+        assert label_flip_distribution(eps, classes)[0] == pytest.approx(keep)
+
+    def test_infinite_epsilon_always_keeps(self):
+        dist = label_flip_distribution(math.inf, 4)
+        assert dist[0] == 1.0
+
+    def test_tiny_epsilon_near_uniform(self):
+        dist = label_flip_distribution(1e-9, 10)
+        assert dist[0] == pytest.approx(0.1, abs=1e-6)
+
+    def test_other_labels_uniform(self):
+        dist = label_flip_distribution(1.0, 6)
+        assert np.allclose(dist[1:], dist[1])
+
+
+class TestPerturbLabel:
+    def test_identity_when_non_private(self):
+        assert perturb_label(3, 10, math.inf, np.random.default_rng(0)) == 3
+
+    def test_output_in_range(self):
+        rng = np.random.default_rng(1)
+        outs = {perturb_label(2, 5, 0.1, rng) for _ in range(500)}
+        assert outs <= set(range(5))
+
+    def test_keep_rate_matches_formula(self):
+        eps, classes, true = 1.0, 10, 4
+        rng = np.random.default_rng(2)
+        keeps = sum(perturb_label(true, classes, eps, rng) == true for _ in range(50_000))
+        expected = label_flip_distribution(eps, classes)[0]
+        assert keeps / 50_000 == pytest.approx(expected, rel=0.05)
+
+    def test_flips_are_uniform_over_other_labels(self):
+        eps, classes, true = 0.5, 4, 1
+        rng = np.random.default_rng(3)
+        flipped = [
+            out
+            for _ in range(60_000)
+            if (out := perturb_label(true, classes, eps, rng)) != true
+        ]
+        counts = np.bincount(flipped, minlength=classes)
+        others = counts[[0, 2, 3]]
+        assert others.std() / others.mean() < 0.05
+
+
+class TestPerturbLabels:
+    def test_identity_when_non_private(self):
+        labels = np.array([0, 1, 2, 3])
+        out = perturb_labels(labels, 4, math.inf, np.random.default_rng(0))
+        assert np.array_equal(out, labels)
+
+    def test_vectorized_matches_scalar_statistics(self):
+        eps, classes = 1.0, 10
+        labels = np.full(50_000, 7)
+        out = perturb_labels(labels, classes, eps, np.random.default_rng(4))
+        keep_rate = np.mean(out == 7)
+        expected = label_flip_distribution(eps, classes)[0]
+        assert keep_rate == pytest.approx(expected, rel=0.05)
+
+    def test_output_dtype_and_range(self):
+        out = perturb_labels(np.array([0, 1]), 3, 0.1, np.random.default_rng(5))
+        assert out.dtype == np.int64
+        assert set(out.tolist()) <= {0, 1, 2}
+
+
+class TestExponentialMechanism:
+    def test_probabilities_sum_to_one(self):
+        mech = ExponentialMechanism(1.0)
+        probs = mech.probabilities(np.array([0.0, 1.0, 2.0]))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_higher_score_more_likely(self):
+        mech = ExponentialMechanism(1.0)
+        probs = mech.probabilities(np.array([0.0, 1.0]))
+        assert probs[1] > probs[0]
+
+    def test_probability_ratio_formula(self):
+        eps, sens = 2.0, 1.0
+        mech = ExponentialMechanism(eps, sens)
+        probs = mech.probabilities(np.array([0.0, 1.0]))
+        assert probs[1] / probs[0] == pytest.approx(math.exp(eps / (2 * sens)))
+
+    def test_infinite_epsilon_argmax(self):
+        mech = ExponentialMechanism(math.inf)
+        probs = mech.probabilities(np.array([0.0, 3.0, 1.0]))
+        assert probs.tolist() == [0.0, 1.0, 0.0]
+
+    def test_release_returns_valid_index(self):
+        mech = ExponentialMechanism(1.0, rng=np.random.default_rng(0))
+        idx = mech.release(np.array([0.0, 1.0, 2.0]))
+        assert idx in {0, 1, 2}
+
+    def test_release_frequency_matches_probabilities(self):
+        mech = ExponentialMechanism(1.0, rng=np.random.default_rng(1))
+        scores = np.array([0.0, 2.0])
+        draws = np.array([mech.release(scores) for _ in range(30_000)])
+        expected = mech.probabilities(scores)
+        assert np.mean(draws == 1) == pytest.approx(expected[1], rel=0.05)

@@ -1,0 +1,65 @@
+"""Tests for the Gaussian ((eps, delta)-DP) mechanism (footnote 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.privacy.gaussian import GaussianMechanism, gaussian_sigma
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestGaussianSigma:
+    def test_classical_formula(self):
+        sigma = gaussian_sigma(1.0, 1.0, 1e-5)
+        assert sigma == pytest.approx(math.sqrt(2 * math.log(1.25e5)))
+
+    def test_scales_with_sensitivity(self):
+        assert gaussian_sigma(2.0, 1.0, 1e-5) == pytest.approx(
+            2.0 * gaussian_sigma(1.0, 1.0, 1e-5)
+        )
+
+    def test_zero_for_infinite_epsilon(self):
+        assert gaussian_sigma(1.0, math.inf, 1e-5) == 0.0
+
+    def test_rejects_epsilon_above_one(self):
+        with pytest.raises(ConfigurationError, match="epsilon"):
+            gaussian_sigma(1.0, 2.0, 1e-5)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.1])
+    def test_rejects_bad_delta(self, delta):
+        with pytest.raises(ConfigurationError):
+            gaussian_sigma(1.0, 0.5, delta)
+
+
+class TestGaussianMechanism:
+    def test_identity_when_non_private(self):
+        mech = GaussianMechanism(math.inf, 1e-5, 1.0)
+        value = np.array([1.0, 2.0])
+        assert np.array_equal(mech.release(value), value)
+
+    def test_delta_property(self):
+        assert GaussianMechanism(0.5, 1e-6, 1.0).delta == 1e-6
+
+    def test_noise_variance_empirical(self):
+        mech = GaussianMechanism(0.5, 1e-5, 1.0, rng=np.random.default_rng(0))
+        out = mech.release(np.zeros(200_000))
+        assert out.var() == pytest.approx(mech.sigma**2, rel=0.05)
+
+    def test_noise_is_gaussian_tails(self):
+        """Gaussian noise has lighter tails than Laplace of equal variance."""
+        mech = GaussianMechanism(0.5, 1e-5, 1.0, rng=np.random.default_rng(1))
+        out = mech.release(np.zeros(200_000))
+        standardized = out / mech.sigma
+        # P(|Z| > 4) for a standard normal is ~6e-5; Laplace of unit
+        # variance would give ~3.5e-3.
+        assert np.mean(np.abs(standardized) > 4.0) < 5e-4
+
+    def test_expected_noise_power(self):
+        mech = GaussianMechanism(0.5, 1e-5, 2.0)
+        assert mech.expected_noise_power(10) == pytest.approx(10 * mech.sigma**2)
+
+    def test_deterministic_with_seed(self):
+        a = GaussianMechanism(0.5, 1e-5, 1.0, np.random.default_rng(9)).release(np.zeros(4))
+        b = GaussianMechanism(0.5, 1e-5, 1.0, np.random.default_rng(9)).release(np.zeros(4))
+        assert np.array_equal(a, b)

@@ -1,0 +1,125 @@
+"""Tests for global-sensitivity computations (Appendices A-C, Eq. 13)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.models import MulticlassLogisticRegression
+from repro.privacy.sensitivity import (
+    count_sensitivity,
+    feature_sensitivity,
+    gradient_noise_power,
+    hinge_gradient_sensitivity,
+    laplace_noise_power,
+    logistic_gradient_sensitivity,
+    sampling_noise_power,
+    squared_loss_gradient_sensitivity,
+    total_gradient_noise_power,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestLogisticSensitivity:
+    def test_four_over_b(self):
+        assert logistic_gradient_sensitivity(1) == 4.0
+        assert logistic_gradient_sensitivity(20) == pytest.approx(0.2)
+
+    def test_scales_with_feature_bound(self):
+        assert logistic_gradient_sensitivity(10, 2.0) == pytest.approx(0.8)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ConfigurationError):
+            logistic_gradient_sensitivity(0)
+
+    def test_empirical_bound_holds(self):
+        """Swapping one sample never moves the averaged gradient by > 4/b.
+
+        This empirically validates Appendix A on random minibatches with
+        L1-normalized features.
+        """
+        rng = np.random.default_rng(0)
+        model = MulticlassLogisticRegression(num_features=6, num_classes=4)
+        b = 8
+        worst = 0.0
+        for _ in range(50):
+            w = rng.normal(size=model.num_parameters)
+            features = rng.normal(size=(b, 6))
+            features /= np.abs(features).sum(axis=1, keepdims=True)
+            labels = rng.integers(0, 4, b)
+            # Swap the first sample for an adversarial-ish alternative.
+            features2 = features.copy()
+            labels2 = labels.copy()
+            alt = rng.normal(size=6)
+            features2[0] = alt / np.abs(alt).sum()
+            labels2[0] = (labels[0] + 1) % 4
+            g1 = model.gradient(w, features, labels)
+            g2 = model.gradient(w, features2, labels2)
+            worst = max(worst, np.abs(g1 - g2).sum())
+        assert worst <= 4.0 / b + 1e-9
+
+    def test_model_reports_same_bound(self):
+        model = MulticlassLogisticRegression(5, 3)
+        assert model.gradient_sensitivity(10) == logistic_gradient_sensitivity(10)
+
+
+class TestOtherSensitivities:
+    def test_hinge_equals_logistic(self):
+        assert hinge_gradient_sensitivity(10) == logistic_gradient_sensitivity(10)
+
+    def test_squared_loss(self):
+        assert squared_loss_gradient_sensitivity(10, 1.0, 1.0) == pytest.approx(0.2)
+        assert squared_loss_gradient_sensitivity(10, 1.0, 2.0) == pytest.approx(0.4)
+
+    def test_count_sensitivity_is_one(self):
+        assert count_sensitivity() == 1.0
+
+    def test_feature_sensitivity_is_diameter(self):
+        assert feature_sensitivity(1.0) == 2.0
+        assert feature_sensitivity(0.5) == 1.0
+
+
+class TestNoisePower:
+    def test_laplace_noise_power(self):
+        # 2 D (S/eps)^2.
+        assert laplace_noise_power(10, 2.0, 1.0) == pytest.approx(80.0)
+
+    def test_zero_when_non_private(self):
+        assert laplace_noise_power(10, 2.0, math.inf) == 0.0
+
+    def test_gradient_noise_power_eq13(self):
+        dim, b, eps = 50, 20, 10.0
+        assert gradient_noise_power(dim, b, eps) == pytest.approx(
+            32.0 * dim / (b * eps) ** 2
+        )
+
+    def test_sampling_noise_power(self):
+        assert sampling_noise_power(4.0, 8) == 0.5
+
+    def test_total_combines_both_terms(self):
+        total = total_gradient_noise_power(4.0, 50, 20, 10.0)
+        assert total == pytest.approx(
+            sampling_noise_power(4.0, 20) + gradient_noise_power(50, 20, 10.0)
+        )
+
+    def test_noise_power_decreases_in_batch_size(self):
+        """The Section IV-A claim: larger b shrinks both Eq. 13 terms."""
+        small = total_gradient_noise_power(4.0, 50, 1, 10.0)
+        large = total_gradient_noise_power(4.0, 50, 20, 10.0)
+        assert large < small
+
+    def test_laplace_term_dominates_at_small_epsilon(self):
+        strict = gradient_noise_power(50, 1, 0.1)
+        loose = gradient_noise_power(50, 1, 10.0)
+        assert strict / loose == pytest.approx((10.0 / 0.1) ** 2)
+
+    def test_empirical_noise_power_matches(self):
+        """Mechanism noise power E[||z||^2] matches the Eq. 13 term."""
+        from repro.privacy.laplace import LaplaceMechanism
+
+        dim, b, eps = 50, 5, 2.0
+        mech = LaplaceMechanism(eps, 4.0 / b, rng=np.random.default_rng(0))
+        powers = [np.sum(mech.release(np.zeros(dim)) ** 2) for _ in range(4000)]
+        assert np.mean(powers) == pytest.approx(
+            gradient_noise_power(dim, b, eps), rel=0.05
+        )

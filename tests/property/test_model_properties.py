@@ -1,0 +1,116 @@
+"""Property-based tests for model oracles and their sensitivity bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.models import MulticlassLinearSVM, MulticlassLogisticRegression
+from repro.utils.numerics import l1_normalize
+
+
+def batch_strategy(dim, classes, max_n=12):
+    return st.tuples(
+        hnp.arrays(
+            np.float64,
+            st.tuples(st.integers(2, max_n), st.just(dim)),
+            elements=st.floats(-5, 5, allow_nan=False),
+        ),
+        st.integers(min_value=0, max_value=2**31),
+    )
+
+
+class TestLogisticProperties:
+    @given(data=batch_strategy(4, 3), param_seed=st.integers(0, 2**31))
+    @settings(max_examples=40)
+    def test_appendix_a_swap_bound(self, data, param_seed):
+        """∀ minibatches, swapping one sample moves ḡ by ≤ 4/b in L1."""
+        raw, label_seed = data
+        features = l1_normalize(raw)
+        n = features.shape[0]
+        rng = np.random.default_rng(label_seed)
+        labels = rng.integers(0, 3, n)
+        model = MulticlassLogisticRegression(4, 3)
+        w = np.random.default_rng(param_seed).normal(size=12)
+
+        swapped_features = features.copy()
+        swapped_labels = labels.copy()
+        alt = np.random.default_rng(param_seed + 1).normal(size=4)
+        alt_sum = np.abs(alt).sum()
+        swapped_features[0] = alt / alt_sum if alt_sum > 0 else alt
+        swapped_labels[0] = (labels[0] + 1) % 3
+
+        g1 = model.gradient(w, features, labels)
+        g2 = model.gradient(w, swapped_features, swapped_labels)
+        assert np.abs(g1 - g2).sum() <= 4.0 / n + 1e-9
+
+    @given(data=batch_strategy(3, 4), param_seed=st.integers(0, 2**31))
+    @settings(max_examples=40)
+    def test_loss_nonnegative_and_finite(self, data, param_seed):
+        raw, label_seed = data
+        features = l1_normalize(raw)
+        labels = np.random.default_rng(label_seed).integers(0, 4, features.shape[0])
+        model = MulticlassLogisticRegression(3, 4)
+        w = np.random.default_rng(param_seed).normal(size=12) * 2
+        loss = model.loss(w, features, labels)
+        assert loss >= 0.0
+        assert np.isfinite(loss)
+
+    @given(data=batch_strategy(3, 3), param_seed=st.integers(0, 2**31))
+    @settings(max_examples=40)
+    def test_gradient_descent_direction(self, data, param_seed):
+        """A small step against the gradient never increases the loss."""
+        raw, label_seed = data
+        features = l1_normalize(raw)
+        labels = np.random.default_rng(label_seed).integers(0, 3, features.shape[0])
+        model = MulticlassLogisticRegression(3, 3, l2_regularization=0.01)
+        w = np.random.default_rng(param_seed).normal(size=9)
+        g = model.gradient(w, features, labels)
+        before = model.loss(w, features, labels)
+        after = model.loss(w - 1e-5 * g, features, labels)
+        assert after <= before + 1e-10
+
+    @given(data=batch_strategy(4, 3), param_seed=st.integers(0, 2**31))
+    @settings(max_examples=40)
+    def test_posterior_valid_distribution(self, data, param_seed):
+        raw, _ = data
+        features = l1_normalize(raw)
+        model = MulticlassLogisticRegression(4, 3)
+        w = np.random.default_rng(param_seed).normal(size=12) * 3
+        probs = model.posterior(w, features)
+        assert np.all(probs >= 0)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+class TestSVMProperties:
+    @given(data=batch_strategy(4, 3), param_seed=st.integers(0, 2**31))
+    @settings(max_examples=40)
+    def test_hinge_swap_bound(self, data, param_seed):
+        raw, label_seed = data
+        features = l1_normalize(raw)
+        n = features.shape[0]
+        labels = np.random.default_rng(label_seed).integers(0, 3, n)
+        model = MulticlassLinearSVM(4, 3)
+        w = np.random.default_rng(param_seed).normal(size=12)
+
+        swapped_features = features.copy()
+        swapped_labels = labels.copy()
+        alt = np.random.default_rng(param_seed + 7).normal(size=4)
+        alt_sum = np.abs(alt).sum()
+        swapped_features[0] = alt / alt_sum if alt_sum > 0 else alt
+        swapped_labels[0] = (labels[0] + 2) % 3
+
+        g1 = model.gradient(w, features, labels)
+        g2 = model.gradient(w, swapped_features, swapped_labels)
+        assert np.abs(g1 - g2).sum() <= 4.0 / n + 1e-9
+
+    @given(data=batch_strategy(3, 3), param_seed=st.integers(0, 2**31))
+    @settings(max_examples=40)
+    def test_hinge_nonnegative(self, data, param_seed):
+        raw, label_seed = data
+        features = l1_normalize(raw)
+        labels = np.random.default_rng(label_seed).integers(0, 3, features.shape[0])
+        model = MulticlassLinearSVM(3, 3)
+        w = np.random.default_rng(param_seed).normal(size=9)
+        assert model.loss(w, features, labels) >= 0.0

@@ -1,0 +1,118 @@
+"""Property-based tests for the privacy mechanisms."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.privacy import (
+    DiscreteLaplaceMechanism,
+    LaplaceMechanism,
+    discrete_laplace_variance,
+    label_flip_distribution,
+    laplace_scale,
+    logistic_gradient_sensitivity,
+    split_budget,
+)
+
+epsilons = st.floats(min_value=0.01, max_value=100.0, allow_nan=False)
+batch_sizes = st.integers(min_value=1, max_value=10_000)
+
+
+class TestScaleProperties:
+    @given(eps=epsilons, b=batch_sizes)
+    def test_laplace_scale_positive_and_finite(self, eps, b):
+        scale = laplace_scale(logistic_gradient_sensitivity(b), eps)
+        assert scale > 0
+        assert math.isfinite(scale)
+
+    @given(eps=epsilons, b=batch_sizes)
+    def test_scale_inversely_proportional_to_batch(self, eps, b):
+        one = laplace_scale(logistic_gradient_sensitivity(1), eps)
+        many = laplace_scale(logistic_gradient_sensitivity(b), eps)
+        assert many == pytest.approx(one / b)
+
+    @given(eps=epsilons)
+    def test_stronger_privacy_more_noise(self, eps):
+        weaker = laplace_scale(4.0, eps * 2)
+        stronger = laplace_scale(4.0, eps)
+        assert stronger > weaker
+
+    @given(eps=epsilons)
+    def test_discrete_variance_positive(self, eps):
+        assert discrete_laplace_variance(eps) > 0
+
+
+class TestMechanismProperties:
+    @given(
+        eps=epsilons,
+        seed=st.integers(min_value=0, max_value=2**31),
+        dim=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=50)
+    def test_laplace_release_shape_and_finiteness(self, eps, seed, dim):
+        mech = LaplaceMechanism(eps, 1.0, np.random.default_rng(seed))
+        out = mech.release(np.zeros(dim))
+        assert out.shape == (dim,)
+        assert np.all(np.isfinite(out))
+
+    @given(
+        eps=epsilons,
+        seed=st.integers(min_value=0, max_value=2**31),
+        value=st.integers(min_value=-1000, max_value=1000),
+    )
+    @settings(max_examples=50)
+    def test_discrete_release_integer(self, eps, seed, value):
+        mech = DiscreteLaplaceMechanism(eps, np.random.default_rng(seed))
+        out = mech.release(value)
+        assert isinstance(out, int)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31),
+           dim=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=30)
+    def test_identity_mechanisms_exact(self, seed, dim):
+        rng = np.random.default_rng(seed)
+        value = rng.normal(size=dim)
+        out = LaplaceMechanism(math.inf, 1.0, rng).release(value)
+        assert np.array_equal(out, value)
+
+
+class TestBudgetProperties:
+    @given(
+        eps=epsilons,
+        classes=st.integers(min_value=1, max_value=1000),
+        fraction=st.floats(min_value=0.001, max_value=0.999),
+    )
+    def test_split_budget_exactly_preserves_total(self, eps, classes, fraction):
+        budget = split_budget(eps, classes, monitoring_fraction=fraction)
+        assert budget.total_epsilon == pytest.approx(eps, rel=1e-9)
+
+    @given(eps=epsilons, classes=st.integers(min_value=1, max_value=1000))
+    def test_split_components_all_positive(self, eps, classes):
+        budget = split_budget(eps, classes)
+        assert budget.epsilon_gradient > 0
+        assert budget.epsilon_error > 0
+        assert budget.epsilon_label > 0
+
+
+class TestLabelFlipProperties:
+    @given(eps=st.floats(min_value=0.001, max_value=1000.0),
+           classes=st.integers(min_value=2, max_value=100))
+    def test_distribution_valid(self, eps, classes):
+        dist = label_flip_distribution(eps, classes)
+        assert dist.shape == (classes,)
+        assert np.all(dist >= 0)
+        assert dist.sum() == pytest.approx(1.0)
+
+    @given(eps=st.floats(min_value=0.001, max_value=600.0),
+           classes=st.integers(min_value=2, max_value=100))
+    def test_true_label_always_most_likely(self, eps, classes):
+        dist = label_flip_distribution(eps, classes)
+        assert dist[0] >= dist[1:].max()
+
+    @given(classes=st.integers(min_value=2, max_value=50))
+    def test_keep_probability_increases_with_epsilon(self, classes):
+        keeps = [label_flip_distribution(e, classes)[0] for e in (0.1, 1.0, 10.0)]
+        assert keeps[0] < keeps[1] < keeps[2]

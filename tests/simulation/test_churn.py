@@ -1,0 +1,103 @@
+"""Tests for device churn (Fig. 2: devices join/leave at any time)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data import iid_partition, make_mnist_like
+from repro.models import MulticlassLogisticRegression
+from repro.simulation import ChurnSchedule, CrowdSimulator, SimulationConfig
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestChurnSchedule:
+    def test_always_on(self):
+        schedule = ChurnSchedule.always_on(5)
+        assert schedule.num_devices == 5
+        assert schedule.is_active(0, 0.0)
+        assert schedule.is_active(0, 1e12)
+
+    def test_activity_window(self):
+        schedule = ChurnSchedule(np.array([2.0]), np.array([5.0]))
+        assert not schedule.is_active(0, 1.0)
+        assert schedule.is_active(0, 2.0)
+        assert schedule.is_active(0, 4.9)
+        assert not schedule.is_active(0, 5.0)
+
+    def test_rejects_leave_before_join(self):
+        with pytest.raises(ConfigurationError):
+            ChurnSchedule(np.array([5.0]), np.array([2.0]))
+
+    def test_rejects_negative_join(self):
+        with pytest.raises(ConfigurationError):
+            ChurnSchedule(np.array([-1.0]), np.array([2.0]))
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ChurnSchedule(np.array([0.0, 1.0]), np.array([2.0]))
+
+    def test_staggered_joins(self, rng):
+        schedule = ChurnSchedule.staggered_joins(100, 50.0, rng)
+        assert schedule.join_times.min() >= 0.0
+        assert schedule.join_times.max() <= 50.0
+        assert np.all(np.isinf(schedule.leave_times))
+
+    def test_random_sessions(self, rng):
+        schedule = ChurnSchedule.random_sessions(100, 200.0, 30.0, rng)
+        assert np.all(schedule.leave_times > schedule.join_times)
+        assert np.all(schedule.leave_times - schedule.join_times >= 1.0)
+
+
+class TestChurnInSimulation:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return make_mnist_like(num_train=400, num_test=150, seed=0)
+
+    def _run(self, data, churn, num_devices=10, seed=0):
+        train, test = data
+        parts = iid_partition(train, num_devices, np.random.default_rng(seed))
+        config = SimulationConfig(
+            num_devices=num_devices, learning_rate_constant=30.0, churn=churn,
+        )
+        return CrowdSimulator(
+            MulticlassLogisticRegression(50, 10), parts, test, config, seed=seed
+        ).run()
+
+    def test_config_validates_schedule_size(self, data):
+        train, test = data
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(num_devices=10, churn=ChurnSchedule.always_on(3))
+
+    def test_always_on_matches_no_churn(self, data):
+        baseline = self._run(data, churn=None)
+        always = self._run(data, churn=ChurnSchedule.always_on(10))
+        assert always.total_samples_consumed == baseline.total_samples_consumed
+        assert np.array_equal(always.final_parameters, baseline.final_parameters)
+
+    def test_early_leavers_contribute_less(self, data):
+        # Half the devices leave after 10 time units (~10 samples each).
+        joins = np.zeros(10)
+        leaves = np.full(10, math.inf)
+        leaves[:5] = 10.0
+        trace = self._run(data, churn=ChurnSchedule(joins, leaves))
+        full = self._run(data, churn=None)
+        assert trace.total_samples_consumed < full.total_samples_consumed
+        # Learning still completes with the surviving crowd.
+        assert trace.curve.final_error < 0.5
+
+    def test_late_joiners_still_contribute(self, data):
+        joins = np.zeros(10)
+        joins[5:] = 15.0  # half the crowd joins late
+        churn = ChurnSchedule(joins, np.full(10, math.inf))
+        trace = self._run(data, churn=churn)
+        # Everyone eventually drains their stream.
+        assert trace.total_samples_consumed == 400
+
+    def test_rolling_sessions_keep_learning(self, data):
+        rng = np.random.default_rng(7)
+        churn = ChurnSchedule.random_sessions(10, horizon=30.0,
+                                              mean_session=25.0, rng=rng)
+        trace = self._run(data, churn=churn)
+        assert trace.server_iterations > 20
+        assert trace.curve.final_error < trace.curve.errors[0]

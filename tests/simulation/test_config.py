@@ -1,0 +1,54 @@
+"""Tests for the simulation configuration."""
+
+import math
+
+import pytest
+
+from repro.network import LinkDelays
+from repro.simulation import SimulationConfig
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults(self):
+        config = SimulationConfig(num_devices=10)
+        assert config.batch_size == 1
+        assert math.isinf(config.epsilon)
+        assert config.link_delays.mean_round_trip == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_devices": 0},
+            {"num_devices": 5, "batch_size": 0},
+            {"num_devices": 5, "learning_rate_constant": 0.0},
+            {"num_devices": 5, "l2_regularization": -1.0},
+            {"num_devices": 5, "sampling_rate": 0.0},
+            {"num_devices": 5, "num_passes": 0},
+            {"num_devices": 5, "holdout_fraction": 1.0},
+            {"num_devices": 5, "buffer_factor": 0},
+            {"num_devices": 5, "num_snapshots": 0},
+            {"num_devices": 5, "projection_radius": 0.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(**kwargs)
+
+    def test_unconstrained_projection_allowed(self):
+        config = SimulationConfig(num_devices=5, projection_radius=None)
+        assert config.projection_radius is None
+
+
+class TestDelayUnits:
+    def test_delta_conversion(self):
+        """Δ = 1/(M·F_s): a k·Δ delay spans k crowd-wide samples."""
+        config = SimulationConfig(num_devices=100, sampling_rate=2.0)
+        tau = config.delay_in_sample_units(1000)
+        assert tau == pytest.approx(1000 / (100 * 2.0))
+
+    def test_one_delta_is_one_sample_interval(self):
+        config = SimulationConfig(num_devices=50, sampling_rate=1.0)
+        # During 1Δ the crowd generates exactly one sample on average.
+        tau = config.delay_in_sample_units(1)
+        assert tau * 50 * 1.0 == pytest.approx(1.0)

@@ -1,0 +1,75 @@
+"""Tests for the multi-trial experiment runner."""
+
+import numpy as np
+import pytest
+
+from repro.data import dirichlet_partition, make_mnist_like
+from repro.models import MulticlassLogisticRegression
+from repro.simulation import SimulationConfig, run_crowd_trials
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_mnist_like(num_train=300, num_test=150, seed=0)
+
+
+def factory():
+    return MulticlassLogisticRegression(50, 10)
+
+
+class TestRunner:
+    def test_trial_count(self, data):
+        train, test = data
+        config = SimulationConfig(num_devices=5, learning_rate_constant=30.0)
+        report = run_crowd_trials(factory, train, test, config, num_trials=3)
+        assert report.num_trials == 3
+
+    def test_mean_curve_averages_trials(self, data):
+        train, test = data
+        config = SimulationConfig(num_devices=5, epsilon=1.0,
+                                  learning_rate_constant=30.0)
+        report = run_crowd_trials(factory, train, test, config, num_trials=3)
+        grid = report.mean_curve.iterations
+        manual = np.mean(
+            [[t.curve.value_at(int(i)) for i in grid] for t in report.traces], axis=0
+        )
+        assert np.allclose(report.mean_curve.errors, manual)
+
+    def test_reproducible_given_base_seed(self, data):
+        train, test = data
+        config = SimulationConfig(num_devices=5, epsilon=1.0,
+                                  learning_rate_constant=30.0)
+        a = run_crowd_trials(factory, train, test, config, num_trials=2, base_seed=9)
+        b = run_crowd_trials(factory, train, test, config, num_trials=2, base_seed=9)
+        assert np.array_equal(a.mean_curve.errors, b.mean_curve.errors)
+
+    def test_trials_differ_from_each_other(self, data):
+        train, test = data
+        config = SimulationConfig(num_devices=5, epsilon=1.0,
+                                  learning_rate_constant=30.0)
+        report = run_crowd_trials(factory, train, test, config, num_trials=2)
+        a, b = report.traces
+        assert not np.array_equal(a.final_parameters, b.final_parameters)
+
+    def test_custom_partition(self, data):
+        train, test = data
+        config = SimulationConfig(num_devices=5, learning_rate_constant=30.0)
+        report = run_crowd_trials(
+            factory, train, test, config, num_trials=1,
+            partition=lambda ds, m, rng: dirichlet_partition(ds, m, rng, alpha=0.2),
+        )
+        assert report.traces[0].total_samples_consumed == len(train)
+
+    def test_rejects_zero_trials(self, data):
+        train, test = data
+        config = SimulationConfig(num_devices=5)
+        with pytest.raises(ValueError):
+            run_crowd_trials(factory, train, test, config, num_trials=0)
+
+    def test_tail_error_exposed(self, data):
+        train, test = data
+        config = SimulationConfig(num_devices=5, num_passes=3,
+                                  learning_rate_constant=30.0)
+        report = run_crowd_trials(factory, train, test, config, num_trials=1)
+        assert 0.0 <= report.tail_error() <= 1.0
+        assert 0.0 <= report.final_error <= 1.0

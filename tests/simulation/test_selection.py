@@ -1,0 +1,67 @@
+"""Tests for Section V-C hyperparameter selection."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_mnist_like
+from repro.models import MulticlassLogisticRegression
+from repro.simulation import SimulationConfig, select_hyperparameters
+from repro.utils.exceptions import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_mnist_like(num_train=400, num_test=200, seed=0)
+
+
+def builder(l2: float):
+    return MulticlassLogisticRegression(50, 10, l2_regularization=l2)
+
+
+@pytest.fixture(scope="module")
+def result(data):
+    train, validation = data
+    config = SimulationConfig(num_devices=10, num_passes=2)
+    return select_hyperparameters(
+        builder, train, validation, config,
+        l2_grid=[0.0, 1e-3],
+        learning_rate_grid=[0.01, 30.0],
+        num_trials=1,
+    )
+
+
+class TestSelection:
+    def test_scores_cover_full_grid(self, result):
+        assert len(result.scores) == 4
+
+    def test_best_is_grid_minimum(self, result):
+        assert result.best_error == min(result.scores.values())
+        assert result.scores[(result.best_l2, result.best_learning_rate)] == (
+            result.best_error
+        )
+
+    def test_sensible_rate_wins(self, result):
+        """c = 0.01 barely moves the model; c = 30 must win on this task."""
+        assert result.best_learning_rate == 30.0
+
+    def test_format_table_marks_best(self, result):
+        table = result.format_table()
+        assert "<-- best" in table
+        assert table.count("\n") == 4  # header + 4 grid rows
+
+    def test_rejects_empty_grid(self, data):
+        train, validation = data
+        config = SimulationConfig(num_devices=10)
+        with pytest.raises(ConfigurationError):
+            select_hyperparameters(builder, train, validation, config, [], [1.0])
+
+    def test_deterministic(self, data, result):
+        train, validation = data
+        config = SimulationConfig(num_devices=10, num_passes=2)
+        again = select_hyperparameters(
+            builder, train, validation, config,
+            l2_grid=[0.0, 1e-3],
+            learning_rate_grid=[0.01, 30.0],
+            num_trials=1,
+        )
+        assert again.scores == result.scores

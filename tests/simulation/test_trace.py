@@ -1,0 +1,85 @@
+"""Tests for RunTrace and CommunicationStats."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import ErrorCurve
+from repro.simulation import CommunicationStats, RunTrace
+
+
+def make_trace(staleness=None, online=None):
+    return RunTrace(
+        curve=ErrorCurve(np.array([1, 2]), np.array([0.5, 0.25])),
+        online_errors=np.asarray(online if online is not None else [True, False]),
+        final_parameters=np.zeros(3),
+        total_samples_consumed=2,
+        server_iterations=2,
+        communication=CommunicationStats(uplink_floats=10, downlink_floats=5),
+        per_sample_epsilon=1.0,
+        stop_reason="data_exhausted",
+        staleness=np.asarray(staleness if staleness is not None else [], dtype=np.int64),
+    )
+
+
+class TestRunTrace:
+    def test_final_error(self):
+        assert make_trace().final_error == 0.25
+
+    def test_time_averaged_error(self):
+        trace = make_trace(online=[True, True, False, False])
+        assert np.allclose(trace.time_averaged_error(), [1.0, 1.0, 2 / 3, 0.5])
+
+    def test_staleness_stats(self):
+        trace = make_trace(staleness=[0, 2, 4])
+        assert trace.mean_staleness == pytest.approx(2.0)
+        assert trace.max_staleness == 4
+
+    def test_staleness_empty(self):
+        trace = make_trace(staleness=[])
+        assert trace.mean_staleness == 0.0
+        assert trace.max_staleness == 0
+
+
+class TestCommunicationStats:
+    def test_total_floats(self):
+        stats = CommunicationStats(uplink_floats=7, downlink_floats=3)
+        assert stats.total_floats == 10
+
+    def test_defaults_zero(self):
+        stats = CommunicationStats()
+        assert stats.total_floats == 0
+        assert stats.checkout_requests == 0
+
+
+class TestSimulatorStalenessIntegration:
+    def test_zero_delay_zero_staleness_with_b1(self):
+        """With no delays and chained zero-delay events, a check-in applies
+        before any other update can interleave."""
+        from repro.data import iid_partition, make_mnist_like
+        from repro.models import MulticlassLogisticRegression
+        from repro.simulation import CrowdSimulator, SimulationConfig
+
+        train, test = make_mnist_like(num_train=200, num_test=100)
+        parts = iid_partition(train, 5, np.random.default_rng(0))
+        config = SimulationConfig(num_devices=5, learning_rate_constant=30.0)
+        trace = CrowdSimulator(
+            MulticlassLogisticRegression(50, 10), parts, test, config, seed=0
+        ).run()
+        assert trace.max_staleness == 0
+
+    def test_delay_induces_staleness(self):
+        from repro.data import iid_partition, make_mnist_like
+        from repro.models import MulticlassLogisticRegression
+        from repro.network import LinkDelays
+        from repro.simulation import CrowdSimulator, SimulationConfig
+
+        train, test = make_mnist_like(num_train=400, num_test=100)
+        parts = iid_partition(train, 20, np.random.default_rng(0))
+        config = SimulationConfig(
+            num_devices=20, link_delays=LinkDelays.uniform(3.0),
+            learning_rate_constant=30.0,
+        )
+        trace = CrowdSimulator(
+            MulticlassLogisticRegression(50, 10), parts, test, config, seed=0
+        ).run()
+        assert trace.mean_staleness > 0

@@ -1,0 +1,39 @@
+"""Run every docstring example in the library as a test.
+
+Doc examples are part of the public API contract; this harness keeps them
+honest without requiring a separate ``--doctest-modules`` invocation.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_module_names():
+    yield "repro"
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+MODULE_NAMES = sorted(set(_walk_module_names()))
+
+
+@pytest.mark.parametrize("module_name", MODULE_NAMES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s) in {module_name}"
+
+
+def test_doctest_coverage_is_nontrivial():
+    """The suite must actually exercise examples, not silently skip."""
+    total_attempted = 0
+    for module_name in MODULE_NAMES:
+        module = importlib.import_module(module_name)
+        results = doctest.testmod(module, verbose=False)
+        total_attempted += results.attempted
+    assert total_attempted > 30

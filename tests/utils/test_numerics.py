@@ -1,0 +1,104 @@
+"""Tests for numerically stable primitives."""
+
+import numpy as np
+import pytest
+
+from repro.utils.numerics import (
+    l1_normalize,
+    log_sum_exp,
+    one_hot,
+    running_mean,
+    softmax,
+)
+
+
+class TestLogSumExp:
+    def test_matches_naive_for_small_values(self):
+        scores = np.array([0.1, 0.5, -0.3])
+        assert np.isclose(log_sum_exp(scores), np.log(np.exp(scores).sum()))
+
+    def test_no_overflow_for_large_values(self):
+        scores = np.array([1000.0, 1000.0])
+        assert np.isclose(log_sum_exp(scores), 1000.0 + np.log(2.0))
+
+    def test_no_underflow_for_very_negative(self):
+        scores = np.array([-1000.0, -1000.0])
+        assert np.isfinite(log_sum_exp(scores))
+
+    def test_axis_handling(self):
+        scores = np.array([[0.0, 0.0], [1.0, 1.0]])
+        out = log_sum_exp(scores, axis=1)
+        assert out.shape == (2,)
+        assert np.allclose(out, [np.log(2.0), 1.0 + np.log(2.0)])
+
+
+class TestSoftmax:
+    def test_sums_to_one(self):
+        probs = softmax(np.array([1.0, 2.0, 3.0]))
+        assert np.isclose(probs.sum(), 1.0)
+
+    def test_uniform_for_equal_scores(self):
+        probs = softmax(np.zeros(4))
+        assert np.allclose(probs, 0.25)
+
+    def test_invariant_to_constant_shift(self):
+        scores = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(softmax(scores), softmax(scores + 100.0))
+
+    def test_stable_for_huge_scores(self):
+        probs = softmax(np.array([1e5, 0.0]))
+        assert np.isclose(probs[0], 1.0)
+
+    def test_batch_axis(self):
+        scores = np.zeros((3, 5))
+        probs = softmax(scores, axis=1)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2]), 3)
+        assert out.tolist() == [[1.0, 0.0, 0.0], [0.0, 0.0, 1.0]]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+    def test_empty(self):
+        assert one_hot(np.array([], dtype=int), 3).shape == (0, 3)
+
+
+class TestL1Normalize:
+    def test_unit_norm(self):
+        out = l1_normalize(np.array([[2.0, -2.0]]))
+        assert np.isclose(np.abs(out).sum(), 1.0)
+
+    def test_zero_rows_untouched(self):
+        out = l1_normalize(np.zeros((2, 3)))
+        assert np.allclose(out, 0.0)
+
+    def test_never_exceeds_one(self):
+        rng = np.random.default_rng(0)
+        out = l1_normalize(rng.normal(size=(50, 10)))
+        assert np.all(np.sum(np.abs(out), axis=1) <= 1.0 + 1e-12)
+
+    def test_preserves_direction(self):
+        row = np.array([[3.0, 1.0]])
+        out = l1_normalize(row)
+        assert np.allclose(out / out.sum(), row / row.sum())
+
+
+class TestRunningMean:
+    def test_basic(self):
+        out = running_mean(np.array([1.0, 0.0, 1.0, 0.0]))
+        assert np.allclose(out, [1.0, 0.5, 2 / 3, 0.5])
+
+    def test_empty(self):
+        assert running_mean(np.array([])).size == 0
+
+    def test_constant_sequence(self):
+        assert np.allclose(running_mean(np.full(5, 0.3)), 0.3)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            running_mean(np.zeros((2, 2)))

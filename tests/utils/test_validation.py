@@ -1,0 +1,116 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.validation import (
+    check_fraction,
+    check_in_choices,
+    check_labels,
+    check_matrix,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_vector,
+)
+
+
+class TestScalarChecks:
+    def test_positive_accepts(self):
+        assert check_positive(1.5, "x") == 1.5
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_positive_rejects(self, bad):
+        with pytest.raises(ConfigurationError, match="x"):
+            check_positive(bad, "x")
+
+    def test_non_negative_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.1, float("nan")])
+    def test_non_negative_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_non_negative(bad, "x")
+
+    def test_positive_int_accepts(self):
+        assert check_positive_int(3, "n") == 3
+        assert check_positive_int(np.int64(3), "n") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True, "3"])
+    def test_positive_int_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive_int(bad, "n")
+
+    def test_fraction_inclusive(self):
+        assert check_fraction(0.0, "f") == 0.0
+        assert check_fraction(1.0, "f") == 1.0
+
+    def test_fraction_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            check_fraction(0.0, "f", inclusive=False)
+        assert check_fraction(0.5, "f", inclusive=False) == 0.5
+
+    def test_in_choices(self):
+        assert check_in_choices("a", "c", ["a", "b"]) == "a"
+        with pytest.raises(ConfigurationError):
+            check_in_choices("z", "c", ["a", "b"])
+
+
+class TestArrayChecks:
+    def test_vector_coerces_dtype(self):
+        out = check_vector([1, 2, 3], "v")
+        assert out.dtype == np.float64
+
+    def test_vector_size_enforced(self):
+        with pytest.raises(ConfigurationError, match="length"):
+            check_vector([1.0, 2.0], "v", size=3)
+
+    def test_vector_rejects_matrix(self):
+        with pytest.raises(ConfigurationError):
+            check_vector(np.zeros((2, 2)), "v")
+
+    def test_vector_rejects_nan(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            check_vector([1.0, float("nan")], "v")
+
+    def test_matrix_shape_wildcards(self):
+        out = check_matrix(np.zeros((4, 3)), "m", shape=(None, 3))
+        assert out.shape == (4, 3)
+
+    def test_matrix_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            check_matrix(np.zeros((4, 3)), "m", shape=(None, 5))
+
+    def test_matrix_rejects_vector(self):
+        with pytest.raises(ConfigurationError):
+            check_matrix(np.zeros(4), "m")
+
+    def test_matrix_rejects_inf(self):
+        bad = np.zeros((2, 2))
+        bad[0, 0] = np.inf
+        with pytest.raises(ConfigurationError, match="finite"):
+            check_matrix(bad, "m")
+
+
+class TestLabelChecks:
+    def test_accepts_int_labels(self):
+        out = check_labels(np.array([0, 1, 2]), "y", 3)
+        assert out.dtype == np.int64
+
+    def test_accepts_integral_floats(self):
+        out = check_labels(np.array([0.0, 1.0]), "y", 2)
+        assert out.tolist() == [0, 1]
+
+    def test_rejects_fractional_floats(self):
+        with pytest.raises(ConfigurationError):
+            check_labels(np.array([0.5]), "y", 2)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            check_labels(np.array([0, 3]), "y", 3)
+        with pytest.raises(ConfigurationError):
+            check_labels(np.array([-1]), "y", 3)
+
+    def test_empty_labels_ok(self):
+        assert check_labels(np.array([], dtype=np.int64), "y", 3).size == 0
