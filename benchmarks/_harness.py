@@ -1,0 +1,30 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Importable as ``benchmarks._harness`` (the ``benchmarks`` directory is a
+package), so benchmark modules do not rely on pytest inserting the
+``benchmarks/`` directory itself onto ``sys.path``.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def publish_table(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/.
+
+    pytest captures stdout of passing tests, so the persisted copy is what
+    survives a quiet run; EXPERIMENTS.md references these files.
+    """
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")

@@ -8,6 +8,8 @@ pytest-benchmark but is not itself the point — the *result rows* are.
 
 Set the environment variable ``REPRO_SCALE=paper`` to run the full
 paper-scale experiments (hours), or ``REPRO_SCALE=smoke`` for a quick pass.
+Shared helpers (``run_once``/``publish_table``) live in
+:mod:`benchmarks._harness`.
 """
 
 from __future__ import annotations
@@ -28,24 +30,3 @@ def scale() -> ExperimentScale:
     if name == "smoke":
         return ExperimentScale.smoke()
     return ExperimentScale.benchmark()
-
-
-def run_once(benchmark, fn, *args, **kwargs):
-    """Run an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
-
-
-RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
-
-
-def publish_table(name: str, text: str) -> None:
-    """Print a result table and persist it under benchmarks/results/.
-
-    pytest captures stdout of passing tests, so the persisted copy is what
-    survives a quiet run; EXPERIMENTS.md references these files.
-    """
-    print()
-    print(text)
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
-        handle.write(text + "\n")

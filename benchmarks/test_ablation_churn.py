@@ -11,7 +11,7 @@ import math
 import numpy as np
 import pytest
 
-from conftest import publish_table, run_once
+from benchmarks._harness import publish_table, run_once
 from repro.data import iid_partition, make_mnist_like
 from repro.models import MulticlassLogisticRegression
 from repro.simulation import ChurnSchedule, CrowdSimulator, SimulationConfig

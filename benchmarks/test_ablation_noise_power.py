@@ -11,7 +11,7 @@ basis for every Fig. 5/6 observation.
 import numpy as np
 import pytest
 
-from conftest import publish_table, run_once
+from benchmarks._harness import publish_table, run_once
 from repro.data import make_mnist_like
 from repro.models import MulticlassLogisticRegression
 from repro.privacy import (

@@ -10,7 +10,7 @@ should degrade only mildly as per-device label diversity collapses.
 import numpy as np
 import pytest
 
-from conftest import publish_table, run_once
+from benchmarks._harness import publish_table, run_once
 from repro.baselines import DecentralizedTrainer
 from repro.data import (
     dirichlet_partition,

@@ -9,7 +9,7 @@ provide robustness to large noisy gradients.
 import numpy as np
 import pytest
 
-from conftest import publish_table, run_once
+from benchmarks._harness import publish_table, run_once
 from repro.core import CrowdMLServer, Device, DeviceConfig, ServerConfig
 from repro.core.protocol import CheckoutRequest
 from repro.data import iid_partition, make_mnist_like

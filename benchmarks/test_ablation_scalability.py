@@ -8,7 +8,7 @@ and asserts the orderings Section IV claims.
 
 import pytest
 
-from conftest import publish_table, run_once
+from benchmarks._harness import publish_table, run_once
 from repro.analysis import (
     Approach,
     EnergyProfile,

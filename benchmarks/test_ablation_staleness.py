@@ -10,7 +10,7 @@ that makes Fig. 6's b = 20 arms delay-proof.
 import numpy as np
 import pytest
 
-from conftest import publish_table, run_once
+from benchmarks._harness import publish_table, run_once
 from repro.analysis import SystemShape, staleness_for_uniform_delay
 from repro.data import iid_partition, make_mnist_like
 from repro.models import MulticlassLogisticRegression

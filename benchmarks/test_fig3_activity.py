@@ -7,7 +7,7 @@ similar and virtually converge within ~50 samples (~7 per device).
 
 import numpy as np
 
-from conftest import publish_table, run_once
+from benchmarks._harness import publish_table, run_once
 from repro.experiments import run_fig3_experiment
 
 

@@ -7,7 +7,7 @@ Paper claims (no privacy, no delay, b = 1):
   consuming the same total number of samples.
 """
 
-from conftest import publish_table, run_once
+from benchmarks._harness import publish_table, run_once
 from repro.experiments import run_fig4_experiment
 
 

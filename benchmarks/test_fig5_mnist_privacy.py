@@ -9,7 +9,7 @@ Paper claims:
 * Central SGD on perturbed inputs is ~0.9 error regardless of b.
 """
 
-from conftest import publish_table, run_once
+from benchmarks._harness import publish_table, run_once
 from repro.experiments import run_fig5_experiment
 
 

@@ -8,7 +8,7 @@ Paper claims (ε⁻¹ = 0.1, delays in Δ = τ/(M·F_s) units):
 * b = 20 curves show an initial plateau while minibatches fill.
 """
 
-from conftest import publish_table, run_once
+from benchmarks._harness import publish_table, run_once
 from repro.experiments import run_fig6_experiment
 
 

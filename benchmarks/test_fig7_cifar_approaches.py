@@ -4,7 +4,7 @@ Same claims as Fig. 4 but on the harder object-recognition features:
 the common error floor sits near 0.3 instead of 0.1.
 """
 
-from conftest import publish_table, run_once
+from benchmarks._harness import publish_table, run_once
 from repro.experiments import run_fig7_experiment
 
 

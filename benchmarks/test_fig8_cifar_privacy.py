@@ -3,7 +3,7 @@
 Same claims as Fig. 5 with a higher error floor.
 """
 
-from conftest import publish_table, run_once
+from benchmarks._harness import publish_table, run_once
 from repro.experiments import run_fig8_experiment
 
 

@@ -3,7 +3,7 @@
 Same claims as Fig. 6 on the harder features.
 """
 
-from conftest import publish_table, run_once
+from benchmarks._harness import publish_table, run_once
 from repro.experiments import run_fig9_experiment
 
 

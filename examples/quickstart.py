@@ -1,8 +1,12 @@
 """Quickstart: learn a private classifier from a simulated crowd.
 
-Runs a small MNIST-like Crowd-ML task twice — once without privacy and
-once with per-sample ε = 10 and minibatch size 20 — and prints the error
-curves and the communication/privacy accounting.
+Two ways in, shortest first:
+
+1. :func:`repro.quick_crowd_run` — one call, multi-pass, optionally
+   private.
+2. The declarative API — the same comparison written as an
+   :class:`~repro.ExperimentSpec` (pure data, JSON-serializable) and
+   executed by an :class:`~repro.ExperimentSession`.
 
 Usage::
 
@@ -13,16 +17,13 @@ from __future__ import annotations
 
 import math
 
-from repro import SimulationConfig, run_crowd_trials
-from repro.data import MNIST_CLASSES, MNIST_DIM, make_mnist_like
-from repro.models import MulticlassLogisticRegression
-
-
-def model_factory() -> MulticlassLogisticRegression:
-    """A fresh Table-I classifier (multiclass logistic regression)."""
-    return MulticlassLogisticRegression(
-        num_features=MNIST_DIM, num_classes=MNIST_CLASSES, l2_regularization=1e-4
-    )
+from repro import (
+    ArmSpec,
+    ExperimentScale,
+    ExperimentSession,
+    ExperimentSpec,
+    quick_crowd_run,
+)
 
 
 def describe(report, label: str) -> None:
@@ -43,31 +44,18 @@ def describe(report, label: str) -> None:
 
 
 def main() -> None:
-    print("Generating MNIST-like crowdsensing data ...")
-    train, test = make_mnist_like(num_train=6000, num_test=1500, seed=0)
-
-    print("Simulating 100 devices, no privacy (epsilon = inf), b = 1 ...")
-    non_private = SimulationConfig(
-        num_devices=100,
-        batch_size=1,
-        epsilon=math.inf,
-        learning_rate_constant=30.0,
-        l2_regularization=1e-4,
-        num_passes=2,
+    print("Simulating 100 devices, no privacy (epsilon = inf), b = 1, 2 passes ...")
+    report = quick_crowd_run(
+        num_devices=100, epsilon=math.inf, batch_size=1,
+        num_train=6000, num_test=1500, num_passes=2,
     )
-    report = run_crowd_trials(model_factory, train, test, non_private, num_trials=1)
     describe(report, "Crowd-ML, non-private")
 
-    print("\nSimulating the same crowd with per-sample epsilon = 10, b = 20 ...")
-    private = SimulationConfig(
-        num_devices=100,
-        batch_size=20,
-        epsilon=10.0,
-        learning_rate_constant=30.0,
-        l2_regularization=1e-4,
-        num_passes=4,
+    print("\nSame crowd with per-sample epsilon = 10, b = 20, 4 passes ...")
+    report = quick_crowd_run(
+        num_devices=100, epsilon=10.0, batch_size=20,
+        num_train=6000, num_test=1500, num_passes=4,
     )
-    report = run_crowd_trials(model_factory, train, test, private, num_trials=1)
     describe(report, "Crowd-ML, epsilon = 10, b = 20")
 
     print(
@@ -76,6 +64,29 @@ def main() -> None:
         "\nso privacy costs convergence speed rather than a higher plateau."
         "\n(Run longer / with more devices to watch it close the gap.)"
     )
+
+    # The same comparison, declaratively: each arm is data (registry names
+    # + kwargs), so this spec serializes to JSON and back unchanged.
+    spec = ExperimentSpec(
+        name="quickstart (privacy comparison)",
+        dataset="mnist_like",
+        scale=ExperimentScale(num_train=6000, num_test=1500, num_devices=100,
+                              num_trials=1, num_passes=2),
+        arms=(
+            ArmSpec(label="non-private (b=1)",
+                    schedule_kwargs={"constant": 30.0},
+                    l2_regularization=1e-4),
+            ArmSpec(label="eps=10 (b=20)", epsilon=10.0, batch_size=20,
+                    num_passes=4,
+                    schedule_kwargs={"constant": 30.0},
+                    l2_regularization=1e-4, seed_offset=1),
+        ),
+    )
+    print("\nRe-running declaratively (ExperimentSpec -> ExperimentSession) ...")
+    result = ExperimentSession(max_workers=2).run(spec, seed=0)
+    print(result.format_table())
+    print("\nThis spec as JSON (rerunnable via ExperimentSpec.from_json):")
+    print(spec.to_json())
 
 
 if __name__ == "__main__":

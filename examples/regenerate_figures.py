@@ -5,9 +5,18 @@ Usage::
     python examples/regenerate_figures.py --figure 4            # one figure
     python examples/regenerate_figures.py --figure all          # everything
     python examples/regenerate_figures.py --figure 5 --scale smoke
+    python examples/regenerate_figures.py --figure 6 --workers 8
+    python examples/regenerate_figures.py --figure 4 --export-spec fig4.json
+    python examples/regenerate_figures.py --spec fig4.json      # data, no code
 
 Scales: ``smoke`` (seconds), ``benchmark`` (default, ~minutes),
 ``paper`` (full Section V-C sizes: M = 1000, 60k samples, 10 trials).
+
+Figures are declarative :class:`~repro.experiments.ExperimentSpec`\\ s:
+``--export-spec`` writes one to JSON, and ``--spec`` re-runs any such file
+through the same :class:`~repro.experiments.ExperimentSession` — no python
+needed to define new sweeps.  ``--workers N`` fans arms × trials out over
+N processes (results are bit-identical to serial runs).
 """
 
 from __future__ import annotations
@@ -17,48 +26,69 @@ import time
 
 from repro.experiments import (
     ExperimentScale,
-    run_fig3_experiment,
-    run_fig4_experiment,
-    run_fig5_experiment,
-    run_fig6_experiment,
-    run_fig7_experiment,
-    run_fig8_experiment,
-    run_fig9_experiment,
+    ExperimentSession,
+    ExperimentSpec,
+    FIGURE_SPEC_BUILDERS,
+    fig3_spec,
 )
 
-RUNNERS = {
-    "3": lambda scale: run_fig3_experiment(),
-    "4": run_fig4_experiment,
-    "5": run_fig5_experiment,
-    "6": run_fig6_experiment,
-    "7": run_fig7_experiment,
-    "8": run_fig8_experiment,
-    "9": run_fig9_experiment,
-}
+SCALES = ("smoke", "benchmark", "paper")
 
-SCALES = {
-    "smoke": ExperimentScale.smoke,
-    "benchmark": ExperimentScale.benchmark,
-    "paper": ExperimentScale.paper,
-}
+
+def build_spec(figure: str, scale: ExperimentScale) -> ExperimentSpec:
+    if figure == "3":
+        return fig3_spec()  # Fig. 3 has its own (device, stream) sizing
+    return FIGURE_SPEC_BUILDERS[figure](scale)
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--figure", default="all",
-                        choices=[*RUNNERS.keys(), "all"])
-    parser.add_argument("--scale", default="benchmark", choices=list(SCALES))
+                        choices=["3", *sorted(FIGURE_SPEC_BUILDERS), "all"])
+    parser.add_argument("--scale", default=None, choices=SCALES,
+                        help="experiment scale (default: benchmark; with "
+                             "--spec, overrides the scale embedded in the "
+                             "JSON when given explicitly)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool size (default: serial)")
+    parser.add_argument("--export-spec", metavar="PATH",
+                        help="write the figure's ExperimentSpec JSON and exit")
+    parser.add_argument("--spec", metavar="PATH",
+                        help="run an ExperimentSpec JSON file instead of a "
+                             "built-in figure")
     args = parser.parse_args()
 
-    scale = SCALES[args.scale]()
-    figures = list(RUNNERS) if args.figure == "all" else [args.figure]
-    for figure in figures:
+    scale = ExperimentScale.named(args.scale or "benchmark")
+    session = ExperimentSession(max_workers=args.workers)
+
+    if args.spec:
+        with open(args.spec) as handle:
+            spec = ExperimentSpec.from_json(handle.read())
+        if args.scale is not None:
+            spec = spec.with_scale(scale)
+        specs = [spec]
+    else:
+        figures = (["3", *sorted(FIGURE_SPEC_BUILDERS)]
+                   if args.figure == "all" else [args.figure])
+        specs = [build_spec(figure, scale) for figure in figures]
+
+    if args.export_spec:
+        if len(specs) != 1:
+            parser.error("--export-spec needs a single --figure")
+        with open(args.export_spec, "w") as handle:
+            handle.write(specs[0].to_json() + "\n")
+        print(f"wrote {args.export_spec}")
+        return
+
+    for spec in specs:
         start = time.time()
-        result = RUNNERS[figure](scale)
+        result = session.run(spec, seed=args.seed)
         elapsed = time.time() - start
         print()
         print(result.format_table())
-        print(f"(regenerated in {elapsed:.1f} s at scale '{args.scale}')")
+        scale_name = args.scale or ("from spec" if args.spec else "benchmark")
+        print(f"(regenerated in {elapsed:.1f} s at scale '{scale_name}')")
 
 
 if __name__ == "__main__":

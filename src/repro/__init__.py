@@ -17,12 +17,34 @@ arXiv:1501.02484).  The package is organized as:
 * :mod:`repro.simulation` — the event-driven crowd simulator and trial
   runner behind every figure.
 * :mod:`repro.evaluation` — metrics and error-curve aggregation.
+* :mod:`repro.registry` — named component registries (models, datasets,
+  partitioners, schedules, privacy mechanisms) so experiments refer to
+  components as data and third parties can plug in their own.
+* :mod:`repro.experiments` — the declarative experiment layer:
+  :class:`ArmSpec` / :class:`ExperimentSpec` (JSON-serializable figure
+  definitions), :class:`ExperimentSession` (the parallel sweep runner with
+  a shared dataset cache), and the ``run_figN_experiment`` wrappers.
 
 Quickstart::
 
     from repro import quick_crowd_run
     report = quick_crowd_run(num_devices=50, epsilon=10.0, batch_size=10)
     print(report.final_error)
+
+Declarative experiments::
+
+    from repro import ArmSpec, ExperimentScale, ExperimentSession, ExperimentSpec
+    spec = ExperimentSpec(
+        name="epsilon sweep", dataset="mnist_like",
+        scale=ExperimentScale.smoke(),
+        arms=tuple(
+            ArmSpec(label=f"eps={eps}", epsilon=eps, seed_offset=i,
+                    schedule_kwargs={"constant": 30.0})
+            for i, eps in enumerate((1.0, 10.0, 100.0))
+        ),
+    )
+    result = ExperimentSession(max_workers=4).run(spec, seed=0)
+    print(result.format_table())
 """
 
 from __future__ import annotations
@@ -32,7 +54,11 @@ import math
 from repro.core import CrowdMLServer, Device, DeviceConfig, ServerConfig
 from repro.data import make_cifar_like, make_mnist_like
 from repro.experiments import (
+    ArmSpec,
+    DatasetCache,
     ExperimentScale,
+    ExperimentSession,
+    ExperimentSpec,
     FigureResult,
     run_fig3_experiment,
     run_fig4_experiment,
@@ -48,6 +74,15 @@ from repro.models import (
     RidgeRegression,
 )
 from repro.privacy import PrivacyBudget, split_budget
+from repro.registry import (
+    DATASETS,
+    MODELS,
+    PARTITIONERS,
+    PRIVACY_MECHANISMS,
+    Registry,
+    RegistryError,
+    SCHEDULES,
+)
 from repro.simulation import (
     CrowdSimulator,
     RunTrace,
@@ -56,27 +91,31 @@ from repro.simulation import (
     run_crowd_trials,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ArmSpec",
     "CrowdMLServer",
     "CrowdSimulator",
+    "DATASETS",
+    "DatasetCache",
     "Device",
     "DeviceConfig",
     "ExperimentScale",
+    "ExperimentSession",
+    "ExperimentSpec",
     "FigureResult",
-    "run_fig3_experiment",
-    "run_fig4_experiment",
-    "run_fig5_experiment",
-    "run_fig6_experiment",
-    "run_fig7_experiment",
-    "run_fig8_experiment",
-    "run_fig9_experiment",
+    "MODELS",
     "MulticlassLinearSVM",
     "MulticlassLogisticRegression",
+    "PARTITIONERS",
+    "PRIVACY_MECHANISMS",
     "PrivacyBudget",
+    "Registry",
+    "RegistryError",
     "RidgeRegression",
     "RunTrace",
+    "SCHEDULES",
     "ServerConfig",
     "SimulationConfig",
     "TrialSetReport",
@@ -84,6 +123,13 @@ __all__ = [
     "make_mnist_like",
     "quick_crowd_run",
     "run_crowd_trials",
+    "run_fig3_experiment",
+    "run_fig4_experiment",
+    "run_fig5_experiment",
+    "run_fig6_experiment",
+    "run_fig7_experiment",
+    "run_fig8_experiment",
+    "run_fig9_experiment",
     "split_budget",
     "__version__",
 ]
@@ -98,12 +144,14 @@ def quick_crowd_run(
     num_trials: int = 1,
     seed: int = 0,
     learning_rate_constant: float = 30.0,
+    num_passes: int = 1,
 ) -> TrialSetReport:
     """Run a small MNIST-like Crowd-ML experiment end to end.
 
     A convenience wrapper for first contact with the library: generates
-    data, partitions it across ``num_devices``, simulates the crowd, and
-    returns the averaged :class:`~repro.simulation.TrialSetReport`.
+    data, partitions it across ``num_devices``, simulates the crowd for
+    ``num_passes`` passes over each device's local data, and returns the
+    averaged :class:`~repro.simulation.TrialSetReport`.
     """
     from repro.data import MNIST_CLASSES, MNIST_DIM
 
@@ -113,6 +161,7 @@ def quick_crowd_run(
         batch_size=batch_size,
         epsilon=epsilon,
         learning_rate_constant=learning_rate_constant,
+        num_passes=num_passes,
     )
     return run_crowd_trials(
         model_factory=lambda: MulticlassLogisticRegression(MNIST_DIM, MNIST_CLASSES),

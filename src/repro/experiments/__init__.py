@@ -1,0 +1,83 @@
+"""Declarative experiment layer: specs, sweep runner, and figure wrappers.
+
+Three layers turn the paper's figures into data (DESIGN.md §4):
+
+* :mod:`repro.experiments.specs` — :class:`ArmSpec` / :class:`ExperimentSpec`,
+  frozen dataclasses (JSON-serializable) declaring arms by
+  :mod:`repro.registry` component names plus kwargs.
+* :mod:`repro.experiments.session` — :class:`ExperimentSession`, which runs a
+  spec's arms × trials serially or through a process pool (bit-identical
+  either way) with a shared :class:`DatasetCache`.
+* :mod:`repro.experiments.figures` — the paper's nine figure definitions as
+  spec builders, plus the stable ``run_figN_experiment`` wrappers used by
+  ``benchmarks/`` and ``examples/``.
+
+Scale is controlled by :class:`ExperimentScale` so the same specs run the
+paper-size experiment or a CI-size smoke version.
+"""
+
+from typing import Callable, Tuple
+
+from repro.data.dataset import Dataset
+from repro.experiments.figures import (
+    FIG5_EPSILON,
+    FIGURE_SPEC_BUILDERS,
+    L2_REGULARIZATION,
+    LEARNING_RATE_CONSTANT,
+    approaches_spec,
+    delay_spec,
+    fig3_spec,
+    fig4_spec,
+    fig5_spec,
+    fig6_spec,
+    fig7_spec,
+    fig8_spec,
+    fig9_spec,
+    privacy_spec,
+    run_fig3_experiment,
+    run_fig4_experiment,
+    run_fig5_experiment,
+    run_fig6_experiment,
+    run_fig7_experiment,
+    run_fig8_experiment,
+    run_fig9_experiment,
+)
+from repro.experiments.results import FigureResult
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.session import DatasetCache, ExperimentSession
+from repro.experiments.specs import ARM_KINDS, ArmSpec, ExperimentSpec
+
+#: Signature shared by the registered ``(train, test)`` dataset makers.
+DatasetMaker = Callable[..., Tuple[Dataset, Dataset]]
+
+__all__ = [
+    "ARM_KINDS",
+    "ArmSpec",
+    "DatasetCache",
+    "DatasetMaker",
+    "ExperimentScale",
+    "ExperimentSession",
+    "ExperimentSpec",
+    "FIG5_EPSILON",
+    "FIGURE_SPEC_BUILDERS",
+    "FigureResult",
+    "L2_REGULARIZATION",
+    "LEARNING_RATE_CONSTANT",
+    "approaches_spec",
+    "delay_spec",
+    "fig3_spec",
+    "fig4_spec",
+    "fig5_spec",
+    "fig6_spec",
+    "fig7_spec",
+    "fig8_spec",
+    "fig9_spec",
+    "privacy_spec",
+    "run_fig3_experiment",
+    "run_fig4_experiment",
+    "run_fig5_experiment",
+    "run_fig6_experiment",
+    "run_fig7_experiment",
+    "run_fig8_experiment",
+    "run_fig9_experiment",
+]

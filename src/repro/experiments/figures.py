@@ -1,0 +1,263 @@
+"""The paper's figures, declared as :class:`ExperimentSpec` data.
+
+Each ``figN_spec`` builder returns the declarative form of one figure;
+each ``run_figN_experiment`` wrapper (the stable public API used by the
+benchmark harness and the regenerator scripts) builds that spec and hands
+it to an :class:`~repro.experiments.session.ExperimentSession`.  Because a
+spec is pure data, every figure is also expressible as JSON
+(``figN_spec(...).to_json()``) and re-runnable from it without any of the
+code in this module.
+
+Paper-scale settings (Section V-C): M = 1000 devices, 60 000/50 000 train
+samples, 10 000 test samples, 10 trials, up to five passes.  The default
+:meth:`ExperimentScale.benchmark` uses a proportionally reduced crowd that
+preserves every qualitative relationship (samples-per-device, ε, b, Δ are
+unchanged or scale-free).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.experiments.results import FigureResult
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.session import ExperimentSession
+from repro.experiments.specs import ArmSpec, ExperimentSpec
+
+#: Hyperparameters selected (per Section V-C's model-selection protocol) on
+#: held-out trials for the synthetic datasets.
+LEARNING_RATE_CONSTANT = 30.0
+L2_REGULARIZATION = 1e-4
+#: Fig. 5/6/8/9 privacy level: ε⁻¹ = 0.1.
+FIG5_EPSILON = 10.0
+
+_SCHEDULE = {"constant": LEARNING_RATE_CONSTANT}
+
+
+def _batch_reference(epsilon: float) -> ArmSpec:
+    return ArmSpec(
+        label="Central (batch)", kind="central_batch", epsilon=epsilon,
+        l2_regularization=L2_REGULARIZATION,
+    )
+
+
+def approaches_spec(
+    name: str, dataset: str, scale: ExperimentScale
+) -> ExperimentSpec:
+    """Figs. 4/7: Central (batch) vs Crowd-ML vs Decentralized, no privacy
+    or delay (ε⁻¹ = 0, b = 1, τ = 0)."""
+    return ExperimentSpec(
+        name=name,
+        dataset=dataset,
+        scale=scale,
+        reference_arms=(_batch_reference(float("inf")),),
+        arms=(
+            ArmSpec(
+                label="Crowd-ML (SGD)", kind="crowd",
+                schedule_kwargs=_SCHEDULE,
+                l2_regularization=L2_REGULARIZATION,
+                # Historical behavior: the Figs. 4/7 crowd arm has always
+                # seeded its trials from 0, independent of the figure seed.
+                seed_override=0,
+            ),
+            ArmSpec(
+                label="Decentral (SGD)", kind="decentralized",
+                schedule_kwargs=_SCHEDULE,
+                l2_regularization=L2_REGULARIZATION,
+                seed_offset=1,
+                trainer_kwargs={"evaluation_devices": 10},
+            ),
+        ),
+    )
+
+
+def privacy_spec(
+    name: str, dataset: str, scale: ExperimentScale,
+    epsilon: float = FIG5_EPSILON, batch_sizes: tuple[int, ...] = (1, 10, 20),
+) -> ExperimentSpec:
+    """Figs. 5/8: ε⁻¹ = 0.1, b ∈ {1, 10, 20}, Crowd-ML vs input-perturbed
+    Central SGD vs input-perturbed Central batch."""
+    arms = []
+    for b in batch_sizes:
+        arms.append(ArmSpec(
+            label=f"Crowd-ML (SGD,b={b})", kind="crowd",
+            batch_size=b, epsilon=epsilon,
+            schedule_kwargs=_SCHEDULE, l2_regularization=L2_REGULARIZATION,
+            seed_offset=b,
+        ))
+        arms.append(ArmSpec(
+            label=f"Central (SGD,b={b})", kind="central_sgd",
+            batch_size=b, epsilon=epsilon,
+            schedule_kwargs=_SCHEDULE, l2_regularization=L2_REGULARIZATION,
+            seed_offset=100 + b,
+        ))
+    return ExperimentSpec(
+        name=name, dataset=dataset, scale=scale,
+        reference_arms=(_batch_reference(epsilon),),
+        arms=tuple(arms),
+    )
+
+
+def delay_spec(
+    name: str, dataset: str, scale: ExperimentScale,
+    epsilon: float = FIG5_EPSILON, batch_sizes: tuple[int, ...] = (1, 20),
+    delays: tuple[int, ...] = (1, 10, 100, 1000),
+) -> ExperimentSpec:
+    """Figs. 6/9: ε⁻¹ = 0.1, b ∈ {1, 20}, delays ∈ {1, 10, 100, 1000}·Δ."""
+    arms = tuple(
+        ArmSpec(
+            label=f"Crowd-ML (b={b},{delay}D)", kind="crowd",
+            batch_size=b, epsilon=epsilon, delay_multiples=delay,
+            schedule_kwargs=_SCHEDULE, l2_regularization=L2_REGULARIZATION,
+            seed_offset=1000 * b + delay,
+        )
+        for b in batch_sizes
+        for delay in delays
+    )
+    return ExperimentSpec(
+        name=name, dataset=dataset, scale=scale,
+        reference_arms=(_batch_reference(epsilon),),
+        arms=arms,
+    )
+
+
+def fig3_spec(
+    num_devices: int = 7,
+    samples_per_device: int = 45,
+    learning_rates: tuple[float, ...] = (1e-2, 1e0, 1e2, 1e4),
+) -> ExperimentSpec:
+    """Fig. 3: activity recognition, a sweep of learning-rate constants."""
+    from repro.data import NUM_ACTIVITIES
+
+    arms = tuple(
+        ArmSpec(
+            label=f"c={c:g}", kind="activity_online",
+            schedule_kwargs={"constant": float(c)},
+            model_kwargs={"num_features": 64, "num_classes": NUM_ACTIVITIES},
+        )
+        for c in learning_rates
+    )
+    return ExperimentSpec(
+        name="Fig. 3 (activity recognition)",
+        dataset="activity_stream",
+        dataset_kwargs={
+            "num_devices": num_devices,
+            "samples_per_device": samples_per_device,
+            "test_samples": 150,
+        },
+        arms=arms,
+    )
+
+
+def fig4_spec(scale: ExperimentScale) -> ExperimentSpec:
+    return approaches_spec("Fig. 4 (MNIST, approaches)", "mnist_like", scale)
+
+
+def fig5_spec(scale: ExperimentScale) -> ExperimentSpec:
+    return privacy_spec("Fig. 5 (MNIST, privacy)", "mnist_like", scale)
+
+
+def fig6_spec(scale: ExperimentScale) -> ExperimentSpec:
+    return delay_spec("Fig. 6 (MNIST, delays)", "mnist_like", scale)
+
+
+def fig7_spec(scale: ExperimentScale) -> ExperimentSpec:
+    return approaches_spec("Fig. 7 (CIFAR, approaches)", "cifar_like", scale)
+
+
+def fig8_spec(scale: ExperimentScale) -> ExperimentSpec:
+    return privacy_spec("Fig. 8 (CIFAR, privacy)", "cifar_like", scale)
+
+
+def fig9_spec(scale: ExperimentScale) -> ExperimentSpec:
+    return delay_spec("Fig. 9 (CIFAR, delays)", "cifar_like", scale)
+
+
+#: Scale-parameterized spec builders for Figs. 4-9 (Fig. 3 has its own
+#: signature — see :func:`fig3_spec`).
+FIGURE_SPEC_BUILDERS: Dict[str, Callable[[ExperimentScale], ExperimentSpec]] = {
+    "4": fig4_spec, "5": fig5_spec, "6": fig6_spec,
+    "7": fig7_spec, "8": fig8_spec, "9": fig9_spec,
+}
+
+
+# --------------------------------------------------------------------- #
+# Stable public wrappers (signatures and semantics match the original   #
+# hand-written experiment module)                                       #
+# --------------------------------------------------------------------- #
+
+
+def _run(spec: ExperimentSpec, seed: int,
+         session: Optional[ExperimentSession]) -> FigureResult:
+    session = session if session is not None else ExperimentSession()
+    return session.run(spec, seed=seed)
+
+
+def run_fig3_experiment(
+    num_devices: int = 7,
+    samples_per_device: int = 45,
+    learning_rates: tuple[float, ...] = (1e-2, 1e0, 1e2, 1e4),
+    seed: int = 0,
+    session: Optional[ExperimentSession] = None,
+) -> FigureResult:
+    """Fig. 3: activity recognition on 7 devices, time-averaged error.
+
+    The paper's setting: 3-class logistic regression, λ = 0, b = 1,
+    ε⁻¹ = 0, a sweep of learning-rate constants c; the error shown is the
+    online time-averaged prediction error over the first ~300 samples
+    (7 devices × ~43 samples each).
+
+    Note on the c grid: the paper sweeps c ∈ {1e-6, ..., 1e0} on raw FFT
+    magnitudes.  Our pipeline L1-normalizes features (so the privacy
+    sensitivity bounds hold uniformly), which shrinks gradient scales by
+    roughly two orders of magnitude; the default grid here is shifted
+    accordingly and spans the same four decades.
+    """
+    spec = fig3_spec(num_devices, samples_per_device, learning_rates)
+    return _run(spec, seed, session)
+
+
+def _scaled(scale: Optional[ExperimentScale]) -> ExperimentScale:
+    return scale if scale is not None else ExperimentScale.benchmark()
+
+
+def run_fig4_experiment(scale: Optional[ExperimentScale] = None, seed: int = 0,
+                        session: Optional[ExperimentSession] = None
+                        ) -> FigureResult:
+    """Fig. 4: MNIST-like, centralized vs crowd vs decentralized."""
+    return _run(fig4_spec(_scaled(scale)), seed, session)
+
+
+def run_fig5_experiment(scale: Optional[ExperimentScale] = None, seed: int = 0,
+                        session: Optional[ExperimentSession] = None
+                        ) -> FigureResult:
+    """Fig. 5: MNIST-like, privacy ε⁻¹ = 0.1, minibatch sweep."""
+    return _run(fig5_spec(_scaled(scale)), seed, session)
+
+
+def run_fig6_experiment(scale: Optional[ExperimentScale] = None, seed: int = 0,
+                        session: Optional[ExperimentSession] = None
+                        ) -> FigureResult:
+    """Fig. 6: MNIST-like, privacy + delay sweep."""
+    return _run(fig6_spec(_scaled(scale)), seed, session)
+
+
+def run_fig7_experiment(scale: Optional[ExperimentScale] = None, seed: int = 0,
+                        session: Optional[ExperimentSession] = None
+                        ) -> FigureResult:
+    """Fig. 7: CIFAR-like analogue of Fig. 4 (Appendix D)."""
+    return _run(fig7_spec(_scaled(scale)), seed, session)
+
+
+def run_fig8_experiment(scale: Optional[ExperimentScale] = None, seed: int = 0,
+                        session: Optional[ExperimentSession] = None
+                        ) -> FigureResult:
+    """Fig. 8: CIFAR-like analogue of Fig. 5 (Appendix D)."""
+    return _run(fig8_spec(_scaled(scale)), seed, session)
+
+
+def run_fig9_experiment(scale: Optional[ExperimentScale] = None, seed: int = 0,
+                        session: Optional[ExperimentSession] = None
+                        ) -> FigureResult:
+    """Fig. 9: CIFAR-like analogue of Fig. 6 (Appendix D)."""
+    return _run(fig9_spec(_scaled(scale)), seed, session)

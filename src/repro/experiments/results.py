@@ -1,0 +1,33 @@
+"""Result container shared by every figure experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.evaluation.curves import ErrorCurve
+
+
+@dataclass
+class FigureResult:
+    """Curves and reference lines reproducing one figure."""
+
+    figure: str
+    curves: Dict[str, ErrorCurve] = field(default_factory=dict)
+    reference_lines: Dict[str, float] = field(default_factory=dict)
+
+    def tail_errors(self, fraction: float = 0.2) -> Dict[str, float]:
+        """Asymptotic (tail-mean) error per arm."""
+        return {name: curve.tail_error(fraction) for name, curve in self.curves.items()}
+
+    def format_table(self) -> str:
+        """Human-readable summary: one row per arm."""
+        lines = [f"=== {self.figure} ===",
+                 f"{'arm':<34} {'final':>8} {'tail':>8}"]
+        for name, curve in sorted(self.curves.items()):
+            lines.append(
+                f"{name:<34} {curve.final_error:>8.3f} {curve.tail_error():>8.3f}"
+            )
+        for name, value in sorted(self.reference_lines.items()):
+            lines.append(f"{name:<34} {value:>8.3f} {'(const)':>8}")
+        return "\n".join(lines)

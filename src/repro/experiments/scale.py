@@ -1,0 +1,59 @@
+"""Experiment size knobs (Section V-C crowd/sample/trial counts)."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Mapping
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Size knobs for one experiment run.
+
+    ``paper()`` reproduces the published sizes; ``benchmark()`` is the
+    reduced configuration used by the bench harness (same samples-per-
+    device ratio: 60 per device); ``smoke()`` is for fast tests.
+    """
+
+    num_train: int
+    num_test: int
+    num_devices: int
+    num_trials: int
+    num_passes: int
+
+    @classmethod
+    def paper(cls) -> "ExperimentScale":
+        return cls(num_train=60_000, num_test=10_000, num_devices=1000,
+                   num_trials=10, num_passes=5)
+
+    @classmethod
+    def benchmark(cls) -> "ExperimentScale":
+        return cls(num_train=9_000, num_test=2_000, num_devices=150,
+                   num_trials=2, num_passes=4)
+
+    @classmethod
+    def smoke(cls) -> "ExperimentScale":
+        return cls(num_train=1_500, num_test=500, num_devices=25,
+                   num_trials=1, num_passes=2)
+
+    @classmethod
+    def named(cls, name: str) -> "ExperimentScale":
+        """Look up one of the three canonical scales by name."""
+        try:
+            return {"paper": cls.paper, "benchmark": cls.benchmark,
+                    "smoke": cls.smoke}[name]()
+        except KeyError:
+            raise ValueError(
+                f"unknown scale '{name}' (expected paper/benchmark/smoke)"
+            ) from None
+
+    def to_dict(self) -> dict[str, int]:
+        """Plain-dict form for JSON serialization."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentScale":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**{k: int(data[k]) for k in
+                      ("num_train", "num_test", "num_devices",
+                       "num_trials", "num_passes")})

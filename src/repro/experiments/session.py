@@ -1,0 +1,505 @@
+"""Sweep runner: execute an :class:`ExperimentSpec` across arms × trials.
+
+:class:`ExperimentSession` turns a declarative spec into a
+:class:`~repro.experiments.results.FigureResult`.  Work is decomposed into
+one *task* per baseline arm and one task per (crowd arm, trial), so a
+multi-arm, multi-trial figure saturates a
+:class:`concurrent.futures.ProcessPoolExecutor` when ``max_workers > 1``.
+Every task rebuilds its components from :mod:`repro.registry` names and
+derives its random streams exactly as the serial code does (per-trial seeds
+via :class:`~repro.utils.rng.RngFactory`, per-arm offsets via
+``ArmSpec.seed_offset``), so parallel results are bit-identical to serial
+ones regardless of scheduling order.
+
+Datasets are generated once per ``(maker, kwargs)`` through a
+:class:`DatasetCache` shared across arms (and across ``run`` calls on the
+same session), instead of once per arm as the old hand-written figure code
+did.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import math
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.evaluation.curves import ErrorCurve, average_curves
+from repro.experiments.results import FigureResult
+from repro.experiments.specs import ArmSpec, ExperimentSpec
+from repro.network import LinkDelays
+from repro.privacy import CentralizedBudget
+from repro.registry import DATASETS, MODELS, PARTITIONERS, SCHEDULES
+from repro.simulation import CrowdSimulator, SimulationConfig
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.rng import RngFactory
+
+
+class DatasetCache:
+    """Memoizes generated datasets across arms and runs.
+
+    Keys are ``(maker, sorted kwargs)`` tuples — for the standard makers
+    that is ``(maker, num_train, num_test, seed, ...)`` — so the six figure
+    experiments stop regenerating identical synthetic datasets per arm.
+    """
+
+    def __init__(self):
+        self._store: Dict[Any, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: Any, builder: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, building it on first use."""
+        if key in self._store:
+            self.hits += 1
+        else:
+            self.misses += 1
+            self._store[key] = builder()
+        return self._store[key]
+
+    def split(self, maker: str, kwargs: Dict[str, Any]) -> Tuple[Dataset, Dataset]:
+        """A ``(train, test)`` split from the :data:`~repro.registry.DATASETS`
+        registry, cached on ``(maker, kwargs)``."""
+        key = (maker, _kwargs_key(kwargs))
+        return self.get(key, lambda: DATASETS.create(maker, **kwargs))
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+def _kwargs_key(kwargs: Dict[str, Any]) -> str:
+    """A hashable, order-insensitive cache key for a kwargs dict.
+
+    Canonical JSON rather than ``tuple(sorted(items))`` so JSON-authored
+    specs with list/dict-valued kwargs stay cacheable.
+    """
+    return json.dumps(kwargs, sort_keys=True, default=repr)
+
+
+# --------------------------------------------------------------------- #
+# Task execution (module-level so payloads cross process boundaries)    #
+# --------------------------------------------------------------------- #
+
+#: Per-process table of resolved datasets, installed by
+#: :func:`_init_task_data` (once per pool worker via the executor
+#: initializer, or in-process for serial runs).  Task payloads carry
+#: ``*_ref`` keys into this table instead of the datasets themselves, so
+#: a figure's multi-MB arrays cross each process boundary once rather
+#: than once per (arm, trial) task.
+_TASK_DATA: Dict[str, Any] = {}
+
+
+def _init_task_data(table: Dict[str, Any]) -> None:
+    global _TASK_DATA
+    _TASK_DATA = table
+
+
+def _accepts_kwarg(factory: Callable[..., Any], name: str) -> bool:
+    """Whether ``factory(**{name}: ...)`` is a valid call."""
+    try:
+        params = inspect.signature(factory).parameters
+    except (TypeError, ValueError):
+        return True
+    if any(p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()):
+        return True
+    return name in params
+
+
+def _build_model(payload: Dict[str, Any], data: Dataset):
+    """Instantiate the arm's model, defaulting shape kwargs from ``data``."""
+    name = payload["model"]
+    factory = MODELS.get(name)
+    kwargs = dict(payload["model_kwargs"])
+    if _accepts_kwarg(factory, "num_features"):
+        kwargs.setdefault("num_features", data.num_features)
+    if _accepts_kwarg(factory, "num_classes"):
+        kwargs.setdefault("num_classes", data.num_classes)
+    if _accepts_kwarg(factory, "l2_regularization"):
+        kwargs.setdefault("l2_regularization", payload["l2_regularization"])
+    return factory(**kwargs)
+
+
+def _budget(payload: Dict[str, Any]) -> Optional[CentralizedBudget]:
+    epsilon = payload["epsilon"]
+    if math.isinf(epsilon):
+        return None
+    return CentralizedBudget.even_split(epsilon)
+
+
+def _simulation_config(payload: Dict[str, Any]) -> SimulationConfig:
+    num_devices = payload["num_devices"]
+    # τ in time units from a delay expressed in Δ = 1/(M·F_s) multiples
+    # (Section V-C), via a probe config so the conversion tracks
+    # SimulationConfig's sampling-rate semantics.
+    probe = SimulationConfig(num_devices=num_devices)
+    tau = probe.delay_in_sample_units(payload["delay_multiples"])
+    return SimulationConfig(
+        num_devices=num_devices,
+        batch_size=payload["batch_size"],
+        epsilon=payload["epsilon"],
+        learning_rate_constant=payload["learning_rate_constant"],
+        l2_regularization=payload["l2_regularization"],
+        link_delays=LinkDelays.uniform(tau) if tau > 0 else LinkDelays.zero(),
+        num_passes=payload["num_passes"],
+    )
+
+
+def _crowd_rate_constant(payload: Dict[str, Any]) -> float:
+    if payload["schedule"] != "inverse_sqrt":
+        raise ConfigurationError(
+            "crowd arms use the server's c/sqrt(t) optimizer; "
+            f"schedule '{payload['schedule']}' is only available for "
+            "central_sgd/decentralized arms"
+        )
+    return float(payload["schedule_kwargs"].get("constant", 1.0))
+
+
+def _run_crowd_trial(payload: Dict[str, Any]) -> ErrorCurve:
+    """One Crowd-ML trial, seeded exactly like ``run_crowd_trials``."""
+    train: Dataset = payload["train"]
+    trial: int = payload["trial"]
+    factory = RngFactory(payload["base_seed"])
+    partition = PARTITIONERS.get(payload["partition"])
+    assignment_rng = factory.generator("assignment", trial)
+    device_datasets = partition(
+        train, payload["num_devices"], assignment_rng,
+        **payload["partition_kwargs"],
+    )
+    simulator = CrowdSimulator(
+        _build_model(payload, train),
+        device_datasets,
+        payload["test"],
+        _simulation_config(payload),
+        seed=factory.seed("simulator", trial),
+    )
+    return simulator.run().curve
+
+
+def _run_central_batch(payload: Dict[str, Any]) -> float:
+    from repro.baselines import CentralizedBatchTrainer
+
+    train: Dataset = payload["train"]
+    trainer = CentralizedBatchTrainer(
+        _build_model(payload, train), budget=_budget(payload),
+        **payload["trainer_kwargs"],
+    )
+    rng = np.random.default_rng(payload["seed"])
+    return trainer.evaluate(train, payload["test"], rng)
+
+
+def _run_central_sgd(payload: Dict[str, Any]) -> ErrorCurve:
+    from repro.baselines import CentralizedSGDTrainer
+
+    train: Dataset = payload["train"]
+    schedule = SCHEDULES.create(payload["schedule"], **payload["schedule_kwargs"])
+    trainer = CentralizedSGDTrainer(
+        _build_model(payload, train),
+        schedule,
+        batch_size=payload["batch_size"],
+        budget=_budget(payload),
+        **payload["trainer_kwargs"],
+    )
+    rng = np.random.default_rng(payload["seed"])
+    return trainer.fit(
+        train, payload["test"], rng, num_passes=payload["num_passes"]
+    ).curve
+
+
+def _run_decentralized(payload: Dict[str, Any]) -> ErrorCurve:
+    from repro.baselines import DecentralizedTrainer
+
+    train: Dataset = payload["train"]
+    schedule = SCHEDULES.create(payload["schedule"], **payload["schedule_kwargs"])
+    trainer = DecentralizedTrainer(
+        _build_model(payload, train), schedule, **payload["trainer_kwargs"]
+    )
+    partition = PARTITIONERS.get(payload["partition"])
+    parts = partition(
+        train, payload["num_devices"], np.random.default_rng(payload["seed"]),
+        **payload["partition_kwargs"],
+    )
+    return trainer.fit(
+        parts, payload["test"], np.random.default_rng(payload["seed"] + 1),
+        num_passes=payload["num_passes"],
+    ).curve
+
+
+def _run_activity_online(payload: Dict[str, Any]) -> ErrorCurve:
+    """Fig. 3's setting: per-device streams, online time-averaged error."""
+    streams: List[Dataset] = payload["streams"]
+    config = SimulationConfig(
+        num_devices=len(streams),
+        batch_size=payload["batch_size"],
+        learning_rate_constant=_crowd_rate_constant(payload),
+        l2_regularization=payload["l2_regularization"],
+    )
+    simulator = CrowdSimulator(
+        _build_model(payload, streams[0]), streams, payload["test"], config,
+        seed=payload["seed"],
+    )
+    averaged = simulator.run().time_averaged_error()
+    iterations = np.arange(1, averaged.shape[0] + 1)
+    return ErrorCurve(iterations, averaged)
+
+
+_EXECUTORS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
+    "crowd": _run_crowd_trial,
+    "central_batch": _run_central_batch,
+    "central_sgd": _run_central_sgd,
+    "decentralized": _run_decentralized,
+    "activity_online": _run_activity_online,
+}
+
+
+def _execute_task(payload: Dict[str, Any]) -> Any:
+    payload = dict(payload)
+    for name in ("train", "test", "streams"):
+        ref = payload.pop(f"{name}_ref", None)
+        if ref is not None:
+            payload[name] = _TASK_DATA[ref]
+    return _EXECUTORS[payload["kind"]](payload)
+
+
+# --------------------------------------------------------------------- #
+# The session                                                           #
+# --------------------------------------------------------------------- #
+
+
+class ExperimentSession:
+    """Executes :class:`ExperimentSpec`\\ s, optionally in parallel.
+
+    Parameters
+    ----------
+    max_workers:
+        ``None``/``0``/``1`` runs every task serially in-process; ``N > 1``
+        fans tasks out over a ``ProcessPoolExecutor``.  Results are
+        bit-identical either way (seeding is derived per task, and curves
+        are averaged in deterministic trial order).
+    dataset_cache:
+        Optional shared :class:`DatasetCache`; by default each session owns
+        one, reused across ``run`` calls.
+
+    Examples
+    --------
+    >>> import math
+    >>> from repro.experiments import ArmSpec, ExperimentScale, ExperimentSpec
+    >>> spec = ExperimentSpec(
+    ...     name="demo", dataset="mnist_like",
+    ...     scale=ExperimentScale(num_train=300, num_test=100, num_devices=5,
+    ...                           num_trials=1, num_passes=1),
+    ...     arms=(ArmSpec(label="crowd", schedule_kwargs={"constant": 30.0}),))
+    >>> result = ExperimentSession().run(spec, seed=0)
+    >>> 0.0 <= result.curves["crowd"].final_error <= 1.0
+    True
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        dataset_cache: Optional[DatasetCache] = None,
+    ):
+        if max_workers is not None and max_workers < 0:
+            raise ConfigurationError(
+                f"max_workers must be >= 0, got {max_workers}"
+            )
+        self._max_workers = max_workers
+        self._cache = dataset_cache if dataset_cache is not None else DatasetCache()
+
+    @property
+    def max_workers(self) -> Optional[int]:
+        return self._max_workers
+
+    @property
+    def dataset_cache(self) -> DatasetCache:
+        return self._cache
+
+    # -- dataset resolution ------------------------------------------- #
+
+    def _resolve_split(
+        self, spec: ExperimentSpec, arm: ArmSpec, seed: int
+    ) -> Tuple[Dataset, Dataset]:
+        maker = arm.dataset if arm.dataset is not None else spec.dataset
+        if maker is None:
+            raise ConfigurationError(
+                f"arm '{arm.label}' has no dataset and experiment "
+                f"'{spec.name}' declares no default"
+            )
+        kwargs = {**spec.dataset_kwargs, **arm.dataset_kwargs}
+        if spec.scale is not None:
+            kwargs.setdefault("num_train", spec.scale.num_train)
+            kwargs.setdefault("num_test", spec.scale.num_test)
+        kwargs.setdefault("seed", seed)
+        return self._cache.split(maker, kwargs)
+
+    def _resolve_streams(
+        self, spec: ExperimentSpec, arm: ArmSpec, seed: int
+    ) -> Tuple[List[Dataset], Dataset]:
+        """Per-device online streams plus a test stream (Fig. 3 layout)."""
+        maker = arm.dataset if arm.dataset is not None else spec.dataset
+        if maker is None:
+            maker = "activity_stream"
+        kwargs = {**spec.dataset_kwargs, **arm.dataset_kwargs}
+        num_devices = kwargs.pop(
+            "num_devices",
+            spec.scale.num_devices if spec.scale is not None else None,
+        )
+        if num_devices is None:
+            raise ConfigurationError(
+                f"activity_online arm '{arm.label}' needs num_devices "
+                "(dataset_kwargs or spec.scale)"
+            )
+        try:
+            samples = kwargs.pop("samples_per_device")
+        except KeyError:
+            raise ConfigurationError(
+                f"activity_online arm '{arm.label}' needs samples_per_device "
+                "in dataset_kwargs"
+            ) from None
+        test_samples = kwargs.pop("test_samples", 150)
+        key = (maker, "streams", num_devices, samples, test_samples, seed,
+               _kwargs_key(kwargs))
+
+        def build() -> Tuple[List[Dataset], Dataset]:
+            streams = [
+                DATASETS.create(maker, num_samples=samples,
+                                rng=np.random.default_rng(seed + d), **kwargs)
+                for d in range(num_devices)
+            ]
+            test = DATASETS.create(maker, num_samples=test_samples,
+                                   rng=np.random.default_rng(seed + 900),
+                                   **kwargs)
+            return streams, test
+
+        return self._cache.get(key, build)
+
+    # -- payload construction ----------------------------------------- #
+
+    @staticmethod
+    def _data_ref(obj: Any, table: Dict[str, Any],
+                  ids: Dict[int, str]) -> str:
+        """Intern ``obj`` in the run's data table, returning its ref key."""
+        if id(obj) not in ids:
+            ids[id(obj)] = f"data{len(table)}"
+            table[ids[id(obj)]] = obj
+        return ids[id(obj)]
+
+    def _arm_payloads(
+        self, spec: ExperimentSpec, arm: ArmSpec, seed: int,
+        table: Dict[str, Any], ids: Dict[int, str],
+    ) -> List[Dict[str, Any]]:
+        scale = spec.scale
+        arm_seed = (arm.seed_override if arm.seed_override is not None
+                    else seed + arm.seed_offset)
+        base = {
+            "kind": arm.kind,
+            "model": arm.model,
+            "model_kwargs": dict(arm.model_kwargs),
+            "partition": arm.partition,
+            "partition_kwargs": dict(arm.partition_kwargs),
+            "schedule": arm.schedule,
+            "schedule_kwargs": dict(arm.schedule_kwargs),
+            "trainer_kwargs": dict(arm.trainer_kwargs),
+            "batch_size": arm.batch_size,
+            "epsilon": arm.epsilon,
+            "delay_multiples": arm.delay_multiples,
+            "l2_regularization": arm.l2_regularization,
+        }
+        if arm.kind == "activity_online":
+            streams, test = self._resolve_streams(spec, arm, seed)
+            base.update(streams_ref=self._data_ref(streams, table, ids),
+                        test_ref=self._data_ref(test, table, ids),
+                        seed=arm_seed)
+            return [base]
+
+        train, test = self._resolve_split(spec, arm, seed)
+        base.update(train_ref=self._data_ref(train, table, ids),
+                    test_ref=self._data_ref(test, table, ids))
+        num_passes = arm.num_passes
+        if num_passes is None:
+            num_passes = scale.num_passes if scale is not None else 1
+        base["num_passes"] = num_passes
+
+        if arm.kind == "crowd":
+            if scale is None:
+                raise ConfigurationError(
+                    f"crowd arm '{arm.label}' requires spec.scale"
+                )
+            base.update(
+                num_devices=scale.num_devices,
+                learning_rate_constant=_crowd_rate_constant(base),
+                base_seed=arm_seed,
+            )
+            return [dict(base, trial=t) for t in range(scale.num_trials)]
+
+        if arm.kind == "decentralized":
+            if scale is None:
+                raise ConfigurationError(
+                    f"decentralized arm '{arm.label}' requires spec.scale"
+                )
+            base["num_devices"] = scale.num_devices
+        base["seed"] = arm_seed
+        return [base]
+
+    # -- execution ----------------------------------------------------- #
+
+    def _execute(self, payloads: List[Dict[str, Any]],
+                 table: Dict[str, Any]) -> List[Any]:
+        workers = self._max_workers
+        if workers is not None and workers > 1 and len(payloads) > 1:
+            # The data table ships once per worker (via the initializer),
+            # not once per task; `map` preserves submission order, so the
+            # assembly below is deterministic regardless of scheduling.
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_task_data, initargs=(table,),
+            ) as pool:
+                return list(pool.map(_execute_task, payloads))
+        _init_task_data(table)
+        try:
+            return [_execute_task(p) for p in payloads]
+        finally:
+            _init_task_data({})
+
+    def run(self, spec: ExperimentSpec, seed: int = 0) -> FigureResult:
+        """Execute every arm of ``spec`` and assemble a :class:`FigureResult`.
+
+        ``seed`` is the run's root seed: the dataset seed and (offset by
+        each arm's ``seed_offset``) every arm's stream seed.
+        """
+        payloads: List[Dict[str, Any]] = []
+        plan: List[Tuple[ArmSpec, bool, slice]] = []
+        table: Dict[str, Any] = {}
+        ids: Dict[int, str] = {}
+        for arm, is_reference in (
+            [(a, False) for a in spec.arms]
+            + [(a, True) for a in spec.reference_arms]
+        ):
+            arm_payloads = self._arm_payloads(spec, arm, seed, table, ids)
+            start = len(payloads)
+            payloads.extend(arm_payloads)
+            plan.append((arm, is_reference, slice(start, len(payloads))))
+
+        outputs = self._execute(payloads, table)
+
+        result = FigureResult(spec.name)
+        for arm, is_reference, where in plan:
+            chunk = outputs[where]
+            if is_reference:
+                if len(chunk) != 1 or not isinstance(chunk[0], float):
+                    raise ConfigurationError(
+                        f"reference arm '{arm.label}' must produce a single "
+                        f"scalar (use kind='central_batch')"
+                    )
+                result.reference_lines[arm.label] = chunk[0]
+            elif arm.kind == "crowd":
+                result.curves[arm.label] = average_curves(chunk)
+            else:
+                result.curves[arm.label] = chunk[0]
+        return result

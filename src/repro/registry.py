@@ -1,0 +1,210 @@
+"""Named, parameterized component registries.
+
+The declarative experiment layer (:mod:`repro.experiments`) refers to
+models, dataset makers, partitioners, learning-rate schedules, and privacy
+mechanisms *by name*, so that an :class:`~repro.experiments.ArmSpec` is pure
+data (serializable to JSON) and a worker process can rebuild every component
+from ``(name, kwargs)`` pairs.  Downstream code extends the system without
+touching core modules::
+
+    from repro.registry import MODELS
+
+    @MODELS.register("my_model")
+    def _build(num_features, num_classes, **kwargs):
+        return MyModel(num_features, num_classes, **kwargs)
+
+Five registries are populated at import time with every built-in component:
+
+* :data:`MODELS` — ``logistic``, ``linear_svm``, ``ridge``.
+* :data:`DATASETS` — ``mnist_like``, ``cifar_like``, ``activity_stream``,
+  ``thermostat``.
+* :data:`PARTITIONERS` — ``iid``, ``dirichlet``, ``shard``.
+* :data:`SCHEDULES` — ``inverse_sqrt``, ``constant``, ``inverse_time``,
+  ``step_decay``.
+* :data:`PRIVACY_MECHANISMS` — ``laplace``, ``discrete_laplace``,
+  ``gaussian``, ``exponential``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from repro.utils.exceptions import ReproError
+
+
+class RegistryError(ReproError):
+    """An unknown name was looked up, or a name was registered twice."""
+
+
+class Registry:
+    """A mapping from names to component factories.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable description of what the registry holds (used in
+        error messages, e.g. ``"model"``).
+
+    Examples
+    --------
+    >>> reg = Registry("greeter")
+    >>> @reg.register("hello")
+    ... def make_hello(name="world"):
+    ...     return f"hello, {name}"
+    >>> reg.create("hello", name="crowd")
+    'hello, crowd'
+    >>> "hello" in reg
+    True
+    """
+
+    def __init__(self, kind: str):
+        self._kind = kind
+        self._factories: Dict[str, Callable[..., Any]] = {}
+
+    @property
+    def kind(self) -> str:
+        """What this registry holds (``"model"``, ``"dataset maker"``, ...)."""
+        return self._kind
+
+    def register(
+        self,
+        name: str,
+        factory: Optional[Callable[..., Any]] = None,
+        *,
+        overwrite: bool = False,
+    ):
+        """Register ``factory`` under ``name``.
+
+        Usable directly (``reg.register("x", build_x)``) or as a decorator
+        (``@reg.register("x")``).  Registering an existing name raises
+        :class:`RegistryError` unless ``overwrite=True``.
+        """
+
+        def _add(fn: Callable[..., Any]) -> Callable[..., Any]:
+            if not overwrite and name in self._factories:
+                raise RegistryError(
+                    f"{self._kind} '{name}' is already registered; "
+                    f"pass overwrite=True to replace it"
+                )
+            self._factories[name] = fn
+            return fn
+
+        if factory is not None:
+            return _add(factory)
+        return _add
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` (raises :class:`RegistryError` if absent)."""
+        self.get(name)
+        del self._factories[name]
+
+    def get(self, name: str) -> Callable[..., Any]:
+        """Return the factory registered under ``name``."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            known = ", ".join(sorted(self._factories)) or "<none>"
+            raise RegistryError(
+                f"unknown {self._kind} '{name}' (registered: {known})"
+            ) from None
+
+    def create(self, name: str, /, **kwargs: Any) -> Any:
+        """Instantiate the component: ``get(name)(**kwargs)``.
+
+        ``name`` is positional-only so component factories may themselves
+        take a ``name`` keyword.
+        """
+        return self.get(name)(**kwargs)
+
+    def names(self) -> tuple[str, ...]:
+        """All registered names, sorted."""
+        return tuple(sorted(self._factories))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __repr__(self) -> str:
+        return f"Registry(kind={self._kind!r}, names={list(self.names())})"
+
+
+#: Classifier/predictor families (``h(x; w)`` of Section III-A).
+MODELS = Registry("model")
+#: ``(train, test)`` dataset makers (plus the Fig. 3 stream generator).
+DATASETS = Registry("dataset maker")
+#: Sample-to-device assignment strategies.
+PARTITIONERS = Registry("partitioner")
+#: Learning-rate schedules (Eq. 5 and Remark 3 alternatives).
+SCHEDULES = Registry("schedule")
+#: Differential-privacy noise mechanisms.
+PRIVACY_MECHANISMS = Registry("privacy mechanism")
+
+
+def _register_builtins() -> None:
+    from repro.data import (
+        dirichlet_partition,
+        iid_partition,
+        make_activity_stream,
+        make_cifar_like,
+        make_mnist_like,
+        make_thermostat_split,
+        shard_partition,
+    )
+    from repro.models import (
+        MulticlassLinearSVM,
+        MulticlassLogisticRegression,
+        RidgeRegression,
+    )
+    from repro.optim import (
+        ConstantRate,
+        InverseSqrtRate,
+        InverseTimeRate,
+        StepDecayRate,
+    )
+    from repro.privacy import (
+        DiscreteLaplaceMechanism,
+        ExponentialMechanism,
+        GaussianMechanism,
+        LaplaceMechanism,
+    )
+
+    MODELS.register("logistic", MulticlassLogisticRegression)
+    MODELS.register("linear_svm", MulticlassLinearSVM)
+    MODELS.register("ridge", RidgeRegression)
+
+    DATASETS.register("mnist_like", make_mnist_like)
+    DATASETS.register("cifar_like", make_cifar_like)
+    DATASETS.register("activity_stream", make_activity_stream)
+    DATASETS.register("thermostat", make_thermostat_split)
+
+    PARTITIONERS.register("iid", iid_partition)
+    PARTITIONERS.register("dirichlet", dirichlet_partition)
+    PARTITIONERS.register("shard", shard_partition)
+
+    SCHEDULES.register("inverse_sqrt", InverseSqrtRate)
+    SCHEDULES.register("constant", ConstantRate)
+    SCHEDULES.register("inverse_time", InverseTimeRate)
+    SCHEDULES.register("step_decay", StepDecayRate)
+
+    PRIVACY_MECHANISMS.register("laplace", LaplaceMechanism)
+    PRIVACY_MECHANISMS.register("discrete_laplace", DiscreteLaplaceMechanism)
+    PRIVACY_MECHANISMS.register("gaussian", GaussianMechanism)
+    PRIVACY_MECHANISMS.register("exponential", ExponentialMechanism)
+
+
+_register_builtins()
+
+__all__ = [
+    "DATASETS",
+    "MODELS",
+    "PARTITIONERS",
+    "PRIVACY_MECHANISMS",
+    "Registry",
+    "RegistryError",
+    "SCHEDULES",
+]

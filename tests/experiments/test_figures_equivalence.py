@@ -1,0 +1,76 @@
+"""Regression: the run_figN wrappers and their spec/JSON forms agree."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    ExperimentSession,
+    ExperimentSpec,
+    FIGURE_SPEC_BUILDERS,
+    fig3_spec,
+    fig4_spec,
+    run_fig3_experiment,
+    run_fig4_experiment,
+)
+
+
+def assert_results_equal(a, b):
+    assert set(a.curves) == set(b.curves)
+    for k in a.curves:
+        assert np.array_equal(a.curves[k].iterations, b.curves[k].iterations), k
+        assert np.array_equal(a.curves[k].errors, b.curves[k].errors), k
+    assert a.reference_lines == b.reference_lines
+
+
+class TestFig4Equivalence:
+    @pytest.fixture(scope="class")
+    def wrapper_result(self):
+        return run_fig4_experiment(ExperimentScale.smoke(), seed=0)
+
+    def test_wrapper_matches_spec_built(self, wrapper_result):
+        spec = fig4_spec(ExperimentScale.smoke())
+        spec_result = ExperimentSession().run(spec, seed=0)
+        assert_results_equal(wrapper_result, spec_result)
+
+    def test_wrapper_matches_json_round_tripped_spec(self, wrapper_result):
+        text = fig4_spec(ExperimentScale.smoke()).to_json()
+        revived = ExperimentSpec.from_json(text)
+        json_result = ExperimentSession().run(revived, seed=0)
+        assert_results_equal(wrapper_result, json_result)
+
+    def test_arm_labels_match_seed_behavior(self, wrapper_result):
+        assert set(wrapper_result.curves) == {"Crowd-ML (SGD)",
+                                              "Decentral (SGD)"}
+        assert set(wrapper_result.reference_lines) == {"Central (batch)"}
+
+
+class TestFig3Equivalence:
+    def test_wrapper_matches_spec_built(self):
+        wrapper = run_fig3_experiment(num_devices=2, samples_per_device=6,
+                                      learning_rates=(1.0,), seed=0)
+        spec = fig3_spec(num_devices=2, samples_per_device=6,
+                         learning_rates=(1.0,))
+        spec_result = ExperimentSession().run(spec, seed=0)
+        assert_results_equal(wrapper, spec_result)
+
+
+class TestFigureSpecCatalogue:
+    def test_builders_cover_figures_4_to_9(self):
+        assert set(FIGURE_SPEC_BUILDERS) == {"4", "5", "6", "7", "8", "9"}
+
+    @pytest.mark.parametrize("figure", sorted(FIGURE_SPEC_BUILDERS))
+    def test_expected_arm_labels(self, figure):
+        spec = FIGURE_SPEC_BUILDERS[figure](ExperimentScale.smoke())
+        labels = {arm.label for arm in spec.arms}
+        if figure in ("4", "7"):
+            assert labels == {"Crowd-ML (SGD)", "Decentral (SGD)"}
+        elif figure in ("5", "8"):
+            assert labels == {f"{kind} (SGD,b={b})"
+                              for kind in ("Crowd-ML", "Central")
+                              for b in (1, 10, 20)}
+        else:
+            assert labels == {f"Crowd-ML (b={b},{d}D)"
+                              for b in (1, 20)
+                              for d in (1, 10, 100, 1000)}
+        assert [arm.label for arm in spec.reference_arms] == ["Central (batch)"]

@@ -1,0 +1,177 @@
+"""Tests of ExperimentSession: caching, parallelism, extensibility."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ArmSpec,
+    DatasetCache,
+    ExperimentScale,
+    ExperimentSession,
+    ExperimentSpec,
+)
+from repro.registry import DATASETS, MODELS
+from repro.utils.exceptions import ConfigurationError
+
+TINY = ExperimentScale(num_train=300, num_test=100, num_devices=5,
+                       num_trials=2, num_passes=1)
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    defaults = dict(
+        name="tiny",
+        dataset="mnist_like",
+        scale=TINY,
+        arms=(
+            ArmSpec(label="crowd", schedule_kwargs={"constant": 30.0}),
+            ArmSpec(label="sgd", kind="central_sgd", seed_offset=5,
+                    schedule_kwargs={"constant": 30.0}),
+            ArmSpec(label="decentral", kind="decentralized", seed_offset=1,
+                    schedule_kwargs={"constant": 30.0},
+                    trainer_kwargs={"evaluation_devices": 3}),
+        ),
+        reference_arms=(ArmSpec(label="batch", kind="central_batch"),),
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+class TestSerialExecution:
+    def test_all_arm_kinds_produce_results(self):
+        result = ExperimentSession().run(tiny_spec(), seed=0)
+        assert set(result.curves) == {"crowd", "sgd", "decentral"}
+        assert set(result.reference_lines) == {"batch"}
+        for curve in result.curves.values():
+            assert np.all((curve.errors >= 0.0) & (curve.errors <= 1.0))
+
+    def test_reproducible(self):
+        a = ExperimentSession().run(tiny_spec(), seed=4)
+        b = ExperimentSession().run(tiny_spec(), seed=4)
+        for k in a.curves:
+            assert np.array_equal(a.curves[k].errors, b.curves[k].errors)
+        assert a.reference_lines == b.reference_lines
+
+    def test_seed_changes_results(self):
+        a = ExperimentSession().run(tiny_spec(), seed=0)
+        b = ExperimentSession().run(tiny_spec(), seed=1)
+        assert not np.array_equal(a.curves["crowd"].errors,
+                                  b.curves["crowd"].errors)
+
+    def test_crowd_arm_requires_scale(self):
+        spec = ExperimentSpec(name="x", dataset="mnist_like",
+                              dataset_kwargs={"num_train": 100,
+                                              "num_test": 50},
+                              arms=(ArmSpec(label="crowd"),))
+        with pytest.raises(ConfigurationError, match="scale"):
+            ExperimentSession().run(spec, seed=0)
+
+    def test_crowd_arm_rejects_non_sqrt_schedule(self):
+        spec = tiny_spec(arms=(ArmSpec(label="crowd", schedule="constant"),))
+        with pytest.raises(ConfigurationError, match="inverse_sqrt|schedule"):
+            ExperimentSession().run(spec, seed=0)
+
+    def test_missing_dataset_is_an_error(self):
+        spec = ExperimentSpec(name="x", scale=TINY,
+                              arms=(ArmSpec(label="crowd"),))
+        with pytest.raises(ConfigurationError, match="dataset"):
+            ExperimentSession().run(spec, seed=0)
+
+
+class TestDatasetCache:
+    def test_shared_across_arms(self):
+        session = ExperimentSession()
+        session.run(tiny_spec(), seed=0)
+        # 4 arms, one dataset: a single miss, the rest hits.
+        assert session.dataset_cache.misses == 1
+        assert session.dataset_cache.hits == 3
+
+    def test_shared_across_runs(self):
+        session = ExperimentSession()
+        session.run(tiny_spec(), seed=0)
+        misses = session.dataset_cache.misses
+        session.run(tiny_spec(), seed=0)
+        assert session.dataset_cache.misses == misses
+
+    def test_distinct_seeds_miss(self):
+        session = ExperimentSession()
+        session.run(tiny_spec(), seed=0)
+        session.run(tiny_spec(), seed=1)
+        assert session.dataset_cache.misses == 2
+
+    def test_injected_cache_is_used(self):
+        cache = DatasetCache()
+        ExperimentSession(dataset_cache=cache).run(tiny_spec(), seed=0)
+        assert len(cache) == 1
+
+    def test_list_valued_kwargs_are_cacheable(self):
+        # JSON-authored specs can carry list/dict kwargs; the cache key
+        # must stay hashable and hit on equal values.
+        cache = DatasetCache()
+        kwargs = {"weights": [0.5, 0.5], "num_train": 10}
+        cache.split("mnist_like", {"num_train": 40, "num_test": 20,
+                                   "seed": 0})
+        DATASETS.register(
+            "weighted", lambda weights, num_train: DATASETS.create(
+                "mnist_like", num_train=num_train, num_test=20, seed=0))
+        try:
+            cache.split("weighted", kwargs)
+            cache.split("weighted", {"num_train": 10,
+                                     "weights": [0.5, 0.5]})
+        finally:
+            DATASETS.unregister("weighted")
+        assert cache.misses == 2 and cache.hits == 1
+
+    def test_returns_same_object(self):
+        cache = DatasetCache()
+        first = cache.split("mnist_like",
+                            {"num_train": 60, "num_test": 30, "seed": 0})
+        second = cache.split("mnist_like",
+                             {"num_train": 60, "num_test": 30, "seed": 0})
+        assert first[0] is second[0]
+
+
+class TestParallelExecution:
+    def test_parallel_matches_serial_bitwise(self):
+        spec = tiny_spec()
+        serial = ExperimentSession().run(spec, seed=2)
+        parallel = ExperimentSession(max_workers=2).run(spec, seed=2)
+        assert set(serial.curves) == set(parallel.curves)
+        for k in serial.curves:
+            assert np.array_equal(serial.curves[k].iterations,
+                                  parallel.curves[k].iterations), k
+            assert np.array_equal(serial.curves[k].errors,
+                                  parallel.curves[k].errors), k
+        assert serial.reference_lines == parallel.reference_lines
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentSession(max_workers=-1)
+
+
+class TestExtensibility:
+    def test_custom_components_via_registry(self):
+        DATASETS.register(
+            "tiny_blobs",
+            lambda num_train, num_test, seed: DATASETS.create(
+                "mnist_like", num_train=num_train, num_test=num_test,
+                seed=seed),
+        )
+        MODELS.register(
+            "my_logistic",
+            lambda num_features, num_classes, l2_regularization=0.0:
+                MODELS.create("logistic", num_features=num_features,
+                              num_classes=num_classes,
+                              l2_regularization=l2_regularization),
+        )
+        try:
+            spec = tiny_spec(
+                dataset="tiny_blobs",
+                arms=(ArmSpec(label="crowd", model="my_logistic",
+                              schedule_kwargs={"constant": 30.0}),),
+                reference_arms=(),
+            )
+            result = ExperimentSession().run(spec, seed=0)
+            assert "crowd" in result.curves
+        finally:
+            DATASETS.unregister("tiny_blobs")
+            MODELS.unregister("my_logistic")

@@ -1,0 +1,133 @@
+"""Tests of ArmSpec / ExperimentSpec and their JSON serialization."""
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    ArmSpec,
+    ExperimentScale,
+    ExperimentSpec,
+    fig3_spec,
+    fig4_spec,
+    fig5_spec,
+    fig6_spec,
+    fig7_spec,
+    fig8_spec,
+    fig9_spec,
+)
+from repro.utils.exceptions import ConfigurationError
+
+
+class TestArmSpec:
+    def test_defaults(self):
+        arm = ArmSpec(label="a")
+        assert arm.kind == "crowd"
+        assert arm.model == "logistic"
+        assert math.isinf(arm.epsilon)
+        assert arm.batch_size == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            ArmSpec(label="a", kind="quantum")
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArmSpec(label="a", batch_size=0)
+
+    def test_kwargs_are_copied(self):
+        kwargs = {"constant": 1.0}
+        arm = ArmSpec(label="a", schedule_kwargs=kwargs)
+        kwargs["constant"] = 99.0
+        assert arm.schedule_kwargs["constant"] == 1.0
+
+    def test_round_trip_defaults_are_compact(self):
+        arm = ArmSpec(label="a")
+        data = arm.to_dict()
+        assert data == {"label": "a", "kind": "crowd"}
+        assert ArmSpec.from_dict(data) == arm
+
+    def test_round_trip_infinite_epsilon(self):
+        arm = ArmSpec(label="a", epsilon=math.inf)
+        assert ArmSpec.from_dict(arm.to_dict()) == arm
+
+    def test_round_trip_finite_epsilon(self):
+        arm = ArmSpec(label="a", epsilon=10.0, batch_size=20,
+                      delay_multiples=100.0, seed_offset=7)
+        assert ArmSpec.from_dict(arm.to_dict()) == arm
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="epsilonn"):
+            ArmSpec.from_dict({"label": "a", "epsilonn": 1.0})
+
+
+class TestExperimentSpec:
+    def _spec(self):
+        return ExperimentSpec(
+            name="demo",
+            dataset="mnist_like",
+            scale=ExperimentScale.smoke(),
+            arms=(
+                ArmSpec(label="crowd", schedule_kwargs={"constant": 30.0}),
+                ArmSpec(label="private", epsilon=10.0, seed_offset=1,
+                        schedule_kwargs={"constant": 30.0}),
+            ),
+            reference_arms=(ArmSpec(label="batch", kind="central_batch"),),
+        )
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            ExperimentSpec(name="x", arms=(ArmSpec(label="a"),
+                                           ArmSpec(label="a")))
+
+    def test_central_batch_arm_must_be_a_reference(self):
+        with pytest.raises(ConfigurationError, match="reference_arms"):
+            ExperimentSpec(name="x",
+                           arms=(ArmSpec(label="b", kind="central_batch"),))
+
+    def test_reference_arms_must_be_central_batch(self):
+        with pytest.raises(ConfigurationError, match="central_batch"):
+            ExperimentSpec(name="x", arms=(),
+                           reference_arms=(ArmSpec(label="c", kind="crowd"),))
+
+    def test_json_round_trip(self):
+        spec = self._spec()
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_json_is_plain_text(self):
+        text = self._spec().to_json()
+        assert "Infinity" not in text  # inf encodes portably as "inf"
+        assert '"mnist_like"' in text
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="armz"):
+            ExperimentSpec.from_dict({"name": "x", "armz": []})
+
+    def test_with_scale(self):
+        spec = self._spec()
+        rescaled = spec.with_scale(ExperimentScale.benchmark())
+        assert rescaled.scale == ExperimentScale.benchmark()
+        assert rescaled.arms == spec.arms
+
+    @pytest.mark.parametrize("builder", [fig4_spec, fig5_spec, fig6_spec,
+                                         fig7_spec, fig8_spec, fig9_spec])
+    def test_figure_specs_round_trip(self, builder):
+        spec = builder(ExperimentScale.smoke())
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_fig3_spec_round_trips(self):
+        spec = fig3_spec(num_devices=3, samples_per_device=10,
+                         learning_rates=(1.0, 100.0))
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+        assert [arm.label for arm in spec.arms] == ["c=1", "c=100"]
+
+
+class TestExperimentScaleSerialization:
+    def test_round_trip(self):
+        scale = ExperimentScale.benchmark()
+        assert ExperimentScale.from_dict(scale.to_dict()) == scale
+
+    def test_named(self):
+        assert ExperimentScale.named("smoke") == ExperimentScale.smoke()
+        with pytest.raises(ValueError, match="unknown scale"):
+            ExperimentScale.named("galactic")
