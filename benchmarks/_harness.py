@@ -7,7 +7,9 @@ package), so benchmark modules do not rely on pytest inserting the
 
 from __future__ import annotations
 
+import json
 import os
+from typing import Any, Mapping, Optional
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -17,14 +19,44 @@ def run_once(benchmark, fn, *args, **kwargs):
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
 
 
-def publish_table(name: str, text: str) -> None:
+def _metrics_payload(metrics: Any) -> Mapping[str, Any]:
+    """Normalize ``metrics`` to the JSON written next to the text table.
+
+    A :class:`~repro.experiments.FigureResult` becomes
+    ``{"arms": {label: {"final_error", "tail_error"}}, "reference_lines"}``;
+    any other mapping is written as ``{"arms": metrics}`` untouched.
+    """
+    curves = getattr(metrics, "curves", None)
+    if curves is not None:  # duck-typed FigureResult
+        return {
+            "arms": {
+                label: {"final_error": curve.final_error,
+                        "tail_error": curve.tail_error()}
+                for label, curve in curves.items()
+            },
+            "reference_lines": dict(metrics.reference_lines),
+        }
+    return {"arms": dict(metrics)}
+
+
+def publish_table(name: str, text: str,
+                  metrics: Optional[Any] = None) -> None:
     """Print a result table and persist it under benchmarks/results/.
 
     pytest captures stdout of passing tests, so the persisted copy is what
     survives a quiet run; EXPERIMENTS.md references these files.
+
+    When ``metrics`` is given (a ``FigureResult`` or a plain mapping of
+    arm → numbers), a machine-readable ``<name>.json`` lands beside the
+    text table so the per-arm error trajectory is diffable across PRs.
     """
     print()
     print(text)
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
+    if metrics is not None:
+        payload = {"name": name, **_metrics_payload(metrics)}
+        with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")

@@ -59,7 +59,9 @@ def test_noniid_robustness(benchmark):
     lines = [f"{'partition':<18} {'crowd':>8} {'decentral':>10}"]
     for name, crowd, local in rows:
         lines.append(f"{name:<18} {crowd:>8.3f} {local:>10.3f}")
-    publish_table("ablation_noniid", "\n".join(lines))
+    publish_table("ablation_noniid", "\n".join(lines),
+                  {name: {"crowd": crowd, "decentralized": local}
+                   for name, crowd, local in rows})
 
     by_name = {r[0]: r for r in rows}
     iid_crowd = by_name["iid"][1]

@@ -78,7 +78,9 @@ def run_ablation():
 def test_remark3_optimizer_swaps(benchmark):
     rows = run_once(benchmark, run_ablation)
     lines = [f"{name:<16} test error {error:.3f}" for name, error in rows.items()]
-    publish_table("ablation_optimizers", "\n".join(lines))
+    publish_table("ablation_optimizers", "\n".join(lines),
+                  {name: {"final_error": error}
+                   for name, error in rows.items()})
 
     # Every update rule learns under DP noise (well below chance 0.9).
     for name, error in rows.items():

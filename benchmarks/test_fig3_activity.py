@@ -13,7 +13,7 @@ from repro.experiments import run_fig3_experiment
 
 def test_fig3_activity_recognition(benchmark):
     result = run_once(benchmark, run_fig3_experiment)
-    publish_table("fig3", result.format_table())
+    publish_table("fig3", result.format_table(), result)
 
     curves = result.curves
     assert len(curves) == 4

@@ -13,7 +13,7 @@ from repro.experiments import run_fig4_experiment
 
 def test_fig4_mnist_approaches(benchmark, scale):
     result = run_once(benchmark, run_fig4_experiment, scale)
-    publish_table("fig4", result.format_table())
+    publish_table("fig4", result.format_table(), result)
 
     batch = result.reference_lines["Central (batch)"]
     crowd = result.curves["Crowd-ML (SGD)"]

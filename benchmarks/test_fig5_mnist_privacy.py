@@ -15,7 +15,7 @@ from repro.experiments import run_fig5_experiment
 
 def test_fig5_mnist_privacy(benchmark, scale):
     result = run_once(benchmark, run_fig5_experiment, scale)
-    publish_table("fig5", result.format_table())
+    publish_table("fig5", result.format_table(), result)
 
     tails = result.tail_errors()
     private_batch = result.reference_lines["Central (batch)"]

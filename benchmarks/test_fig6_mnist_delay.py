@@ -14,7 +14,7 @@ from repro.experiments import run_fig6_experiment
 
 def test_fig6_mnist_delay(benchmark, scale):
     result = run_once(benchmark, run_fig6_experiment, scale)
-    publish_table("fig6", result.format_table())
+    publish_table("fig6", result.format_table(), result)
 
     tails = result.tail_errors()
     private_batch = result.reference_lines["Central (batch)"]

@@ -10,7 +10,7 @@ from repro.experiments import run_fig7_experiment
 
 def test_fig7_cifar_approaches(benchmark, scale):
     result = run_once(benchmark, run_fig7_experiment, scale)
-    publish_table("fig7", result.format_table())
+    publish_table("fig7", result.format_table(), result)
 
     batch = result.reference_lines["Central (batch)"]
     crowd = result.curves["Crowd-ML (SGD)"]

@@ -9,7 +9,7 @@ from repro.experiments import run_fig8_experiment
 
 def test_fig8_cifar_privacy(benchmark, scale):
     result = run_once(benchmark, run_fig8_experiment, scale)
-    publish_table("fig8", result.format_table())
+    publish_table("fig8", result.format_table(), result)
 
     tails = result.tail_errors()
     private_batch = result.reference_lines["Central (batch)"]

@@ -9,7 +9,7 @@ from repro.experiments import run_fig9_experiment
 
 def test_fig9_cifar_delay(benchmark, scale):
     result = run_once(benchmark, run_fig9_experiment, scale)
-    publish_table("fig9", result.format_table())
+    publish_table("fig9", result.format_table(), result)
 
     tails = result.tail_errors()
     private_batch = result.reference_lines["Central (batch)"]

@@ -8,6 +8,7 @@ Usage::
     python examples/regenerate_figures.py --figure 6 --workers 8
     python examples/regenerate_figures.py --figure 4 --export-spec fig4.json
     python examples/regenerate_figures.py --spec fig4.json      # data, no code
+    python examples/regenerate_figures.py --figure 3 --store runs/
 
 Scales: ``smoke`` (seconds), ``benchmark`` (default, ~minutes),
 ``paper`` (full Section V-C sizes: M = 1000, 60k samples, 10 trials).
@@ -17,11 +18,18 @@ Figures are declarative :class:`~repro.experiments.ExperimentSpec`\\ s:
 through the same :class:`~repro.experiments.ExperimentSession` — no python
 needed to define new sweeps.  ``--workers N`` fans arms × trials out over
 N processes (results are bit-identical to serial runs).
+
+``--store DIR`` (or the ``REPRO_STORE_DIR`` environment variable) attaches
+a persistent :class:`~repro.store.RunStore`: completed trials and whole
+figures are served from disk on repeat runs and an interrupted sweep
+resumes where it stopped.  ``--force`` recomputes and overwrites the
+stored entries; ``--no-cache`` ignores any store entirely.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import time
 
 from repro.experiments import (
@@ -31,6 +39,7 @@ from repro.experiments import (
     FIGURE_SPEC_BUILDERS,
     fig3_spec,
 )
+from repro.store import RunStore, STORE_DIR_ENV
 
 SCALES = ("smoke", "benchmark", "paper")
 
@@ -57,10 +66,24 @@ def main() -> None:
     parser.add_argument("--spec", metavar="PATH",
                         help="run an ExperimentSpec JSON file instead of a "
                              "built-in figure")
+    parser.add_argument("--store", metavar="DIR", default=None,
+                        help="persistent run store directory (default: "
+                             f"${STORE_DIR_ENV} when set)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="run without any store, even if "
+                             f"${STORE_DIR_ENV} is set")
+    parser.add_argument("--force", action="store_true",
+                        help="recompute everything and overwrite store "
+                             "entries")
     args = parser.parse_args()
 
+    store = None
+    if not args.no_cache:
+        store = (RunStore(args.store) if args.store
+                 else RunStore.from_env())
     scale = ExperimentScale.named(args.scale or "benchmark")
-    session = ExperimentSession(max_workers=args.workers)
+    session = ExperimentSession(max_workers=args.workers, store=store,
+                                refresh=args.force)
 
     if args.spec:
         with open(args.spec) as handle:
@@ -82,6 +105,7 @@ def main() -> None:
         return
 
     for spec in specs:
+        before = session.store_stats.snapshot()
         start = time.time()
         result = session.run(spec, seed=args.seed)
         elapsed = time.time() - start
@@ -89,6 +113,13 @@ def main() -> None:
         print(result.format_table())
         scale_name = args.scale or ("from spec" if args.spec else "benchmark")
         print(f"(regenerated in {elapsed:.1f} s at scale '{scale_name}')")
+        if store is not None:
+            delta = session.store_stats.since(before)
+            if delta.figure_hits:
+                print(f"store: served from cache ({store.root})")
+            else:
+                print(f"store: {delta.task_hits} task(s) from cache, "
+                      f"{delta.task_misses} executed ({store.root})")
 
 
 if __name__ == "__main__":

@@ -24,6 +24,9 @@ arXiv:1501.02484).  The package is organized as:
   :class:`ArmSpec` / :class:`ExperimentSpec` (JSON-serializable figure
   definitions), :class:`ExperimentSession` (the parallel sweep runner with
   a shared dataset cache), and the ``run_figN_experiment`` wrappers.
+* :mod:`repro.store` — the persistent run store: content-addressed
+  results with atomic writes and file locking, so sweeps are cached,
+  resumable, and shareable across processes (``repro-store`` CLI).
 
 Quickstart::
 
@@ -90,8 +93,9 @@ from repro.simulation import (
     TrialSetReport,
     run_crowd_trials,
 )
+from repro.store import RunStore, StoreError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ArmSpec",
@@ -114,10 +118,12 @@ __all__ = [
     "Registry",
     "RegistryError",
     "RidgeRegression",
+    "RunStore",
     "RunTrace",
     "SCHEDULES",
     "ServerConfig",
     "SimulationConfig",
+    "StoreError",
     "TrialSetReport",
     "make_cifar_like",
     "make_mnist_like",

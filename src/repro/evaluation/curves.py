@@ -10,6 +10,7 @@ curve holds its last value between snapshots) and averages them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -61,6 +62,22 @@ class ErrorCurve:
             raise ValueError("empty curve has no tail error")
         count = max(1, int(round(len(self) * fraction)))
         return float(np.mean(self.errors[-count:]))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form: ``{"iterations": [...], "errors": [...]}``.
+
+        Floats serialize via :func:`repr` (shortest round-tripping
+        form), so ``from_dict(json.loads(json.dumps(to_dict())))`` is
+        bit-identical to the original curve.
+        """
+        return {"iterations": self.iterations.tolist(),
+                "errors": self.errors.tolist()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ErrorCurve":
+        """Inverse of :meth:`to_dict`."""
+        return cls(np.asarray(data["iterations"], dtype=np.int64),
+                   np.asarray(data["errors"], dtype=np.float64))
 
     def value_at(self, iteration: int) -> float:
         """Step-interpolated error at ``iteration`` (hold-last-value)."""

@@ -44,7 +44,11 @@ from repro.experiments.figures import (
 )
 from repro.experiments.results import FigureResult
 from repro.experiments.scale import ExperimentScale
-from repro.experiments.session import DatasetCache, ExperimentSession
+from repro.experiments.session import (
+    DatasetCache,
+    ExperimentSession,
+    StoreStats,
+)
 from repro.experiments.specs import ARM_KINDS, ArmSpec, ExperimentSpec
 
 #: Signature shared by the registered ``(train, test)`` dataset makers.
@@ -63,6 +67,7 @@ __all__ = [
     "FigureResult",
     "L2_REGULARIZATION",
     "LEARNING_RATE_CONSTANT",
+    "StoreStats",
     "approaches_spec",
     "delay_spec",
     "fig3_spec",

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict, Mapping, Optional
 
 from repro.evaluation.curves import ErrorCurve
 
@@ -31,3 +32,37 @@ class FigureResult:
         for name, value in sorted(self.reference_lines.items()):
             lines.append(f"{name:<34} {value:>8.3f} {'(const)':>8}")
         return "\n".join(lines)
+
+    # ------------------------------------------------------------------ #
+    # Serialization                                                      #
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form; floats round-trip exactly (see ErrorCurve)."""
+        return {
+            "figure": self.figure,
+            "curves": {name: curve.to_dict()
+                       for name, curve in self.curves.items()},
+            "reference_lines": {name: float(value)
+                                for name, value in self.reference_lines.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FigureResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            figure=data["figure"],
+            curves={name: ErrorCurve.from_dict(curve)
+                    for name, curve in data.get("curves", {}).items()},
+            reference_lines={name: float(value) for name, value
+                             in data.get("reference_lines", {}).items()},
+        )
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FigureResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        return cls.from_dict(json.loads(text))

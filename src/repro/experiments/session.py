@@ -15,6 +15,13 @@ Datasets are generated once per ``(maker, kwargs)`` through a
 :class:`DatasetCache` shared across arms (and across ``run`` calls on the
 same session), instead of once per arm as the old hand-written figure code
 did.
+
+Attach a :class:`~repro.store.RunStore` and results also persist *across*
+processes: every task is keyed by a content hash of its payload
+(:func:`repro.store.keys.task_key`), cached tasks are skipped, fresh ones
+are written to the store as they complete (so an interrupted sweep
+resumes from disk, bit-identically), and a finished figure is stored
+whole so a repeat run executes zero tasks.
 """
 
 from __future__ import annotations
@@ -22,8 +29,10 @@ from __future__ import annotations
 import inspect
 import json
 import math
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Tuple)
 
 import numpy as np
 
@@ -37,6 +46,30 @@ from repro.registry import DATASETS, MODELS, PARTITIONERS, SCHEDULES
 from repro.simulation import CrowdSimulator, SimulationConfig
 from repro.utils.exceptions import ConfigurationError
 from repro.utils.rng import RngFactory
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.store import RunStore
+
+
+@dataclass
+class StoreStats:
+    """Store traffic counters, accumulated across a session's runs."""
+
+    figure_hits: int = 0   #: whole figures served straight from the store
+    task_hits: int = 0     #: tasks skipped because their key was stored
+    task_misses: int = 0   #: tasks actually executed (and then stored)
+
+    def snapshot(self) -> "StoreStats":
+        return StoreStats(self.figure_hits, self.task_hits,
+                          self.task_misses)
+
+    def since(self, earlier: "StoreStats") -> "StoreStats":
+        """Counter deltas between ``earlier`` and now (for per-run logs)."""
+        return StoreStats(
+            self.figure_hits - earlier.figure_hits,
+            self.task_hits - earlier.task_hits,
+            self.task_misses - earlier.task_misses,
+        )
 
 
 class DatasetCache:
@@ -249,6 +282,10 @@ def _run_activity_online(payload: Dict[str, Any]) -> ErrorCurve:
     return ErrorCurve(iterations, averaged)
 
 
+#: Placeholder for task slots not yet filled from cache or execution
+#: (results themselves are never ``None``-adjacent sentinels).
+_PENDING = object()
+
 _EXECUTORS: Dict[str, Callable[[Dict[str, Any]], Any]] = {
     "crowd": _run_crowd_trial,
     "central_batch": _run_central_batch,
@@ -285,6 +322,15 @@ class ExperimentSession:
     dataset_cache:
         Optional shared :class:`DatasetCache`; by default each session owns
         one, reused across ``run`` calls.
+    store:
+        Optional :class:`~repro.store.RunStore`.  When given, every task
+        and every finished figure is persisted under its content key;
+        stored tasks are skipped on later runs (``store_stats`` counts
+        the traffic), and results — fresh, cached, or mixed — stay
+        bit-identical to a storeless run.
+    refresh:
+        With a store, ``True`` recomputes everything and overwrites the
+        stored entries (the ``--force`` of ``regenerate_figures.py``).
 
     Examples
     --------
@@ -304,6 +350,8 @@ class ExperimentSession:
         self,
         max_workers: Optional[int] = None,
         dataset_cache: Optional[DatasetCache] = None,
+        store: Optional["RunStore"] = None,
+        refresh: bool = False,
     ):
         if max_workers is not None and max_workers < 0:
             raise ConfigurationError(
@@ -311,6 +359,9 @@ class ExperimentSession:
             )
         self._max_workers = max_workers
         self._cache = dataset_cache if dataset_cache is not None else DatasetCache()
+        self._store = store
+        self._refresh = refresh
+        self._store_stats = StoreStats()
 
     @property
     def max_workers(self) -> Optional[int]:
@@ -320,11 +371,24 @@ class ExperimentSession:
     def dataset_cache(self) -> DatasetCache:
         return self._cache
 
+    @property
+    def store(self) -> Optional["RunStore"]:
+        return self._store
+
+    @property
+    def store_stats(self) -> StoreStats:
+        return self._store_stats
+
     # -- dataset resolution ------------------------------------------- #
 
-    def _resolve_split(
+    def _split_request(
         self, spec: ExperimentSpec, arm: ArmSpec, seed: int
-    ) -> Tuple[Dataset, Dataset]:
+    ) -> Tuple[str, Dict[str, Any]]:
+        """The ``(maker, kwargs)`` identifying an arm's train/test split.
+
+        This request — not the generated arrays — is what enters a
+        task's store key as its ``data_desc``.
+        """
         maker = arm.dataset if arm.dataset is not None else spec.dataset
         if maker is None:
             raise ConfigurationError(
@@ -336,12 +400,12 @@ class ExperimentSession:
             kwargs.setdefault("num_train", spec.scale.num_train)
             kwargs.setdefault("num_test", spec.scale.num_test)
         kwargs.setdefault("seed", seed)
-        return self._cache.split(maker, kwargs)
+        return maker, kwargs
 
-    def _resolve_streams(
+    def _streams_request(
         self, spec: ExperimentSpec, arm: ArmSpec, seed: int
-    ) -> Tuple[List[Dataset], Dataset]:
-        """Per-device online streams plus a test stream (Fig. 3 layout)."""
+    ) -> Dict[str, Any]:
+        """The full recipe for an arm's per-device streams (Fig. 3)."""
         maker = arm.dataset if arm.dataset is not None else spec.dataset
         if maker is None:
             maker = "activity_stream"
@@ -362,7 +426,26 @@ class ExperimentSession:
                 f"activity_online arm '{arm.label}' needs samples_per_device "
                 "in dataset_kwargs"
             ) from None
-        test_samples = kwargs.pop("test_samples", 150)
+        return {
+            "dataset": maker,
+            "layout": "streams",
+            "num_devices": num_devices,
+            "samples_per_device": samples,
+            "test_samples": kwargs.pop("test_samples", 150),
+            "seed": seed,
+            "dataset_kwargs": kwargs,
+        }
+
+    def _resolve_streams(
+        self, request: Dict[str, Any]
+    ) -> Tuple[List[Dataset], Dataset]:
+        """Per-device online streams plus a test stream (Fig. 3 layout)."""
+        maker = request["dataset"]
+        num_devices = request["num_devices"]
+        samples = request["samples_per_device"]
+        test_samples = request["test_samples"]
+        seed = request["seed"]
+        kwargs = request["dataset_kwargs"]
         key = (maker, "streams", num_devices, samples, test_samples, seed,
                _kwargs_key(kwargs))
 
@@ -391,9 +474,16 @@ class ExperimentSession:
         return ids[id(obj)]
 
     def _arm_payloads(
-        self, spec: ExperimentSpec, arm: ArmSpec, seed: int,
-        table: Dict[str, Any], ids: Dict[int, str],
+        self, spec: ExperimentSpec, arm: ArmSpec, seed: int
     ) -> List[Dict[str, Any]]:
+        """Build an arm's task payloads — datasets stay *unresolved*.
+
+        Each payload carries a ``data_desc`` (the resolved dataset
+        request) instead of data refs; :meth:`_materialize` turns the
+        request into arrays later, and only for tasks that actually
+        execute — a store-resumed run never regenerates datasets for
+        cached tasks.
+        """
         scale = spec.scale
         arm_seed = (arm.seed_override if arm.seed_override is not None
                     else seed + arm.seed_offset)
@@ -412,15 +502,13 @@ class ExperimentSession:
             "l2_regularization": arm.l2_regularization,
         }
         if arm.kind == "activity_online":
-            streams, test = self._resolve_streams(spec, arm, seed)
-            base.update(streams_ref=self._data_ref(streams, table, ids),
-                        test_ref=self._data_ref(test, table, ids),
-                        seed=arm_seed)
+            base.update(seed=arm_seed,
+                        data_desc=self._streams_request(spec, arm, seed))
             return [base]
 
-        train, test = self._resolve_split(spec, arm, seed)
-        base.update(train_ref=self._data_ref(train, table, ids),
-                    test_ref=self._data_ref(test, table, ids))
+        maker, dataset_kwargs = self._split_request(spec, arm, seed)
+        base["data_desc"] = {"dataset": maker, "layout": "split",
+                             "dataset_kwargs": dataset_kwargs}
         num_passes = arm.num_passes
         if num_passes is None:
             num_passes = scale.num_passes if scale is not None else 1
@@ -449,44 +537,146 @@ class ExperimentSession:
 
     # -- execution ----------------------------------------------------- #
 
+    def _materialize(self, payload: Dict[str, Any],
+                     table: Dict[str, Any], ids: Dict[int, str]) -> None:
+        """Resolve a payload's ``data_desc`` into in-memory data refs.
+
+        Called only for payloads about to execute; the shared
+        :class:`DatasetCache` makes repeated requests for one split
+        generate it once.
+        """
+        desc = payload["data_desc"]
+        if desc.get("layout") == "streams":
+            streams, test = self._resolve_streams(desc)
+            payload["streams_ref"] = self._data_ref(streams, table, ids)
+        else:
+            train, test = self._cache.split(desc["dataset"],
+                                            desc["dataset_kwargs"])
+            payload["train_ref"] = self._data_ref(train, table, ids)
+        payload["test_ref"] = self._data_ref(test, table, ids)
+
     def _execute(self, payloads: List[Dict[str, Any]],
-                 table: Dict[str, Any]) -> List[Any]:
+                 table: Dict[str, Any],
+                 on_result: Optional[Callable[[int, Any], None]] = None,
+                 ) -> List[Any]:
         workers = self._max_workers
         if workers is not None and workers > 1 and len(payloads) > 1:
             # The data table ships once per worker (via the initializer),
-            # not once per task; `map` preserves submission order, so the
-            # assembly below is deterministic regardless of scheduling.
+            # not once per task.  Futures are consumed as they complete
+            # — ``on_result`` (the store write) fires the moment a task
+            # finishes, regardless of submission order, so a killed
+            # parallel sweep keeps every completed result — while the
+            # returned list is assembled by submission index, keeping
+            # downstream averaging deterministic.
             with ProcessPoolExecutor(
                 max_workers=workers,
                 initializer=_init_task_data, initargs=(table,),
             ) as pool:
-                return list(pool.map(_execute_task, payloads))
+                futures = {pool.submit(_execute_task, payload): index
+                           for index, payload in enumerate(payloads)}
+                outputs: List[Any] = [_PENDING] * len(payloads)
+                for future in as_completed(futures):
+                    index = futures[future]
+                    output = future.result()
+                    if on_result is not None:
+                        on_result(index, output)
+                    outputs[index] = output
+                return outputs
         _init_task_data(table)
         try:
-            return [_execute_task(p) for p in payloads]
+            outputs = []
+            for index, payload in enumerate(payloads):
+                output = _execute_task(payload)
+                if on_result is not None:
+                    on_result(index, output)
+                outputs.append(output)
+            return outputs
         finally:
             _init_task_data({})
+
+    def _run_payloads(self, payloads: List[Dict[str, Any]],
+                      extras: List[Dict[str, Any]]) -> List[Any]:
+        """Execute ``payloads``, going through the store when attached.
+
+        Cached tasks come back decoded from disk — without their
+        datasets ever being generated; the rest are materialized,
+        executed, and stored one by one as their results arrive, so
+        whatever finished before an interruption survives it.
+        """
+        table: Dict[str, Any] = {}
+        ids: Dict[int, str] = {}
+        if self._store is None:
+            for payload in payloads:
+                self._materialize(payload, table, ids)
+            return self._execute(payloads, table)
+        from repro.store.keys import task_key
+
+        store = self._store
+        keys = [task_key(p) for p in payloads]
+        outputs: List[Any] = [_PENDING] * len(payloads)
+        if not self._refresh:
+            for index, key in enumerate(keys):
+                cached = store.get(key)
+                if cached is not None:
+                    outputs[index] = cached
+                    self._store_stats.task_hits += 1
+        pending = [i for i in range(len(payloads))
+                   if outputs[i] is _PENDING]
+        for index in pending:
+            self._materialize(payloads[index], table, ids)
+
+        def persist(position: int, output: Any) -> None:
+            index = pending[position]
+            outputs[index] = output
+            self._store_stats.task_misses += 1
+            store.put(keys[index], output, extra=extras[index],
+                      overwrite=self._refresh)
+
+        self._execute([payloads[i] for i in pending], table,
+                      on_result=persist)
+        return outputs
 
     def run(self, spec: ExperimentSpec, seed: int = 0) -> FigureResult:
         """Execute every arm of ``spec`` and assemble a :class:`FigureResult`.
 
         ``seed`` is the run's root seed: the dataset seed and (offset by
         each arm's ``seed_offset``) every arm's stream seed.
+
+        With a store attached, tasks whose content key is already stored
+        are not executed; fresh tasks are persisted the moment they
+        finish (a killed sweep resumes from disk), and the assembled
+        figure is stored whole, so repeating a completed run executes
+        nothing at all.
         """
+        if self._store is not None:
+            from repro.store.keys import figure_key
+
+            fig_key = figure_key(spec.to_dict(), seed)
+            if not self._refresh:
+                cached = self._store.get(fig_key)
+                if isinstance(cached, FigureResult):
+                    self._store_stats.figure_hits += 1
+                    return cached
+
         payloads: List[Dict[str, Any]] = []
+        extras: List[Dict[str, Any]] = []
         plan: List[Tuple[ArmSpec, bool, slice]] = []
-        table: Dict[str, Any] = {}
-        ids: Dict[int, str] = {}
         for arm, is_reference in (
             [(a, False) for a in spec.arms]
             + [(a, True) for a in spec.reference_arms]
         ):
-            arm_payloads = self._arm_payloads(spec, arm, seed, table, ids)
+            arm_payloads = self._arm_payloads(spec, arm, seed)
             start = len(payloads)
             payloads.extend(arm_payloads)
+            extras.extend(
+                {"record": "task", "experiment": spec.name,
+                 "label": arm.label, "arm_kind": arm.kind,
+                 "seed": seed, "trial": p.get("trial")}
+                for p in arm_payloads
+            )
             plan.append((arm, is_reference, slice(start, len(payloads))))
 
-        outputs = self._execute(payloads, table)
+        outputs = self._run_payloads(payloads, extras)
 
         result = FigureResult(spec.name)
         for arm, is_reference, where in plan:
@@ -502,4 +692,12 @@ class ExperimentSession:
                 result.curves[arm.label] = average_curves(chunk)
             else:
                 result.curves[arm.label] = chunk[0]
+
+        if self._store is not None:
+            self._store.put(
+                fig_key, result,
+                extra={"record": "figure", "experiment": spec.name,
+                       "seed": seed, "spec": spec.to_dict()},
+                overwrite=self._refresh,
+            )
         return result

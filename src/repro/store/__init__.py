@@ -1,0 +1,55 @@
+"""Persistent run store: content-addressed, spec-keyed experiment results.
+
+The store gives sweeps a memory.  Every task an
+:class:`~repro.experiments.session.ExperimentSession` executes — one
+crowd trial, one baseline curve, one reference scalar — is keyed by a
+SHA-256 over everything that determines it (:mod:`repro.store.keys`) and
+written to a shared on-disk layout with atomic renames and per-key file
+locks (:mod:`repro.store.backend`, :mod:`repro.store.locking`), so:
+
+* a re-run of an already-computed figure is served from disk,
+  bit-identical, executing zero tasks;
+* an interrupted sweep resumes from its completed tasks;
+* parallel workers — including separate processes — share one store and
+  race safely (first writer wins).
+
+:class:`RunStore` is the public get/put/query/prune API, and the
+``repro-store`` console script (:mod:`repro.store.cli`) lists, shows,
+diffs, exports, and prunes entries.  Point the session at a store
+explicitly or via the ``REPRO_STORE_DIR`` environment variable.
+"""
+
+from repro.store.backend import DirectoryBackend, StoreError, STORE_FORMAT
+from repro.store.keys import (
+    KEY_FORMAT,
+    canonical_json,
+    canonicalize,
+    digest,
+    figure_key,
+    task_key,
+)
+from repro.store.locking import FileLock, LockTimeout
+from repro.store.store import (
+    RunStore,
+    STORE_DIR_ENV,
+    decode_result,
+    encode_result,
+)
+
+__all__ = [
+    "DirectoryBackend",
+    "FileLock",
+    "KEY_FORMAT",
+    "LockTimeout",
+    "RunStore",
+    "STORE_DIR_ENV",
+    "STORE_FORMAT",
+    "StoreError",
+    "canonical_json",
+    "canonicalize",
+    "decode_result",
+    "digest",
+    "encode_result",
+    "figure_key",
+    "task_key",
+]

@@ -1,0 +1,143 @@
+"""Advisory file locks guarding store writes across processes.
+
+:class:`FileLock` is an exclusive, inter-process lock on a path.  On
+POSIX it uses ``fcntl.flock`` (the lock dies with the holder, so a
+SIGKILLed writer never wedges the store); elsewhere it falls back to
+``O_EXCL`` lock-file creation with stale-lock breaking by mtime.
+
+Locks serialize *writers* only — readers rely on the backend's atomic
+rename discipline (see :mod:`repro.store.backend`) and never block.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX (e.g. Windows)
+    fcntl = None  # type: ignore[assignment]
+
+
+class LockTimeout(TimeoutError):
+    """Raised when a lock cannot be acquired within the timeout."""
+
+
+class FileLock:
+    """Exclusive advisory lock on ``path``.
+
+    Parameters
+    ----------
+    path:
+        Lock-file location; parent directories are created on demand.
+    timeout:
+        Seconds to wait for the lock before :class:`LockTimeout`.
+    poll_interval:
+        Sleep between acquisition attempts.
+    stale_after:
+        Fallback mode only: a lock file older than this many seconds is
+        presumed abandoned (its holder was killed) and broken.
+
+    Usage::
+
+        with FileLock("/path/to/store/locks/abc.lock"):
+            ...  # exclusive section
+    """
+
+    def __init__(self, path: str, timeout: float = 30.0,
+                 poll_interval: float = 0.05, stale_after: float = 300.0):
+        if timeout < 0:
+            raise ValueError(f"timeout must be >= 0, got {timeout}")
+        self.path = path
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+        self.stale_after = stale_after
+        self._fd: int | None = None
+
+    @property
+    def locked(self) -> bool:
+        return self._fd is not None
+
+    def acquire(self) -> None:
+        if self.locked:
+            raise RuntimeError(f"lock already held: {self.path}")
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        deadline = time.monotonic() + self.timeout
+        if fcntl is not None:
+            self._acquire_flock(deadline)
+        else:
+            self._acquire_exclusive_create(deadline)
+
+    def _acquire_flock(self, deadline: float) -> None:
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        while True:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                if time.monotonic() >= deadline:
+                    os.close(fd)
+                    raise LockTimeout(
+                        f"could not lock {self.path} within "
+                        f"{self.timeout:.1f}s"
+                    ) from None
+                time.sleep(self.poll_interval)
+            else:
+                self._fd = fd
+                return
+
+    def _acquire_exclusive_create(self, deadline: float) -> None:
+        while True:
+            try:
+                fd = os.open(self.path,
+                             os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+            except FileExistsError:
+                self._break_if_stale()
+                if time.monotonic() >= deadline:
+                    raise LockTimeout(
+                        f"could not lock {self.path} within "
+                        f"{self.timeout:.1f}s"
+                    ) from None
+                time.sleep(self.poll_interval)
+            else:
+                os.write(fd, str(os.getpid()).encode("ascii"))
+                self._fd = fd
+                return
+
+    def _break_if_stale(self) -> None:
+        """Remove a fallback lock file whose holder looks long dead."""
+        try:
+            age = time.time() - os.stat(self.path).st_mtime
+        except OSError:
+            return  # already gone
+        if age > self.stale_after:
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass  # a racing process broke it first
+
+    def release(self) -> None:
+        if not self.locked:
+            raise RuntimeError(f"lock not held: {self.path}")
+        fd, self._fd = self._fd, None
+        if fcntl is not None:
+            # The lock file itself stays behind: removing it would let a
+            # third process lock a fresh inode while a second still
+            # blocks on the old one.
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+        else:
+            os.close(fd)
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

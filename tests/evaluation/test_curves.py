@@ -1,5 +1,7 @@
 """Tests for error curves and multi-trial aggregation."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -47,6 +49,38 @@ class TestErrorCurve:
         curve = ErrorCurve(np.array([], dtype=int), np.array([]))
         with pytest.raises(ValueError):
             _ = curve.final_error
+
+
+class TestErrorCurveRoundTrip:
+    def test_to_dict_plain_types(self):
+        curve = ErrorCurve(np.array([1, 2]), np.array([0.5, 0.25]))
+        data = curve.to_dict()
+        assert data == {"iterations": [1, 2], "errors": [0.5, 0.25]}
+        assert all(isinstance(v, int) for v in data["iterations"])
+        assert all(isinstance(v, float) for v in data["errors"])
+
+    def test_from_dict_restores_dtypes(self):
+        curve = ErrorCurve.from_dict({"iterations": [1, 2],
+                                      "errors": [0.5, 0.25]})
+        assert curve.iterations.dtype == np.int64
+        assert curve.errors.dtype == np.float64
+
+    def test_json_round_trip_is_bit_identical(self):
+        # Awkward floats: accumulated sums whose repr needs all 17
+        # significant digits to round-trip.
+        rng = np.random.default_rng(7)
+        errors = np.cumsum(rng.uniform(0.0, 1e-3, size=64)) + 0.1
+        curve = ErrorCurve(np.arange(1, 65), errors)
+        loaded = ErrorCurve.from_dict(json.loads(json.dumps(curve.to_dict())))
+        assert np.array_equal(loaded.iterations, curve.iterations)
+        assert np.array_equal(loaded.errors, curve.errors)
+        assert loaded.errors.tobytes() == curve.errors.tobytes()
+
+    def test_empty_curve_round_trips(self):
+        curve = ErrorCurve(np.array([], dtype=np.int64),
+                           np.array([], dtype=np.float64))
+        loaded = ErrorCurve.from_dict(curve.to_dict())
+        assert len(loaded) == 0
 
 
 class TestAverageCurves:

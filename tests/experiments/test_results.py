@@ -1,0 +1,58 @@
+"""Tests of FigureResult serialization."""
+
+import json
+
+import numpy as np
+
+from repro.evaluation.curves import ErrorCurve
+from repro.experiments.results import FigureResult
+
+
+def sample_result() -> FigureResult:
+    rng = np.random.default_rng(3)
+    return FigureResult(
+        "fig4",
+        curves={
+            "crowd": ErrorCurve(np.arange(1, 9),
+                                rng.uniform(0.0, 1.0, size=8)),
+            "sgd": ErrorCurve(np.array([2, 4]), np.array([0.7, 0.3])),
+        },
+        reference_lines={"batch": 0.1 + 0.2},  # repr-hostile float
+    )
+
+
+class TestFigureResultRoundTrip:
+    def test_dict_round_trip_bit_identical(self):
+        result = sample_result()
+        loaded = FigureResult.from_dict(result.to_dict())
+        assert loaded.figure == result.figure
+        assert set(loaded.curves) == set(result.curves)
+        for label in result.curves:
+            assert np.array_equal(loaded.curves[label].iterations,
+                                  result.curves[label].iterations)
+            assert (loaded.curves[label].errors.tobytes()
+                    == result.curves[label].errors.tobytes())
+        assert loaded.reference_lines == result.reference_lines
+
+    def test_json_round_trip_bit_identical(self):
+        result = sample_result()
+        loaded = FigureResult.from_json(result.to_json())
+        for label in result.curves:
+            assert (loaded.curves[label].errors.tobytes()
+                    == result.curves[label].errors.tobytes())
+        assert loaded.reference_lines == result.reference_lines
+
+    def test_json_is_plain_data(self):
+        payload = json.loads(sample_result().to_json())
+        assert set(payload) == {"figure", "curves", "reference_lines"}
+        assert payload["curves"]["sgd"]["iterations"] == [2, 4]
+
+    def test_empty_result_round_trips(self):
+        loaded = FigureResult.from_dict(FigureResult("empty").to_dict())
+        assert loaded.figure == "empty"
+        assert loaded.curves == {} and loaded.reference_lines == {}
+
+    def test_tables_match_after_round_trip(self):
+        result = sample_result()
+        assert (FigureResult.from_json(result.to_json()).format_table()
+                == result.format_table())

@@ -81,9 +81,11 @@ class TestDatasetCache:
     def test_shared_across_arms(self):
         session = ExperimentSession()
         session.run(tiny_spec(), seed=0)
-        # 4 arms, one dataset: a single miss, the rest hits.
+        # 4 arms → 5 tasks (2 crowd trials), one dataset: a single miss,
+        # one hit per remaining task (materialization is per task, so
+        # store-cached tasks never touch the dataset cache at all).
         assert session.dataset_cache.misses == 1
-        assert session.dataset_cache.hits == 3
+        assert session.dataset_cache.hits == 4
 
     def test_shared_across_runs(self):
         session = ExperimentSession()

@@ -1,0 +1,199 @@
+"""Tests of ExperimentSession + RunStore: caching, resume, refresh."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ArmSpec,
+    ExperimentScale,
+    ExperimentSession,
+    ExperimentSpec,
+    StoreStats,
+)
+import repro.experiments.session as session_mod
+from repro.store import RunStore
+
+TINY = ExperimentScale(num_train=300, num_test=100, num_devices=5,
+                       num_trials=2, num_passes=1)
+
+
+def tiny_spec(**overrides) -> ExperimentSpec:
+    defaults = dict(
+        name="tiny-store",
+        dataset="mnist_like",
+        scale=TINY,
+        arms=(
+            ArmSpec(label="crowd", schedule_kwargs={"constant": 30.0}),
+            ArmSpec(label="sgd", kind="central_sgd", seed_offset=5,
+                    schedule_kwargs={"constant": 30.0}),
+        ),
+        reference_arms=(ArmSpec(label="batch", kind="central_batch"),),
+    )
+    defaults.update(overrides)
+    return ExperimentSpec(**defaults)
+
+
+def assert_identical(a, b):
+    assert set(a.curves) == set(b.curves)
+    for label in a.curves:
+        assert np.array_equal(a.curves[label].iterations,
+                              b.curves[label].iterations), label
+        assert np.array_equal(a.curves[label].errors,
+                              b.curves[label].errors), label
+    assert a.reference_lines == b.reference_lines
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(str(tmp_path / "store"))
+
+
+class TestStoreBackedRuns:
+    def test_stored_results_match_storeless_run(self, store):
+        spec = tiny_spec()
+        reference = ExperimentSession().run(spec, seed=3)
+        stored = ExperimentSession(store=store).run(spec, seed=3)
+        assert_identical(reference, stored)
+
+    def test_first_run_populates_the_store(self, store):
+        session = ExperimentSession(store=store)
+        session.run(tiny_spec(), seed=3)
+        # 2 crowd trials + 1 sgd curve + 1 batch scalar + the figure.
+        assert len(store) == 5
+        assert session.store_stats == StoreStats(figure_hits=0,
+                                                 task_hits=0,
+                                                 task_misses=4)
+
+    def test_second_run_executes_zero_tasks(self, store, monkeypatch):
+        spec = tiny_spec()
+        first = ExperimentSession(store=store).run(spec, seed=3)
+
+        def explode(payload):
+            raise AssertionError("a cached run must not execute tasks")
+
+        monkeypatch.setattr(session_mod, "_execute_task", explode)
+        session = ExperimentSession(store=store)
+        second = session.run(spec, seed=3)
+        assert session.store_stats.figure_hits == 1
+        assert_identical(first, second)
+
+    def test_task_level_resume_after_lost_figure(self, store):
+        spec = tiny_spec()
+        ExperimentSession(store=store).run(spec, seed=3)
+        fig_manifest = store.query(result_type="figure_result")[0]
+        store.backend.remove(fig_manifest["key"])
+
+        session = ExperimentSession(store=store)
+        resumed = session.run(spec, seed=3)
+        assert session.store_stats.task_hits == 4
+        assert session.store_stats.task_misses == 0
+        assert_identical(ExperimentSession().run(spec, seed=3), resumed)
+        # The figure entry was rebuilt from the cached tasks.
+        assert len(store.query(result_type="figure_result")) == 1
+
+    def test_task_level_resume_generates_no_datasets(self, store):
+        spec = tiny_spec()
+        ExperimentSession(store=store).run(spec, seed=3)
+        store.backend.remove(store.query(result_type="figure_result")[0]["key"])
+
+        session = ExperimentSession(store=store)
+        session.run(spec, seed=3)
+        # Every task came from the store, so the dataset request was
+        # never materialized into arrays.
+        assert session.dataset_cache.misses == 0
+        assert session.dataset_cache.hits == 0
+
+    def test_mixed_cache_and_fresh_is_bit_identical(self, store):
+        spec = tiny_spec()
+        ExperimentSession(store=store).run(spec, seed=3)
+        # Drop the figure and one task: the next run mixes 3 cached
+        # tasks with 1 freshly executed one.
+        store.backend.remove(store.query(result_type="figure_result")[0]["key"])
+        victim = store.query(result_type="error_curve")[0]
+        store.backend.remove(victim["key"])
+
+        session = ExperimentSession(store=store)
+        mixed = session.run(spec, seed=3)
+        assert session.store_stats.task_hits == 3
+        assert session.store_stats.task_misses == 1
+        assert_identical(ExperimentSession().run(spec, seed=3), mixed)
+
+    def test_parallel_store_run_matches_serial(self, store, tmp_path):
+        spec = tiny_spec()
+        serial = ExperimentSession().run(spec, seed=2)
+        parallel = ExperimentSession(max_workers=2, store=store).run(spec,
+                                                                     seed=2)
+        assert_identical(serial, parallel)
+        # And a second parallel session resumes from the same store.
+        again = ExperimentSession(max_workers=2, store=store)
+        assert_identical(serial, again.run(spec, seed=2))
+        assert again.store_stats.figure_hits == 1
+
+    def test_different_seeds_do_not_collide(self, store):
+        spec = tiny_spec()
+        a = ExperimentSession(store=store).run(spec, seed=0)
+        b = ExperimentSession(store=store).run(spec, seed=1)
+        assert not np.array_equal(a.curves["crowd"].errors,
+                                  b.curves["crowd"].errors)
+        # Both figures are stored independently.
+        assert len(store.query(result_type="figure_result")) == 2
+
+    def test_label_rename_keeps_task_cache(self, store):
+        spec = tiny_spec()
+        ExperimentSession(store=store).run(spec, seed=3)
+        renamed = tiny_spec(arms=(
+            ArmSpec(label="crowd (renamed)",
+                    schedule_kwargs={"constant": 30.0}),
+            ArmSpec(label="sgd", kind="central_sgd", seed_offset=5,
+                    schedule_kwargs={"constant": 30.0}),
+        ))
+        session = ExperimentSession(store=store)
+        result = session.run(renamed, seed=3)
+        # New figure key (labels are part of the spec), but every task
+        # is content-identical and served from cache.
+        assert session.store_stats.figure_hits == 0
+        assert session.store_stats.task_hits == 4
+        assert "crowd (renamed)" in result.curves
+
+
+class TestRefresh:
+    def test_refresh_recomputes_and_overwrites(self, store):
+        spec = tiny_spec()
+        first = ExperimentSession(store=store).run(spec, seed=3)
+        stamps = {m["key"]: m["created_at"] for m in store.query()}
+
+        session = ExperimentSession(store=store, refresh=True)
+        second = session.run(spec, seed=3)
+        assert session.store_stats.figure_hits == 0
+        assert session.store_stats.task_hits == 0
+        assert session.store_stats.task_misses == 4
+        assert_identical(first, second)
+        for manifest in store.query():
+            assert manifest["created_at"] > stamps[manifest["key"]]
+
+
+class TestManifestContext:
+    def test_task_manifests_carry_experiment_context(self, store):
+        ExperimentSession(store=store).run(tiny_spec(), seed=3)
+        crowd = store.query(label="crowd")
+        assert len(crowd) == 2
+        assert {m["trial"] for m in crowd} == {0, 1}
+        assert all(m["experiment"] == "tiny-store" for m in crowd)
+        assert all(m["record"] == "task" for m in crowd)
+
+    def test_figure_manifest_embeds_the_spec(self, store):
+        spec = tiny_spec()
+        ExperimentSession(store=store).run(spec, seed=3)
+        manifest = store.query(result_type="figure_result")[0]
+        assert manifest["record"] == "figure"
+        assert manifest["seed"] == 3
+        rebuilt = ExperimentSpec.from_dict(manifest["spec"])
+        assert rebuilt == spec
+
+
+class TestStorelessSessionsUnchanged:
+    def test_no_store_attribute_traffic(self):
+        session = ExperimentSession()
+        assert session.store is None
+        session.run(tiny_spec(), seed=0)
+        assert session.store_stats == StoreStats()

@@ -1,0 +1,195 @@
+"""Cross-process store safety: lock races, same-key writes, killed sweeps.
+
+These tests spawn real OS processes.  The killed-sweep test is the
+acceptance criterion of the store subsystem: a serial sweep SIGKILLed
+mid-trial must resume from the store and finish with curves bit-identical
+to an uninterrupted run.
+"""
+
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.evaluation.curves import ErrorCurve
+from repro.experiments import (
+    ArmSpec,
+    ExperimentScale,
+    ExperimentSession,
+    ExperimentSpec,
+)
+from repro.store import FileLock, RunStore, digest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+SRC_DIR = os.path.join(REPO_ROOT, "src")
+
+
+# --------------------------------------------------------------------- #
+# Worker functions (module-level so they survive pickling)              #
+# --------------------------------------------------------------------- #
+
+
+def _locked_increment(counter_path: str, lock_path: str, rounds: int) -> None:
+    for _ in range(rounds):
+        with FileLock(lock_path, timeout=30.0, poll_interval=0.001):
+            with open(counter_path) as handle:
+                value = int(handle.read())
+            with open(counter_path, "w") as handle:
+                handle.write(str(value + 1))
+
+
+def _racing_put(root: str, worker_seed: int) -> None:
+    store = RunStore(root)
+    rng = np.random.default_rng(0)  # both workers build identical curves
+    for index in range(10):
+        curve = ErrorCurve(np.arange(1, 4),
+                           rng.uniform(0.0, 1.0, size=3))
+        store.put(digest(["race", index]), curve,
+                  extra={"worker": worker_seed})
+
+
+class TestLockRace:
+    def test_interleaved_increments_lose_nothing(self, tmp_path):
+        counter = str(tmp_path / "counter")
+        lock = str(tmp_path / "counter.lock")
+        with open(counter, "w") as handle:
+            handle.write("0")
+        workers = [
+            multiprocessing.Process(target=_locked_increment,
+                                    args=(counter, lock, 50))
+            for _ in range(2)
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        with open(counter) as handle:
+            assert int(handle.read()) == 100
+
+
+class TestSameKeyWriteRace:
+    def test_concurrent_puts_leave_consistent_entries(self, tmp_path):
+        root = str(tmp_path / "store")
+        workers = [
+            multiprocessing.Process(target=_racing_put, args=(root, seed))
+            for seed in (1, 2)
+        ]
+        for proc in workers:
+            proc.start()
+        for proc in workers:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        store = RunStore(root)
+        assert len(store) == 10
+        rng = np.random.default_rng(0)
+        for index in range(10):
+            expected = rng.uniform(0.0, 1.0, size=3)
+            loaded = store.get(digest(["race", index]))
+            assert np.array_equal(loaded.errors, expected)
+            # Exactly one writer won; its manifest is internally coherent.
+            manifest = store.manifest(digest(["race", index]))
+            assert manifest["worker"] in (1, 2)
+
+
+# --------------------------------------------------------------------- #
+# Killed sweep → bit-identical resume                                   #
+# --------------------------------------------------------------------- #
+
+TINY = ExperimentScale(num_train=300, num_test=100, num_devices=5,
+                       num_trials=2, num_passes=1)
+
+
+def tiny_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="killable", dataset="mnist_like", scale=TINY,
+        arms=(
+            ArmSpec(label="crowd", schedule_kwargs={"constant": 30.0}),
+            ArmSpec(label="sgd", kind="central_sgd", seed_offset=5,
+                    schedule_kwargs={"constant": 30.0}),
+        ),
+        reference_arms=(ArmSpec(label="batch", kind="central_batch"),),
+    )
+
+
+# Runs a store-backed sweep but SIGKILLs itself at the start of the
+# third task — after two results have been executed AND persisted.
+_DYING_SWEEP = textwrap.dedent("""
+    import os, signal, sys
+    import repro.experiments.session as session_mod
+    from repro.experiments import ExperimentSpec, ExperimentSession
+    from repro.store import RunStore
+
+    spec_path, store_root = sys.argv[1], sys.argv[2]
+    with open(spec_path) as handle:
+        spec = ExperimentSpec.from_json(handle.read())
+
+    real = session_mod._execute_task
+    executed = {"count": 0}
+
+    def dying(payload):
+        if executed["count"] == 2:
+            os.kill(os.getpid(), signal.SIGKILL)
+        result = real(payload)
+        executed["count"] += 1
+        return result
+
+    session_mod._execute_task = dying
+    ExperimentSession(store=RunStore(store_root)).run(spec, seed=7)
+""")
+
+
+@pytest.mark.slow
+class TestKilledSweepResumes:
+    def test_resume_is_bit_identical(self, tmp_path):
+        spec = tiny_spec()
+        spec_path = str(tmp_path / "spec.json")
+        with open(spec_path, "w") as handle:
+            handle.write(spec.to_json())
+        root = str(tmp_path / "store")
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-c", _DYING_SWEEP, spec_path, root],
+            env=env, cwd=REPO_ROOT, capture_output=True, timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+
+        # The two completed tasks were persisted before the kill; the
+        # figure (written last) was not.
+        store = RunStore(root)
+        assert len(store.query(result_type="figure_result")) == 0
+        completed = len(store.query(result_type="error_curve")) + \
+            len(store.query(result_type="scalar"))
+        assert completed == 2
+
+        # Resume: only the two missing tasks run, and the curves match an
+        # uninterrupted (storeless) run exactly.
+        reference = ExperimentSession().run(spec, seed=7)
+        session = ExperimentSession(store=store)
+        resumed = session.run(spec, seed=7)
+        assert session.store_stats.task_hits == 2
+        assert session.store_stats.task_misses == 2
+        assert set(resumed.curves) == set(reference.curves)
+        for label in reference.curves:
+            assert np.array_equal(resumed.curves[label].iterations,
+                                  reference.curves[label].iterations), label
+            assert np.array_equal(resumed.curves[label].errors,
+                                  reference.curves[label].errors), label
+        assert resumed.reference_lines == reference.reference_lines
+
+        # The finished figure is now stored: a repeat run executes nothing.
+        repeat_session = ExperimentSession(store=store)
+        repeat = repeat_session.run(spec, seed=7)
+        assert repeat_session.store_stats.figure_hits == 1
+        assert repeat_session.store_stats.task_misses == 0
+        for label in reference.curves:
+            assert np.array_equal(repeat.curves[label].errors,
+                                  reference.curves[label].errors), label

@@ -1,0 +1,87 @@
+"""Tests of the inter-process file lock."""
+
+import os
+
+import pytest
+
+from repro.store import locking
+from repro.store.locking import FileLock, LockTimeout
+
+
+class TestFileLock:
+    def test_acquire_release(self, tmp_path):
+        lock = FileLock(str(tmp_path / "a.lock"))
+        assert not lock.locked
+        lock.acquire()
+        assert lock.locked
+        lock.release()
+        assert not lock.locked
+
+    def test_context_manager(self, tmp_path):
+        with FileLock(str(tmp_path / "a.lock")) as lock:
+            assert lock.locked
+        assert not lock.locked
+
+    def test_creates_parent_directories(self, tmp_path):
+        with FileLock(str(tmp_path / "deep" / "er" / "a.lock")):
+            pass
+
+    def test_reacquire_after_release(self, tmp_path):
+        lock = FileLock(str(tmp_path / "a.lock"))
+        for _ in range(3):
+            with lock:
+                pass
+
+    def test_double_acquire_is_an_error(self, tmp_path):
+        with FileLock(str(tmp_path / "a.lock")) as lock:
+            with pytest.raises(RuntimeError, match="already held"):
+                lock.acquire()
+
+    def test_release_unheld_is_an_error(self, tmp_path):
+        with pytest.raises(RuntimeError, match="not held"):
+            FileLock(str(tmp_path / "a.lock")).release()
+
+    def test_contention_times_out(self, tmp_path):
+        # flock conflicts apply between open file descriptions, so two
+        # FileLock objects contend even within one process.
+        path = str(tmp_path / "a.lock")
+        with FileLock(path):
+            contender = FileLock(path, timeout=0.2, poll_interval=0.02)
+            with pytest.raises(LockTimeout, match="could not lock"):
+                contender.acquire()
+            assert not contender.locked
+
+    def test_negative_timeout_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="timeout"):
+            FileLock(str(tmp_path / "a.lock"), timeout=-1.0)
+
+
+class TestExclusiveCreateFallback:
+    """The non-fcntl path (Windows and friends), forced via monkeypatch."""
+
+    @pytest.fixture(autouse=True)
+    def no_fcntl(self, monkeypatch):
+        monkeypatch.setattr(locking, "fcntl", None)
+
+    def test_acquire_release(self, tmp_path):
+        path = str(tmp_path / "a.lock")
+        with FileLock(path):
+            assert os.path.exists(path)
+        assert not os.path.exists(path)  # fallback removes its lock file
+
+    def test_contention_times_out(self, tmp_path):
+        path = str(tmp_path / "a.lock")
+        with FileLock(path):
+            with pytest.raises(LockTimeout):
+                FileLock(path, timeout=0.2, poll_interval=0.02).acquire()
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        path = str(tmp_path / "a.lock")
+        with open(path, "w") as handle:
+            handle.write("999999")  # abandoned by a long-dead process
+        old = os.stat(path).st_mtime - 1000
+        os.utime(path, (old, old))
+        lock = FileLock(path, timeout=1.0, poll_interval=0.02,
+                        stale_after=60.0)
+        lock.acquire()  # must not time out
+        lock.release()

@@ -1,0 +1,248 @@
+"""Tests of RunStore and its directory backend."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.evaluation.curves import ErrorCurve
+from repro.experiments.results import FigureResult
+from repro.store import (
+    DirectoryBackend,
+    RunStore,
+    STORE_DIR_ENV,
+    StoreError,
+    digest,
+)
+from repro.store.backend import write_json_atomic
+
+
+def curve(seed: int = 0) -> ErrorCurve:
+    rng = np.random.default_rng(seed)
+    return ErrorCurve(np.arange(1, 6), rng.uniform(0.0, 1.0, size=5))
+
+
+def figure(seed: int = 0) -> FigureResult:
+    return FigureResult("figX", curves={"crowd": curve(seed)},
+                        reference_lines={"batch": 0.125})
+
+
+def key_of(*material) -> str:
+    return digest(list(material))
+
+
+class TestRoundTrip:
+    @pytest.fixture
+    def store(self, tmp_path):
+        return RunStore(str(tmp_path / "store"))
+
+    def test_curve_bit_identical(self, store):
+        original = curve()
+        assert store.put(key_of("c"), original)
+        loaded = store.get(key_of("c"))
+        assert np.array_equal(loaded.iterations, original.iterations)
+        assert np.array_equal(loaded.errors, original.errors)
+        assert loaded.errors.dtype == np.float64
+
+    def test_scalar(self, store):
+        store.put(key_of("s"), 0.1 + 0.2)  # a float with ugly repr
+        assert store.get(key_of("s")) == 0.1 + 0.2
+
+    def test_figure_result(self, store):
+        store.put(key_of("f"), figure())
+        loaded = store.get(key_of("f"))
+        assert isinstance(loaded, FigureResult)
+        assert np.array_equal(loaded.curves["crowd"].errors,
+                              figure().curves["crowd"].errors)
+        assert loaded.reference_lines == {"batch": 0.125}
+
+    def test_missing_key_is_none(self, store):
+        assert store.get(key_of("nope")) is None
+
+    def test_unstorable_value_is_an_error(self, store):
+        with pytest.raises(StoreError, match="cannot store"):
+            store.put(key_of("bad"), {"not": "storable"})
+
+    def test_contains_and_len(self, store):
+        assert key_of("a") not in store
+        store.put(key_of("a"), 1.0)
+        store.put(key_of("b"), 2.0)
+        assert key_of("a") in store
+        assert len(store) == 2
+        assert sorted(store.keys()) == sorted([key_of("a"), key_of("b")])
+
+
+class TestWriteSemantics:
+    @pytest.fixture
+    def store(self, tmp_path):
+        return RunStore(str(tmp_path / "store"))
+
+    def test_first_writer_wins(self, store):
+        assert store.put(key_of("k"), 1.0) is True
+        assert store.put(key_of("k"), 2.0) is False
+        assert store.get(key_of("k")) == 1.0
+
+    def test_overwrite(self, store):
+        store.put(key_of("k"), 1.0)
+        assert store.put(key_of("k"), 2.0, overwrite=True) is True
+        assert store.get(key_of("k")) == 2.0
+
+    def test_manifest_records_context(self, store):
+        store.put(key_of("k"), curve(),
+                  extra={"experiment": "fig4", "label": "crowd", "trial": 1})
+        manifest = store.manifest(key_of("k"))
+        assert manifest["experiment"] == "fig4"
+        assert manifest["label"] == "crowd"
+        assert manifest["trial"] == 1
+        assert manifest["type"] == "error_curve"
+        assert manifest["key"] == key_of("k")
+        assert {"final_error", "tail_error",
+                "num_snapshots"} <= set(manifest["summary"])
+
+    def test_extra_cannot_shadow_core_fields(self, store):
+        store.put(key_of("k"), 1.0, extra={"key": "spoof", "type": "spoof"})
+        manifest = store.manifest(key_of("k"))
+        assert manifest["key"] == key_of("k")
+        assert manifest["type"] == "scalar"
+
+    def test_partial_entry_is_invisible_and_repairable(self, store):
+        # Simulate a writer killed between result and manifest: result
+        # present, manifest (the commit record) absent.
+        backend = store.backend
+        entry = backend.entry_dir(key_of("k"))
+        os.makedirs(entry)
+        write_json_atomic(os.path.join(entry, "result.json"),
+                          {"type": "scalar", "value": 9.0})
+        assert store.get(key_of("k")) is None
+        assert key_of("k") not in store
+        assert store.put(key_of("k"), 1.0) is True  # repair by rewrite
+        assert store.get(key_of("k")) == 1.0
+
+
+class TestQueryPrune:
+    @pytest.fixture
+    def store(self, tmp_path):
+        store = RunStore(str(tmp_path / "store"))
+        store.put(key_of("t", 0), curve(0),
+                  extra={"experiment": "fig4", "label": "crowd", "trial": 0})
+        store.put(key_of("t", 1), curve(1),
+                  extra={"experiment": "fig4", "label": "crowd", "trial": 1})
+        store.put(key_of("ref"), 0.2,
+                  extra={"experiment": "fig5", "label": "batch"})
+        store.put(key_of("fig"), figure(),
+                  extra={"experiment": "fig4"})
+        return store
+
+    def test_query_all_sorted_oldest_first(self, store):
+        manifests = store.query()
+        assert len(manifests) == 4
+        stamps = [m["created_at"] for m in manifests]
+        assert stamps == sorted(stamps)
+
+    def test_query_filters(self, store):
+        assert len(store.query(experiment="fig4")) == 3
+        assert len(store.query(result_type="error_curve")) == 2
+        assert len(store.query(label="batch")) == 1
+        assert len(store.query(experiment="fig4",
+                               result_type="figure_result")) == 1
+        assert store.query(experiment="nope") == []
+
+    def test_query_predicate(self, store):
+        assert len(store.query(predicate=lambda m: m.get("trial") == 1)) == 1
+
+    def test_prune_requires_a_filter(self, store):
+        with pytest.raises(StoreError, match="refusing"):
+            store.prune()
+        assert len(store) == 4
+
+    def test_prune_by_experiment(self, store):
+        assert store.prune(experiment="fig5") == 1
+        assert len(store) == 3
+        assert store.get(key_of("ref")) is None
+
+    def test_prune_everything(self, store):
+        assert store.prune(everything=True) == 4
+        assert len(store) == 0
+
+    def test_prune_older_than_spares_fresh_entries(self, store):
+        assert store.prune(older_than=3600.0, everything=True) == 0
+        assert len(store) == 4
+
+    def test_resolve_prefix(self, store):
+        full = key_of("fig")
+        assert store.resolve(full[:10]) == full
+        with pytest.raises(StoreError, match="no store entry"):
+            store.resolve("ffff" * 16)
+        with pytest.raises(StoreError, match="empty key prefix"):
+            store.resolve("")
+
+    def test_resolve_ambiguous_prefix(self, store):
+        # Find two materials whose digests collide on the first hex
+        # char (guaranteed within 17 tries by pigeonhole).
+        by_first = {}
+        for index in range(17):
+            key = key_of("amb", index)
+            if key[0] in by_first:
+                store.put(by_first[key[0]], 1.0)
+                store.put(key, 2.0)
+                with pytest.raises(StoreError, match="ambiguous"):
+                    store.resolve(key[0])
+                return
+            by_first[key[0]] = key
+        raise AssertionError("unreachable")
+
+
+class TestBackendInvariants:
+    def test_malformed_key_rejected(self, tmp_path):
+        backend = DirectoryBackend(str(tmp_path / "store"))
+        for bad in ("short", "Z" * 64, "ab/../" + "a" * 58):
+            with pytest.raises(StoreError, match="malformed"):
+                backend.entry_dir(bad)
+
+    def test_format_marker_round_trip(self, tmp_path):
+        root = str(tmp_path / "store")
+        DirectoryBackend(root)
+        DirectoryBackend(root)  # reopening the same store is fine
+        marker = os.path.join(root, "store.json")
+        with open(marker) as handle:
+            payload = json.load(handle)
+        payload["format"] = 999
+        with open(marker, "w") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(StoreError, match="format"):
+            DirectoryBackend(root)
+
+    def test_corrupt_manifest_is_surfaced(self, tmp_path):
+        store = RunStore(str(tmp_path / "store"))
+        store.put(key_of("k"), 1.0)
+        manifest_path = os.path.join(store.backend.entry_dir(key_of("k")),
+                                     "manifest.json")
+        with open(manifest_path, "w") as handle:
+            handle.write("{not json")
+        with pytest.raises(StoreError, match="corrupt"):
+            store.manifest(key_of("k"))
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = RunStore(str(tmp_path / "store"))
+        store.put(key_of("k"), curve())
+        leftovers = [name for _, _, files in os.walk(store.root)
+                     for name in files if name.startswith(".tmp-")]
+        assert leftovers == []
+
+
+class TestFromEnv:
+    def test_unset_returns_none(self, monkeypatch):
+        monkeypatch.delenv(STORE_DIR_ENV, raising=False)
+        assert RunStore.from_env() is None
+
+    def test_env_variable_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(STORE_DIR_ENV, str(tmp_path / "envstore"))
+        store = RunStore.from_env()
+        assert store is not None
+        assert store.root == str(tmp_path / "envstore")
+
+    def test_default_used_when_unset(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(STORE_DIR_ENV, raising=False)
+        store = RunStore.from_env(default=str(tmp_path / "d"))
+        assert store is not None and store.root == str(tmp_path / "d")

@@ -30,6 +30,7 @@ class TestExports:
         import repro.portal
         import repro.privacy
         import repro.simulation
+        import repro.store
         import repro.utils
 
     def test_subpackage_all_names_resolve(self):
