@@ -1,0 +1,122 @@
+"""Simulator throughput: batch arrivals vs. legacy per-sample events.
+
+Measures samples/sec and heap-events-fired per sample for crowds of
+M ∈ {10, 100, 1000} devices, running the *same* configuration through
+both arrival modes.  The headline configuration is the §IV-B3 operating
+point for a delayed network — b = 100, τ = 200Δ — where the adaptive-
+minibatch analysis says devices should sit when round trips span many
+sampling periods; a b = 1, τ = 0 row is included as the honest lower
+bound (every sample is a check-out trigger there, so there is nothing
+for batching to elide).
+
+The run **gates on the equivalence assertion**: both modes must produce
+bit-identical traces.  Wall-clock numbers are recorded (via
+``publish_table`` → ``benchmarks/results/sim_throughput.json``) but not
+asserted, so a loaded CI machine cannot flake the job.
+
+``REPRO_SCALE=smoke`` shrinks the crowd list to {10, 100} with fewer
+samples per device; the default ("benchmark") runs all three sizes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks._harness import publish_table
+from repro.data import iid_partition, make_mnist_like
+from repro.evaluation import assert_traces_identical
+from repro.models import MulticlassLogisticRegression
+from repro.network.latency import LinkDelays
+from repro.simulation import CrowdSimulator, SimulationConfig
+
+BATCH_SIZE = 100
+DELAY_MULTIPLES = 200.0  # τ in Δ = 1/(M·F_s) units (Section V-C)
+
+
+def _scale():
+    if os.environ.get("REPRO_SCALE", "benchmark") == "smoke":
+        return (10, 100), 120  # crowd sizes, samples per device
+    return (10, 100, 1000), 200
+
+
+def _config(num_devices: int, mode: str, batch_size: int = BATCH_SIZE,
+            delay_multiples: float = DELAY_MULTIPLES) -> SimulationConfig:
+    probe = SimulationConfig(num_devices=num_devices)
+    tau = probe.delay_in_sample_units(delay_multiples)
+    return SimulationConfig(
+        num_devices=num_devices,
+        batch_size=batch_size,
+        link_delays=LinkDelays.uniform(tau) if tau > 0 else LinkDelays.zero(),
+        num_snapshots=4,
+        arrival_mode=mode,
+    )
+
+
+REPEATS = 3  # best-of-N wall clock; each repeat is a fresh identical run
+
+
+def _run(parts, test, config):
+    elapsed = None
+    for _ in range(REPEATS):
+        simulator = CrowdSimulator(
+            MulticlassLogisticRegression(50, 10), parts, test, config, seed=0,
+        )
+        start = time.perf_counter()
+        trace = simulator.run()
+        this_time = time.perf_counter() - start
+        elapsed = this_time if elapsed is None else min(elapsed, this_time)
+    return trace, simulator.events_fired, elapsed
+
+
+def _measure(num_devices: int, samples_per_device: int,
+             batch_size: int = BATCH_SIZE,
+             delay_multiples: float = DELAY_MULTIPLES):
+    train, test = make_mnist_like(
+        num_train=num_devices * samples_per_device, num_test=100)
+    parts = iid_partition(train, num_devices, np.random.default_rng(0))
+    fast_trace, fast_events, fast_time = _run(
+        parts, test, _config(num_devices, "batch", batch_size, delay_multiples))
+    legacy_trace, legacy_events, legacy_time = _run(
+        parts, test, _config(num_devices, "per_sample", batch_size,
+                             delay_multiples))
+    # The hard gate: bitwise-equal traces across the two schedulers.
+    assert_traces_identical(fast_trace, legacy_trace,
+                            context=f"M={num_devices} b={batch_size}")
+    samples = fast_trace.total_samples_consumed
+    return {
+        "samples": samples,
+        "samples_per_sec_fast": samples / fast_time,
+        "samples_per_sec_legacy": samples / legacy_time,
+        "speedup": legacy_time / fast_time,
+        "events_per_sample_fast": fast_events / samples,
+        "events_per_sample_legacy": legacy_events / samples,
+    }
+
+
+def test_sim_throughput():
+    crowd_sizes, samples_per_device = _scale()
+    rows = {}
+    for num_devices in crowd_sizes:
+        rows[f"M={num_devices}"] = _measure(num_devices, samples_per_device)
+    # Lower-bound row: b = 1 with no delay fires one round trip per sample
+    # in both modes — batching cannot (and does not claim to) help there.
+    rows["M=100 b=1 (bound)"] = _measure(
+        100, min(40, samples_per_device), batch_size=1, delay_multiples=0.0)
+
+    header = (f"{'config':>18s} {'samples':>8s} {'fast sps':>10s} "
+              f"{'legacy sps':>10s} {'speedup':>8s} {'ev/smp fast':>12s} "
+              f"{'ev/smp legacy':>14s}")
+    lines = [header]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:>18s} {row['samples']:8d} "
+            f"{row['samples_per_sec_fast']:10.0f} "
+            f"{row['samples_per_sec_legacy']:10.0f} "
+            f"{row['speedup']:7.2f}x "
+            f"{row['events_per_sample_fast']:12.3f} "
+            f"{row['events_per_sample_legacy']:14.3f}"
+        )
+    publish_table("sim_throughput", "\n".join(lines), rows)

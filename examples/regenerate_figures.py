@@ -9,6 +9,7 @@ Usage::
     python examples/regenerate_figures.py --figure 4 --export-spec fig4.json
     python examples/regenerate_figures.py --spec fig4.json      # data, no code
     python examples/regenerate_figures.py --figure 3 --store runs/
+    python examples/regenerate_figures.py --figure 4 --profile  # cProfile
 
 Scales: ``smoke`` (seconds), ``benchmark`` (default, ~minutes),
 ``paper`` (full Section V-C sizes: M = 1000, 60k samples, 10 trials).
@@ -24,12 +25,19 @@ a persistent :class:`~repro.store.RunStore`: completed trials and whole
 figures are served from disk on repeat runs and an interrupted sweep
 resumes where it stopped.  ``--force`` recomputes and overwrites the
 stored entries; ``--no-cache`` ignores any store entirely.
+
+``--profile`` wraps each figure run in :mod:`cProfile` and prints the top
+functions by cumulative time (``--profile-out PATH`` additionally dumps
+the raw stats for ``snakeviz``/``pstats``) — perf PRs should cite these
+profiles rather than guessing at hot spots.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import os
+import pstats
 import time
 
 from repro.experiments import (
@@ -75,7 +83,17 @@ def main() -> None:
     parser.add_argument("--force", action="store_true",
                         help="recompute everything and overwrite store "
                              "entries")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print cumulative stats")
+    parser.add_argument("--profile-out", metavar="PATH", default=None,
+                        help="with --profile, also dump raw pstats here")
     args = parser.parse_args()
+
+    if args.profile and args.workers and args.workers > 1:
+        # cProfile only instruments this process; worker trials would run
+        # unprofiled and the printed stats would show pickle/pool overhead
+        # instead of simulator hot spots.
+        parser.error("--profile requires serial execution; drop --workers")
 
     store = None
     if not args.no_cache:
@@ -104,10 +122,27 @@ def main() -> None:
         print(f"wrote {args.export_spec}")
         return
 
-    for spec in specs:
+    for index, spec in enumerate(specs):
         before = session.store_stats.snapshot()
         start = time.time()
-        result = session.run(spec, seed=args.seed)
+        if args.profile:
+            profiler = cProfile.Profile()
+            profiler.enable()
+            result = session.run(spec, seed=args.seed)
+            profiler.disable()
+            stats = pstats.Stats(profiler)
+            stats.sort_stats("cumulative").print_stats(30)
+            if args.profile_out:
+                # One stats file per spec: a multi-figure run must not
+                # silently overwrite earlier figures' profiles.
+                path = args.profile_out
+                if len(specs) > 1:
+                    root, ext = os.path.splitext(path)
+                    path = f"{root}.{spec.name or index}{ext}"
+                stats.dump_stats(path)
+                print(f"profile stats written to {path}")
+        else:
+            result = session.run(spec, seed=args.seed)
         elapsed = time.time() - start
         print()
         print(result.format_table())

@@ -16,7 +16,7 @@ the buffer intact and the device retries at the next opportunity
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
@@ -106,9 +106,21 @@ class Device:
         self._current_batch_size = config.batch_size
         self._last_checkout_iteration: Optional[int] = None
 
-        self._features: List[np.ndarray] = []
-        self._labels: List[int] = []
-        self._holdout_mask: List[bool] = []
+        # Samples land in ndarray slots instead of growing Python lists
+        # (Routine 1 is the hot path of every simulated run, and check-out
+        # then needs no np.stack).  Allocation starts at two minibatches —
+        # a buffer only exceeds b while a check-out is in flight — and
+        # doubles on demand up to the logical capacity B; allocating all of
+        # B = buffer_factor × b up front would waste ~B/b× the memory at
+        # crowd scale.
+        self._capacity = int(config.buffer_capacity)
+        self._is_classification = model.num_classes > 1
+        self._label_dtype = np.int64 if self._is_classification else np.float64
+        allocated = min(2 * int(config.batch_size), self._capacity)
+        self._feature_buffer = np.empty((allocated, model.num_features), dtype=np.float64)
+        self._label_buffer = np.empty(allocated, dtype=self._label_dtype)
+        self._holdout_buffer = np.zeros(allocated, dtype=bool)
+        self._buffered = 0
         self._awaiting_checkout = False
         self._failed_checkouts = 0
         self._samples_observed = 0
@@ -135,7 +147,7 @@ class Device:
     @property
     def buffer_size(self) -> int:
         """n_s — samples currently buffered."""
-        return len(self._features)
+        return self._buffered
 
     @property
     def samples_observed(self) -> int:
@@ -161,12 +173,32 @@ class Device:
         """The b in force right now (fixed unless a batch policy adapts it)."""
         return self._current_batch_size
 
+    def _ensure_allocated(self, needed: int) -> None:
+        """Grow the slot arrays geometrically to hold ``needed`` samples.
+
+        Pure reallocation — no values or RNG draws change, so batching
+        equivalence is unaffected.  ``needed`` never exceeds capacity B.
+        """
+        allocated = self._label_buffer.shape[0]
+        if needed <= allocated:
+            return
+        new_size = min(max(needed, 2 * allocated), self._capacity)
+        features = np.empty((new_size, self._model.num_features), dtype=np.float64)
+        features[:self._buffered] = self._feature_buffer[:self._buffered]
+        labels = np.empty(new_size, dtype=self._label_dtype)
+        labels[:self._buffered] = self._label_buffer[:self._buffered]
+        holdout = np.zeros(new_size, dtype=bool)
+        holdout[:self._buffered] = self._holdout_buffer[:self._buffered]
+        self._feature_buffer = features
+        self._label_buffer = labels
+        self._holdout_buffer = holdout
+
     @property
     def wants_checkout(self) -> bool:
         """Routine 1's trigger: n_s ≥ b and no request already pending."""
         return (
             not self._awaiting_checkout
-            and len(self._features) >= self._current_batch_size
+            and self._buffered >= self._current_batch_size
         )
 
     def observe(self, features: np.ndarray, label: int) -> bool:
@@ -176,7 +208,7 @@ class Device:
         "stop collection to prevent resource outage" branch.
         """
         self._samples_observed += 1
-        if len(self._features) >= self._config.buffer_capacity:
+        if self._buffered >= self._capacity:
             self._samples_dropped += 1
             return self.wants_checkout
         features = np.asarray(features, dtype=np.float64)
@@ -185,19 +217,99 @@ class Device:
                 f"sample must have shape ({self._model.num_features},), "
                 f"got {features.shape}"
             )
-        self._features.append(features)
+        slot = self._buffered
+        self._ensure_allocated(slot + 1)
+        self._feature_buffer[slot] = features
         # Classification labels are integer class indices; regression
         # models (num_classes == 1) carry real-valued targets.
-        if self._model.num_classes > 1:
-            self._labels.append(int(label))
+        if self._is_classification:
+            self._label_buffer[slot] = int(label)
         else:
-            self._labels.append(float(label))
-        is_holdout = (
+            self._label_buffer[slot] = float(label)
+        self._holdout_buffer[slot] = (
             self._config.holdout_fraction > 0.0
             and float(self._rng.random()) < self._config.holdout_fraction
         )
-        self._holdout_mask.append(is_holdout)
+        self._buffered = slot + 1
         return self.wants_checkout
+
+    def observe_batch(self, features: np.ndarray, labels: np.ndarray) -> bool:
+        """Routine 1 over a whole batch of arrivals at once.
+
+        Equivalent — including bit-identical holdout RNG consumption — to
+        calling :meth:`observe` once per row: the first ``B − n_s`` rows
+        are buffered (one uniform holdout draw each, taken as a single
+        ``rng.random(k)`` block), the overflow is dropped, and the return
+        value is the final ``wants_checkout``.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self._model.num_features:
+            raise ConfigurationError(
+                f"batch must have shape (n, {self._model.num_features}), "
+                f"got {features.shape}"
+            )
+        labels = np.asarray(labels)
+        count = features.shape[0]
+        if labels.shape != (count,):
+            raise ConfigurationError(
+                f"labels must have shape ({count},), got {labels.shape}"
+            )
+        start, take = self._admit_arrivals(count)
+        if take > 0:
+            end = start + take
+            self._feature_buffer[start:end] = features[:take]
+            self._label_buffer[start:end] = labels[:take]
+            self._commit_arrivals(start, end, take)
+        return self.wants_checkout
+
+    def observe_rows(
+        self, features: np.ndarray, labels: np.ndarray, rows: np.ndarray
+    ) -> bool:
+        """Routine 1 over arrivals given as row indices of a source dataset.
+
+        Equivalent to ``observe_batch(features[rows], labels[rows])`` but
+        gathers the kept rows straight into the buffer slots — one copy
+        instead of a fancy-index copy followed by a buffer write.  Falls
+        back to :meth:`observe_batch` when dtypes don't allow a direct
+        ``np.take(..., out=...)`` gather.
+        """
+        if (features.dtype != np.float64
+                or labels.dtype != self._label_dtype
+                or features.ndim != 2
+                or features.shape[1] != self._model.num_features):
+            return self.observe_batch(features[rows], labels[rows])
+        start, take = self._admit_arrivals(rows.shape[0])
+        if take > 0:
+            end = start + take
+            kept = rows[:take]
+            np.take(features, kept, axis=0, out=self._feature_buffer[start:end])
+            np.take(labels, kept, out=self._label_buffer[start:end])
+            self._commit_arrivals(start, end, take)
+        return self.wants_checkout
+
+    def _admit_arrivals(self, count: int) -> tuple[int, int]:
+        """Routine 1 admission for ``count`` arrivals: first ``take`` slots
+        are buffered, the overflow is dropped.  Returns (start, take)."""
+        self._samples_observed += count
+        start = self._buffered
+        take = min(count, self._capacity - start)
+        if take < count:
+            self._samples_dropped += count - take
+        if take > 0:
+            self._ensure_allocated(start + take)
+        return start, take
+
+    def _commit_arrivals(self, start: int, end: int, take: int) -> None:
+        """Finish admission of slots ``[start, end)``: holdout marks (one
+        RNG block, bit-equal to ``take`` sequential scalar draws) and the
+        buffer count."""
+        if self._config.holdout_fraction > 0.0:
+            self._holdout_buffer[start:end] = (
+                self._rng.random(take) < self._config.holdout_fraction
+            )
+        else:
+            self._holdout_buffer[start:end] = False
+        self._buffered = end
 
     def mark_checkout_requested(self) -> None:
         """Record that a check-out request left the device."""
@@ -237,30 +349,36 @@ class Device:
                     min(max(proposed, 1), self._config.buffer_capacity)
                 )
             self._last_checkout_iteration = int(server_iteration)
-        if not self._features:
+        if not self._buffered:
             raise ProtocolError(
                 f"device {self._device_id} has no buffered samples to process"
             )
         parameters = np.asarray(parameters, dtype=np.float64)
-        features = np.stack(self._features)
-        is_classification = self._model.num_classes > 1
-        label_dtype = np.int64 if is_classification else np.float64
-        labels = np.asarray(self._labels, dtype=label_dtype)
-        holdout = np.asarray(self._holdout_mask, dtype=bool)
-        num_samples = features.shape[0]
-
-        errors = self._model.prediction_errors(parameters, features, labels)
+        num_samples = self._buffered
+        # Views over the preallocated buffers; labels are copied because
+        # they outlive this call inside the returned CheckinResult.
+        features = self._feature_buffer[:num_samples]
+        is_classification = self._is_classification
+        labels = self._label_buffer[:num_samples].copy()
+        holdout = self._holdout_buffer[:num_samples]
 
         # Remark 2: with a holdout, the error statistic comes from held-out
         # samples only, and their gradients stay out of the average.
         if holdout.any() and (~holdout).any():
+            errors = self._model.prediction_errors(parameters, features, labels)
             error_count = int(errors[holdout].sum())
-            grad_features, grad_labels = features[~holdout], labels[~holdout]
+            grad_features = features[~holdout]
+            averaged_gradient = self._model.gradient(
+                parameters, grad_features, labels[~holdout]
+            )
+            gradient_samples = grad_features.shape[0]
         else:
+            # Same rows feed both oracles: use the fused single-pass form.
+            errors, averaged_gradient = self._model.errors_and_gradient(
+                parameters, features, labels
+            )
             error_count = int(errors.sum())
-            grad_features, grad_labels = features, labels
-
-        averaged_gradient = self._model.gradient(parameters, grad_features, grad_labels)
+            gradient_samples = num_samples
         if is_classification:
             label_counts = np.bincount(
                 labels, minlength=self._model.num_classes
@@ -271,7 +389,7 @@ class Device:
             label_counts = np.array([num_samples], dtype=np.int64)
 
         sanitized = self._sanitizer.sanitize(
-            averaged_gradient, error_count, label_counts, grad_features.shape[0]
+            averaged_gradient, error_count, label_counts, gradient_samples
         )
         self._accountant.charge_checkin(list(sanitized.releases))
 
@@ -287,9 +405,7 @@ class Device:
         )
 
         # Reset n_s = 0, n_e = 0, n_y^k = 0 (end of Routine 2).
-        self._features.clear()
-        self._labels.clear()
-        self._holdout_mask.clear()
+        self._buffered = 0
         self._checkins_completed += 1
 
         return CheckinResult(

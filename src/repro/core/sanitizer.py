@@ -74,6 +74,10 @@ class CheckinSanitizer:
         self._gaussian_delta = float(gaussian_delta)
         self._error_mechanism = DiscreteLaplaceMechanism(budget.epsilon_error, rng)
         self._label_mechanism = DiscreteLaplaceMechanism(budget.epsilon_label, rng)
+        # Count-release records never vary (fixed ε, sensitivity 1): build
+        # them once instead of C + 1 dataclass allocations per check-in.
+        self._error_release = self._error_mechanism.record(1.0)
+        self._label_release = self._label_mechanism.record(1.0)
 
     @property
     def budget(self) -> PrivacyBudget:
@@ -117,10 +121,8 @@ class CheckinSanitizer:
         ) or getattr(gradient_mech, "sensitivity_l2", 0.0)
         releases = (
             gradient_mech.record(gradient_sensitivity),
-            self._error_mechanism.record(1.0),
-        ) + tuple(
-            self._label_mechanism.record(1.0) for _ in range(label_counts.shape[0])
-        )
+            self._error_release,
+        ) + (self._label_release,) * label_counts.shape[0]
         return SanitizedCheckin(
             gradient=noisy_gradient,
             error_count=noisy_error,

@@ -1,5 +1,10 @@
 """Evaluation utilities: metrics, error curves, multi-trial aggregation."""
 
+from repro.evaluation.compare import (
+    assert_traces_identical,
+    trace_differences,
+    traces_identical,
+)
 from repro.evaluation.curves import ErrorCurve, average_curves, curve_std
 from repro.evaluation.metrics import (
     snapshot_grid,
@@ -10,10 +15,13 @@ from repro.evaluation.metrics import (
 
 __all__ = [
     "ErrorCurve",
+    "assert_traces_identical",
     "average_curves",
     "curve_std",
     "snapshot_grid",
     "test_error",
     "test_loss",
     "time_averaged_error",
+    "trace_differences",
+    "traces_identical",
 ]

@@ -1,0 +1,70 @@
+"""Exact structural comparison of run traces.
+
+The batch-arrival scheduler (``SimulationConfig.arrival_mode="batch"``)
+promises *bit-identical* traces to the legacy per-sample scheduler — not
+"close", identical.  :func:`assert_traces_identical` is that promise made
+executable: it compares every field of two :class:`~repro.simulation.trace
+.RunTrace` objects with exact equality (no tolerances) and raises an
+:class:`AssertionError` naming the first field that differs.  The
+cross-path equivalence suite and the throughput benchmark both gate on it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.simulation.trace import RunTrace
+
+
+def _arrays_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Exact elementwise equality (NaNs compare equal positionally)."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    if a.dtype.kind == "f" or b.dtype.kind == "f":
+        return bool(np.array_equal(a, b, equal_nan=True))
+    return bool(np.array_equal(a, b))
+
+
+def trace_differences(a: RunTrace, b: RunTrace) -> List[str]:
+    """Names of the ``RunTrace`` fields on which ``a`` and ``b`` differ."""
+    differing = []
+    if not _arrays_equal(a.curve.iterations, b.curve.iterations):
+        differing.append("curve.iterations")
+    if not _arrays_equal(a.curve.errors, b.curve.errors):
+        differing.append("curve.errors")
+    if not _arrays_equal(a.online_errors, b.online_errors):
+        differing.append("online_errors")
+    if not _arrays_equal(a.final_parameters, b.final_parameters):
+        differing.append("final_parameters")
+    if not _arrays_equal(a.staleness, b.staleness):
+        differing.append("staleness")
+    if a.total_samples_consumed != b.total_samples_consumed:
+        differing.append("total_samples_consumed")
+    if a.server_iterations != b.server_iterations:
+        differing.append("server_iterations")
+    if a.communication != b.communication:
+        differing.append("communication")
+    if a.per_sample_epsilon != b.per_sample_epsilon:
+        differing.append("per_sample_epsilon")
+    if a.stop_reason != b.stop_reason:
+        differing.append("stop_reason")
+    return differing
+
+
+def traces_identical(a: RunTrace, b: RunTrace) -> bool:
+    """True iff every trace field matches with exact (bitwise) equality."""
+    return not trace_differences(a, b)
+
+
+def assert_traces_identical(a: RunTrace, b: RunTrace, context: str = "") -> None:
+    """Raise ``AssertionError`` naming the differing fields, if any."""
+    differing = trace_differences(a, b)
+    if differing:
+        prefix = f"{context}: " if context else ""
+        raise AssertionError(
+            f"{prefix}traces differ on: {', '.join(differing)}"
+        )

@@ -125,6 +125,22 @@ class Model(ABC):
         features, labels = self.validate_batch(features, labels)
         return self.predict(parameters, features) != labels
 
+    def errors_and_gradient(
+        self, parameters: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-sample errors and the averaged gradient of one batch.
+
+        This is Routine 2's inner computation, fused so subclasses can
+        share one forward pass (one validation, one score matrix) between
+        the two oracles.  The default delegates to the two separate
+        oracles; overrides must be *bit-identical* to that default — the
+        device hot path relies on it.
+        """
+        return (
+            self.prediction_errors(parameters, features, labels),
+            self.gradient(parameters, features, labels),
+        )
+
     def error_rate(self, parameters: np.ndarray, features: np.ndarray, labels: np.ndarray
                    ) -> float:
         """Fraction of misclassified samples."""

@@ -85,6 +85,24 @@ class MulticlassLogisticRegression(Model):
             flat = flat + self.l2_regularization * np.asarray(parameters, dtype=np.float64)
         return flat
 
+    def errors_and_gradient(
+        self, parameters: np.ndarray, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One shared score matrix for both Routine 2 oracles.
+
+        Bit-identical to the separate calls: ``prediction_errors`` is
+        ``argmax`` over the same ``x W'`` scores, and ``gradient`` applies
+        ``softmax`` to them — computing the matmul once changes no bits.
+        """
+        features, labels = self.validate_batch(features, labels)
+        scores = features @ self._weights(parameters).T
+        errors = np.argmax(scores, axis=1) != labels
+        residual = softmax(scores, axis=1) - one_hot(labels, self.num_classes)
+        flat = (residual.T @ features / features.shape[0]).reshape(-1)
+        if self.l2_regularization:
+            flat = flat + self.l2_regularization * np.asarray(parameters, dtype=np.float64)
+        return errors, flat
+
     def gradient_sensitivity(self, batch_size: int) -> float:
         """Appendix A bound: 4/b under ‖x‖₁ ≤ 1."""
         return logistic_gradient_sensitivity(batch_size)

@@ -15,7 +15,7 @@ from typing import Callable, Optional
 
 from repro.utils.exceptions import ConfigurationError
 
-EventCallback = Callable[[], None]
+EventCallback = Callable[..., None]
 
 
 @dataclass(order=True)
@@ -23,15 +23,18 @@ class _ScheduledEvent:
     time: float
     sequence: int
     callback: EventCallback = field(compare=False)
+    args: tuple = field(default=(), compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
     tag: str = field(default="", compare=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`EventQueue.schedule`; allows cancellation."""
 
-    def __init__(self, event: _ScheduledEvent):
+    def __init__(self, event: _ScheduledEvent, queue: "EventQueue"):
         self._event = event
+        self._queue = queue
 
     @property
     def time(self) -> float:
@@ -44,7 +47,10 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if already fired)."""
+        if self._event.fired or self._event.cancelled:
+            return
         self._event.cancelled = True
+        self._queue._pending -= 1
 
 
 class EventQueue:
@@ -67,6 +73,7 @@ class EventQueue:
         self._counter = itertools.count()
         self._now = 0.0
         self._fired = 0
+        self._pending = 0
 
     @property
     def now(self) -> float:
@@ -75,32 +82,40 @@ class EventQueue:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of not-yet-fired, not-cancelled events (O(1))."""
+        return self._pending
 
     @property
     def fired(self) -> int:
         """Total number of events executed so far."""
         return self._fired
 
-    def schedule(self, time: float, callback: EventCallback, tag: str = "") -> EventHandle:
-        """Schedule ``callback`` at absolute ``time`` (≥ current time)."""
+    def schedule(self, time: float, callback: EventCallback, tag: str = "",
+                 args: tuple = ()) -> EventHandle:
+        """Schedule ``callback`` at absolute ``time`` (≥ current time).
+
+        ``args`` are passed through to ``callback`` when the event fires —
+        hot paths schedule a bound method plus an args slot instead of
+        allocating a fresh closure per event.
+        """
         time = float(time)
         if time < self._now:
             raise ConfigurationError(
                 f"cannot schedule event in the past: time={time} < now={self._now}"
             )
         event = _ScheduledEvent(time=time, sequence=next(self._counter), callback=callback,
-                                tag=tag)
+                                args=args, tag=tag)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._pending += 1
+        return EventHandle(event, self)
 
-    def schedule_after(self, delay: float, callback: EventCallback, tag: str = "") -> EventHandle:
+    def schedule_after(self, delay: float, callback: EventCallback, tag: str = "",
+                       args: tuple = ()) -> EventHandle:
         """Schedule ``callback`` after a relative non-negative ``delay``."""
         delay = float(delay)
         if delay < 0:
             raise ConfigurationError(f"delay must be non-negative, got {delay}")
-        return self.schedule(self._now + delay, callback, tag)
+        return self.schedule(self._now + delay, callback, tag, args)
 
     def step(self) -> bool:
         """Fire the next event; return False when the queue is empty."""
@@ -108,9 +123,11 @@ class EventQueue:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            event.fired = True
+            self._pending -= 1
             self._now = event.time
             self._fired += 1
-            event.callback()
+            event.callback(*event.args)
             return True
         return False
 

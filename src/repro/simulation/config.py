@@ -57,6 +57,16 @@ class SimulationConfig:
         Optional zero-arg callable building a fresh
         :class:`~repro.core.adaptive.BatchPolicy` per device — the
         §IV-B3 adaptive-minibatch refinement.  ``None`` keeps b fixed.
+    arrival_mode:
+        ``"batch"`` (default) advances each device's deterministic
+        sample arrivals in closed form between stochastic events —
+        O(check-ins) heap events instead of one per sample.  It is
+        bit-identical to ``"per_sample"`` (the legacy one-event-per-sample
+        scheduler, kept for one release as a cross-check) whenever the
+        link-delay distributions are continuous or zero; with delays that
+        are exact float multiples of the sampling period, tie-breaking
+        between a message delivery and a sample arriving at the *same*
+        float timestamp may differ between the two modes.
     """
 
     num_devices: int
@@ -76,8 +86,14 @@ class SimulationConfig:
     target_error: Optional[float] = None
     churn: Optional["ChurnSchedule"] = None
     batch_policy_factory: Optional[Callable[[], "BatchPolicy"]] = None
+    arrival_mode: str = "batch"
 
     def __post_init__(self):
+        if self.arrival_mode not in ("batch", "per_sample"):
+            raise ConfigurationError(
+                f"arrival_mode must be 'batch' or 'per_sample', "
+                f"got {self.arrival_mode!r}"
+            )
         if self.churn is not None and self.churn.num_devices != self.num_devices:
             raise ConfigurationError(
                 f"churn schedule covers {self.churn.num_devices} devices, "

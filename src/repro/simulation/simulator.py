@@ -14,6 +14,19 @@ whole system from a deterministic
 
 Test error is snapshotted on an iteration grid (iteration = samples
 consumed crowd-wide, matching the figures' x axes).
+
+Between stochastic events (message deliveries, outages, churn), a
+device's sample arrivals are *fully deterministic*: they land on the
+fixed grid ``offset + k/F_s``.  The default ``arrival_mode="batch"``
+therefore never schedules per-sample events — it precomputes each
+device's arrival-time grid (exact float accumulation, matching the
+legacy scheduler bit for bit), schedules one heap event at the device's
+next check-out trigger, and advances the whole span of arrivals in a
+single vectorized :meth:`~repro.core.device.Device.observe_batch` call
+when a trigger or a check-out delivery fires.  Heap traffic drops from
+O(total samples) to O(check-ins); traces are bit-identical to the
+legacy ``arrival_mode="per_sample"`` scheduler (see
+:mod:`repro.evaluation.compare` and the cross-path equivalence suite).
 """
 
 from __future__ import annotations
@@ -43,24 +56,41 @@ from repro.utils.rng import RngFactory
 
 
 class _DeviceActor:
-    """A device plus its sample stream and network endpoints."""
+    """A device plus its sample arrivals and network endpoints.
+
+    In ``per_sample`` mode, ``stream`` lazily yields one (features, label)
+    pair per scheduled sample event.  In ``batch`` mode the arrival plan is
+    precomputed instead: ``arrival_times[k]`` is the exact event time the
+    legacy scheduler would have assigned to the k-th arrival,
+    ``arrival_order[k]`` the dataset row it delivers, and ``arrival_limit``
+    the number of arrivals that happen before the device's churn leave
+    time.  ``next_arrival`` tracks how far the device has been advanced.
+    """
 
     def __init__(
         self,
         device: Device,
-        stream: Iterator[tuple[np.ndarray, int]],
+        dataset: Dataset,
         request_channel: Channel,
         checkout_channel: Channel,
         checkin_channel: Channel,
         start_offset: float,
     ):
         self.device = device
-        self.stream = stream
+        self.dataset = dataset
         self.request_channel = request_channel
         self.checkout_channel = checkout_channel
         self.checkin_channel = checkin_channel
         self.start_offset = start_offset
         self.exhausted = False
+        # per_sample mode
+        self.stream: Optional[Iterator[tuple[np.ndarray, int]]] = None
+        # batch mode
+        self.arrival_times: Optional[np.ndarray] = None
+        self.arrival_order: Optional[np.ndarray] = None
+        self.arrival_limit = 0
+        self.next_arrival = 0
+        self.trigger_index = 0
 
 
 class CrowdSimulator:
@@ -136,6 +166,7 @@ class CrowdSimulator:
         )
         self._server = CrowdMLServer(model, optimizer, server_config)
         self._total_samples = total_samples
+        self._batch_arrivals = config.arrival_mode == "batch"
 
         self._actors = [self._build_actor(m) for m in range(config.num_devices)]
 
@@ -156,6 +187,11 @@ class CrowdSimulator:
     @property
     def config(self) -> SimulationConfig:
         return self._config
+
+    @property
+    def events_fired(self) -> int:
+        """Heap events executed so far (the throughput benchmark's y axis)."""
+        return self._queue.fired
 
     def _build_actor(self, device_index: int) -> _DeviceActor:
         config = self._config
@@ -192,7 +228,6 @@ class CrowdSimulator:
             self._queue, delays.checkin, config.outage, network_rng,
             name=f"checkin-{device_index}",
         )
-        stream = self._sample_stream(device_index)
         offset_rng = self._rng_factory.generator("offset", device_index)
         # Stagger device start times over one full minibatch period: real
         # devices join a task at arbitrary times, so their check-in phases
@@ -203,10 +238,15 @@ class CrowdSimulator:
         start_offset = float(
             offset_rng.uniform(0.0, config.batch_size / config.sampling_rate)
         )
-        return _DeviceActor(
-            device, stream, request_channel, checkout_channel, checkin_channel,
-            start_offset,
+        actor = _DeviceActor(
+            device, self._device_datasets[device_index],
+            request_channel, checkout_channel, checkin_channel, start_offset,
         )
+        if self._batch_arrivals:
+            self._plan_arrivals(actor, device_index)
+        else:
+            actor.stream = self._sample_stream(device_index)
+        return actor
 
     def _sample_stream(self, device_index: int) -> Iterator[tuple[np.ndarray, int]]:
         """The device's local data, reshuffled each pass."""
@@ -219,8 +259,53 @@ class CrowdSimulator:
             for index in order:
                 yield dataset.features[index], int(dataset.labels[index])
 
+    def _plan_arrivals(self, actor: _DeviceActor, device_index: int) -> None:
+        """Precompute the device's deterministic arrival grid.
+
+        Arrival k of the legacy scheduler fires at the float obtained by
+        adding ``1/F_s`` to the previous arrival time, starting from
+        ``start_offset (+ join time)`` — ``np.add.accumulate`` performs
+        exactly that left-to-right IEEE-754 accumulation, so the grid is
+        bit-identical to the per-sample event times.  Per-pass shuffles
+        draw from the same dedicated "shuffle" stream in the same order
+        as the legacy generator, and arrivals at or past the churn leave
+        time are cut off exactly as the legacy leave check would.
+        """
+        config = self._config
+        dataset = actor.dataset
+        shuffle_rng = self._rng_factory.generator("shuffle", device_index)
+        per_pass = len(dataset)
+        if per_pass == 0:
+            actor.arrival_times = np.empty(0, dtype=np.float64)
+            actor.arrival_order = np.empty(0, dtype=np.int64)
+            actor.arrival_limit = 0
+            return
+        actor.arrival_order = np.concatenate(
+            [shuffle_rng.permutation(per_pass) for _ in range(config.num_passes)]
+        )
+        total = actor.arrival_order.shape[0]
+        first = actor.start_offset
+        if config.churn is not None:
+            first = first + float(config.churn.join_times[device_index])
+        steps = np.empty(total, dtype=np.float64)
+        steps[0] = 0.0 + first
+        steps[1:] = 1.0 / config.sampling_rate
+        actor.arrival_times = np.add.accumulate(steps)
+        actor.arrival_limit = total
+        if config.churn is not None:
+            # The legacy scheduler silences the device at the first sample
+            # event with now >= leave; only arrivals strictly before the
+            # leave time are observed.
+            actor.arrival_limit = int(
+                np.searchsorted(
+                    actor.arrival_times,
+                    float(config.churn.leave_times[device_index]),
+                    side="left",
+                )
+            )
+
     # ------------------------------------------------------------------ #
-    # Event handlers                                                     #
+    # Event handlers — legacy per-sample arrivals                        #
     # ------------------------------------------------------------------ #
 
     def _schedule_next_sample(self, actor: _DeviceActor, first: bool = False) -> None:
@@ -230,7 +315,7 @@ class CrowdSimulator:
         if first and self._config.churn is not None:
             # Devices join the task at their scheduled time (Fig. 2).
             delay += float(self._config.churn.join_times[actor.device.device_id])
-        self._queue.schedule_after(delay, lambda: self._on_sample(actor), tag="sample")
+        self._queue.schedule_after(delay, self._on_sample, tag="sample", args=(actor,))
 
     def _on_sample(self, actor: _DeviceActor) -> None:
         if self._stopped_reason is not None:
@@ -253,7 +338,75 @@ class CrowdSimulator:
             self._send_checkout_request(actor)
         self._schedule_next_sample(actor)
 
-    def _send_checkout_request(self, actor: _DeviceActor) -> None:
+    # ------------------------------------------------------------------ #
+    # Event handlers — batch arrivals (the fast path)                    #
+    # ------------------------------------------------------------------ #
+    #
+    # Invariant: an active device has exactly one pending progress event —
+    # either a trigger (the arrival that fills its minibatch) or an
+    # in-flight check-out round trip.  Arrivals between progress events
+    # are advanced lazily in one vectorized step, so the heap sees
+    # O(check-ins) events instead of O(total samples).
+
+    def _advance_arrivals(self, actor: _DeviceActor, end: int) -> None:
+        """Deliver arrivals ``[next_arrival, end)`` to the device at once."""
+        end = min(end, actor.arrival_limit)
+        if end <= actor.next_arrival:
+            return
+        rows = actor.arrival_order[actor.next_arrival:end]
+        dataset = actor.dataset
+        actor.device.observe_rows(dataset.features, dataset.labels, rows)
+        actor.next_arrival = end
+
+    def _advance_arrivals_until(self, actor: _DeviceActor, time: float) -> None:
+        """Deliver every arrival strictly before ``time``.
+
+        Matches the legacy event order for continuous or zero delay
+        distributions, where a sample arriving at *exactly* a delivery's
+        timestamp has probability zero (see ``SimulationConfig.arrival_mode``).
+        """
+        end = int(np.searchsorted(actor.arrival_times, time, side="left"))
+        self._advance_arrivals(actor, end)
+
+    def _schedule_trigger(self, actor: _DeviceActor) -> None:
+        """Schedule the arrival that completes the device's next minibatch.
+
+        From a quiescent device state (no request in flight), the next
+        check-out trigger is deterministic: the legacy scheduler would fire
+        it at the arrival that lifts the buffer to the current batch size
+        (or at the very next arrival, when a failed check-out left the
+        buffer already full).  Exhausted or churned-out devices schedule
+        nothing and go silent exactly like a dead sample chain.
+        """
+        if self._stopped_reason is not None:
+            return
+        device = actor.device
+        needed = max(device.current_batch_size - device.buffer_size, 1)
+        index = actor.next_arrival + needed - 1
+        if index >= actor.arrival_limit:
+            actor.exhausted = True
+            return
+        actor.trigger_index = index
+        self._queue.schedule(
+            float(actor.arrival_times[index]), self._on_trigger,
+            tag="trigger", args=(actor,),
+        )
+
+    def _on_trigger(self, actor: _DeviceActor) -> None:
+        if self._stopped_reason is not None:
+            return
+        self._advance_arrivals(actor, actor.trigger_index + 1)
+        delivered = self._send_checkout_request(actor)
+        if not delivered:
+            # Remark 1: the request was lost in an outage; the buffer is
+            # intact and the very next arrival re-triggers.
+            self._schedule_trigger(actor)
+
+    # ------------------------------------------------------------------ #
+    # Event handlers — the check-out/check-in round trip (both modes)    #
+    # ------------------------------------------------------------------ #
+
+    def _send_checkout_request(self, actor: _DeviceActor) -> bool:
         actor.device.mark_checkout_requested()
         request = CheckoutRequest(
             device_id=actor.device.device_id,
@@ -261,7 +414,7 @@ class CrowdSimulator:
             request_time=self._queue.now,
         )
         self._comm.checkout_requests += 1
-        actor.request_channel.send(
+        return actor.request_channel.send(
             deliver=lambda: self._on_request_arrival(actor, request),
             payload_floats=request.payload_floats,
             on_drop=actor.device.on_checkout_failed,
@@ -270,22 +423,46 @@ class CrowdSimulator:
     def _on_request_arrival(self, actor: _DeviceActor, request: CheckoutRequest) -> None:
         if self._stopped_reason is not None or self._server.stopped:
             actor.device.on_checkout_failed()
+            self._resume_after_failed_checkout(actor)
             return
         response = self._server.handle_checkout(request)
         self._comm.downlink_floats += response.payload_floats
-        actor.checkout_channel.send(
+        delivered = actor.checkout_channel.send(
             deliver=lambda: self._on_checkout_arrival(actor, response),
             payload_floats=response.payload_floats,
             on_drop=actor.device.on_checkout_failed,
         )
+        if not delivered:
+            self._resume_after_failed_checkout(actor)
+
+    def _resume_after_failed_checkout(self, actor: _DeviceActor) -> None:
+        """Batch mode: restart the trigger chain after a lost check-out.
+
+        The legacy scheduler needs no equivalent — its sample events keep
+        firing and the next one re-triggers.  Here the arrivals buffered
+        while the request was in flight are advanced first (they drew
+        their holdout randomness before the failure in the legacy order),
+        then the next arrival re-triggers.
+        """
+        if not self._batch_arrivals or self._stopped_reason is not None:
+            return
+        self._advance_arrivals_until(actor, self._queue.now)
+        self._schedule_trigger(actor)
 
     def _on_checkout_arrival(self, actor: _DeviceActor, response: CheckoutResponse) -> None:
         if self._stopped_reason is not None:
             return
         self._comm.checkouts_delivered += 1
+        if self._batch_arrivals:
+            # Samples that arrived while the check-out was in flight were
+            # buffered (and consumed holdout randomness) before this
+            # delivery fired in the legacy order.
+            self._advance_arrivals_until(actor, self._queue.now)
         if actor.device.buffer_size == 0:
             # Buffer was consumed by a racing check-out; nothing to do.
             actor.device.on_checkout_failed()
+            if self._batch_arrivals:
+                self._schedule_trigger(actor)
             return
         result = actor.device.complete_checkout(
             response.parameters, response.server_iteration
@@ -297,6 +474,10 @@ class CrowdSimulator:
             deliver=lambda: self._on_checkin_arrival(actor, message),
             payload_floats=message.payload_floats,
         )
+        if self._batch_arrivals:
+            # The buffer is empty again (and an adaptive policy may have
+            # just changed b): the next trigger is deterministic from here.
+            self._schedule_trigger(actor)
 
     def _on_checkin_arrival(self, actor: _DeviceActor, message: CheckinMessage) -> None:
         if self._stopped_reason is not None or self._server.stopped:
@@ -328,7 +509,10 @@ class CrowdSimulator:
     def run(self) -> RunTrace:
         """Execute the simulation to completion and return its trace."""
         for actor in self._actors:
-            self._schedule_next_sample(actor, first=True)
+            if self._batch_arrivals:
+                self._schedule_trigger(actor)
+            else:
+                self._schedule_next_sample(actor, first=True)
         while self._queue.step():
             pass
 

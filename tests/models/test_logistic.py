@@ -156,3 +156,37 @@ class TestLearning:
             w, small_dataset.features, small_dataset.labels
         )
         assert rate == pytest.approx(count / len(small_dataset))
+
+
+class TestErrorsAndGradientFusion:
+    """The fused oracle must be bit-identical to the separate oracles.
+
+    The device hot path (and therefore every stored figure result) relies
+    on this contract (see Model.errors_and_gradient); the cross-path
+    equivalence suite cannot catch a violation because both arrival modes
+    run the fused code.
+    """
+
+    def _batches(self):
+        rng = np.random.default_rng(11)
+        for n, l2 in ((1, 0.0), (7, 0.0), (64, 1e-4), (200, 0.3)):
+            model = MulticlassLogisticRegression(12, 5, l2_regularization=l2)
+            w = rng.normal(size=model.num_parameters)
+            X = rng.normal(size=(n, 12)) / 24
+            y = rng.integers(0, 5, size=n)
+            yield model, w, X, y
+
+    def test_bit_identical_to_separate_oracles(self):
+        for model, w, X, y in self._batches():
+            errors, gradient = model.errors_and_gradient(w, X, y)
+            assert np.array_equal(errors, model.prediction_errors(w, X, y))
+            assert np.array_equal(gradient, model.gradient(w, X, y))
+
+    def test_bit_identical_to_base_default(self):
+        from repro.models.base import Model
+
+        for model, w, X, y in self._batches():
+            fused = model.errors_and_gradient(w, X, y)
+            default = Model.errors_and_gradient(model, w, X, y)
+            assert np.array_equal(fused[0], default[0])
+            assert np.array_equal(fused[1], default[1])

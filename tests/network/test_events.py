@@ -124,3 +124,63 @@ class TestRunControls:
         for i in range(7):
             queue.schedule(float(i), lambda: None)
         assert queue.run() == 7
+
+
+class TestPendingCounter:
+    """``pending`` is a live O(1) counter, not a heap scan."""
+
+    def test_counts_scheduled_events(self):
+        queue = EventQueue()
+        for i in range(5):
+            queue.schedule(float(i), lambda: None)
+        assert queue.pending == 5
+
+    def test_decrements_on_fire(self):
+        queue = EventQueue()
+        for i in range(3):
+            queue.schedule(float(i), lambda: None)
+        queue.step()
+        assert queue.pending == 2
+        queue.run()
+        assert queue.pending == 0
+
+    def test_decrements_on_cancel(self):
+        queue = EventQueue()
+        handle = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        assert queue.pending == 2
+        handle.cancel()
+        assert queue.pending == 1
+
+    def test_double_cancel_decrements_once(self):
+        queue = EventQueue()
+        handle = queue.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert queue.pending == 0
+
+    def test_cancel_after_fire_does_not_decrement(self):
+        queue = EventQueue()
+        handle = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        queue.step()
+        handle.cancel()
+        assert queue.pending == 1
+
+    def test_events_scheduled_during_callbacks_are_counted(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda: queue.schedule(2.0, lambda: None))
+        queue.step()
+        assert queue.pending == 1
+
+
+class TestArgsSlots:
+    """Hot paths pass a bound callback plus args instead of a closure."""
+
+    def test_args_are_passed_through(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1.0, lambda a, b: fired.append((a, b)), args=("x", 3))
+        queue.schedule_after(2.0, fired.append, args=("tail",))
+        queue.run()
+        assert fired == [("x", 3), "tail"]

@@ -1,0 +1,188 @@
+"""Property tests: ``Device.observe_batch`` ≡ repeated ``Device.observe``.
+
+The batch-arrival simulator relies on ``observe_batch`` being a drop-in
+replacement for a run of scalar ``observe`` calls — same buffer contents,
+same drop accounting, same *bit-identical* holdout RNG consumption (a
+single ``rng.random(k)`` block equals k sequential scalar draws under
+PCG64), and therefore the same sanitized check-in afterwards.  Sequences
+mix holdout draws, capacity overflow, and interleaved check-outs.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DeviceConfig
+from repro.core.device import Device
+from repro.models import MulticlassLogisticRegression
+from repro.privacy.budget import split_budget
+
+NUM_FEATURES = 4
+NUM_CLASSES = 3
+
+
+def _make_device(batch_size, capacity, holdout_fraction, epsilon, seed):
+    model = MulticlassLogisticRegression(NUM_FEATURES, NUM_CLASSES)
+    config = DeviceConfig(
+        batch_size=batch_size,
+        buffer_capacity=capacity,
+        budget=split_budget(epsilon, NUM_CLASSES),
+        holdout_fraction=holdout_fraction,
+    )
+    return Device(0, model, config, token="t", rng=np.random.default_rng(seed))
+
+
+def _make_samples(total, seed):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(total, NUM_FEATURES)) / (4 * NUM_FEATURES)
+    labels = rng.integers(0, NUM_CLASSES, size=total)
+    return features, labels
+
+
+batch_plan = st.lists(st.integers(min_value=1, max_value=7),
+                      min_size=1, max_size=6)
+
+
+class TestObserveBatchEquivalence:
+    @given(
+        plan=batch_plan,
+        batch_size=st.integers(1, 4),
+        extra_capacity=st.integers(0, 6),
+        holdout_fraction=st.sampled_from([0.0, 0.2, 0.8]),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_sequential_observe(
+        self, plan, batch_size, extra_capacity, holdout_fraction, seed
+    ):
+        capacity = batch_size + extra_capacity
+        total = sum(plan)
+        features, labels = _make_samples(total, seed)
+
+        scalar = _make_device(batch_size, capacity, holdout_fraction,
+                              np.inf, seed)
+        batched = _make_device(batch_size, capacity, holdout_fraction,
+                               np.inf, seed)
+
+        start = 0
+        for chunk in plan:
+            chunk_features = features[start:start + chunk]
+            chunk_labels = labels[start:start + chunk]
+            wants_scalar = [
+                scalar.observe(chunk_features[i], int(chunk_labels[i]))
+                for i in range(chunk)
+            ][-1]
+            wants_batched = batched.observe_batch(chunk_features, chunk_labels)
+            assert wants_batched == wants_scalar
+            assert batched.buffer_size == scalar.buffer_size
+            assert batched.samples_observed == scalar.samples_observed
+            assert batched.samples_dropped == scalar.samples_dropped
+            start += chunk
+
+        # Both devices' RNG streams must be at the same position: the next
+        # draw from each is identical.
+        assert scalar._rng.random() == batched._rng.random()
+
+    @given(
+        plan=batch_plan,
+        holdout_fraction=st.sampled_from([0.0, 0.3]),
+        epsilon=st.sampled_from([np.inf, 1.0]),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_checkin_after_batching_is_bit_identical(
+        self, plan, holdout_fraction, epsilon, seed
+    ):
+        """Interleaved observe/check-out cycles produce identical messages."""
+        batch_size, capacity = 3, 6
+        total = sum(plan)
+        features, labels = _make_samples(total, seed)
+        parameters = np.random.default_rng(seed + 1).normal(
+            size=NUM_FEATURES * NUM_CLASSES)
+
+        scalar = _make_device(batch_size, capacity, holdout_fraction,
+                              epsilon, seed)
+        batched = _make_device(batch_size, capacity, holdout_fraction,
+                               epsilon, seed)
+
+        start = 0
+        iteration = 0
+        for chunk in plan:
+            chunk_features = features[start:start + chunk]
+            chunk_labels = labels[start:start + chunk]
+            for i in range(chunk):
+                scalar.observe(chunk_features[i], int(chunk_labels[i]))
+            wants = batched.observe_batch(chunk_features, chunk_labels)
+            start += chunk
+            if not wants:
+                continue
+            result_scalar = scalar.complete_checkout(parameters, iteration)
+            result_batched = batched.complete_checkout(parameters, iteration)
+            iteration += 1
+            a, b = result_scalar.message, result_batched.message
+            assert np.array_equal(a.gradient, b.gradient)
+            assert a.num_samples == b.num_samples
+            assert a.noisy_error_count == b.noisy_error_count
+            assert np.array_equal(a.noisy_label_counts, b.noisy_label_counts)
+            assert np.array_equal(result_scalar.per_sample_errors,
+                                  result_batched.per_sample_errors)
+            assert np.array_equal(result_scalar.consumed_labels,
+                                  result_batched.consumed_labels)
+
+    @given(
+        plan=batch_plan,
+        batch_size=st.integers(1, 4),
+        extra_capacity=st.integers(0, 6),
+        holdout_fraction=st.sampled_from([0.0, 0.4]),
+        seed=st.integers(0, 10**6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_observe_rows_matches_observe_batch(
+        self, plan, batch_size, extra_capacity, holdout_fraction, seed
+    ):
+        """The gather-into-buffer path equals the two-copy batch path."""
+        capacity = batch_size + extra_capacity
+        total = sum(plan)
+        features, labels = _make_samples(total, seed)
+        order = np.random.default_rng(seed + 2).permutation(total)
+
+        batched = _make_device(batch_size, capacity, holdout_fraction,
+                               np.inf, seed)
+        gathered = _make_device(batch_size, capacity, holdout_fraction,
+                                np.inf, seed)
+
+        start = 0
+        for chunk in plan:
+            rows = order[start:start + chunk]
+            wants_batched = batched.observe_batch(features[rows], labels[rows])
+            wants_gathered = gathered.observe_rows(features, labels, rows)
+            assert wants_gathered == wants_batched
+            assert gathered.buffer_size == batched.buffer_size
+            assert gathered.samples_dropped == batched.samples_dropped
+            start += chunk
+        if batched.buffer_size:
+            parameters = np.zeros(NUM_FEATURES * NUM_CLASSES)
+            a = batched.complete_checkout(parameters, 0)
+            b = gathered.complete_checkout(parameters, 0)
+            assert np.array_equal(a.message.gradient, b.message.gradient)
+            assert np.array_equal(a.per_sample_errors, b.per_sample_errors)
+            assert np.array_equal(a.consumed_labels, b.consumed_labels)
+
+    def test_overflow_draws_no_holdout_randomness(self):
+        """Dropped samples must not consume RNG (they don't in observe)."""
+        device = _make_device(batch_size=2, capacity=2, holdout_fraction=0.5,
+                              epsilon=np.inf, seed=0)
+        features, labels = _make_samples(6, seed=1)
+        device.observe_batch(features, labels)  # 2 buffered, 4 dropped
+        assert device.samples_dropped == 4
+        # Only two holdout draws were consumed.
+        reference = np.random.default_rng(0)
+        reference.random(2)
+        assert device._rng.random() == reference.random()
+
+    def test_scalar_random_block_equals_sequential_draws(self):
+        """The PCG64 fact the batching rests on, stated as a test."""
+        block = np.random.default_rng(42).random(257)
+        sequential_rng = np.random.default_rng(42)
+        sequential = np.array([sequential_rng.random() for _ in range(257)])
+        assert np.array_equal(block, sequential)

@@ -1,0 +1,161 @@
+"""Cross-path equivalence: batch arrivals vs. legacy per-sample events.
+
+The batch-arrival scheduler must produce **bit-identical** traces to the
+legacy per-sample scheduler — exact float equality on curves, online
+errors, parameters, staleness, communication counters, and privacy spend.
+The configurations below mirror the knobs the paper's figures exercise
+(Figs. 3-9): zero and uniform delays, minibatch sizes, privacy levels,
+holdouts, outages, churn, adaptive batch policies, buffer pressure, and
+both stopping rules.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import StalenessAdaptiveBatch
+from repro.data import iid_partition, make_mnist_like
+from repro.evaluation import assert_traces_identical
+from repro.models import MulticlassLogisticRegression
+from repro.network.latency import ConstantDelay, LinkDelays
+from repro.network.outage import BernoulliOutage, BurstyOutage, WindowedOutage
+from repro.simulation import ChurnSchedule, CrowdSimulator, SimulationConfig
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_mnist_like(num_train=400, num_test=80, seed=0)
+
+
+def _churn(num_devices: int) -> ChurnSchedule:
+    return ChurnSchedule.random_sessions(
+        num_devices, horizon=20.0, mean_session=12.0,
+        rng=np.random.default_rng(5),
+    )
+
+
+# One entry per figure-level knob combination.  Keys are test ids; values
+# are SimulationConfig kwargs (num_devices/num_snapshots get defaults).
+CONFIG_CASES = {
+    # Figs. 4/7: no delay, no privacy, pure SGD (b = 1).
+    "fig4_zero_delay_b1": dict(batch_size=1),
+    # Fig. 5/8: minibatching without delay.
+    "fig5_minibatch_b10": dict(batch_size=10),
+    # Fig. 5/8: finite privacy budget (noise draws share the device RNG
+    # stream with holdout draws — ordering must survive batching).
+    "fig5_privacy_eps1": dict(batch_size=5, epsilon=1.0),
+    # Figs. 6/9: uniform link delays, b = 1 and b > 1.
+    "fig6_uniform_delay_b1": dict(
+        batch_size=1, link_delays=LinkDelays.uniform(0.37)),
+    "fig6_uniform_delay_b5": dict(
+        batch_size=5, link_delays=LinkDelays.uniform(0.7)),
+    # Remark 2 holdout, with and without privacy noise.
+    "holdout": dict(batch_size=5, holdout_fraction=0.3),
+    "holdout_privacy": dict(
+        batch_size=4, holdout_fraction=0.85, epsilon=2.0,
+        link_delays=LinkDelays.uniform(0.3)),
+    # Remark 1 outages: memoryless, scheduled windows, bursty.
+    "outage_bernoulli": dict(
+        batch_size=5, link_delays=LinkDelays.uniform(0.7),
+        outage=BernoulliOutage(0.25)),
+    "outage_windowed": dict(
+        batch_size=4, link_delays=LinkDelays.uniform(0.31),
+        outage=WindowedOutage([(3.0, 9.0), (20.0, 26.0)])),
+    "outage_bursty": dict(
+        batch_size=4, link_delays=LinkDelays.uniform(0.31),
+        outage=BurstyOutage(8.0, 3.0, seed=3)),
+    # Fig. 2 churn (join/leave mid-run), with and without delays.
+    "churn_uniform_delay": dict(
+        batch_size=3, churn=_churn(10), link_delays=LinkDelays.uniform(0.41)),
+    "churn_zero_delay": dict(batch_size=2, churn=_churn(10)),
+    # §IV-B3 adaptive minibatch policy (b changes between check-outs).
+    "adaptive_batch": dict(
+        batch_size=2, link_delays=LinkDelays.uniform(0.9),
+        batch_policy_factory=lambda: StalenessAdaptiveBatch(
+            target_staleness=4, max_batch=16)),
+    # Buffer capacity pressure: long flights overflow B and drop samples.
+    "buffer_pressure": dict(
+        batch_size=3, buffer_factor=2, link_delays=LinkDelays.uniform(5.0)),
+    "buffer_pressure_outage": dict(
+        batch_size=3, buffer_factor=1, link_delays=LinkDelays.uniform(5.0),
+        outage=BernoulliOutage(0.3)),
+    # Both Algorithm 2 stopping rules.
+    "stop_max_iterations": dict(batch_size=2, max_iterations=30),
+    "stop_target_error": dict(batch_size=2, target_error=0.88),
+    # Multiple passes re-shuffle the local stream per pass.
+    "multi_pass": dict(
+        batch_size=4, num_passes=3, link_delays=LinkDelays.uniform(0.53)),
+    # Deterministic delays are fine as long as they are not exact float
+    # multiples of the sampling period (see SimulationConfig.arrival_mode).
+    "constant_delay": dict(
+        batch_size=3,
+        link_delays=LinkDelays(
+            ConstantDelay(0.37), ConstantDelay(0.61), ConstantDelay(0.23))),
+}
+
+
+def _run(data, mode: str, overrides: dict, num_devices: int = 10):
+    train, test = data
+    config = SimulationConfig(
+        num_devices=num_devices, num_snapshots=8, arrival_mode=mode,
+        **overrides,
+    )
+    parts = iid_partition(train, num_devices, np.random.default_rng(0))
+    simulator = CrowdSimulator(
+        MulticlassLogisticRegression(50, 10), parts, test, config, seed=7,
+    )
+    return simulator.run(), simulator.events_fired
+
+
+@pytest.mark.parametrize("name", sorted(CONFIG_CASES))
+def test_bit_identical_traces(data, name):
+    overrides = CONFIG_CASES[name]
+    fast, fast_events = _run(data, "batch", overrides)
+    legacy, legacy_events = _run(data, "per_sample", overrides)
+    assert_traces_identical(fast, legacy, context=name)
+    # The whole point: strictly fewer heap events on the fast path.
+    assert fast_events < legacy_events
+
+
+def test_single_device(data):
+    overrides = dict(batch_size=5, link_delays=LinkDelays.uniform(0.2))
+    fast, _ = _run(data, "batch", overrides, num_devices=1)
+    legacy, _ = _run(data, "per_sample", overrides, num_devices=1)
+    assert_traces_identical(fast, legacy, context="single_device")
+
+
+def test_seed_sensitivity_preserved(data):
+    """Different seeds still give different runs on the fast path."""
+    train, test = data
+    config = SimulationConfig(num_devices=10, batch_size=5, num_snapshots=8,
+                              link_delays=LinkDelays.uniform(0.5))
+    parts = iid_partition(train, 10, np.random.default_rng(0))
+    traces = [
+        CrowdSimulator(MulticlassLogisticRegression(50, 10), parts, test,
+                       config, seed=seed).run()
+        for seed in (0, 1)
+    ]
+    assert not np.array_equal(traces[0].final_parameters,
+                              traces[1].final_parameters)
+
+
+def test_empty_device_dataset(data):
+    """A device with no local data stays silent in both modes."""
+    train, test = data
+    config_kwargs = dict(num_devices=3, batch_size=2, num_snapshots=4)
+    parts = iid_partition(train, 2, np.random.default_rng(0))
+    empty = dataclasses.replace(
+        parts[0],
+        features=parts[0].features[:0],
+        labels=parts[0].labels[:0],
+    )
+    traces = []
+    for mode in ("batch", "per_sample"):
+        config = SimulationConfig(arrival_mode=mode, **config_kwargs)
+        simulator = CrowdSimulator(
+            MulticlassLogisticRegression(50, 10),
+            [parts[0], empty, parts[1]], test, config, seed=3,
+        )
+        traces.append(simulator.run())
+    assert_traces_identical(traces[0], traces[1], context="empty_device")
