@@ -28,6 +28,7 @@ from repro.core.protocol import (
 )
 from repro.core.sanitizer import CheckinSanitizer, SanitizedCheckin
 from repro.core.server import CrowdMLServer
+from repro.core.server_core import RoundOutcome, ServerCore
 from repro.core.stopping import StopDecision, StopReason, evaluate_stopping
 
 __all__ = [
@@ -49,8 +50,10 @@ __all__ = [
     "DeviceConfig",
     "DeviceRegistry",
     "ProgressMonitor",
+    "RoundOutcome",
     "SanitizedCheckin",
     "ServerConfig",
+    "ServerCore",
     "StopDecision",
     "StopReason",
     "evaluate_stopping",

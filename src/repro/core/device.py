@@ -15,8 +15,7 @@ the buffer intact and the device retries at the next opportunity
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional
 
 import numpy as np
 
@@ -28,13 +27,13 @@ from repro.models.base import Model
 from repro.utils.exceptions import ConfigurationError, ProtocolError
 
 
-@dataclass(frozen=True)
-class CheckinResult:
+class CheckinResult(NamedTuple):
     """Output of one completed check-out/check-in cycle.
 
     Besides the wire message, exposes the *local, non-released* per-sample
     prediction outcomes — what the on-phone UI (and Fig. 3's time-averaged
     error curve) observes.  These never leave the device unsanitized.
+    (A NamedTuple: one is built per check-in on the hot path.)
     """
 
     message: CheckinMessage
@@ -281,9 +280,16 @@ class Device:
         start, take = self._admit_arrivals(rows.shape[0])
         if take > 0:
             end = start + take
-            kept = rows[:take]
-            np.take(features, kept, axis=0, out=self._feature_buffer[start:end])
-            np.take(labels, kept, out=self._label_buffer[start:end])
+            if take == 1:
+                # b = 1 hot path: a plain row assignment beats the take
+                # machinery for a single gather.
+                row = rows[0]
+                self._feature_buffer[start] = features[row]
+                self._label_buffer[start] = labels[row]
+            else:
+                kept = rows[:take]
+                np.take(features, kept, axis=0, out=self._feature_buffer[start:end])
+                np.take(labels, kept, out=self._label_buffer[start:end])
             self._commit_arrivals(start, end, take)
         return self.wants_checkout
 
@@ -364,7 +370,12 @@ class Device:
 
         # Remark 2: with a holdout, the error statistic comes from held-out
         # samples only, and their gradients stay out of the average.
-        if holdout.any() and (~holdout).any():
+        # (holdout is identically False when the fraction is 0 — skip the
+        # two reductions on that hot path.)
+        if (
+            self._config.holdout_fraction > 0.0
+            and holdout.any() and (~holdout).any()
+        ):
             errors = self._model.prediction_errors(parameters, features, labels)
             error_count = int(errors[holdout].sum())
             grad_features = features[~holdout]
@@ -374,8 +385,10 @@ class Device:
             gradient_samples = grad_features.shape[0]
         else:
             # Same rows feed both oracles: use the fused single-pass form.
+            # The buffers were validated sample by sample in Routine 1, so
+            # the oracle skips re-validation (trusted fast path).
             errors, averaged_gradient = self._model.errors_and_gradient(
-                parameters, features, labels
+                parameters, features, labels, validate=False
             )
             error_count = int(errors.sum())
             gradient_samples = num_samples
@@ -391,7 +404,9 @@ class Device:
         sanitized = self._sanitizer.sanitize(
             averaged_gradient, error_count, label_counts, gradient_samples
         )
-        self._accountant.charge_checkin(list(sanitized.releases))
+        # Run-length groups: O(1) ledger growth per check-in instead of
+        # O(C) record appends (bit-identical spend arithmetic).
+        self._accountant.charge_checkin(sanitized.release_groups)
 
         message = CheckinMessage(
             device_id=self._device_id,

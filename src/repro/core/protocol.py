@@ -17,7 +17,7 @@ used by the Section IV-B2 communication accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import NamedTuple, Tuple
 
 import numpy as np
 
@@ -25,9 +25,13 @@ from repro.privacy.mechanism import ReleaseRecord
 from repro.utils.exceptions import ProtocolError
 
 
-@dataclass(frozen=True)
-class CheckoutRequest:
-    """A device's request for the current model parameters."""
+class CheckoutRequest(NamedTuple):
+    """A device's request for the current model parameters.
+
+    (A NamedTuple — immutable like the other protocol messages, but
+    constructed without per-field ``object.__setattr__``: one is built
+    per check-out round.)
+    """
 
     device_id: int
     token: str
@@ -49,10 +53,14 @@ class CheckoutResponse:
     issued_time: float
 
     def __post_init__(self):
-        parameters = np.asarray(self.parameters, dtype=np.float64)
+        parameters = self.parameters
+        # Fast path: a float64 ndarray needs no coercion (and no frozen
+        # field rewrite) — the per-round case on the server hot path.
+        if type(parameters) is not np.ndarray or parameters.dtype != np.float64:
+            parameters = np.asarray(parameters, dtype=np.float64)
+            object.__setattr__(self, "parameters", parameters)
         if parameters.ndim != 1:
             raise ProtocolError(f"parameters must be a flat vector, got {parameters.shape}")
-        object.__setattr__(self, "parameters", parameters)
 
     @property
     def payload_floats(self) -> int:
@@ -92,16 +100,22 @@ class CheckinMessage:
     releases: Tuple[ReleaseRecord, ...] = field(default_factory=tuple)
 
     def __post_init__(self):
-        gradient = np.asarray(self.gradient, dtype=np.float64)
+        gradient = self.gradient
+        # Fast paths mirror CheckoutResponse: already-coerced arrays (the
+        # per-check-in case) skip the asarray and frozen field rewrite.
+        if type(gradient) is not np.ndarray or gradient.dtype != np.float64:
+            gradient = np.asarray(gradient, dtype=np.float64)
+            object.__setattr__(self, "gradient", gradient)
         if gradient.ndim != 1:
             raise ProtocolError(f"gradient must be a flat vector, got {gradient.shape}")
-        counts = np.asarray(self.noisy_label_counts, dtype=np.int64)
+        counts = self.noisy_label_counts
+        if type(counts) is not np.ndarray or counts.dtype != np.int64:
+            counts = np.asarray(counts, dtype=np.int64)
+            object.__setattr__(self, "noisy_label_counts", counts)
         if counts.ndim != 1:
             raise ProtocolError(f"label counts must be 1-D, got {counts.shape}")
         if self.num_samples <= 0:
             raise ProtocolError(f"num_samples must be positive, got {self.num_samples}")
-        object.__setattr__(self, "gradient", gradient)
-        object.__setattr__(self, "noisy_label_counts", counts)
 
     @property
     def payload_floats(self) -> int:
@@ -109,9 +123,11 @@ class CheckinMessage:
         return int(self.gradient.shape[0] + self.noisy_label_counts.shape[0] + 2)
 
 
-@dataclass(frozen=True)
-class CheckinAck:
-    """Server's acknowledgement of an applied check-in."""
+class CheckinAck(NamedTuple):
+    """Server's acknowledgement of an applied check-in.
+
+    (A NamedTuple — one is built per applied check-in.)
+    """
 
     device_id: int
     server_iteration: int

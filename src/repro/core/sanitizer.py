@@ -4,9 +4,13 @@ Bundles the three mechanisms of Eqs. (10)-(12): Laplace noise on the
 averaged gradient calibrated to the model's minibatch sensitivity, and
 discrete Laplace noise on the misclassification count and each label count.
 The sanitizer is constructed once per device from its
-:class:`~repro.privacy.budget.PrivacyBudget` and re-calibrates the gradient
-mechanism per check-in, because the realized minibatch size ``n_s`` (≥ b)
-sets the sensitivity ``S = 4/n_s``.
+:class:`~repro.privacy.budget.PrivacyBudget` and calibrates the gradient
+mechanism to the realized minibatch size ``n_s`` (≥ b), which sets the
+sensitivity ``S = 4/n_s``.  Calibrated mechanisms (and their accounting
+records) are memoized per ``n_s``: check-ins with the same realized batch
+size — the overwhelmingly common case, and every check-in of a fused
+batch — reuse one mechanism object instead of rebuilding it, drawing from
+the same shared RNG stream so the noise sequence is unchanged.
 
 Footnote 1's (ε, δ) variant is available by constructing the sanitizer
 with ``gradient_noise="gaussian"``: the gradient mechanism becomes the
@@ -16,8 +20,7 @@ for L2 since ‖·‖₂ ≤ ‖·‖₁).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import NamedTuple, Tuple, Union
 
 import numpy as np
 
@@ -26,18 +29,26 @@ from repro.privacy.budget import PrivacyBudget
 from repro.privacy.discrete_laplace import DiscreteLaplaceMechanism
 from repro.privacy.gaussian import GaussianMechanism
 from repro.privacy.laplace import LaplaceMechanism
-from repro.privacy.mechanism import ReleaseRecord
+from repro.privacy.mechanism import AggregatedRelease, ReleaseRecord
 from repro.utils.exceptions import ConfigurationError
 
 
-@dataclass(frozen=True)
-class SanitizedCheckin:
-    """The outputs of Device Routine 3 plus accounting records."""
+class SanitizedCheckin(NamedTuple):
+    """The outputs of Device Routine 3 plus accounting records.
+
+    ``releases`` is the expanded per-release view carried on the wire
+    message; ``release_groups`` is the same information run-length encoded
+    (gradient, error, C× label) for the accountant's O(1) charge path.
+    (A NamedTuple: immutable like the frozen dataclass it replaced, but
+    constructed without per-field ``object.__setattr__`` — one is built
+    per check-in.)
+    """
 
     gradient: np.ndarray
     error_count: int
     label_counts: np.ndarray
     releases: Tuple[ReleaseRecord, ...]
+    release_groups: Tuple[AggregatedRelease, ...]
 
 
 class CheckinSanitizer:
@@ -78,6 +89,12 @@ class CheckinSanitizer:
         # them once instead of C + 1 dataclass allocations per check-in.
         self._error_release = self._error_mechanism.record(1.0)
         self._label_release = self._label_mechanism.record(1.0)
+        # Per-n_s caches: the calibrated gradient mechanism, its release
+        # record, and the full release tuples.  All check-ins with the
+        # same realized minibatch size share one mechanism object (same
+        # rng stream, so the noise sequence is unchanged).
+        self._gradient_mechanisms: dict = {}
+        self._release_cache: dict = {}
 
     @property
     def budget(self) -> PrivacyBudget:
@@ -91,16 +108,58 @@ class CheckinSanitizer:
     def gradient_mechanism(
         self, num_samples: int
     ) -> Union[LaplaceMechanism, GaussianMechanism]:
-        """Noise mechanism calibrated to this minibatch's sensitivity."""
-        sensitivity = self._model.gradient_sensitivity(num_samples)
-        if self._gradient_noise == "gaussian":
-            return GaussianMechanism(
-                self._budget.epsilon_gradient,
-                self._gaussian_delta,
-                sensitivity_l2=sensitivity,
-                rng=self._rng,
+        """Noise mechanism calibrated to this minibatch's sensitivity.
+
+        Memoized per ``num_samples``: the calibration depends only on the
+        realized minibatch size, and the mechanism draws from the shared
+        device RNG, so reusing the object leaves the noise stream
+        bit-identical to rebuilding it per check-in.
+        """
+        mechanism = self._gradient_mechanisms.get(num_samples)
+        if mechanism is None:
+            sensitivity = self._model.gradient_sensitivity(num_samples)
+            if self._gradient_noise == "gaussian":
+                mechanism = GaussianMechanism(
+                    self._budget.epsilon_gradient,
+                    self._gaussian_delta,
+                    sensitivity_l2=sensitivity,
+                    rng=self._rng,
+                )
+            else:
+                mechanism = LaplaceMechanism(
+                    self._budget.epsilon_gradient, sensitivity, self._rng
+                )
+            self._gradient_mechanisms[num_samples] = mechanism
+        return mechanism
+
+    def _releases_for(
+        self, mechanism, num_samples: int, num_labels: int
+    ) -> Tuple[Tuple[ReleaseRecord, ...], Tuple[AggregatedRelease, ...]]:
+        """The (expanded, run-length) accounting tuples for one check-in.
+
+        Fully determined by ``(num_samples, num_labels)``, so both views
+        are built once and reused — no per-check-in record allocations.
+        """
+        key = (num_samples, num_labels)
+        cached = self._release_cache.get(key)
+        if cached is None:
+            gradient_sensitivity = getattr(
+                mechanism, "sensitivity", None
+            ) or getattr(mechanism, "sensitivity_l2", 0.0)
+            gradient_release = mechanism.record(gradient_sensitivity)
+            expanded = (
+                gradient_release,
+                self._error_release,
+            ) + (self._label_release,) * num_labels
+            groups = (
+                AggregatedRelease(gradient_release, 1),
+                AggregatedRelease(self._error_release, 1),
             )
-        return LaplaceMechanism(self._budget.epsilon_gradient, sensitivity, self._rng)
+            if num_labels:
+                groups += (AggregatedRelease(self._label_release, num_labels),)
+            cached = (expanded, groups)
+            self._release_cache[key] = cached
+        return cached
 
     def sanitize(
         self,
@@ -116,16 +175,13 @@ class CheckinSanitizer:
         noisy_labels = self._label_mechanism.release(
             np.asarray(label_counts, dtype=np.int64)
         )
-        gradient_sensitivity = getattr(
-            gradient_mech, "sensitivity", None
-        ) or getattr(gradient_mech, "sensitivity_l2", 0.0)
-        releases = (
-            gradient_mech.record(gradient_sensitivity),
-            self._error_release,
-        ) + (self._label_release,) * label_counts.shape[0]
+        releases, release_groups = self._releases_for(
+            gradient_mech, num_samples, label_counts.shape[0]
+        )
         return SanitizedCheckin(
             gradient=noisy_gradient,
             error_count=noisy_error,
             label_counts=np.asarray(noisy_labels, dtype=np.int64),
             releases=releases,
+            release_groups=release_groups,
         )

@@ -1,12 +1,13 @@
 """Server runtime — Algorithm 2 (Routines 1 and 2).
 
-The :class:`CrowdMLServer` owns the model parameters, authenticates devices
-against a :class:`~repro.core.auth.DeviceRegistry`, serves check-outs, and
-applies each check-in's sanitized gradient with its
-:class:`~repro.optim.sgd.Optimizer` (projected SGD by default — Eq. 3 —
-or any Remark-3 alternative, which is pure post-processing and leaves the
-privacy guarantee untouched).  A :class:`~repro.core.monitor.ProgressMonitor`
-keeps the Eq. 14 DP estimates that drive the ρ stopping criterion.
+:class:`CrowdMLServer` is the single-message facade over the
+batch-native :class:`~repro.core.server_core.ServerCore` state machine:
+``handle_checkout``/``handle_checkin`` keep their original wire semantics
+(authenticate, serve, reject by raising) and delegate one-element work to
+the core.  New transports and batch callers should talk to
+:attr:`CrowdMLServer.core` (or construct a :class:`ServerCore` directly);
+this class remains for existing single-message integrations such as the
+Web portal.
 """
 
 from __future__ import annotations
@@ -24,10 +25,10 @@ from repro.core.protocol import (
     CheckoutRequest,
     CheckoutResponse,
 )
-from repro.core.stopping import StopDecision, evaluate_stopping
+from repro.core.server_core import ServerCore
+from repro.core.stopping import StopDecision
 from repro.models.base import Model
-from repro.optim.sgd import SGD, Optimizer
-from repro.utils.exceptions import ProtocolError
+from repro.optim.sgd import Optimizer
 
 
 class CrowdMLServer:
@@ -67,68 +68,60 @@ class CrowdMLServer:
         config: Optional[ServerConfig] = None,
         registry: Optional[DeviceRegistry] = None,
     ):
-        self._model = model
-        if optimizer is None:
-            optimizer = SGD(model.init_parameters())
-        if optimizer.parameters.shape[0] != model.num_parameters:
-            raise ProtocolError(
-                f"optimizer parameter length {optimizer.parameters.shape[0]} != "
-                f"model num_parameters {model.num_parameters}"
-            )
-        self._optimizer = optimizer
-        self._config = config if config is not None else ServerConfig(max_iterations=10**9)
-        self._registry = registry if registry is not None else DeviceRegistry()
-        self._monitor = ProgressMonitor(model.num_classes)
-        self._checkouts_served = 0
-        self._rejected_messages = 0
+        self._core = ServerCore(model, optimizer, config, registry)
+
+    @property
+    def core(self) -> ServerCore:
+        """The underlying batch-native protocol state machine."""
+        return self._core
 
     @property
     def model(self) -> Model:
-        return self._model
+        return self._core.model
 
     @property
     def config(self) -> ServerConfig:
-        return self._config
+        return self._core.config
 
     @property
     def monitor(self) -> ProgressMonitor:
         """The Eq. 14 DP progress estimates."""
-        return self._monitor
+        return self._core.monitor
 
     @property
     def registry(self) -> DeviceRegistry:
-        return self._registry
+        return self._core.registry
 
     @property
     def parameters(self) -> np.ndarray:
         """Current model parameters w (copy)."""
-        return self._optimizer.parameters
+        return self._core.parameters
 
     @property
     def iteration(self) -> int:
         """t — number of applied updates."""
-        return self._optimizer.iteration
+        return self._core.iteration
 
     @property
     def checkouts_served(self) -> int:
-        return self._checkouts_served
+        return self._core.checkouts_served
 
     @property
     def rejected_messages(self) -> int:
         """Messages refused by authentication or the stopping state."""
-        return self._rejected_messages
+        return self._core.rejected_messages
 
     def register_device(self, device_id: int) -> str:
         """Enroll a device (Web-portal join flow); returns its token."""
-        return self._registry.register(device_id)
+        return self._core.register_device(device_id)
 
     def stopping_decision(self) -> StopDecision:
         """Evaluate Algorithm 2's stopping criteria right now."""
-        return evaluate_stopping(self._config, self.iteration, self._monitor)
+        return self._core.stopping_decision()
 
     @property
     def stopped(self) -> bool:
-        return self.stopping_decision().stopped
+        return self._core.stopped
 
     def handle_checkout(self, request: CheckoutRequest) -> CheckoutResponse:
         """Server Routine 1: authenticate and send current parameters.
@@ -136,21 +129,7 @@ class CrowdMLServer:
         Raises :class:`~repro.utils.exceptions.AuthenticationError` for
         unknown devices and :class:`ProtocolError` once stopped.
         """
-        try:
-            self._registry.authenticate(request.device_id, request.token)
-        except Exception:
-            self._rejected_messages += 1
-            raise
-        if self.stopped:
-            self._rejected_messages += 1
-            raise ProtocolError("task has stopped; no further check-outs")
-        self._checkouts_served += 1
-        return CheckoutResponse(
-            device_id=request.device_id,
-            parameters=self._optimizer.parameters,
-            server_iteration=self.iteration,
-            issued_time=request.request_time,
-        )
+        return self._core.handle_checkout(request)
 
     def handle_checkin(self, message: CheckinMessage) -> CheckinAck:
         """Server Routine 2: authenticate, accumulate stats, apply update.
@@ -159,25 +138,4 @@ class CrowdMLServer:
         server was built with; gradient staleness (asynchrony) is inherent
         — the gradient may have been computed against an older w.
         """
-        try:
-            self._registry.authenticate(message.device_id, message.token)
-        except Exception:
-            self._rejected_messages += 1
-            raise
-        if message.gradient.shape[0] != self._model.num_parameters:
-            self._rejected_messages += 1
-            raise ProtocolError(
-                f"gradient length {message.gradient.shape[0]} != "
-                f"model num_parameters {self._model.num_parameters}"
-            )
-        if self.stopped:
-            self._rejected_messages += 1
-            raise ProtocolError("task has stopped; no further check-ins")
-        self._monitor.record(
-            device_id=message.device_id,
-            num_samples=message.num_samples,
-            noisy_error_count=message.noisy_error_count,
-            noisy_label_counts=message.noisy_label_counts,
-        )
-        self._optimizer.step(message.gradient)
-        return CheckinAck(device_id=message.device_id, server_iteration=self.iteration)
+        return self._core.handle_checkin(message)

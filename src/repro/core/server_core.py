@@ -1,0 +1,361 @@
+"""Transport-agnostic protocol core — Algorithm 2 as a state machine.
+
+:class:`ServerCore` owns the model parameters, the device registry, and
+the Eq. 14 progress monitor, and exposes the server side of the Fig. 2
+workflow as **batch-native endpoints**:
+
+* :meth:`ServerCore.handle_checkout` / :meth:`ServerCore.handle_checkin`
+  — the single-message wire semantics (reject by raising), unchanged from
+  the original :class:`~repro.core.server.CrowdMLServer` routines;
+* :meth:`ServerCore.handle_checkins` — apply a whole batch of check-ins,
+  amortizing the stopping rule once per batch and returning ``None`` in
+  place of an ack for each rejected message.  State transitions are
+  bit-identical to the equivalent sequence of single calls (with
+  rejections caught), whatever the batch size or device interleaving;
+* :meth:`ServerCore.serve_round` — the fused checkout→compute→check-in
+  round used by zero-delay transports: each request is authenticated,
+  answered, handed to the caller's ``complete`` callback (the device
+  side), and the resulting check-in applied, all in one synchronous pass
+  with no per-message closures or event-queue traffic.
+
+The core never touches a network: transports
+(:mod:`repro.network.transport`) decide how messages travel, and
+:class:`~repro.core.server.CrowdMLServer` remains as a thin single-message
+shim for existing callers.
+
+The stopping decision is cached between state changes — protocol
+endpoints evaluate it per message, but it can only change when an update
+is applied, so repeated evaluations are allocation-free hits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.auth import DeviceRegistry
+from repro.core.config import ServerConfig
+from repro.core.monitor import ProgressMonitor
+from repro.core.protocol import (
+    CheckinAck,
+    CheckinMessage,
+    CheckoutRequest,
+    CheckoutResponse,
+)
+from repro.core.stopping import StopDecision, evaluate_stopping
+from repro.models.base import Model
+from repro.optim.sgd import SGD, Optimizer
+from repro.privacy.accountant import PrivacyAccountant
+from repro.utils.exceptions import ProtocolError
+
+
+class RoundOutcome(NamedTuple):
+    """Result of one fused :meth:`ServerCore.serve_round` call.
+
+    Position ``i`` of each tuple corresponds to request ``i``:
+    ``responses[i]``/``messages[i]``/``acks[i]`` are ``None`` when that
+    stage rejected or skipped the device (failed authentication, stopped
+    task, or a ``complete`` callback that returned no check-in).
+    ``stop`` is the stopping decision after the whole round.
+    """
+
+    responses: Tuple[Optional[CheckoutResponse], ...]
+    messages: Tuple[Optional[CheckinMessage], ...]
+    acks: Tuple[Optional[CheckinAck], ...]
+    stop: StopDecision
+
+
+class ServerCore:
+    """The central coordinator of the crowd-learning task.
+
+    Parameters
+    ----------
+    model:
+        Task definition shared with the devices.
+    optimizer:
+        Update rule; owns the parameter vector.  Defaults to projected SGD
+        with the paper's c/√t schedule if ``None``.
+    config:
+        T_max and the ρ stopping criterion.
+    registry:
+        Authentication registry.  A fresh one is created when omitted;
+        devices are registered through :meth:`register_device`.
+    accountant:
+        Optional server-side :class:`~repro.privacy.PrivacyAccountant`;
+        when given, every applied check-in's release records are charged
+        (via the run-length aggregated path), giving the server its own
+        view of the privacy spend the devices report.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.models import MulticlassLogisticRegression
+    >>> from repro.core.config import ServerConfig
+    >>> from repro.core.protocol import CheckoutRequest
+    >>> model = MulticlassLogisticRegression(num_features=2, num_classes=2)
+    >>> core = ServerCore(model, config=ServerConfig(max_iterations=100))
+    >>> token = core.register_device(0)
+    >>> core.handle_checkout(
+    ...     CheckoutRequest(device_id=0, token=token, request_time=0.0)
+    ... ).parameters.shape
+    (4,)
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        optimizer: Optional[Optimizer] = None,
+        config: Optional[ServerConfig] = None,
+        registry: Optional[DeviceRegistry] = None,
+        accountant: Optional[PrivacyAccountant] = None,
+    ):
+        self._model = model
+        if optimizer is None:
+            optimizer = SGD(model.init_parameters())
+        if optimizer.parameters.shape[0] != model.num_parameters:
+            raise ProtocolError(
+                f"optimizer parameter length {optimizer.parameters.shape[0]} != "
+                f"model num_parameters {model.num_parameters}"
+            )
+        self._optimizer = optimizer
+        self._config = config if config is not None else ServerConfig(max_iterations=10**9)
+        self._registry = registry if registry is not None else DeviceRegistry()
+        self._accountant = accountant
+        self._monitor = ProgressMonitor(model.num_classes)
+        self._checkouts_served = 0
+        self._rejected_messages = 0
+        self._stop_cache: Optional[StopDecision] = None
+
+    # -- state views ---------------------------------------------------- #
+
+    @property
+    def model(self) -> Model:
+        return self._model
+
+    @property
+    def config(self) -> ServerConfig:
+        return self._config
+
+    @property
+    def monitor(self) -> ProgressMonitor:
+        """The Eq. 14 DP progress estimates."""
+        return self._monitor
+
+    @property
+    def registry(self) -> DeviceRegistry:
+        return self._registry
+
+    @property
+    def accountant(self) -> Optional[PrivacyAccountant]:
+        """The server-side release ledger, if one was attached."""
+        return self._accountant
+
+    @property
+    def parameters(self) -> np.ndarray:
+        """Current model parameters w (copy)."""
+        return self._optimizer.parameters
+
+    @property
+    def iteration(self) -> int:
+        """t — number of applied updates."""
+        return self._optimizer.iteration
+
+    @property
+    def checkouts_served(self) -> int:
+        return self._checkouts_served
+
+    @property
+    def rejected_messages(self) -> int:
+        """Messages refused by authentication or the stopping state."""
+        return self._rejected_messages
+
+    def register_device(self, device_id: int) -> str:
+        """Enroll a device (Web-portal join flow); returns its token."""
+        return self._registry.register(device_id)
+
+    def stopping_decision(self) -> StopDecision:
+        """Algorithm 2's stopping criteria for the current state.
+
+        Cached between updates: the decision can only change when a
+        check-in is applied, so per-message re-evaluations are free.
+        """
+        decision = self._stop_cache
+        if decision is None:
+            decision = evaluate_stopping(self._config, self.iteration, self._monitor)
+            self._stop_cache = decision
+        return decision
+
+    @property
+    def stopped(self) -> bool:
+        return self.stopping_decision().stopped
+
+    # -- single-message endpoints (wire semantics: reject by raising) --- #
+
+    def handle_checkout(self, request: CheckoutRequest) -> CheckoutResponse:
+        """Server Routine 1: authenticate and send current parameters.
+
+        Raises :class:`~repro.utils.exceptions.AuthenticationError` for
+        unknown devices and :class:`ProtocolError` once stopped.
+        """
+        try:
+            self._registry.authenticate(request.device_id, request.token)
+        except Exception:
+            self._rejected_messages += 1
+            raise
+        if self.stopped:
+            self._rejected_messages += 1
+            raise ProtocolError("task has stopped; no further check-outs")
+        self._checkouts_served += 1
+        return CheckoutResponse(
+            device_id=request.device_id,
+            parameters=self._optimizer.parameters,
+            server_iteration=self.iteration,
+            issued_time=request.request_time,
+        )
+
+    def handle_checkin(self, message: CheckinMessage) -> CheckinAck:
+        """Server Routine 2: authenticate, accumulate stats, apply update.
+
+        The update ``w ← Π_W[w − η(t)·ĝ]`` uses whatever optimizer the
+        server was built with; gradient staleness (asynchrony) is inherent
+        — the gradient may have been computed against an older w.
+        """
+        try:
+            self._registry.authenticate(message.device_id, message.token)
+        except Exception:
+            self._rejected_messages += 1
+            raise
+        if message.gradient.shape[0] != self._model.num_parameters:
+            self._rejected_messages += 1
+            raise ProtocolError(
+                f"gradient length {message.gradient.shape[0]} != "
+                f"model num_parameters {self._model.num_parameters}"
+            )
+        if self.stopped:
+            self._rejected_messages += 1
+            raise ProtocolError("task has stopped; no further check-ins")
+        return self._apply(message)
+
+    # -- batch endpoints ------------------------------------------------ #
+
+    def handle_checkins(
+        self, messages: Sequence[CheckinMessage]
+    ) -> List[Optional[CheckinAck]]:
+        """Apply a batch of check-ins in order; ``None`` marks a rejection.
+
+        Bit-identical in final state (parameters, monitor, rejection
+        counters, attached accountant) to calling :meth:`handle_checkin`
+        once per message and catching the rejections.  The stopping rule
+        is amortized: without a ρ target the remaining iteration budget is
+        computed once for the whole batch; with one, the cached decision
+        makes the per-message re-check allocation-free.
+        """
+        acks: List[Optional[CheckinAck]] = []
+        num_parameters = self._model.num_parameters
+        # Closed-form iteration budget: each accepted message advances t
+        # by exactly one, so without a target-error rule the stop point
+        # inside the batch is known up front.
+        track_error = self._config.target_error is not None
+        remaining = self._config.max_iterations - self.iteration
+        for message in messages:
+            try:
+                self._registry.authenticate(message.device_id, message.token)
+            except Exception:
+                self._rejected_messages += 1
+                acks.append(None)
+                continue
+            if message.gradient.shape[0] != num_parameters:
+                self._rejected_messages += 1
+                acks.append(None)
+                continue
+            if remaining <= 0 or (track_error and self.stopped):
+                self._rejected_messages += 1
+                acks.append(None)
+                continue
+            acks.append(self._apply(message))
+            remaining -= 1
+        return acks
+
+    def serve_round(
+        self,
+        requests: Sequence[CheckoutRequest],
+        complete: Callable[..., Optional[CheckinMessage]],
+        complete_args: tuple = (),
+    ) -> RoundOutcome:
+        """Fused Fig. 2 round: checkout, device compute, check-in — batched.
+
+        For each request (in order): authenticate and serve the check-out,
+        call ``complete(response, *complete_args)`` — the device side,
+        which returns the sanitized :class:`CheckinMessage` to upload (or
+        ``None`` to skip) — and apply that check-in before the next
+        request is served.  Zero-delay transports use this to run a whole
+        round trip synchronously with no event-queue traffic; state
+        transitions are identical to the message-at-a-time path.
+
+        Requests that fail authentication, arrive after the task stopped,
+        or whose check-in is rejected yield ``None`` in the corresponding
+        outcome slot (no exception), mirroring :meth:`handle_checkins`.
+        """
+        responses: List[Optional[CheckoutResponse]] = []
+        messages: List[Optional[CheckinMessage]] = []
+        acks: List[Optional[CheckinAck]] = []
+        optimizer = self._optimizer
+        for request in requests:
+            try:
+                self._registry.authenticate(request.device_id, request.token)
+            except Exception:
+                self._rejected_messages += 1
+                responses.append(None)
+                messages.append(None)
+                acks.append(None)
+                continue
+            if self.stopped:
+                self._rejected_messages += 1
+                responses.append(None)
+                messages.append(None)
+                acks.append(None)
+                continue
+            self._checkouts_served += 1
+            # parameters_view: steps rebind rather than mutate, so the
+            # response's array is stable without a per-round copy.
+            response = CheckoutResponse(
+                device_id=request.device_id,
+                parameters=optimizer.parameters_view,
+                server_iteration=optimizer.iteration,
+                issued_time=request.request_time,
+            )
+            responses.append(response)
+            message = complete(response, *complete_args)
+            messages.append(message)
+            if message is None:
+                acks.append(None)
+                continue
+            if message.gradient.shape[0] != self._model.num_parameters:
+                self._rejected_messages += 1
+                acks.append(None)
+                continue
+            acks.append(self._apply(message))
+        return RoundOutcome(
+            tuple(responses), tuple(messages), tuple(acks), self.stopping_decision()
+        )
+
+    # -- internals ------------------------------------------------------ #
+
+    def _apply(self, message: CheckinMessage) -> CheckinAck:
+        """Fold one accepted check-in into the server state."""
+        self._monitor.record(
+            device_id=message.device_id,
+            num_samples=message.num_samples,
+            noisy_error_count=message.noisy_error_count,
+            noisy_label_counts=message.noisy_label_counts,
+        )
+        self._optimizer.step(message.gradient)
+        if self._accountant is not None and message.releases:
+            # The raw tuple goes straight to the accountant: it run-length
+            # encodes internally, and devices reuse one memoized releases
+            # tuple across check-ins, so the accountant's identity memo
+            # hits — pre-aggregating here would allocate per message.
+            self._accountant.charge_checkin(message.releases)
+        self._stop_cache = None
+        return CheckinAck(device_id=message.device_id, server_iteration=self.iteration)

@@ -32,7 +32,12 @@ class StopDecision:
 
     @classmethod
     def running(cls) -> "StopDecision":
-        return cls(False, StopReason.RUNNING)
+        return _RUNNING
+
+
+#: Shared immutable "still running" decision — stopping is evaluated on
+#: every protocol message, so the common outcome is allocation-free.
+_RUNNING = StopDecision(False, StopReason.RUNNING)
 
 
 def evaluate_stopping(

@@ -7,6 +7,7 @@ from repro.evaluation.compare import (
 )
 from repro.evaluation.curves import ErrorCurve, average_curves, curve_std
 from repro.evaluation.metrics import (
+    SnapshotEvaluator,
     snapshot_grid,
     test_error,
     test_loss,
@@ -15,6 +16,7 @@ from repro.evaluation.metrics import (
 
 __all__ = [
     "ErrorCurve",
+    "SnapshotEvaluator",
     "assert_traces_identical",
     "average_curves",
     "curve_std",

@@ -1,16 +1,24 @@
 """Exact structural comparison of run traces.
 
-The batch-arrival scheduler (``SimulationConfig.arrival_mode="batch"``)
-promises *bit-identical* traces to the legacy per-sample scheduler — not
+The simulator promises *bit-identical* :class:`~repro.simulation.trace
+.RunTrace`\\ s across execution strategies — the fused
+:class:`~repro.network.transport.DirectTransport` versus the event-driven
+:class:`~repro.network.transport.SimulatedTransport`, and today's code
+versus the recorded golden fingerprints in ``tests/data/`` — not
 "close", identical.  :func:`assert_traces_identical` is that promise made
-executable: it compares every field of two :class:`~repro.simulation.trace
-.RunTrace` objects with exact equality (no tolerances) and raises an
-:class:`AssertionError` naming the first field that differs.  The
-cross-path equivalence suite and the throughput benchmark both gate on it.
+executable: it compares every field of two traces with exact equality
+(no tolerances) and raises an :class:`AssertionError` naming the first
+field that differs.  The recorded-trace regression suite
+(``tests/simulation/test_trace_regression.py``) and the throughput
+benchmarks both gate on it.
+
+The field list is derived from the ``RunTrace`` dataclass itself, so a
+newly added trace field can never silently escape the contract.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List
 
 import numpy as np
@@ -29,29 +37,31 @@ def _arrays_equal(a: np.ndarray, b: np.ndarray) -> bool:
     return bool(np.array_equal(a, b))
 
 
+def _values_equal(a, b) -> bool:
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return _arrays_equal(a, b)
+    return a == b
+
+
 def trace_differences(a: RunTrace, b: RunTrace) -> List[str]:
-    """Names of the ``RunTrace`` fields on which ``a`` and ``b`` differ."""
+    """Names of the ``RunTrace`` fields on which ``a`` and ``b`` differ.
+
+    Iterates :func:`dataclasses.fields` of ``RunTrace`` — fields added in
+    the future are compared automatically (with exact array equality for
+    ndarray values); only the error curve is special-cased into its two
+    components for a sharper diagnostic.
+    """
     differing = []
-    if not _arrays_equal(a.curve.iterations, b.curve.iterations):
-        differing.append("curve.iterations")
-    if not _arrays_equal(a.curve.errors, b.curve.errors):
-        differing.append("curve.errors")
-    if not _arrays_equal(a.online_errors, b.online_errors):
-        differing.append("online_errors")
-    if not _arrays_equal(a.final_parameters, b.final_parameters):
-        differing.append("final_parameters")
-    if not _arrays_equal(a.staleness, b.staleness):
-        differing.append("staleness")
-    if a.total_samples_consumed != b.total_samples_consumed:
-        differing.append("total_samples_consumed")
-    if a.server_iterations != b.server_iterations:
-        differing.append("server_iterations")
-    if a.communication != b.communication:
-        differing.append("communication")
-    if a.per_sample_epsilon != b.per_sample_epsilon:
-        differing.append("per_sample_epsilon")
-    if a.stop_reason != b.stop_reason:
-        differing.append("stop_reason")
+    for field in dataclasses.fields(RunTrace):
+        value_a = getattr(a, field.name)
+        value_b = getattr(b, field.name)
+        if field.name == "curve":
+            if not _arrays_equal(value_a.iterations, value_b.iterations):
+                differing.append("curve.iterations")
+            if not _arrays_equal(value_a.errors, value_b.errors):
+                differing.append("curve.errors")
+        elif not _values_equal(value_a, value_b):
+            differing.append(field.name)
     return differing
 
 

@@ -29,7 +29,6 @@ from __future__ import annotations
 import inspect
 import json
 import math
-import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
@@ -167,17 +166,6 @@ def _budget(payload: Dict[str, Any]) -> Optional[CentralizedBudget]:
     return CentralizedBudget.even_split(epsilon)
 
 
-def _arrival_mode() -> str:
-    """Scheduler used for crowd simulations (A/B escape hatch).
-
-    ``REPRO_ARRIVAL_MODE=per_sample`` re-runs any figure through the
-    legacy one-event-per-sample scheduler; results are bit-identical to
-    the default batch scheduler, so stored run-store entries remain
-    valid either way.
-    """
-    return os.environ.get("REPRO_ARRIVAL_MODE", "batch")
-
-
 def _simulation_config(payload: Dict[str, Any]) -> SimulationConfig:
     num_devices = payload["num_devices"]
     # τ in time units from a delay expressed in Δ = 1/(M·F_s) multiples
@@ -193,7 +181,6 @@ def _simulation_config(payload: Dict[str, Any]) -> SimulationConfig:
         l2_regularization=payload["l2_regularization"],
         link_delays=LinkDelays.uniform(tau) if tau > 0 else LinkDelays.zero(),
         num_passes=payload["num_passes"],
-        arrival_mode=_arrival_mode(),
     )
 
 
@@ -285,7 +272,6 @@ def _run_activity_online(payload: Dict[str, Any]) -> ErrorCurve:
         batch_size=payload["batch_size"],
         learning_rate_constant=_crowd_rate_constant(payload),
         l2_regularization=payload["l2_regularization"],
-        arrival_mode=_arrival_mode(),
     )
     simulator = CrowdSimulator(
         _build_model(payload, streams[0]), streams, payload["test"], config,

@@ -75,8 +75,18 @@ class Model(ABC):
             return np.zeros(self.num_parameters, dtype=np.float64)
         return rng.normal(0.0, scale, size=self.num_parameters)
 
-    def validate_batch(self, features: np.ndarray, labels: Optional[np.ndarray] = None):
-        """Coerce and check a feature batch (and labels when given)."""
+    def validate_batch(self, features: np.ndarray, labels: Optional[np.ndarray] = None,
+                       validate: bool = True):
+        """Coerce and check a feature batch (and labels when given).
+
+        ``validate=False`` skips the checks (and the label-dtype copy) for
+        callers that guarantee well-formed float64/int64 arrays — the
+        device hot path validates once at buffering time, not once per
+        oracle call.  Outputs are bit-identical either way for valid
+        input.
+        """
+        if not validate:
+            return features, labels
         features = check_matrix(features, "features", shape=(None, self._num_features))
         if labels is None:
             return features, None
@@ -126,7 +136,8 @@ class Model(ABC):
         return self.predict(parameters, features) != labels
 
     def errors_and_gradient(
-        self, parameters: np.ndarray, features: np.ndarray, labels: np.ndarray
+        self, parameters: np.ndarray, features: np.ndarray, labels: np.ndarray,
+        validate: bool = True,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Per-sample errors and the averaged gradient of one batch.
 
@@ -134,7 +145,8 @@ class Model(ABC):
         share one forward pass (one validation, one score matrix) between
         the two oracles.  The default delegates to the two separate
         oracles; overrides must be *bit-identical* to that default — the
-        device hot path relies on it.
+        device hot path relies on it.  ``validate=False`` is the trusted
+        fast path for pre-validated buffers (see :meth:`validate_batch`).
         """
         return (
             self.prediction_errors(parameters, features, labels),

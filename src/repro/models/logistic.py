@@ -22,6 +22,18 @@ from repro.models.base import Model
 from repro.privacy.sensitivity import logistic_gradient_sensitivity
 from repro.utils.numerics import log_sum_exp, one_hot, softmax
 
+#: Reusable row-index buffer for the fused oracle's in-place one-hot
+#: subtraction — grown on demand, sliced per call (batches are small and
+#: the oracle runs once per check-in).
+_ROW_INDICES = np.arange(64)
+
+
+def _row_indices(count: int) -> np.ndarray:
+    global _ROW_INDICES
+    if count > _ROW_INDICES.shape[0]:
+        _ROW_INDICES = np.arange(max(count, 2 * _ROW_INDICES.shape[0]))
+    return _ROW_INDICES[:count]
+
 
 class MulticlassLogisticRegression(Model):
     """Softmax classifier with L2 regularization (Table I).
@@ -86,18 +98,23 @@ class MulticlassLogisticRegression(Model):
         return flat
 
     def errors_and_gradient(
-        self, parameters: np.ndarray, features: np.ndarray, labels: np.ndarray
+        self, parameters: np.ndarray, features: np.ndarray, labels: np.ndarray,
+        validate: bool = True,
     ) -> tuple[np.ndarray, np.ndarray]:
         """One shared score matrix for both Routine 2 oracles.
 
         Bit-identical to the separate calls: ``prediction_errors`` is
         ``argmax`` over the same ``x W'`` scores, and ``gradient`` applies
-        ``softmax`` to them — computing the matmul once changes no bits.
+        ``softmax`` to them — computing the matmul once changes no bits
+        (the one-hot subtraction is performed in place on the softmax
+        output: subtracting 1.0 from the label entries and 0.0 from the
+        rest is the identical float operation).
         """
-        features, labels = self.validate_batch(features, labels)
+        features, labels = self.validate_batch(features, labels, validate)
         scores = features @ self._weights(parameters).T
-        errors = np.argmax(scores, axis=1) != labels
-        residual = softmax(scores, axis=1) - one_hot(labels, self.num_classes)
+        errors = scores.argmax(axis=1) != labels
+        residual = softmax(scores, axis=1)
+        residual[_row_indices(residual.shape[0]), labels] -= 1.0
         flat = (residual.T @ features / features.shape[0]).reshape(-1)
         if self.l2_regularization:
             flat = flat + self.l2_regularization * np.asarray(parameters, dtype=np.float64)

@@ -1,8 +1,11 @@
-"""Simulated network substrate: event queue, delays, outages, channels.
+"""Simulated network substrate: event queue, delays, outages, transports.
 
 Models Section IV-B3's three delay legs (τ_req, τ_co, τ_ci) with pluggable
 delay distributions (uniform by default, per footnote 7) and Remark 1's
-non-critical communication failures.
+non-critical communication failures.  :mod:`repro.network.transport`
+abstracts how protocol messages travel: event-driven channels
+(:class:`SimulatedTransport`) or synchronous fused rounds
+(:class:`DirectTransport`) for zero-delay configurations.
 """
 
 from repro.network.channel import Channel, ChannelStats
@@ -23,6 +26,14 @@ from repro.network.outage import (
     OutageModel,
     WindowedOutage,
 )
+from repro.network.transport import (
+    DeviceLink,
+    DirectLink,
+    DirectTransport,
+    SimulatedLink,
+    SimulatedTransport,
+    Transport,
+)
 
 __all__ = [
     "BernoulliOutage",
@@ -31,6 +42,9 @@ __all__ = [
     "ChannelStats",
     "ConstantDelay",
     "DelayModel",
+    "DeviceLink",
+    "DirectLink",
+    "DirectTransport",
     "EventHandle",
     "EventQueue",
     "ExponentialDelay",
@@ -38,6 +52,9 @@ __all__ = [
     "LogNormalDelay",
     "NoOutage",
     "OutageModel",
+    "SimulatedLink",
+    "SimulatedTransport",
+    "Transport",
     "UniformDelay",
     "WindowedOutage",
     "ZeroDelay",

@@ -86,9 +86,11 @@ class Channel:
 
     def send(
         self,
-        deliver: Callable[[], None],
+        deliver: Callable[..., None],
         payload_floats: int = 0,
-        on_drop: Optional[Callable[[], None]] = None,
+        on_drop: Optional[Callable[..., None]] = None,
+        args: tuple = (),
+        drop_args: tuple = (),
     ) -> bool:
         """Send a message; returns False if the outage model dropped it.
 
@@ -96,15 +98,19 @@ class Channel:
         the Section IV-B2 communication-volume accounting.  ``on_drop`` (if
         given) fires immediately when the message is lost, letting senders
         implement Remark 1's retry-later behaviour.
+
+        ``args``/``drop_args`` ride the EventQueue's args slots end to end:
+        hot paths pass a bound method plus its arguments instead of
+        allocating a closure per message — delivery and outage-retry alike.
         """
         self._stats.messages_sent += 1
         self._stats.payload_floats += int(payload_floats)
         if self._outage_model.attempt_fails(self._rng, self._queue.now):
             self._stats.messages_dropped += 1
             if on_drop is not None:
-                on_drop()
+                on_drop(*drop_args)
             return False
         delay = self._delay_model.sample(self._rng)
         self._stats.total_delay += delay
-        self._queue.schedule_after(delay, deliver, tag=self._name)
+        self._queue.schedule_after(delay, deliver, tag=self._name, args=args)
         return True

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.utils.exceptions import ConfigurationError
@@ -18,15 +17,22 @@ from repro.utils.exceptions import ConfigurationError
 EventCallback = Callable[..., None]
 
 
-@dataclass(order=True)
 class _ScheduledEvent:
-    time: float
-    sequence: int
-    callback: EventCallback = field(compare=False)
-    args: tuple = field(default=(), compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    fired: bool = field(default=False, compare=False)
-    tag: str = field(default="", compare=False)
+    """One queue entry.  Heap ordering lives in the ``(time, sequence)``
+    tuple pushed alongside it, so events themselves never compare — tuple
+    comparison stays entirely in C on the hot path."""
+
+    __slots__ = ("time", "sequence", "callback", "args", "cancelled", "fired", "tag")
+
+    def __init__(self, time: float, sequence: int, callback: EventCallback,
+                 args: tuple = (), tag: str = ""):
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+        self.tag = tag
 
 
 class EventHandle:
@@ -69,7 +75,9 @@ class EventQueue:
     """
 
     def __init__(self):
-        self._heap: list[_ScheduledEvent] = []
+        # Entries are (time, sequence, event) — sequence breaks ties by
+        # insertion order and guarantees comparison never reaches the event.
+        self._heap: list[tuple[float, int, _ScheduledEvent]] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._fired = 0
@@ -103,9 +111,9 @@ class EventQueue:
             raise ConfigurationError(
                 f"cannot schedule event in the past: time={time} < now={self._now}"
             )
-        event = _ScheduledEvent(time=time, sequence=next(self._counter), callback=callback,
-                                args=args, tag=tag)
-        heapq.heappush(self._heap, event)
+        sequence = next(self._counter)
+        event = _ScheduledEvent(time, sequence, callback, args, tag)
+        heapq.heappush(self._heap, (time, sequence, event))
         self._pending += 1
         return EventHandle(event, self)
 
@@ -120,12 +128,12 @@ class EventQueue:
     def step(self) -> bool:
         """Fire the next event; return False when the queue is empty."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            time, _, event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
             event.fired = True
             self._pending -= 1
-            self._now = event.time
+            self._now = time
             self._fired += 1
             event.callback(*event.args)
             return True
@@ -141,14 +149,14 @@ class EventQueue:
         while self._heap:
             if max_events is not None and fired >= max_events:
                 break
-            head = self._heap[0]
+            head_time, _, head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
                 continue
-            if until is not None and head.time > until:
+            if until is not None and head_time > until:
                 break
             self.step()
             fired += 1
-        if until is not None and (not self._heap or self._heap[0].time > until):
+        if until is not None and (not self._heap or self._heap[0][0] > until):
             self._now = max(self._now, until)
         return fired

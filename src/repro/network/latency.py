@@ -29,6 +29,17 @@ class DelayModel(ABC):
     def mean(self) -> float:
         """Expected delay (for analysis and reporting)."""
 
+    @property
+    def is_zero(self) -> bool:
+        """True when every sample is exactly 0.0 **and** draws no RNG.
+
+        Zero-delay links are what make the synchronous
+        :class:`~repro.network.transport.DirectTransport` equivalent to
+        event-driven delivery, so the default is conservative: only
+        models that guarantee both properties override this.
+        """
+        return False
+
 
 class ZeroDelay(DelayModel):
     """No delay — the τ = 0 arms of Figs. 4-5."""
@@ -39,6 +50,10 @@ class ZeroDelay(DelayModel):
     @property
     def mean(self) -> float:
         return 0.0
+
+    @property
+    def is_zero(self) -> bool:
+        return True
 
 
 class ConstantDelay(DelayModel):
@@ -53,6 +68,10 @@ class ConstantDelay(DelayModel):
     @property
     def mean(self) -> float:
         return self._delay
+
+    @property
+    def is_zero(self) -> bool:
+        return self._delay == 0.0
 
 
 class UniformDelay(DelayModel):
@@ -80,6 +99,11 @@ class UniformDelay(DelayModel):
     @property
     def mean(self) -> float:
         return self._maximum / 2.0
+
+    @property
+    def is_zero(self) -> bool:
+        # sample() short-circuits before touching the RNG at τ = 0.
+        return self._maximum == 0.0
 
 
 class ExponentialDelay(DelayModel):
@@ -143,3 +167,8 @@ class LinkDelays:
     def mean_round_trip(self) -> float:
         """Expected τ_req + τ_co + τ_ci."""
         return self.request.mean + self.checkout.mean + self.checkin.mean
+
+    @property
+    def is_zero(self) -> bool:
+        """True when all three legs are exactly zero (RNG-free)."""
+        return self.request.is_zero and self.checkout.is_zero and self.checkin.is_zero

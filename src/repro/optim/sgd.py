@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.optim.projection import IdentityProjection, Projection
 from repro.optim.schedules import InverseSqrtRate, LearningRateSchedule
+from repro.utils.exceptions import ConfigurationError
 from repro.utils.validation import check_vector
 
 
@@ -38,6 +39,17 @@ class Optimizer(ABC):
         return self._parameters.copy()
 
     @property
+    def parameters_view(self) -> np.ndarray:
+        """Current parameter vector WITHOUT a defensive copy.
+
+        Read-only contract: every step rebinds a fresh vector rather than
+        mutating in place, so a view taken here is stable forever — but
+        writing to it corrupts the optimizer.  For hot paths that build
+        one immutable message per update.
+        """
+        return self._parameters
+
+    @property
     def iteration(self) -> int:
         """Number of gradient steps applied so far."""
         return self._iteration
@@ -48,14 +60,31 @@ class Optimizer(ABC):
         return self._projection
 
     def step(self, gradient: np.ndarray) -> np.ndarray:
-        """Apply one update and return the new parameter vector (copy)."""
-        gradient = check_vector(
-            np.asarray(gradient, dtype=np.float64), "gradient", size=self._parameters.shape[0]
-        )
+        """Apply one update and return the new parameter vector.
+
+        The returned array is the optimizer's current state — treat it as
+        read-only (every step rebinds a fresh vector, so references taken
+        here are never mutated later; use :attr:`parameters` for an owned
+        copy).  Skipping the defensive copy matters: the server applies
+        one step per check-in.
+
+        A non-finite gradient is rejected before it can touch the state:
+        the optimizer sits at the server's wire boundary, and one inf/NaN
+        message would otherwise corrupt w permanently.
+        """
+        if type(gradient) is not np.ndarray or gradient.dtype != np.float64:
+            gradient = np.asarray(gradient, dtype=np.float64)
+        if gradient.shape != self._parameters.shape:
+            raise ConfigurationError(
+                f"gradient must have shape {self._parameters.shape}, "
+                f"got {gradient.shape}"
+            )
+        if not np.isfinite(gradient).all():
+            raise ConfigurationError("gradient must contain only finite values")
         self._iteration += 1
         updated = self._apply(gradient)
         self._parameters = np.asarray(self._projection(updated), dtype=np.float64)
-        return self._parameters.copy()
+        return self._parameters
 
     @abstractmethod
     def _apply(self, gradient: np.ndarray) -> np.ndarray:

@@ -18,7 +18,11 @@ This package implements every mechanism the paper relies on:
 * :class:`~repro.privacy.budget.PrivacyBudget` — the ε split itself.
 """
 
-from repro.privacy.accountant import PrivacyAccountant, PrivacySpend
+from repro.privacy.accountant import (
+    PrivacyAccountant,
+    PrivacySpend,
+    aggregate_releases,
+)
 from repro.privacy.attacks import (
     InversionResult,
     evaluate_inversion,
@@ -39,7 +43,12 @@ from repro.privacy.exponential import (
 )
 from repro.privacy.gaussian import GaussianMechanism, gaussian_sigma
 from repro.privacy.laplace import LaplaceMechanism, laplace_scale
-from repro.privacy.mechanism import Mechanism, ReleaseRecord, validate_epsilon
+from repro.privacy.mechanism import (
+    AggregatedRelease,
+    Mechanism,
+    ReleaseRecord,
+    validate_epsilon,
+)
 from repro.privacy.sensitivity import (
     count_sensitivity,
     feature_sensitivity,
@@ -53,6 +62,7 @@ from repro.privacy.sensitivity import (
 )
 
 __all__ = [
+    "AggregatedRelease",
     "CentralizedBudget",
     "InversionResult",
     "evaluate_inversion",
@@ -67,6 +77,7 @@ __all__ = [
     "PrivacyBudget",
     "PrivacySpend",
     "ReleaseRecord",
+    "aggregate_releases",
     "count_sensitivity",
     "discrete_laplace_variance",
     "feature_sensitivity",

@@ -14,16 +14,55 @@ one").  The accountant therefore tracks two views:
 It also enforces an optional cap on the per-sample ε, raising
 :class:`~repro.utils.exceptions.PrivacyBudgetExceededError` before a release
 that would exceed it.
+
+The ledger is run-length encoded: consecutive identical records (a
+check-in's C label-count releases, or repeated check-ins with the same
+calibration) collapse into a single ``(record, count)`` run, so charging a
+check-in grows the ledger by O(distinct records) — typically 3 — rather
+than O(C).  Callers can hand the accountant pre-aggregated
+:class:`~repro.privacy.mechanism.AggregatedRelease` groups for an O(1)
+charge regardless of the number of classes; the expanded view is still
+available through :attr:`PrivacyAccountant.records`.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.privacy.mechanism import ReleaseRecord
+from repro.privacy.mechanism import AggregatedRelease, ReleaseRecord
 from repro.utils.exceptions import PrivacyBudgetExceededError
+
+#: What :meth:`PrivacyAccountant.charge_checkin` accepts: plain records,
+#: run-length groups, or a mix of both.
+ReleaseLike = Union[ReleaseRecord, AggregatedRelease]
+
+
+def aggregate_releases(
+    records: Sequence[ReleaseLike],
+) -> Tuple[AggregatedRelease, ...]:
+    """Run-length encode a release sequence by (consecutive) equality.
+
+    ``(grad, err, label, label, ..., label)`` becomes three groups
+    regardless of the number of classes.  Already-aggregated entries pass
+    through (merging with equal neighbours).
+
+    >>> rec = ReleaseRecord(epsilon=0.1)
+    >>> [g.count for g in aggregate_releases([rec, rec, rec])]
+    [3]
+    """
+    groups: List[List] = []
+    for entry in records:
+        if isinstance(entry, AggregatedRelease):
+            record, count = entry.record, entry.count
+        else:
+            record, count = entry, 1
+        if groups and (groups[-1][0] is record or groups[-1][0] == record):
+            groups[-1][1] += count
+        else:
+            groups.append([record, count])
+    return tuple(AggregatedRelease(record, count) for record, count in groups)
 
 
 @dataclass(frozen=True)
@@ -57,28 +96,65 @@ class PrivacyAccountant:
         if per_sample_cap is not None and per_sample_cap <= 0:
             raise ValueError(f"per_sample_cap must be positive, got {per_sample_cap!r}")
         self._per_sample_cap = per_sample_cap
-        self._records: List[ReleaseRecord] = []
+        # Run-length ledger: mutable [record, count] runs in charge order.
+        self._runs: List[List] = []
+        self._num_records = 0
         self._per_sample_epsilon = 0.0
         self._total_epsilon = 0.0
         self._total_delta = 0.0
+        # Devices charge the *same* release-group tuple every check-in
+        # (the sanitizer memoizes it per realized batch size), so the
+        # summation over its entries is computed once per distinct tuple
+        # object.  The strong reference keeps the id stable.
+        self._last_records = None
+        self._last_sums = (0.0, 0.0, 0)
 
     @property
     def per_sample_cap(self) -> Optional[float]:
         """The enforced per-sample ε cap, or ``None``."""
         return self._per_sample_cap
 
-    def charge_checkin(self, records: List[ReleaseRecord]) -> None:
+    def charge_checkin(self, records: Iterable[ReleaseLike]) -> None:
         """Account for one check-in consisting of several mechanism releases.
 
         All releases in one check-in touch the *same* minibatch, so their
         epsilons add for the samples in that minibatch; across check-ins the
         per-sample guarantee is the max, not the sum.
+
+        ``records`` may contain plain :class:`ReleaseRecord`\\ s and/or
+        :class:`~repro.privacy.mechanism.AggregatedRelease` run-length
+        groups; a group of ``count`` records is charged exactly as if the
+        record appeared ``count`` times in sequence (the ε sum is
+        accumulated by repeated addition, so the float result is
+        bit-identical to the expanded form).
         """
-        finite = [r.epsilon for r in records if not math.isinf(r.epsilon)]
-        checkin_epsilon = sum(finite) if finite else 0.0
-        any_noisy = any(not math.isinf(r.epsilon) for r in records)
-        if not any_noisy:
-            checkin_epsilon = 0.0 if not records else checkin_epsilon
+        if not isinstance(records, (list, tuple)):
+            records = tuple(records)
+        if records is self._last_records:
+            checkin_epsilon, checkin_delta, total = self._last_sums
+        else:
+            checkin_epsilon = 0.0
+            checkin_delta = 0.0
+            total = 0
+            for entry in records:
+                if type(entry) is AggregatedRelease:
+                    record, count = entry.record, entry.count
+                else:
+                    record, count = entry, 1
+                epsilon = record.epsilon
+                if not math.isinf(epsilon):
+                    # Repeated addition, not epsilon * count: preserves the
+                    # exact left-to-right IEEE-754 sum of the expanded list.
+                    for _ in range(count):
+                        checkin_epsilon += epsilon
+                if record.delta != 0.0:
+                    for _ in range(count):
+                        checkin_delta += record.delta
+                total += count
+            if isinstance(records, tuple):
+                # Only tuples are safely immutable enough to memoize by id.
+                self._last_records = records
+                self._last_sums = (checkin_epsilon, checkin_delta, total)
         candidate = max(self._per_sample_epsilon, checkin_epsilon)
         if self._per_sample_cap is not None and candidate > self._per_sample_cap + 1e-12:
             raise PrivacyBudgetExceededError(
@@ -86,10 +162,29 @@ class PrivacyAccountant:
                 cap=self._per_sample_cap,
                 requested=checkin_epsilon,
             )
-        self._records.extend(records)
+        runs = self._runs
+        for entry in records:
+            if type(entry) is AggregatedRelease:
+                record, count = entry.record, entry.count
+            else:
+                record, count = entry, 1
+            if runs:
+                last = runs[-1]
+                last_record = last[0]
+                # Identity first (memoized records repeat across
+                # check-ins), then a cheap ε guard before the full
+                # dataclass comparison — the common case is "different".
+                if last_record is record or (
+                    last_record.epsilon == record.epsilon
+                    and last_record == record
+                ):
+                    last[1] += count
+                    continue
+            runs.append([record, count])
+        self._num_records += total
         self._per_sample_epsilon = candidate
         self._total_epsilon += checkin_epsilon
-        self._total_delta += sum(r.delta for r in records)
+        self._total_delta += checkin_delta
 
     def spend(self) -> PrivacySpend:
         """Return the cumulative spend under both accounting views."""
@@ -97,17 +192,26 @@ class PrivacyAccountant:
             per_sample_epsilon=self._per_sample_epsilon,
             total_epsilon=self._total_epsilon,
             total_delta=self._total_delta,
-            num_releases=len(self._records),
+            num_releases=self._num_records,
         )
 
     @property
     def records(self) -> List[ReleaseRecord]:
-        """All release records charged so far (copy)."""
-        return list(self._records)
+        """All release records charged so far, expanded, in charge order."""
+        expanded: List[ReleaseRecord] = []
+        for record, count in self._runs:
+            expanded.extend([record] * count)
+        return expanded
+
+    @property
+    def record_runs(self) -> List[Tuple[ReleaseRecord, int]]:
+        """The run-length-encoded ledger (copy)."""
+        return [(record, count) for record, count in self._runs]
 
     def reset(self) -> None:
         """Forget all history (e.g. between independent trials)."""
-        self._records.clear()
+        self._runs.clear()
+        self._num_records = 0
         self._per_sample_epsilon = 0.0
         self._total_epsilon = 0.0
         self._total_delta = 0.0

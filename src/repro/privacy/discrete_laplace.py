@@ -108,6 +108,25 @@ class DiscreteLaplaceMechanism(Mechanism):
 
     def release(self, value: IntOrArray) -> IntOrArray:
         """Return ``value + z`` with discrete Laplace ``z`` (elementwise)."""
+        if self._is_identity:
+            # ε = ∞ adds no noise and draws nothing from the RNG (matching
+            # sample_discrete_laplace's short-circuit); only the clipping
+            # semantics are preserved.  The int64-ndarray test comes first:
+            # that is every label-count release of a non-private run.
+            if isinstance(value, np.ndarray) and value.ndim > 0:
+                counts = value if value.dtype == np.int64 else value.astype(np.int64)
+            elif np.isscalar(value) or (
+                isinstance(value, np.ndarray) and value.ndim == 0
+            ):
+                noisy = int(value)
+                return max(noisy, 0) if self._clip_negative else noisy
+            else:
+                counts = np.asarray(value, dtype=np.int64)
+            if self._clip_negative:
+                return np.maximum(counts, 0)
+            # Match the noisy path's contract: the release never aliases
+            # the caller's buffer.
+            return counts.copy() if counts is value else counts
         if np.isscalar(value) or (isinstance(value, np.ndarray) and value.ndim == 0):
             true = int(value)
             noisy = true + int(

@@ -45,6 +45,29 @@ class ReleaseRecord:
     sensitivity: float = 0.0
 
 
+@dataclass(frozen=True)
+class AggregatedRelease:
+    """``count`` identical releases, run-length encoded.
+
+    A check-in releases one gradient, one error count, and C label counts;
+    the C label releases share a single :class:`ReleaseRecord`.  Passing
+    ``AggregatedRelease(record, C)`` to
+    :meth:`~repro.privacy.accountant.PrivacyAccountant.charge_checkin`
+    charges all C at once — O(1) ledger growth per check-in instead of
+    O(C) — while remaining exactly equivalent (including float summation
+    order) to charging the expanded sequence.
+    """
+
+    record: ReleaseRecord
+    count: int
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ConfigurationError(
+                f"AggregatedRelease count must be >= 1, got {self.count}"
+            )
+
+
 def validate_epsilon(epsilon: float, name: str = "epsilon") -> float:
     """Validate a privacy level: positive, possibly infinite.
 
@@ -62,6 +85,9 @@ class Mechanism(ABC):
     def __init__(self, epsilon: float, rng: Optional[np.random.Generator] = None):
         self._epsilon = validate_epsilon(epsilon)
         self._rng = rng if rng is not None else np.random.default_rng()
+        # ε is immutable, so the identity check is decided once: release()
+        # consults this flag on every message.
+        self._is_identity = math.isinf(self._epsilon)
 
     @property
     def epsilon(self) -> float:
@@ -76,7 +102,7 @@ class Mechanism(ABC):
     @property
     def is_identity(self) -> bool:
         """True when this mechanism adds no noise (ε = ∞)."""
-        return math.isinf(self._epsilon)
+        return self._is_identity
 
     @property
     def rng(self) -> np.random.Generator:

@@ -57,16 +57,24 @@ class SimulationConfig:
         Optional zero-arg callable building a fresh
         :class:`~repro.core.adaptive.BatchPolicy` per device — the
         §IV-B3 adaptive-minibatch refinement.  ``None`` keeps b fixed.
-    arrival_mode:
-        ``"batch"`` (default) advances each device's deterministic
-        sample arrivals in closed form between stochastic events —
-        O(check-ins) heap events instead of one per sample.  It is
-        bit-identical to ``"per_sample"`` (the legacy one-event-per-sample
-        scheduler, kept for one release as a cross-check) whenever the
-        link-delay distributions are continuous or zero; with delays that
-        are exact float multiples of the sampling period, tie-breaking
-        between a message delivery and a sample arriving at the *same*
-        float timestamp may differ between the two modes.
+    transport:
+        How protocol messages travel.  ``"auto"`` (default) picks
+        :class:`~repro.network.transport.DirectTransport` — fused
+        synchronous rounds, no per-message heap events — whenever every
+        link delay is exactly zero and the network is reliable, and the
+        event-driven :class:`~repro.network.transport.SimulatedTransport`
+        otherwise.  ``"direct"``/``"simulated"`` force a choice
+        (``"direct"`` raises unless the config is zero-delay and
+        outage-free).  The two transports produce bit-identical
+        :class:`~repro.simulation.trace.RunTrace`\\ s on every config
+        where both are valid.
+    snapshot_subsample:
+        Opt-in cap on the number of test examples used per error
+        snapshot (drawn once per run from a dedicated RNG stream).
+        ``None`` (default) evaluates the full test set.  Setting it
+        changes snapshot values — it is meant for the scalability
+        ablations, where each of the ~60 snapshots otherwise runs a full
+        test-set forward pass.
     """
 
     num_devices: int
@@ -86,13 +94,18 @@ class SimulationConfig:
     target_error: Optional[float] = None
     churn: Optional["ChurnSchedule"] = None
     batch_policy_factory: Optional[Callable[[], "BatchPolicy"]] = None
-    arrival_mode: str = "batch"
+    transport: str = "auto"
+    snapshot_subsample: Optional[int] = None
 
     def __post_init__(self):
-        if self.arrival_mode not in ("batch", "per_sample"):
+        if self.transport not in ("auto", "direct", "simulated"):
             raise ConfigurationError(
-                f"arrival_mode must be 'batch' or 'per_sample', "
-                f"got {self.arrival_mode!r}"
+                f"transport must be 'auto', 'direct' or 'simulated', "
+                f"got {self.transport!r}"
+            )
+        if self.snapshot_subsample is not None and self.snapshot_subsample < 1:
+            raise ConfigurationError(
+                f"snapshot_subsample must be >= 1, got {self.snapshot_subsample}"
             )
         if self.churn is not None and self.churn.num_devices != self.num_devices:
             raise ConfigurationError(
@@ -119,6 +132,22 @@ class SimulationConfig:
             raise ConfigurationError("num_snapshots must be >= 1")
         if self.projection_radius is not None and self.projection_radius <= 0:
             raise ConfigurationError("projection_radius must be positive")
+
+    @property
+    def direct_transport_eligible(self) -> bool:
+        """Whether fused synchronous rounds are exactly equivalent here.
+
+        True iff every link delay is exactly zero (and RNG-free) and the
+        network is reliable — the conditions under which nothing can
+        interleave inside a round trip.
+        """
+        return self.link_delays.is_zero and isinstance(self.outage, NoOutage)
+
+    def resolved_transport(self) -> str:
+        """The concrete transport ``"auto"`` resolves to for this config."""
+        if self.transport == "auto":
+            return "direct" if self.direct_transport_eligible else "simulated"
+        return self.transport
 
     def delay_in_sample_units(self, delta_multiples: float) -> float:
         """Convert a delay expressed in Δ = 1/(M·F_s) units to time units.

@@ -1,10 +1,9 @@
 """Event-driven simulation of a Crowd-ML deployment (Section V-C).
 
 The :class:`CrowdSimulator` wires M :class:`~repro.core.device.Device`
-actors and one :class:`~repro.core.server.CrowdMLServer` over delayed,
-possibly lossy :class:`~repro.network.channel.Channel`s, and drives the
-whole system from a deterministic
-:class:`~repro.network.events.EventQueue`:
+actors and one :class:`~repro.core.server_core.ServerCore` over a
+:class:`~repro.network.transport.Transport` and drives the whole system
+from a deterministic :class:`~repro.network.events.EventQueue`:
 
 * each device's samples arrive at rate F_s (staggered start offsets);
 * a full minibatch triggers the Fig. 2 round trip — request (τ_req),
@@ -17,21 +16,33 @@ consumed crowd-wide, matching the figures' x axes).
 
 Between stochastic events (message deliveries, outages, churn), a
 device's sample arrivals are *fully deterministic*: they land on the
-fixed grid ``offset + k/F_s``.  The default ``arrival_mode="batch"``
-therefore never schedules per-sample events — it precomputes each
-device's arrival-time grid (exact float accumulation, matching the
-legacy scheduler bit for bit), schedules one heap event at the device's
-next check-out trigger, and advances the whole span of arrivals in a
-single vectorized :meth:`~repro.core.device.Device.observe_batch` call
-when a trigger or a check-out delivery fires.  Heap traffic drops from
-O(total samples) to O(check-ins); traces are bit-identical to the
-legacy ``arrival_mode="per_sample"`` scheduler (see
-:mod:`repro.evaluation.compare` and the cross-path equivalence suite).
+fixed grid ``offset + k/F_s``.  The simulator never schedules per-sample
+events — it precomputes each device's arrival-time grid (exact float
+accumulation), schedules one heap event at the device's next check-out
+trigger, and advances the whole span of arrivals in a single vectorized
+:meth:`~repro.core.device.Device.observe_batch` call when a trigger or a
+check-out delivery fires.
+
+How the round trip itself executes depends on the transport
+(``SimulationConfig.transport``):
+
+* :class:`~repro.network.transport.SimulatedTransport` schedules each
+  message leg on the event queue through a delayed, possibly lossy
+  :class:`~repro.network.channel.Channel`.  Deliveries travel as
+  ``(bound method, args)`` pairs — no per-message closures.
+* :class:`~repro.network.transport.DirectTransport` (auto-selected for
+  zero-delay, outage-free configs) runs the whole round *synchronously*
+  inside the trigger event via :meth:`ServerCore.serve_round
+  <repro.core.server_core.ServerCore.serve_round>`: with nothing able to
+  interleave between legs at the same timestamp, the fused path is
+  bit-identical to the event-driven one while firing **one** heap event
+  per check-out instead of four (see the recorded-trace regression
+  suite).
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -39,12 +50,19 @@ from repro.core.config import DeviceConfig, ServerConfig
 from repro.core.device import Device
 from repro.core.protocol import CheckinMessage, CheckoutRequest, CheckoutResponse
 from repro.core.server import CrowdMLServer
+from repro.core.server_core import ServerCore
 from repro.data.dataset import Dataset
 from repro.evaluation.curves import ErrorCurve
-from repro.evaluation.metrics import snapshot_grid, test_error
+from repro.evaluation.metrics import SnapshotEvaluator, snapshot_grid
 from repro.models.base import Model
-from repro.network.channel import Channel
 from repro.network.events import EventQueue
+from repro.network.transport import (
+    DirectLink,
+    DirectTransport,
+    SimulatedLink,
+    SimulatedTransport,
+    Transport,
+)
 from repro.optim.projection import IdentityProjection, L2BallProjection
 from repro.optim.schedules import InverseSqrtRate
 from repro.optim.sgd import SGD
@@ -56,36 +74,27 @@ from repro.utils.rng import RngFactory
 
 
 class _DeviceActor:
-    """A device plus its sample arrivals and network endpoints.
+    """A device plus its precomputed arrival plan and transport link.
 
-    In ``per_sample`` mode, ``stream`` lazily yields one (features, label)
-    pair per scheduled sample event.  In ``batch`` mode the arrival plan is
-    precomputed instead: ``arrival_times[k]`` is the exact event time the
-    legacy scheduler would have assigned to the k-th arrival,
-    ``arrival_order[k]`` the dataset row it delivers, and ``arrival_limit``
-    the number of arrivals that happen before the device's churn leave
-    time.  ``next_arrival`` tracks how far the device has been advanced.
+    ``arrival_times[k]`` is the exact event time of the k-th arrival,
+    ``arrival_order[k]`` the dataset row it delivers, and
+    ``arrival_limit`` the number of arrivals that happen before the
+    device's churn leave time.  ``next_arrival`` tracks how far the
+    device has been advanced.
     """
 
-    def __init__(
-        self,
-        device: Device,
-        dataset: Dataset,
-        request_channel: Channel,
-        checkout_channel: Channel,
-        checkin_channel: Channel,
-        start_offset: float,
-    ):
+    __slots__ = (
+        "device", "dataset", "link", "start_offset", "exhausted",
+        "arrival_times", "arrival_order", "arrival_limit", "next_arrival",
+        "trigger_index",
+    )
+
+    def __init__(self, device: Device, dataset: Dataset, link, start_offset: float):
         self.device = device
         self.dataset = dataset
-        self.request_channel = request_channel
-        self.checkout_channel = checkout_channel
-        self.checkin_channel = checkin_channel
+        self.link = link
         self.start_offset = start_offset
         self.exhausted = False
-        # per_sample mode
-        self.stream: Optional[Iterator[tuple[np.ndarray, int]]] = None
-        # batch mode
         self.arrival_times: Optional[np.ndarray] = None
         self.arrival_order: Optional[np.ndarray] = None
         self.arrival_limit = 0
@@ -145,6 +154,16 @@ class CrowdSimulator:
         self._rng_factory = RngFactory(seed)
         self._queue = EventQueue()
 
+        if config.resolved_transport() == "direct":
+            self._transport: Transport = DirectTransport(
+                config.link_delays, config.outage
+            )
+        else:
+            self._transport = SimulatedTransport(
+                self._queue, config.link_delays, config.outage
+            )
+        self._direct = self._transport.synchronous
+
         projection = (
             L2BallProjection(config.projection_radius)
             if config.projection_radius is not None
@@ -165,13 +184,20 @@ class CrowdSimulator:
             max_iterations=max_iterations, target_error=config.target_error
         )
         self._server = CrowdMLServer(model, optimizer, server_config)
+        self._core: ServerCore = self._server.core
         self._total_samples = total_samples
-        self._batch_arrivals = config.arrival_mode == "batch"
 
         self._actors = [self._build_actor(m) for m in range(config.num_devices)]
 
         self._grid = snapshot_grid(max(total_samples, 1), config.num_snapshots)
         self._grid_pos = 0
+        subsample = config.snapshot_subsample
+        snapshot_rng = None
+        if subsample is not None and subsample < len(test_dataset):
+            snapshot_rng = self._rng_factory.generator("snapshot", 0)
+        self._snapshot_eval = SnapshotEvaluator(
+            model, test_dataset, subsample, snapshot_rng
+        )
         self._snapshot_iters: list[int] = []
         self._snapshot_errors: list[float] = []
         self._online_errors: list[np.ndarray] = []
@@ -179,6 +205,13 @@ class CrowdSimulator:
         self._comm = CommunicationStats()
         self._staleness: list[int] = []
         self._stopped_reason: Optional[str] = None
+        # Bound-method handles created once: every schedule/send passes one
+        # of these plus an args tuple, so the hot loop allocates neither
+        # closures nor fresh bound methods per message.
+        self._on_trigger_handler = self._on_trigger
+        self._on_request_handler = self._on_request_arrival
+        self._on_checkout_handler = self._on_checkout_arrival
+        self._on_checkin_handler = self._on_checkin_arrival
 
     @property
     def server(self) -> CrowdMLServer:
@@ -187,6 +220,11 @@ class CrowdSimulator:
     @property
     def config(self) -> SimulationConfig:
         return self._config
+
+    @property
+    def transport(self) -> Transport:
+        """The transport protocol messages actually travel through."""
+        return self._transport
 
     @property
     def events_fired(self) -> int:
@@ -215,19 +253,7 @@ class CrowdSimulator:
         )
 
         network_rng = self._rng_factory.generator("network", device_index)
-        delays = config.link_delays
-        request_channel = Channel(
-            self._queue, delays.request, config.outage, network_rng,
-            name=f"request-{device_index}",
-        )
-        checkout_channel = Channel(
-            self._queue, delays.checkout, config.outage, network_rng,
-            name=f"checkout-{device_index}",
-        )
-        checkin_channel = Channel(
-            self._queue, delays.checkin, config.outage, network_rng,
-            name=f"checkin-{device_index}",
-        )
+        link = self._transport.connect(device_index, network_rng)
         offset_rng = self._rng_factory.generator("offset", device_index)
         # Stagger device start times over one full minibatch period: real
         # devices join a task at arbitrary times, so their check-in phases
@@ -239,37 +265,23 @@ class CrowdSimulator:
             offset_rng.uniform(0.0, config.batch_size / config.sampling_rate)
         )
         actor = _DeviceActor(
-            device, self._device_datasets[device_index],
-            request_channel, checkout_channel, checkin_channel, start_offset,
+            device, self._device_datasets[device_index], link, start_offset,
         )
-        if self._batch_arrivals:
-            self._plan_arrivals(actor, device_index)
-        else:
-            actor.stream = self._sample_stream(device_index)
+        self._plan_arrivals(actor, device_index)
         return actor
-
-    def _sample_stream(self, device_index: int) -> Iterator[tuple[np.ndarray, int]]:
-        """The device's local data, reshuffled each pass."""
-        dataset = self._device_datasets[device_index]
-        shuffle_rng = self._rng_factory.generator("shuffle", device_index)
-        for _ in range(self._config.num_passes):
-            if len(dataset) == 0:
-                return
-            order = shuffle_rng.permutation(len(dataset))
-            for index in order:
-                yield dataset.features[index], int(dataset.labels[index])
 
     def _plan_arrivals(self, actor: _DeviceActor, device_index: int) -> None:
         """Precompute the device's deterministic arrival grid.
 
-        Arrival k of the legacy scheduler fires at the float obtained by
-        adding ``1/F_s`` to the previous arrival time, starting from
-        ``start_offset (+ join time)`` — ``np.add.accumulate`` performs
-        exactly that left-to-right IEEE-754 accumulation, so the grid is
-        bit-identical to the per-sample event times.  Per-pass shuffles
-        draw from the same dedicated "shuffle" stream in the same order
-        as the legacy generator, and arrivals at or past the churn leave
-        time are cut off exactly as the legacy leave check would.
+        Arrival k fires at the float obtained by adding ``1/F_s`` to the
+        previous arrival time, starting from ``start_offset (+ join
+        time)`` — ``np.add.accumulate`` performs exactly that
+        left-to-right IEEE-754 accumulation, so the grid is bit-identical
+        to the retired one-event-per-sample scheduler's event times (the
+        recorded-trace suite pins this).  Per-pass shuffles draw from the
+        dedicated "shuffle" stream in pass order, and arrivals at or past
+        the churn leave time are cut off exactly as the per-event leave
+        check would.
         """
         config = self._config
         dataset = actor.dataset
@@ -293,9 +305,8 @@ class CrowdSimulator:
         actor.arrival_times = np.add.accumulate(steps)
         actor.arrival_limit = total
         if config.churn is not None:
-            # The legacy scheduler silences the device at the first sample
-            # event with now >= leave; only arrivals strictly before the
-            # leave time are observed.
+            # A device goes silent at its first arrival with now >= leave;
+            # only arrivals strictly before the leave time are observed.
             actor.arrival_limit = int(
                 np.searchsorted(
                     actor.arrival_times,
@@ -305,41 +316,7 @@ class CrowdSimulator:
             )
 
     # ------------------------------------------------------------------ #
-    # Event handlers — legacy per-sample arrivals                        #
-    # ------------------------------------------------------------------ #
-
-    def _schedule_next_sample(self, actor: _DeviceActor, first: bool = False) -> None:
-        if self._stopped_reason is not None:
-            return
-        delay = actor.start_offset if first else 1.0 / self._config.sampling_rate
-        if first and self._config.churn is not None:
-            # Devices join the task at their scheduled time (Fig. 2).
-            delay += float(self._config.churn.join_times[actor.device.device_id])
-        self._queue.schedule_after(delay, self._on_sample, tag="sample", args=(actor,))
-
-    def _on_sample(self, actor: _DeviceActor) -> None:
-        if self._stopped_reason is not None:
-            return
-        churn = self._config.churn
-        if churn is not None and self._queue.now >= float(
-            churn.leave_times[actor.device.device_id]
-        ):
-            # The device left the task: it goes silent (no more samples,
-            # requests, or check-ins) but the rest of the crowd continues.
-            actor.exhausted = True
-            return
-        try:
-            features, label = next(actor.stream)
-        except StopIteration:
-            actor.exhausted = True
-            return
-        wants_checkout = actor.device.observe(features, label)
-        if wants_checkout:
-            self._send_checkout_request(actor)
-        self._schedule_next_sample(actor)
-
-    # ------------------------------------------------------------------ #
-    # Event handlers — batch arrivals (the fast path)                    #
+    # Event handlers — batch arrivals                                    #
     # ------------------------------------------------------------------ #
     #
     # Invariant: an active device has exactly one pending progress event —
@@ -361,9 +338,10 @@ class CrowdSimulator:
     def _advance_arrivals_until(self, actor: _DeviceActor, time: float) -> None:
         """Deliver every arrival strictly before ``time``.
 
-        Matches the legacy event order for continuous or zero delay
+        Matches per-event order for continuous or zero delay
         distributions, where a sample arriving at *exactly* a delivery's
-        timestamp has probability zero (see ``SimulationConfig.arrival_mode``).
+        timestamp has probability zero (see
+        ``SimulationConfig.transport``).
         """
         end = int(np.searchsorted(actor.arrival_times, time, side="left"))
         self._advance_arrivals(actor, end)
@@ -372,11 +350,10 @@ class CrowdSimulator:
         """Schedule the arrival that completes the device's next minibatch.
 
         From a quiescent device state (no request in flight), the next
-        check-out trigger is deterministic: the legacy scheduler would fire
-        it at the arrival that lifts the buffer to the current batch size
-        (or at the very next arrival, when a failed check-out left the
-        buffer already full).  Exhausted or churned-out devices schedule
-        nothing and go silent exactly like a dead sample chain.
+        check-out trigger is deterministic: it fires at the arrival that
+        lifts the buffer to the current batch size (or at the very next
+        arrival, when a failed check-out left the buffer already full).
+        Exhausted or churned-out devices schedule nothing and go silent.
         """
         if self._stopped_reason is not None:
             return
@@ -388,7 +365,7 @@ class CrowdSimulator:
             return
         actor.trigger_index = index
         self._queue.schedule(
-            float(actor.arrival_times[index]), self._on_trigger,
+            float(actor.arrival_times[index]), self._on_trigger_handler,
             tag="trigger", args=(actor,),
         )
 
@@ -396,6 +373,9 @@ class CrowdSimulator:
         if self._stopped_reason is not None:
             return
         self._advance_arrivals(actor, actor.trigger_index + 1)
+        if self._direct:
+            self._run_fused_round(actor)
+            return
         delivered = self._send_checkout_request(actor)
         if not delivered:
             # Remark 1: the request was lost in an outage; the buffer is
@@ -403,7 +383,7 @@ class CrowdSimulator:
             self._schedule_trigger(actor)
 
     # ------------------------------------------------------------------ #
-    # Event handlers — the check-out/check-in round trip (both modes)    #
+    # The check-out/check-in round trip — event-driven transport         #
     # ------------------------------------------------------------------ #
 
     def _send_checkout_request(self, actor: _DeviceActor) -> bool:
@@ -414,37 +394,39 @@ class CrowdSimulator:
             request_time=self._queue.now,
         )
         self._comm.checkout_requests += 1
-        return actor.request_channel.send(
-            deliver=lambda: self._on_request_arrival(actor, request),
+        link: SimulatedLink = actor.link
+        return link.request.send(
+            self._on_request_handler,
             payload_floats=request.payload_floats,
             on_drop=actor.device.on_checkout_failed,
+            args=(actor, request),
         )
 
     def _on_request_arrival(self, actor: _DeviceActor, request: CheckoutRequest) -> None:
-        if self._stopped_reason is not None or self._server.stopped:
+        if self._stopped_reason is not None or self._core.stopped:
             actor.device.on_checkout_failed()
             self._resume_after_failed_checkout(actor)
             return
-        response = self._server.handle_checkout(request)
+        response = self._core.handle_checkout(request)
         self._comm.downlink_floats += response.payload_floats
-        delivered = actor.checkout_channel.send(
-            deliver=lambda: self._on_checkout_arrival(actor, response),
+        link: SimulatedLink = actor.link
+        delivered = link.checkout.send(
+            self._on_checkout_handler,
             payload_floats=response.payload_floats,
             on_drop=actor.device.on_checkout_failed,
+            args=(actor, response),
         )
         if not delivered:
             self._resume_after_failed_checkout(actor)
 
     def _resume_after_failed_checkout(self, actor: _DeviceActor) -> None:
-        """Batch mode: restart the trigger chain after a lost check-out.
+        """Restart the trigger chain after a lost check-out.
 
-        The legacy scheduler needs no equivalent — its sample events keep
-        firing and the next one re-triggers.  Here the arrivals buffered
-        while the request was in flight are advanced first (they drew
-        their holdout randomness before the failure in the legacy order),
-        then the next arrival re-triggers.
+        The arrivals buffered while the request was in flight are
+        advanced first (they drew their holdout randomness before the
+        failure), then the next arrival re-triggers.
         """
-        if not self._batch_arrivals or self._stopped_reason is not None:
+        if self._stopped_reason is not None:
             return
         self._advance_arrivals_until(actor, self._queue.now)
         self._schedule_trigger(actor)
@@ -453,16 +435,14 @@ class CrowdSimulator:
         if self._stopped_reason is not None:
             return
         self._comm.checkouts_delivered += 1
-        if self._batch_arrivals:
-            # Samples that arrived while the check-out was in flight were
-            # buffered (and consumed holdout randomness) before this
-            # delivery fired in the legacy order.
-            self._advance_arrivals_until(actor, self._queue.now)
+        # Samples that arrived while the check-out was in flight were
+        # buffered (and consumed holdout randomness) before this delivery
+        # fired.
+        self._advance_arrivals_until(actor, self._queue.now)
         if actor.device.buffer_size == 0:
             # Buffer was consumed by a racing check-out; nothing to do.
             actor.device.on_checkout_failed()
-            if self._batch_arrivals:
-                self._schedule_trigger(actor)
+            self._schedule_trigger(actor)
             return
         result = actor.device.complete_checkout(
             response.parameters, response.server_iteration
@@ -470,26 +450,97 @@ class CrowdSimulator:
         self._online_errors.append(result.per_sample_errors)
         message = result.message
         self._comm.uplink_floats += message.payload_floats
-        actor.checkin_channel.send(
-            deliver=lambda: self._on_checkin_arrival(actor, message),
+        link: SimulatedLink = actor.link
+        link.checkin.send(
+            self._on_checkin_handler,
             payload_floats=message.payload_floats,
+            args=(actor, message),
         )
-        if self._batch_arrivals:
-            # The buffer is empty again (and an adaptive policy may have
-            # just changed b): the next trigger is deterministic from here.
-            self._schedule_trigger(actor)
+        # The buffer is empty again (and an adaptive policy may have just
+        # changed b): the next trigger is deterministic from here.
+        self._schedule_trigger(actor)
 
     def _on_checkin_arrival(self, actor: _DeviceActor, message: CheckinMessage) -> None:
-        if self._stopped_reason is not None or self._server.stopped:
+        if self._stopped_reason is not None or self._core.stopped:
             return
-        self._staleness.append(self._server.iteration - message.checkout_iteration)
-        self._server.handle_checkin(message)
+        self._staleness.append(self._core.iteration - message.checkout_iteration)
+        self._core.handle_checkin(message)
         self._comm.checkins_delivered += 1
         self._samples_consumed += message.num_samples
         self._maybe_snapshot()
-        decision = self._server.stopping_decision()
+        decision = self._core.stopping_decision()
         if decision.stopped:
             self._stopped_reason = decision.reason.value
+
+    # ------------------------------------------------------------------ #
+    # The check-out/check-in round trip — direct transport (fused)       #
+    # ------------------------------------------------------------------ #
+
+    def _run_fused_round(self, actor: _DeviceActor) -> None:
+        """One whole Fig. 2 round trip, synchronously, via ``serve_round``.
+
+        Zero delay and a reliable network mean nothing can interleave
+        between the three legs, so executing them inline is equivalent to
+        scheduling them — with zero heap events and zero closures.  All
+        bookkeeping happens in the same order as the event-driven
+        handlers.
+        """
+        device = actor.device
+        device.mark_checkout_requested()
+        request = CheckoutRequest(
+            device_id=device.device_id,
+            token=device.token,
+            request_time=self._queue.now,
+        )
+        self._comm.checkout_requests += 1
+        link: DirectLink = actor.link
+        link.note_request(request.payload_floats)
+        outcome = self._core.serve_round(
+            (request,), self._complete_fused_round, (actor,)
+        )
+        if outcome.responses[0] is None:
+            # Stopped or rejected before the checkout was served (cannot
+            # happen mid-run on this path, but mirror Remark 1 recovery).
+            device.on_checkout_failed()
+            self._schedule_trigger(actor)
+            return
+        message = outcome.messages[0]
+        if message is None:
+            return  # racing checkout: _complete_fused_round rescheduled
+        self._comm.checkins_delivered += 1
+        self._samples_consumed += message.num_samples
+        self._maybe_snapshot()
+        if outcome.stop.stopped:
+            self._stopped_reason = outcome.stop.reason.value
+
+    def _complete_fused_round(
+        self, response: CheckoutResponse, actor: _DeviceActor
+    ) -> Optional[CheckinMessage]:
+        """Device side of a fused round: Routines 2 + 3 plus bookkeeping."""
+        self._comm.checkouts_delivered += 1
+        self._comm.downlink_floats += response.payload_floats
+        link: DirectLink = actor.link
+        link.note_checkout(response.payload_floats)
+        device = actor.device
+        if device.buffer_size == 0:
+            device.on_checkout_failed()
+            self._schedule_trigger(actor)
+            return None
+        result = device.complete_checkout(
+            response.parameters, response.server_iteration
+        )
+        self._online_errors.append(result.per_sample_errors)
+        message = result.message
+        self._comm.uplink_floats += message.payload_floats
+        link.note_checkin(message.payload_floats)
+        self._schedule_trigger(actor)
+        # Applied immediately after return: zero interleaved updates.
+        self._staleness.append(self._core.iteration - message.checkout_iteration)
+        return message
+
+    # ------------------------------------------------------------------ #
+    # Snapshots and run loop                                             #
+    # ------------------------------------------------------------------ #
 
     def _maybe_snapshot(self) -> None:
         while (
@@ -498,21 +549,14 @@ class CrowdSimulator:
         ):
             self._snapshot_iters.append(self._samples_consumed)
             self._snapshot_errors.append(
-                test_error(self._model, self._server.parameters, self._test_dataset)
+                self._snapshot_eval.error(self._core.parameters)
             )
             self._grid_pos += 1
-
-    # ------------------------------------------------------------------ #
-    # Run                                                                #
-    # ------------------------------------------------------------------ #
 
     def run(self) -> RunTrace:
         """Execute the simulation to completion and return its trace."""
         for actor in self._actors:
-            if self._batch_arrivals:
-                self._schedule_trigger(actor)
-            else:
-                self._schedule_next_sample(actor, first=True)
+            self._schedule_trigger(actor)
         while self._queue.step():
             pass
 
@@ -523,7 +567,7 @@ class CrowdSimulator:
             if self._samples_consumed > 0:
                 self._snapshot_iters.append(self._samples_consumed)
                 self._snapshot_errors.append(
-                    test_error(self._model, self._server.parameters, self._test_dataset)
+                    self._snapshot_eval.error(self._core.parameters)
                 )
 
         iters = np.asarray(self._snapshot_iters, dtype=np.int64)
@@ -534,9 +578,7 @@ class CrowdSimulator:
         else:
             curve = ErrorCurve(
                 np.array([1], dtype=np.int64),
-                np.array(
-                    [test_error(self._model, self._server.parameters, self._test_dataset)]
-                ),
+                np.array([self._snapshot_eval.error(self._core.parameters)]),
             )
 
         online = (
@@ -549,17 +591,14 @@ class CrowdSimulator:
             default=0.0,
         )
         self._comm.messages_dropped = sum(
-            actor.request_channel.stats.messages_dropped
-            + actor.checkout_channel.stats.messages_dropped
-            + actor.checkin_channel.stats.messages_dropped
-            for actor in self._actors
+            actor.link.messages_dropped for actor in self._actors
         )
         return RunTrace(
             curve=curve,
             online_errors=online,
-            final_parameters=self._server.parameters,
+            final_parameters=self._core.parameters,
             total_samples_consumed=self._samples_consumed,
-            server_iterations=self._server.iteration,
+            server_iterations=self._core.iteration,
             communication=self._comm,
             per_sample_epsilon=per_sample_epsilon,
             stop_reason=self._stopped_reason,

@@ -27,9 +27,12 @@ def softmax(scores: np.ndarray, axis: int = -1) -> np.ndarray:
     True
     """
     scores = np.asarray(scores, dtype=np.float64)
-    shifted = scores - np.max(scores, axis=axis, keepdims=True)
+    # ndarray methods dispatch straight to the reduction kernels that
+    # np.max/np.sum wrap — identical bits, less per-call overhead (this
+    # runs once per device check-in).
+    shifted = scores - scores.max(axis=axis, keepdims=True)
     exps = np.exp(shifted)
-    return exps / np.sum(exps, axis=axis, keepdims=True)
+    return exps / exps.sum(axis=axis, keepdims=True)
 
 
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:

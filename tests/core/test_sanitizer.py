@@ -125,3 +125,67 @@ class TestGaussianVariant:
             return np.mean(np.abs(draws) > 4 * scale)
 
         assert extremes("gaussian") < extremes("laplace")
+
+
+class TestMechanismMemoization:
+    """Calibrated gradient mechanisms are reused per realized n_s."""
+
+    @pytest.fixture
+    def budget(self):
+        return split_budget(1.0, 3)
+
+    def test_same_num_samples_reuses_mechanism(self, model, budget):
+        sanitizer = CheckinSanitizer(model, budget, np.random.default_rng(0))
+        assert sanitizer.gradient_mechanism(5) is sanitizer.gradient_mechanism(5)
+
+    def test_different_num_samples_recalibrates(self, model, budget):
+        sanitizer = CheckinSanitizer(model, budget, np.random.default_rng(0))
+        mech5 = sanitizer.gradient_mechanism(5)
+        mech7 = sanitizer.gradient_mechanism(7)
+        assert mech5 is not mech7
+        assert mech5.sensitivity != mech7.sensitivity
+
+    def test_memoized_noise_stream_matches_fresh_mechanisms(self, model, budget):
+        """Reusing one mechanism draws the same noise sequence as
+        rebuilding it per check-in from the same shared RNG."""
+        from repro.privacy import DiscreteLaplaceMechanism, LaplaceMechanism
+
+        gradient = np.zeros(model.num_parameters)
+        counts = np.array([2, 2, 1])
+        memoized = CheckinSanitizer(model, budget, np.random.default_rng(42))
+        outputs = [memoized.sanitize(gradient, 1, counts, 5) for _ in range(4)]
+        fresh_rng = np.random.default_rng(42)
+        fresh_error = DiscreteLaplaceMechanism(budget.epsilon_error, fresh_rng)
+        fresh_label = DiscreteLaplaceMechanism(budget.epsilon_label, fresh_rng)
+        for sanitized in outputs:
+            mech = LaplaceMechanism(
+                budget.epsilon_gradient,
+                model.gradient_sensitivity(5), fresh_rng,
+            )
+            assert np.array_equal(sanitized.gradient, mech.release(gradient))
+            assert sanitized.error_count == fresh_error.release(1)
+            assert np.array_equal(
+                sanitized.label_counts, fresh_label.release(counts)
+            )
+
+    def test_release_groups_match_expanded_releases(self, model, budget):
+        sanitizer = CheckinSanitizer(model, budget, np.random.default_rng(0))
+        sanitized = sanitizer.sanitize(
+            np.zeros(model.num_parameters), 0, np.array([3, 2, 0]), 5
+        )
+        expanded = []
+        for group in sanitized.release_groups:
+            expanded.extend([group.record] * group.count)
+        assert tuple(expanded) == sanitized.releases
+        assert len(sanitized.releases) == 2 + 3  # grad + err + C labels
+
+    def test_release_tuples_reused_across_checkins(self, model, budget):
+        sanitizer = CheckinSanitizer(model, budget, np.random.default_rng(0))
+        first = sanitizer.sanitize(
+            np.zeros(model.num_parameters), 0, np.array([3, 2, 0]), 5
+        )
+        second = sanitizer.sanitize(
+            np.zeros(model.num_parameters), 1, np.array([1, 4, 0]), 5
+        )
+        assert first.releases is second.releases
+        assert first.release_groups is second.release_groups

@@ -65,3 +65,60 @@ class TestSnapshotGrid:
             snapshot_grid(0, 10)
         with pytest.raises(ValueError):
             snapshot_grid(10, 0)
+
+
+class TestSnapshotEvaluator:
+    def _setup(self, num_test=40):
+        from repro.data import make_mnist_like
+
+        model = MulticlassLogisticRegression(50, 10)
+        _, test = make_mnist_like(num_train=20, num_test=num_test, seed=0)
+        return model, test
+
+    def test_matches_test_error_bitwise(self):
+        from repro.evaluation.metrics import SnapshotEvaluator
+
+        model, test = self._setup()
+        evaluator = SnapshotEvaluator(model, test)
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            params = rng.normal(size=model.num_parameters)
+            assert evaluator.error(params) == compute_test_error(model, params, test)
+
+    def test_repeated_parameters_hit_cache(self):
+        from repro.evaluation.metrics import SnapshotEvaluator
+
+        model, test = self._setup()
+        evaluator = SnapshotEvaluator(model, test)
+        params = np.random.default_rng(0).normal(size=model.num_parameters)
+        first = evaluator.error(params)
+        for _ in range(3):
+            assert evaluator.error(params.copy()) == first
+        assert evaluator.misses == 1
+        assert evaluator.hits == 3
+
+    def test_subsample_draws_once_and_is_deterministic(self):
+        from repro.evaluation.metrics import SnapshotEvaluator
+
+        model, test = self._setup()
+        params = np.random.default_rng(0).normal(size=model.num_parameters)
+        a = SnapshotEvaluator(model, test, subsample=10,
+                              rng=np.random.default_rng(7))
+        b = SnapshotEvaluator(model, test, subsample=10,
+                              rng=np.random.default_rng(7))
+        assert a.num_examples == b.num_examples == 10
+        assert a.error(params) == b.error(params)
+
+    def test_subsample_larger_than_dataset_uses_all(self):
+        from repro.evaluation.metrics import SnapshotEvaluator
+
+        model, test = self._setup(num_test=8)
+        evaluator = SnapshotEvaluator(model, test, subsample=100)
+        assert evaluator.num_examples == 8
+
+    def test_binding_subsample_requires_rng(self):
+        from repro.evaluation.metrics import SnapshotEvaluator
+
+        model, test = self._setup()
+        with pytest.raises(ValueError):
+            SnapshotEvaluator(model, test, subsample=5)

@@ -91,3 +91,31 @@ class TestStats:
         channel = Channel(queue, outage_model=BernoulliOutage(1.0), rng=rng)
         channel.send(lambda: None)
         assert channel.stats.mean_delay == 0.0
+
+
+class TestArgsSlots:
+    """send() carries (callback, args) end to end — no wrapper closures."""
+
+    def test_args_forwarded_to_delivery(self, queue, rng):
+        channel = Channel(queue, rng=rng)
+        received = []
+        channel.send(lambda a, b: received.append((a, b)), args=(1, "x"))
+        queue.run()
+        assert received == [(1, "x")]
+
+    def test_drop_args_forwarded_on_outage(self, queue, rng):
+        channel = Channel(queue, outage_model=BernoulliOutage(1.0), rng=rng)
+        dropped = []
+        sent = channel.send(
+            lambda: None, on_drop=dropped.append, drop_args=("lost",),
+        )
+        assert sent is False
+        assert dropped == ["lost"]
+
+    def test_same_callback_many_messages(self, queue, rng):
+        channel = Channel(queue, rng=rng)
+        received = []
+        for index in range(10):
+            channel.send(received.append, args=(index,))
+        queue.run()
+        assert received == list(range(10))

@@ -4,8 +4,8 @@ import math
 
 import pytest
 
-from repro.privacy.accountant import PrivacyAccountant
-from repro.privacy.mechanism import ReleaseRecord
+from repro.privacy.accountant import PrivacyAccountant, aggregate_releases
+from repro.privacy.mechanism import AggregatedRelease, ReleaseRecord
 from repro.utils.exceptions import PrivacyBudgetExceededError
 
 
@@ -96,3 +96,80 @@ class TestReset:
         acct.charge_checkin(_checkin())
         acct.records.clear()
         assert acct.spend().num_releases == 12
+
+
+class TestAggregatedReleases:
+    """Run-length groups charge identically to the expanded sequence."""
+
+    def _grouped(self, eps_g=0.98, eps_e=0.01, eps_y=0.001, classes=10):
+        return [
+            ReleaseRecord(epsilon=eps_g, mechanism="laplace"),
+            ReleaseRecord(epsilon=eps_e, mechanism="discrete"),
+            AggregatedRelease(
+                ReleaseRecord(epsilon=eps_y, mechanism="discrete"), classes
+            ),
+        ]
+
+    def test_aggregated_equals_expanded_bitwise(self):
+        expanded = PrivacyAccountant()
+        grouped = PrivacyAccountant()
+        for _ in range(7):
+            expanded.charge_checkin(_checkin())
+            grouped.charge_checkin(self._grouped())
+        a, b = expanded.spend(), grouped.spend()
+        # Exact float equality: repeated addition, not multiplication.
+        assert a.per_sample_epsilon == b.per_sample_epsilon
+        assert a.total_epsilon == b.total_epsilon
+        assert a.num_releases == b.num_releases == 7 * 12
+
+    def test_expanded_records_view(self):
+        acct = PrivacyAccountant()
+        acct.charge_checkin(self._grouped(classes=3))
+        records = acct.records
+        assert len(records) == 5
+        assert records[2] == records[3] == records[4]
+
+    def test_ledger_growth_is_constant_per_checkin(self):
+        acct = PrivacyAccountant()
+        for _ in range(100):
+            acct.charge_checkin(self._grouped())
+        # 3 runs per check-in (grad/err/labels alternate), not C + 2
+        # records: the ledger holds 300 runs for 1200 releases.
+        assert len(acct.record_runs) == 300
+        assert acct.spend().num_releases == 1200
+
+    def test_identical_consecutive_runs_merge(self):
+        acct = PrivacyAccountant()
+        record = ReleaseRecord(epsilon=0.1, mechanism="discrete")
+        acct.charge_checkin([AggregatedRelease(record, 4)])
+        acct.charge_checkin([AggregatedRelease(record, 2), record])
+        assert acct.record_runs == [(record, 7)]
+
+    def test_cap_enforced_against_aggregated_sum(self):
+        acct = PrivacyAccountant(per_sample_cap=0.5)
+        with pytest.raises(PrivacyBudgetExceededError):
+            acct.charge_checkin(
+                [AggregatedRelease(ReleaseRecord(epsilon=0.2, mechanism="d"), 3)]
+            )
+        assert acct.spend().num_releases == 0
+
+    def test_aggregate_releases_helper_run_length_encodes(self):
+        rec_a = ReleaseRecord(epsilon=0.1, mechanism="a")
+        rec_b = ReleaseRecord(epsilon=0.2, mechanism="b")
+        groups = aggregate_releases([rec_a, rec_b, rec_b, rec_b, rec_a])
+        assert [(g.record, g.count) for g in groups] == [
+            (rec_a, 1), (rec_b, 3), (rec_a, 1)
+        ]
+
+    def test_aggregated_count_must_be_positive(self):
+        from repro.utils.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            AggregatedRelease(ReleaseRecord(epsilon=0.1), 0)
+
+    def test_generator_input_accepted(self):
+        acct = PrivacyAccountant()
+        acct.charge_checkin(
+            ReleaseRecord(epsilon=0.1, mechanism="d") for _ in range(3)
+        )
+        assert acct.spend().num_releases == 3

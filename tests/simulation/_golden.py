@@ -1,0 +1,178 @@
+"""Shared machinery for the recorded-trace regression suite.
+
+The legacy ``arrival_mode="per_sample"`` scheduler used to be the
+equivalence oracle for the batch-arrival fast path.  It is retired; in its
+place, the traces it certified are recorded once in
+``tests/data/golden_traces.json`` and every future refactor of the
+protocol stack must reproduce them **bit for bit**.  This module holds the
+figure-level configuration matrix (the same knobs the retired cross-path
+suite exercised) and the exact-fingerprint encoding.
+
+Floats are fingerprinted losslessly: scalars via ``float.hex()``, arrays
+via SHA-256 over their raw little-endian bytes.  Fingerprints therefore
+pin the exact IEEE-754 bits, not a tolerance — matching the project's
+"bit-identical traces" contract.  The recorded bits are a property of the
+numpy/BLAS build that generated them; regenerate on a new platform with
+``REPRO_REGEN_GOLDEN=1 python -m pytest tests/simulation/test_trace_regression.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.core.adaptive import StalenessAdaptiveBatch
+from repro.data import iid_partition, make_mnist_like
+from repro.models import MulticlassLogisticRegression
+from repro.network.latency import ConstantDelay, LinkDelays
+from repro.network.outage import BernoulliOutage, BurstyOutage, WindowedOutage
+from repro.simulation import ChurnSchedule, CrowdSimulator, SimulationConfig
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(__file__)), "data", "golden_traces.json"
+)
+
+NUM_DEVICES = 10
+SEED = 7
+
+
+def _churn(num_devices: int) -> ChurnSchedule:
+    return ChurnSchedule.random_sessions(
+        num_devices, horizon=20.0, mean_session=12.0,
+        rng=np.random.default_rng(5),
+    )
+
+
+def make_config_cases() -> Dict[str, dict]:
+    """One entry per figure-level knob combination (Figs. 3-9).
+
+    Keys are test ids; values are ``SimulationConfig`` kwargs
+    (num_devices/num_snapshots get defaults).  Mirrors the retired
+    cross-path equivalence matrix: delays, privacy, holdouts, outages,
+    churn, adaptive batch policies, buffer pressure, and both stopping
+    rules.
+    """
+    return {
+        # Figs. 4/7: no delay, no privacy, pure SGD (b = 1).
+        "fig4_zero_delay_b1": dict(batch_size=1),
+        # Fig. 5/8: minibatching without delay.
+        "fig5_minibatch_b10": dict(batch_size=10),
+        # Fig. 5/8: finite privacy budget (noise draws share the device RNG
+        # stream with holdout draws — ordering must survive batching).
+        "fig5_privacy_eps1": dict(batch_size=5, epsilon=1.0),
+        # Figs. 6/9: uniform link delays, b = 1 and b > 1.
+        "fig6_uniform_delay_b1": dict(
+            batch_size=1, link_delays=LinkDelays.uniform(0.37)),
+        "fig6_uniform_delay_b5": dict(
+            batch_size=5, link_delays=LinkDelays.uniform(0.7)),
+        # Remark 2 holdout, with and without privacy noise.
+        "holdout": dict(batch_size=5, holdout_fraction=0.3),
+        "holdout_privacy": dict(
+            batch_size=4, holdout_fraction=0.85, epsilon=2.0,
+            link_delays=LinkDelays.uniform(0.3)),
+        # Remark 1 outages: memoryless, scheduled windows, bursty.
+        "outage_bernoulli": dict(
+            batch_size=5, link_delays=LinkDelays.uniform(0.7),
+            outage=BernoulliOutage(0.25)),
+        "outage_windowed": dict(
+            batch_size=4, link_delays=LinkDelays.uniform(0.31),
+            outage=WindowedOutage([(3.0, 9.0), (20.0, 26.0)])),
+        "outage_bursty": dict(
+            batch_size=4, link_delays=LinkDelays.uniform(0.31),
+            outage=BurstyOutage(8.0, 3.0, seed=3)),
+        # Fig. 2 churn (join/leave mid-run), with and without delays.
+        "churn_uniform_delay": dict(
+            batch_size=3, churn=_churn(NUM_DEVICES),
+            link_delays=LinkDelays.uniform(0.41)),
+        "churn_zero_delay": dict(batch_size=2, churn=_churn(NUM_DEVICES)),
+        # §IV-B3 adaptive minibatch policy (b changes between check-outs).
+        "adaptive_batch": dict(
+            batch_size=2, link_delays=LinkDelays.uniform(0.9),
+            batch_policy_factory=lambda: StalenessAdaptiveBatch(
+                target_staleness=4, max_batch=16)),
+        # Buffer capacity pressure: long flights overflow B and drop samples.
+        "buffer_pressure": dict(
+            batch_size=3, buffer_factor=2, link_delays=LinkDelays.uniform(5.0)),
+        "buffer_pressure_outage": dict(
+            batch_size=3, buffer_factor=1, link_delays=LinkDelays.uniform(5.0),
+            outage=BernoulliOutage(0.3)),
+        # Both Algorithm 2 stopping rules.
+        "stop_max_iterations": dict(batch_size=2, max_iterations=30),
+        "stop_target_error": dict(batch_size=2, target_error=0.88),
+        # Multiple passes re-shuffle the local stream per pass.
+        "multi_pass": dict(
+            batch_size=4, num_passes=3, link_delays=LinkDelays.uniform(0.53)),
+        # Deterministic delays exercise the tie-breaking caveat boundary.
+        "constant_delay": dict(
+            batch_size=3,
+            link_delays=LinkDelays(
+                ConstantDelay(0.37), ConstantDelay(0.61), ConstantDelay(0.23))),
+    }
+
+
+def make_data():
+    return make_mnist_like(num_train=400, num_test=80, seed=0)
+
+
+def run_case(data, overrides: dict, **config_extra):
+    """Run one golden configuration; returns (trace, events_fired)."""
+    train, test = data
+    config = SimulationConfig(
+        num_devices=NUM_DEVICES, num_snapshots=8, **overrides, **config_extra,
+    )
+    parts = iid_partition(train, NUM_DEVICES, np.random.default_rng(0))
+    simulator = CrowdSimulator(
+        MulticlassLogisticRegression(50, 10), parts, test, config, seed=SEED,
+    )
+    return simulator.run(), simulator.events_fired
+
+
+def _array_digest(array: np.ndarray) -> Dict[str, Any]:
+    array = np.ascontiguousarray(array)
+    return {
+        "dtype": str(array.dtype),
+        "shape": list(array.shape),
+        "sha256": hashlib.sha256(array.tobytes()).hexdigest(),
+    }
+
+
+def trace_fingerprint(trace) -> Dict[str, Any]:
+    """Lossless, JSON-stable fingerprint of a :class:`RunTrace`."""
+    comm = trace.communication
+    return {
+        "curve_iterations": [int(i) for i in trace.curve.iterations],
+        "curve_errors": [float(e).hex() for e in trace.curve.errors],
+        "online_errors": _array_digest(trace.online_errors),
+        "online_error_count": int(np.sum(trace.online_errors)),
+        "final_parameters": _array_digest(trace.final_parameters),
+        "staleness": _array_digest(trace.staleness),
+        "staleness_sum": int(np.sum(trace.staleness)) if trace.staleness.size else 0,
+        "total_samples_consumed": int(trace.total_samples_consumed),
+        "server_iterations": int(trace.server_iterations),
+        "per_sample_epsilon": float(trace.per_sample_epsilon).hex(),
+        "stop_reason": trace.stop_reason,
+        "communication": {
+            "checkout_requests": comm.checkout_requests,
+            "checkouts_delivered": comm.checkouts_delivered,
+            "checkins_delivered": comm.checkins_delivered,
+            "messages_dropped": comm.messages_dropped,
+            "uplink_floats": comm.uplink_floats,
+            "downlink_floats": comm.downlink_floats,
+        },
+    }
+
+
+def load_golden() -> Dict[str, Any]:
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def save_golden(golden: Dict[str, Any]) -> None:
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(golden, handle, indent=1, sort_keys=True)
+        handle.write("\n")
