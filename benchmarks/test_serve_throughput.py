@@ -1,0 +1,195 @@
+"""Serve smoke + throughput: a live ``repro-serve`` process under load.
+
+The CI ``serve-smoke`` job runs this module.  It spawns the real
+``repro-serve`` console entry point (a subprocess, loopback port 0),
+then:
+
+1. **Parity gate** — a full ``CrowdSimulator`` training run through
+   :class:`~repro.serve.remote.HttpTransport` against the live process
+   must end **bit-identical** (final parameters, curve, counters) to the
+   in-process :class:`~repro.network.transport.DirectTransport` run of
+   the same spec.  This is the assertion the job gates on.
+2. **Concurrent smoke** — ≥ 8 :class:`~repro.serve.RemoteDevice`
+   threads drive the same server at once; the run must finish with zero
+   server-side errors and ``iterations == accepted check-ins``.
+3. **Throughput** — sequential and concurrent HTTP round trips per
+   second, published to ``benchmarks/results/serve_throughput.json``.
+   Wall-clock numbers are recorded, **not** asserted (shared-runner
+   jitter must not flake CI).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+
+from benchmarks._harness import publish_table
+from repro.core.config import DeviceConfig
+from repro.data import iid_partition, make_mnist_like
+from repro.evaluation import assert_traces_identical
+from repro.models import MulticlassLogisticRegression
+from repro.serve import HttpTransport, RemoteDevice, ServiceClient
+from repro.simulation import CrowdSimulator, SimulationConfig
+
+DIM, CLASSES = 50, 10
+NUM_DEVICES = 8
+BATCH_SIZE = 5
+LEARNING_RATE = 1.0
+PROJECTION_RADIUS = 100.0
+SRC_DIR = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+
+
+def _scale():
+    if os.environ.get("REPRO_SCALE", "benchmark") == "smoke":
+        return 400, 40  # training samples, smoke-round samples per device
+    return 1600, 120
+
+
+def spawn_server(max_iterations: int):
+    """Launch the actual repro-serve entry point; returns (process, url)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve.cli",
+         "--num-features", str(DIM), "--num-classes", str(CLASSES),
+         "--learning-rate-constant", str(LEARNING_RATE),
+         "--projection-radius", str(PROJECTION_RADIUS),
+         "--max-iterations", str(max_iterations),
+         "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    line = process.stdout.readline()
+    match = re.match(r"serving on (http://[\d.]+:\d+)$", line.strip())
+    assert match, f"repro-serve did not announce a URL: {line!r}"
+    url = match.group(1)
+    client = ServiceClient(url, timeout=10)
+    deadline = time.time() + 15
+    while time.time() < deadline:
+        try:
+            client.status()
+            break
+        except Exception:
+            time.sleep(0.05)
+    else:
+        raise AssertionError("repro-serve never became reachable")
+    return process, url
+
+
+def stop_server(process) -> None:
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=15)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait(timeout=15)
+
+
+def test_serve_smoke_and_throughput():
+    num_train, smoke_samples = _scale()
+    train, test = make_mnist_like(num_train=num_train, num_test=100, seed=0)
+    parts = iid_partition(train, NUM_DEVICES, np.random.default_rng(0))
+    total = sum(len(p) for p in parts)
+    base = dict(num_devices=NUM_DEVICES, batch_size=BATCH_SIZE, num_snapshots=4)
+    model = MulticlassLogisticRegression(DIM, CLASSES)
+
+    # In-process reference (the parity target).
+    direct = CrowdSimulator(
+        model, parts, test, SimulationConfig(transport="direct", **base), seed=3,
+    ).run()
+
+    process, url = spawn_server(max_iterations=total + 1)
+    try:
+        start = time.perf_counter()
+        http = CrowdSimulator(
+            model, parts, test,
+            SimulationConfig(transport="http", server_url=url, **base),
+            seed=3,
+        ).run()
+        sequential_elapsed = time.perf_counter() - start
+
+        # THE GATE: learning-state parity with DirectTransport, bit for bit.
+        assert_traces_identical(direct, http, context="serve_smoke")
+        assert np.array_equal(direct.final_parameters, http.final_parameters)
+        status = ServiceClient(url).status()
+        assert status.iteration == direct.server_iterations
+        sequential_rounds = http.communication.checkins_delivered
+        sequential_rps = sequential_rounds / max(sequential_elapsed, 1e-9)
+    finally:
+        stop_server(process)
+
+    # Concurrent multi-client smoke on a fresh server.
+    process, url = spawn_server(max_iterations=10**7)
+    try:
+        transport = HttpTransport(ServiceClient(url))
+        failures: list[Exception] = []
+
+        def drive(device_index: int) -> None:
+            try:
+                rng = np.random.default_rng(300 + device_index)
+                remote = RemoteDevice.join(
+                    transport, device_index, MulticlassLogisticRegression(DIM, CLASSES),
+                    DeviceConfig.default(batch_size=BATCH_SIZE, num_classes=CLASSES),
+                    np.random.default_rng(device_index),
+                )
+                for _ in range(smoke_samples):
+                    if remote.observe(rng.normal(size=DIM),
+                                      int(rng.integers(CLASSES))):
+                        assert remote.run_round() is not None
+            except Exception as error:  # noqa: BLE001
+                failures.append(error)
+
+        threads = [
+            threading.Thread(target=drive, args=(m,)) for m in range(NUM_DEVICES)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        concurrent_elapsed = time.perf_counter() - start
+
+        assert not failures, failures[0]
+        expected_rounds = NUM_DEVICES * (smoke_samples // BATCH_SIZE)
+        status = ServiceClient(url).status()
+        # Zero server errors + every completed round applied exactly once.
+        assert status.rejected_messages == 0
+        assert status.iteration == expected_rounds
+        concurrent_rps = expected_rounds / max(concurrent_elapsed, 1e-9)
+    finally:
+        stop_server(process)
+
+    metrics = {
+        "sequential": {
+            "rounds": sequential_rounds,
+            "seconds": round(sequential_elapsed, 4),
+            "rounds_per_sec": round(sequential_rps, 1),
+            "bit_identical_to_direct": True,
+        },
+        "concurrent": {
+            "devices": NUM_DEVICES,
+            "rounds": expected_rounds,
+            "seconds": round(concurrent_elapsed, 4),
+            "rounds_per_sec": round(concurrent_rps, 1),
+            "server_errors": 0,
+        },
+    }
+    lines = [
+        "serve_throughput (loopback repro-serve subprocess; timing non-gating)",
+        f"  sequential : {sequential_rounds} rounds in "
+        f"{sequential_elapsed:.2f}s = {sequential_rps:.0f} rounds/s "
+        f"(bit-identical to DirectTransport)",
+        f"  concurrent : {NUM_DEVICES} devices x "
+        f"{expected_rounds // NUM_DEVICES} rounds in "
+        f"{concurrent_elapsed:.2f}s = {concurrent_rps:.0f} rounds/s "
+        f"(0 server errors)",
+    ]
+    publish_table("serve_throughput", "\n".join(lines), metrics)

@@ -27,6 +27,11 @@ arXiv:1501.02484).  The package is organized as:
 * :mod:`repro.store` — the persistent run store: content-addressed
   results with atomic writes and file locking, so sweeps are cached,
   resumable, and shareable across processes (``repro-store`` CLI).
+* :mod:`repro.serve` — the remote service API: a versioned wire
+  protocol, :class:`CrowdService` (an HTTP host owning a ``ServerCore``),
+  :class:`ServiceClient`/:class:`HttpTransport`/:class:`RemoteDevice`
+  clients, and the ``repro-serve`` CLI — the same protocol surface the
+  simulator exercises, served over a real network.
 
 Quickstart::
 
@@ -86,6 +91,12 @@ from repro.registry import (
     RegistryError,
     SCHEDULES,
 )
+from repro.serve import (
+    CrowdService,
+    HttpTransport,
+    RemoteDevice,
+    ServiceClient,
+)
 from repro.simulation import (
     CrowdSimulator,
     RunTrace,
@@ -95,11 +106,12 @@ from repro.simulation import (
 )
 from repro.store import RunStore, StoreError
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "ArmSpec",
     "CrowdMLServer",
+    "CrowdService",
     "CrowdSimulator",
     "DATASETS",
     "DatasetCache",
@@ -109,6 +121,7 @@ __all__ = [
     "ExperimentSession",
     "ExperimentSpec",
     "FigureResult",
+    "HttpTransport",
     "MODELS",
     "MulticlassLinearSVM",
     "MulticlassLogisticRegression",
@@ -117,11 +130,13 @@ __all__ = [
     "PrivacyBudget",
     "Registry",
     "RegistryError",
+    "RemoteDevice",
     "RidgeRegression",
     "RunStore",
     "RunTrace",
     "SCHEDULES",
     "ServerConfig",
+    "ServiceClient",
     "SimulationConfig",
     "StoreError",
     "TrialSetReport",

@@ -24,6 +24,12 @@ Two implementations:
   equivalent to the event-driven schedule when nothing can interleave
   within a round trip.  Per-leg counters are still maintained, so
   communication accounting is identical to the simulated network.
+
+A third implementation, :class:`~repro.serve.remote.HttpTransport`,
+lives in the serve layer: same synchronous round-trip contract as
+:class:`DirectTransport` (its links subclass :class:`DirectLink`), but
+the server side is a live :class:`~repro.serve.service.CrowdService`
+reached over HTTP.
 """
 
 from __future__ import annotations

@@ -36,4 +36,28 @@ __all__ = [
     "Projection",
     "SGD",
     "StepDecayRate",
+    "paper_sgd",
 ]
+
+
+def paper_sgd(initial_parameters, learning_rate_constant: float = 1.0,
+              projection_radius=None) -> SGD:
+    """The paper's server update rule, built one way everywhere.
+
+    Projected SGD (Eq. 3) with the ``η(t) = c/√t`` schedule (Eq. 5) and
+    the radius-R ball W (``None`` = unconstrained).  This single factory
+    is what :class:`~repro.simulation.simulator.CrowdSimulator`, the
+    ``repro-serve`` CLI, and the remote examples all share — the
+    bit-parity of an HTTP run against an in-process run rests on both
+    sides constructing *this* optimizer, so build it here, not by hand.
+    """
+    projection = (
+        L2BallProjection(projection_radius)
+        if projection_radius is not None
+        else IdentityProjection()
+    )
+    return SGD(
+        initial_parameters,
+        schedule=InverseSqrtRate(learning_rate_constant),
+        projection=projection,
+    )

@@ -1,0 +1,139 @@
+"""``repro-serve`` — launch a Crowd-ML service from the command line.
+
+Builds a :class:`~repro.core.server_core.ServerCore` (model from the
+:data:`~repro.registry.MODELS` registry, the paper's projected SGD with
+the c/√t schedule) and hosts it with
+:class:`~repro.serve.service.CrowdService`::
+
+    repro-serve --num-features 50 --num-classes 10 \\
+                --learning-rate-constant 30 --max-iterations 100000 \\
+                --port 8900
+
+    # ephemeral port: parse the announced URL from the first stdout line
+    repro-serve --num-features 50 --num-classes 10 --port 0
+
+The first line printed is always ``serving on http://HOST:PORT`` (flushed
+immediately), so scripts and CI can scrape the bound port.  Stop with
+SIGINT/SIGTERM; the listener shuts down cleanly.
+
+The optimizer mirrors :class:`~repro.simulation.simulator.CrowdSimulator`
+exactly (same schedule, same projection), so a remote run against a
+matching spec reproduces an in-process run bit for bit — see
+``examples/remote_round.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+from typing import List, Optional
+
+from repro.core.auth import DeviceRegistry
+from repro.core.config import ServerConfig
+from repro.core.server_core import ServerCore
+from repro.optim import paper_sgd
+from repro.registry import MODELS
+from repro.serve.service import CrowdService
+from repro.serve.wire import PROTOCOL_VERSION
+from repro.utils.exceptions import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve a Crowd-ML task (ServerCore) over HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8900,
+                        help="bind port; 0 picks a free ephemeral port")
+    parser.add_argument("--model", default="logistic", choices=MODELS.names(),
+                        help="model registry name (default logistic)")
+    parser.add_argument("--num-features", type=int, required=True,
+                        help="model input dimension d")
+    parser.add_argument("--num-classes", type=int, required=True,
+                        help="number of classes C (1 for regression)")
+    parser.add_argument("--learning-rate-constant", type=float, default=1.0,
+                        help="c in the eta(t) = c/sqrt(t) schedule")
+    parser.add_argument("--projection-radius", type=float, default=100.0,
+                        help="radius R of the parameter ball W")
+    parser.add_argument("--no-projection", action="store_true",
+                        help="serve unconstrained parameters (no ball W)")
+    parser.add_argument("--max-iterations", type=int, default=10**9,
+                        help="T_max stopping bound (default effectively unbounded)")
+    parser.add_argument("--target-error", type=float, default=None,
+                        help="rho stopping threshold (default: none)")
+    parser.add_argument("--server-key", default="crowd-ml-server-key",
+                        help="registry HMAC key minting device tokens")
+    parser.add_argument("--register", type=int, default=0, metavar="M",
+                        help="pre-register devices 0..M-1 at startup")
+    parser.add_argument("--no-join", action="store_true",
+                        help="disable POST /v1/join (closed deployment: use "
+                             "--register or a provisioned --server-key)")
+    return parser
+
+
+def build_service(args: argparse.Namespace) -> CrowdService:
+    """Construct the core + service a parsed command line describes."""
+    model = MODELS.create(
+        args.model, num_features=args.num_features, num_classes=args.num_classes
+    )
+    # The one shared construction CrowdSimulator also uses — bit-parity
+    # of remote runs against in-process runs rests on it.
+    optimizer = paper_sgd(
+        model.init_parameters(),
+        learning_rate_constant=args.learning_rate_constant,
+        projection_radius=None if args.no_projection else args.projection_radius,
+    )
+    core = ServerCore(
+        model,
+        optimizer,
+        config=ServerConfig(
+            max_iterations=args.max_iterations, target_error=args.target_error
+        ),
+        registry=DeviceRegistry(server_key=args.server_key),
+    )
+    for device_id in range(args.register):
+        core.register_device(device_id)
+    return CrowdService(
+        core, host=args.host, port=args.port, allow_join=not args.no_join
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        service = build_service(args)
+    except ReproError as error:
+        print(f"repro-serve: {error}", file=sys.stderr)
+        return 2
+    # The announcement line is a stable contract: scripts scrape the
+    # bound (possibly ephemeral) port from it.
+    print(f"serving on {service.url}", flush=True)
+    print(
+        f"model={args.model} d={args.num_features} C={args.num_classes} "
+        f"protocol=v{PROTOCOL_VERSION} join={'off' if args.no_join else 'on'}",
+        flush=True,
+    )
+
+    def _shutdown(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.stop()
+        print(
+            f"served {service.requests_served} requests "
+            f"({service.total_errors} errors)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,124 @@
+"""HTTP client for a remote :class:`~repro.serve.service.CrowdService`.
+
+:class:`ServiceClient` speaks the :mod:`repro.serve.wire` envelopes over
+plain ``urllib`` — no third-party HTTP stack — and converts ``error``
+envelopes back into typed exceptions, so callers handle a remote
+rejection exactly like a local :class:`~repro.core.server_core.ServerCore`
+raise: :class:`RemoteAuthenticationError` for bad tokens,
+:class:`RemoteServiceError` with :attr:`~RemoteServiceError.code` for
+everything else.
+"""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+from typing import Optional, Sequence
+
+from repro.core.protocol import CheckinMessage, CheckoutRequest, CheckoutResponse
+from repro.serve import wire
+from repro.utils.exceptions import AuthenticationError, ProtocolError
+
+
+class RemoteServiceError(ProtocolError):
+    """A request the remote service rejected (or could not be reached).
+
+    Attributes
+    ----------
+    code:
+        The wire :class:`~repro.serve.wire.ErrorCode` the server sent
+        (``"unreachable"`` when no HTTP response arrived at all).
+    http_status:
+        The HTTP status of the response, ``None`` when unreachable.
+    """
+
+    def __init__(self, code: str, message: str, http_status: Optional[int] = None):
+        super().__init__(message)
+        self.code = code
+        self.http_status = http_status
+
+
+class RemoteAuthenticationError(RemoteServiceError, AuthenticationError):
+    """The remote service refused the device's credentials."""
+
+
+def _raise_for_error(payload: bytes, http_status: int) -> None:
+    """Convert an ``error`` envelope into the matching typed exception."""
+    try:
+        error = wire.decode_error(payload)
+    except wire.WireError:
+        raise RemoteServiceError(
+            wire.ErrorCode.MALFORMED,
+            f"server answered HTTP {http_status} with an unparseable body",
+            http_status,
+        )
+    if error.code == wire.ErrorCode.AUTH_FAILED:
+        raise RemoteAuthenticationError(error.code, str(error), http_status)
+    raise RemoteServiceError(error.code, str(error), http_status)
+
+
+class ServiceClient:
+    """Thin, stateless JSON-over-HTTP client for one service endpoint.
+
+    Thread-safe: each call opens its own connection, so any number of
+    device threads may share one client.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``http://127.0.0.1:8900`` (trailing slashes are stripped).
+    timeout:
+        Per-request socket timeout in seconds.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self._base_url = str(base_url).rstrip("/")
+        self._timeout = float(timeout)
+
+    @property
+    def base_url(self) -> str:
+        return self._base_url
+
+    def _call(self, method: str, path: str, payload: Optional[str] = None) -> bytes:
+        request = urllib.request.Request(
+            self._base_url + path,
+            data=None if payload is None else payload.encode("utf-8"),
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self._timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as error:
+            body = error.read()
+            _raise_for_error(body, error.code)
+        except urllib.error.URLError as error:
+            raise RemoteServiceError(
+                wire.ErrorCode.UNREACHABLE,
+                f"cannot reach {self._base_url}: {error.reason}",
+            )
+
+    # -- service API ---------------------------------------------------- #
+
+    def join(self, device_id: int) -> str:
+        """Enroll ``device_id`` with the remote registry; returns its token."""
+        raw = self._call("POST", "/v1/join", wire.encode_join_request(device_id))
+        _, token = wire.decode_join_response(raw)
+        return token
+
+    def checkout(self, request: CheckoutRequest) -> CheckoutResponse:
+        """Server Routine 1 over HTTP: fetch the current parameters."""
+        raw = self._call("POST", "/v1/checkout", wire.encode_checkout_request(request))
+        return wire.decode_checkout_response(raw)
+
+    def checkins(self, messages: Sequence[CheckinMessage]) -> wire.CheckinBatchResult:
+        """Upload a batch of check-ins; returns acks + server stop state."""
+        raw = self._call("POST", "/v1/checkins", wire.encode_checkin_batch(messages))
+        return wire.decode_checkin_result(raw)
+
+    def status(self, include_parameters: bool = False) -> wire.ServiceStatus:
+        """Fetch the server's counters (and optionally the full w)."""
+        path = "/v1/status"
+        if include_parameters:
+            path += "?parameters=1"
+        return wire.decode_status(self._call("GET", path))

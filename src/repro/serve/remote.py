@@ -1,0 +1,375 @@
+"""The remote deployment path: drive real devices against a live server.
+
+Three pieces close the loop that :mod:`repro.network.transport` opened:
+
+* :class:`HttpTransport` — a :class:`~repro.network.transport.Transport`
+  whose links carry the Fig. 2 legs over HTTP.  Like
+  :class:`~repro.network.transport.DirectTransport` it is synchronous
+  (a round trip completes inside the send call); unlike it, the server
+  side lives in another process.
+* :class:`RemoteServerCore` — a client-side proxy exposing the
+  :class:`~repro.core.server_core.ServerCore` protocol surface
+  (``register_device`` / ``handle_checkout`` / ``handle_checkins`` /
+  ``serve_round`` / ``stopped`` …) over a
+  :class:`~repro.serve.client.ServiceClient`.  This is what lets
+  :class:`~repro.simulation.simulator.CrowdSimulator` run **unchanged**
+  against a live service: ``SimulationConfig(transport="http",
+  server_url=...)`` swaps the core out from under it and nothing else
+  moves.
+* :class:`RemoteDevice` — a standalone client runtime pairing one
+  :class:`~repro.core.device.Device` (Algorithm 1, untouched) with an
+  :class:`HttpLink`; real deployments (and the concurrent smoke tests)
+  drive many of these from independent threads.
+
+Parity: a sequential run through this path is **bit-identical** to a
+:class:`DirectTransport` run of the same spec — floats round-trip
+exactly through the JSON wire format and the server applies the same
+updates in the same order.  With concurrent clients the arrival order
+at the server is scheduling-dependent, so only aggregate invariants
+(iterations == accepted check-ins, zero server errors) are guaranteed;
+see README "Serving" for the full caveat list.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.device import Device
+from repro.core.protocol import (
+    CheckinAck,
+    CheckinMessage,
+    CheckoutRequest,
+    CheckoutResponse,
+)
+from repro.core.server_core import RoundOutcome
+from repro.core.stopping import StopDecision, StopReason
+from repro.models.base import Model
+from repro.network.transport import DirectLink, Transport
+from repro.serve.client import RemoteServiceError, ServiceClient
+from repro.serve import wire
+from repro.utils.exceptions import ConfigurationError, ProtocolError
+
+
+class HttpLink(DirectLink):
+    """One device's legs over HTTP: per-leg counters + the shared client.
+
+    Counter semantics match :class:`DirectLink` — ``note_*`` records one
+    sent message per leg — so communication accounting is identical
+    across direct, simulated, and HTTP runs.
+    """
+
+    __slots__ = ("client",)
+
+    def __init__(self, client: ServiceClient):
+        super().__init__()
+        self.client = client
+
+
+class HttpTransport(Transport):
+    """Transport whose round trips travel to a live ``CrowdService``.
+
+    Synchronous like :class:`DirectTransport`: the caller blocks for the
+    whole checkout→compute→check-in chain, so nothing interleaves within
+    one client's round trip (the server may interleave *other clients'*
+    updates — exactly the asynchrony of a real deployment).
+    """
+
+    synchronous = True
+
+    def __init__(self, client_or_url):
+        if isinstance(client_or_url, ServiceClient):
+            self._client = client_or_url
+        else:
+            self._client = ServiceClient(str(client_or_url))
+
+    @property
+    def client(self) -> ServiceClient:
+        return self._client
+
+    def connect(
+        self, device_id: int, rng: Optional[np.random.Generator] = None
+    ) -> HttpLink:
+        return HttpLink(self._client)
+
+
+class RemoteDevice:
+    """One live device: Algorithm 1 locally, Fig. 2 legs over HTTP.
+
+    Wraps an ordinary :class:`~repro.core.device.Device` — sampling,
+    buffering, gradients, and sanitization are exactly the in-process
+    code — and runs its check-out/check-in round against the link's
+    remote service.  Thread-safe across *instances* (one per device);
+    a single instance must be driven from one thread.
+    """
+
+    def __init__(self, device: Device, link: HttpLink):
+        self.device = device
+        self.link = link
+        self._stopped = False
+        self._pending_checkin: Optional[CheckinMessage] = None
+        self.rounds_completed = 0
+
+    @classmethod
+    def join(
+        cls,
+        transport: HttpTransport,
+        device_id: int,
+        model,
+        config,
+        rng: np.random.Generator,
+    ) -> "RemoteDevice":
+        """Enroll with the remote registry and build the device runtime."""
+        token = transport.client.join(device_id)
+        link = transport.connect(device_id)
+        return cls(Device(device_id, model, config, token, rng), link)
+
+    @property
+    def stopped(self) -> bool:
+        """True once the server reported the task has ended."""
+        return self._stopped
+
+    def observe(self, features: np.ndarray, label) -> bool:
+        """Routine 1; returns True when a check-out is due."""
+        return self.device.observe(features, label)
+
+    def run_round(self, now: float = 0.0) -> Optional[CheckinAck]:
+        """One full Fig. 2 round trip, if the buffer warrants one.
+
+        Returns the server's ack, or ``None`` when no check-out was due,
+        the check-in was rejected, or the task has stopped (check
+        :attr:`stopped` to distinguish).  Remark 1 semantics for both
+        legs: a lost/rejected check-out leaves the buffer intact for a
+        later retry, and a check-in lost to a transient transport
+        failure is *kept* (the buffer was already consumed computing
+        it) and re-uploaded at the next call before any new round.
+        """
+        device = self.device
+        if self._stopped:
+            return None
+        if self._pending_checkin is not None:
+            # Re-upload a check-in stranded by an earlier transport
+            # failure before generating any new one — server update
+            # order per device stays the device's compute order.
+            ack = self._upload(self._pending_checkin)
+            if self._stopped or not device.wants_checkout:
+                return ack
+        if not device.wants_checkout:
+            return None
+        device.mark_checkout_requested()
+        request = CheckoutRequest(
+            device_id=device.device_id, token=device.token, request_time=float(now)
+        )
+        self.link.note_request(request.payload_floats)
+        try:
+            response = self.link.client.checkout(request)
+        except RemoteServiceError as error:
+            device.on_checkout_failed()
+            if error.code == wire.ErrorCode.STOPPED:
+                self._stopped = True
+                return None
+            raise
+        self.link.note_checkout(response.payload_floats)
+        result = device.complete_checkout(
+            response.parameters, response.server_iteration
+        )
+        message = result.message
+        self.link.note_checkin(message.payload_floats)
+        return self._upload(message)
+
+    def _upload(self, message: CheckinMessage) -> Optional[CheckinAck]:
+        """POST one check-in; on transient failure keep it for retry."""
+        self._pending_checkin = message
+        try:
+            outcome = self.link.client.checkins([message])
+        except RemoteServiceError as error:
+            if error.code == wire.ErrorCode.STOPPED:
+                # The task ended while the message was in flight: the
+                # contribution is moot, not lost — drop it.
+                self._pending_checkin = None
+                self._stopped = True
+                return None
+            # Transient (unreachable, 5xx): the message stays pending
+            # and the next run_round retries it.  Re-raise so the
+            # caller sees the failure.
+            raise
+        self._pending_checkin = None
+        if outcome.stopped:
+            self._stopped = True
+        ack = outcome.acks[0]
+        if ack is not None:
+            self.rounds_completed += 1
+        return ack
+
+
+class RemoteServerCore:
+    """Client-side proxy with the :class:`ServerCore` protocol surface.
+
+    Single-message endpoints keep the wire semantics (reject by
+    raising); the batch endpoints mirror the core's non-raising ``None``
+    slots.  ``iteration``/``stopped`` reflect the latest server state
+    this client has *seen* — exact for a single sequential client,
+    a lower bound under concurrency.
+    """
+
+    def __init__(self, client: ServiceClient):
+        self._client = client
+        status = client.status()
+        if status.protocol_version != wire.PROTOCOL_VERSION:
+            raise ConfigurationError(
+                f"server speaks protocol {status.protocol_version}, "
+                f"client speaks {wire.PROTOCOL_VERSION}"
+            )
+        self._num_parameters = status.num_parameters
+        self._iteration = status.iteration
+        self._stop = status.stop_decision
+
+    @property
+    def client(self) -> ServiceClient:
+        return self._client
+
+    def validate_model(self, model: Model) -> None:
+        """Fail fast when the local task definition cannot match the server's."""
+        if model.num_parameters != self._num_parameters:
+            raise ConfigurationError(
+                f"local model has {model.num_parameters} parameters but the "
+                f"server task has {self._num_parameters}; point server_url at "
+                f"a service hosting the same model"
+            )
+
+    # -- state views (as of the last exchange) -------------------------- #
+
+    @property
+    def iteration(self) -> int:
+        """t as of the most recent server response seen by this client."""
+        return self._iteration
+
+    def stopping_decision(self) -> StopDecision:
+        return self._stop
+
+    @property
+    def stopped(self) -> bool:
+        return self._stop.stopped
+
+    @property
+    def parameters(self) -> np.ndarray:
+        """Fetch the current w from the server (one status round trip)."""
+        status = self._client.status(include_parameters=True)
+        self._observe(status.iteration, status.stop_decision)
+        return status.parameters
+
+    def refresh(self) -> wire.ServiceStatus:
+        """Re-poll ``/v1/status`` (e.g. to see stops caused by other clients)."""
+        status = self._client.status()
+        self._observe(status.iteration, status.stop_decision)
+        return status
+
+    def _observe(self, iteration: int, stop: StopDecision) -> None:
+        if iteration > self._iteration:
+            self._iteration = iteration
+        if stop.stopped:
+            self._stop = stop
+
+    # -- protocol endpoints --------------------------------------------- #
+
+    def register_device(self, device_id: int) -> str:
+        """Enroll a device through ``POST /v1/join``; returns its token."""
+        return self._client.join(device_id)
+
+    def handle_checkout(self, request: CheckoutRequest) -> CheckoutResponse:
+        response = self._client.checkout(request)
+        self._observe(response.server_iteration, StopDecision.running())
+        return response
+
+    def handle_checkin(self, message: CheckinMessage) -> CheckinAck:
+        """Single-message wire semantics: a rejected check-in raises."""
+        result = self._client.checkins([message])
+        self._observe(result.server_iteration, result.stop_decision)
+        ack = result.acks[0]
+        if ack is None:
+            raise ProtocolError(
+                f"server rejected check-in from device {message.device_id}"
+            )
+        return ack
+
+    def handle_checkins(
+        self, messages: Sequence[CheckinMessage]
+    ) -> List[Optional[CheckinAck]]:
+        """Batch-native: one ``POST /v1/checkins`` per call.
+
+        Mirrors the core's non-raising contract: a batch the server
+        refuses wholesale because the task already stopped (409) comes
+        back as all-``None`` acks, exactly like ``ServerCore`` rejecting
+        every message of the batch.
+        """
+        try:
+            result = self._client.checkins(messages)
+        except RemoteServiceError as error:
+            if error.code == wire.ErrorCode.STOPPED:
+                self._stop = StopDecision(True, self._refresh_stop_reason())
+                return [None] * len(messages)
+            raise
+        self._observe(result.server_iteration, result.stop_decision)
+        return list(result.acks)
+
+    def serve_round(
+        self,
+        requests: Sequence[CheckoutRequest],
+        complete: Callable[..., Optional[CheckinMessage]],
+        complete_args: tuple = (),
+    ) -> RoundOutcome:
+        """Fig. 2 rounds against the live server, one request at a time.
+
+        Mirrors :meth:`ServerCore.serve_round` slot for slot: rejected
+        or stale requests yield ``None`` without raising, each accepted
+        check-in is applied before the next checkout is served (by the
+        remote core, in request order for this client).
+        """
+        responses: List[Optional[CheckoutResponse]] = []
+        messages: List[Optional[CheckinMessage]] = []
+        acks: List[Optional[CheckinAck]] = []
+        for request in requests:
+            if self._stop.stopped:
+                responses.append(None)
+                messages.append(None)
+                acks.append(None)
+                continue
+            try:
+                response = self._client.checkout(request)
+            except RemoteServiceError as error:
+                if error.code in (wire.ErrorCode.STOPPED, wire.ErrorCode.AUTH_FAILED):
+                    if error.code == wire.ErrorCode.STOPPED:
+                        self._stop = StopDecision(True, self._refresh_stop_reason())
+                    responses.append(None)
+                    messages.append(None)
+                    acks.append(None)
+                    continue
+                raise
+            self._observe(response.server_iteration, StopDecision.running())
+            responses.append(response)
+            message = complete(response, *complete_args)
+            messages.append(message)
+            if message is None:
+                acks.append(None)
+                continue
+            try:
+                result = self._client.checkins([message])
+            except RemoteServiceError as error:
+                if error.code == wire.ErrorCode.STOPPED:
+                    self._stop = StopDecision(True, self._refresh_stop_reason())
+                    acks.append(None)
+                    continue
+                raise
+            self._observe(result.server_iteration, result.stop_decision)
+            acks.append(result.acks[0])
+        return RoundOutcome(
+            tuple(responses), tuple(messages), tuple(acks), self._stop
+        )
+
+    def _refresh_stop_reason(self) -> StopReason:
+        """One status poll to learn *why* the server stopped."""
+        try:
+            return StopReason(self._client.status().stop_reason)
+        except (RemoteServiceError, ValueError):
+            return StopReason.MAX_ITERATIONS

@@ -1,0 +1,298 @@
+"""``CrowdService`` — an HTTP host for a :class:`ServerCore`.
+
+The transport-agnostic protocol core was designed so a real network
+server could own it unchanged; this module is that server.  It is pure
+stdlib (``http.server``), one thread per connection
+(:class:`~http.server.ThreadingHTTPServer`), with every core access
+serialized through a single lock — :class:`ServerCore` is a plain state
+machine, so the lock *is* the arrival order, exactly like the event
+queue's delivery order in simulation.
+
+Routes (all bodies are :mod:`repro.serve.wire` envelopes)::
+
+    POST /v1/join       enroll a device, returns its token (optional)
+    POST /v1/checkout   Server Routine 1 — current parameters
+    POST /v1/checkins   batch-native check-in → ServerCore.handle_checkins
+    GET  /v1/status     counters + stopping state (?parameters=1 for w)
+
+Malformed, version-mismatched, unauthenticated, or stale (task already
+stopped) requests are answered with 4xx ``error`` envelopes; no request,
+however garbled, takes the server down — an unexpected exception in a
+handler is caught, counted, and answered as a 500 ``error`` envelope
+while the service keeps serving.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.server_core import ServerCore
+from repro.serve import wire
+from repro.utils.exceptions import AuthenticationError, ProtocolError
+
+#: Requests with a larger declared body are refused outright (413).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class CrowdService:
+    """Host one :class:`ServerCore` behind a loopback/LAN HTTP endpoint.
+
+    Parameters
+    ----------
+    core:
+        The protocol state machine to expose.  The service takes over
+        all access to it; concurrent requests are serialized.
+    host / port:
+        Bind address.  ``port=0`` picks a free ephemeral port — read the
+        chosen one from :attr:`port` / :attr:`url`.
+    allow_join:
+        Whether ``POST /v1/join`` enrolls new devices (the Web-portal
+        join flow).  Disable for a closed deployment where the registry
+        is provisioned out of band.
+
+    Examples
+    --------
+    >>> from repro.core.config import ServerConfig
+    >>> from repro.models import MulticlassLogisticRegression
+    >>> from repro.core.server_core import ServerCore
+    >>> core = ServerCore(MulticlassLogisticRegression(2, 2),
+    ...                   config=ServerConfig(max_iterations=10))
+    >>> with CrowdService(core) as service:
+    ...     service.url.startswith("http://127.0.0.1:")
+    True
+    """
+
+    def __init__(
+        self,
+        core: ServerCore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        allow_join: bool = True,
+    ):
+        self._core = core
+        self._allow_join = bool(allow_join)
+        self._lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+        self.requests_served = 0
+        #: error responses sent, keyed by wire error code.
+        self.errors_returned: Dict[str, int] = {}
+        service = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            # Per-request handler bound to the enclosing service.
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+                pass  # keep request logs out of stdout; counters cover it
+
+            def do_POST(self):
+                service._dispatch(self, "POST")
+
+            def do_GET(self):
+                service._dispatch(self, "GET")
+
+        self._http = ThreadingHTTPServer((host, int(port)), _Handler)
+        self._http.daemon_threads = True
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    @property
+    def core(self) -> ServerCore:
+        return self._core
+
+    @property
+    def host(self) -> str:
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def total_errors(self) -> int:
+        return sum(self.errors_returned.values())
+
+    def start(self) -> "CrowdService":
+        """Serve in a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise ProtocolError("service already started")
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._http.serve_forever, name="crowd-service", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the ``repro-serve`` entry point)."""
+        try:
+            self._serving = True
+            self._http.serve_forever()
+        finally:
+            # An exception (e.g. SIGINT/SIGTERM) may land anywhere in
+            # this frame — including *before* the serve loop's own
+            # shutdown handshake is armed.  Resetting here means a
+            # subsequent stop() never blocks waiting for a loop exit
+            # that already happened (or never started).
+            self._serving = False
+
+    def stop(self) -> None:
+        """Shut the listener down and release the port (idempotent).
+
+        Safe at any lifecycle point: before the serve loop ever ran it
+        only closes the bound socket — ``shutdown()`` would block forever
+        waiting for a loop exit that can never happen.
+        """
+        if self._serving:
+            self._http.shutdown()
+            self._serving = False
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._http.server_close()
+
+    def __enter__(self) -> "CrowdService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- request plumbing ----------------------------------------------- #
+
+    def _dispatch(self, handler: BaseHTTPRequestHandler, method: str) -> None:
+        """Route one request; every exit path sends exactly one response."""
+        code = None
+        try:
+            status, payload = self._handle(handler, method)
+        except wire.WireError as error:
+            code = error.code
+            status, payload = error.http_status, wire.encode_error(code, str(error))
+        except AuthenticationError as error:
+            code = wire.ErrorCode.AUTH_FAILED
+            status, payload = 401, wire.encode_error(code, str(error))
+        except ProtocolError as error:
+            # Stopped-task rejections are raised as typed WireErrors by
+            # the route handlers (checked under the core lock), so a
+            # plain ProtocolError reaching here is a bad payload.
+            code = wire.ErrorCode.MALFORMED
+            status, payload = 400, wire.encode_error(code, str(error))
+        except Exception as error:  # noqa: BLE001 - the server must survive
+            code = wire.ErrorCode.INTERNAL
+            status, payload = 500, wire.encode_error(
+                code, f"{type(error).__name__}: {error}"
+            )
+        if code is not None:
+            # Error paths may not have consumed the request body; on a
+            # kept-alive connection the unread bytes would be parsed as
+            # the next request line, so close instead of desyncing.
+            handler.close_connection = True
+        self._send(handler, status, payload)
+        with self._counter_lock:
+            self.requests_served += 1
+            if code is not None:
+                self.errors_returned[code] = self.errors_returned.get(code, 0) + 1
+
+    def _handle(self, handler: BaseHTTPRequestHandler, method: str):
+        parsed = urlparse(handler.path)
+        route = (method, parsed.path)
+        if route == ("POST", "/v1/join"):
+            return self._handle_join(self._read_body(handler))
+        if route == ("POST", "/v1/checkout"):
+            return self._handle_checkout(self._read_body(handler))
+        if route == ("POST", "/v1/checkins"):
+            return self._handle_checkins(self._read_body(handler))
+        if route == ("GET", "/v1/status"):
+            query = parse_qs(parsed.query)
+            include = query.get("parameters", ["0"])[-1] not in ("", "0", "false")
+            return self._handle_status(include)
+        known_paths = {"/v1/join", "/v1/checkout", "/v1/checkins", "/v1/status"}
+        if parsed.path in known_paths:
+            raise wire.WireError(
+                wire.ErrorCode.METHOD_NOT_ALLOWED,
+                f"{method} not supported on {parsed.path}",
+            )
+        raise wire.WireError(wire.ErrorCode.NOT_FOUND, f"no route {parsed.path}")
+
+    def _read_body(self, handler: BaseHTTPRequestHandler) -> bytes:
+        try:
+            length = int(handler.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise wire.WireError(wire.ErrorCode.MALFORMED, "bad Content-Length header")
+        if length < 0:
+            raise wire.WireError(wire.ErrorCode.MALFORMED, "bad Content-Length header")
+        if length > MAX_BODY_BYTES:
+            raise wire.WireError(
+                wire.ErrorCode.PAYLOAD_TOO_LARGE,
+                f"body of {length} bytes exceeds the {MAX_BODY_BYTES} byte limit",
+            )
+        return handler.rfile.read(length)
+
+    def _send(self, handler: BaseHTTPRequestHandler, status: int, payload: str) -> None:
+        body = payload.encode("utf-8")
+        try:
+            handler.send_response(status)
+            handler.send_header("Content-Type", "application/json")
+            handler.send_header("Content-Length", str(len(body)))
+            handler.end_headers()
+            handler.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to answer
+
+    # -- route handlers (hold the core lock) ---------------------------- #
+
+    def _handle_join(self, raw: bytes):
+        device_id = wire.decode_join_request(raw)
+        if not self._allow_join:
+            raise AuthenticationError("join is disabled on this service")
+        with self._lock:
+            token = self._core.register_device(device_id)
+        return 200, wire.encode_join_response(device_id, token)
+
+    def _handle_checkout(self, raw: bytes):
+        request = wire.decode_checkout_request(raw)
+        with self._lock:
+            if self._core.stopped:
+                raise wire.WireError(
+                    wire.ErrorCode.STOPPED,
+                    "task has stopped; no further check-outs",
+                )
+            response = self._core.handle_checkout(request)
+        return 200, wire.encode_checkout_response(response)
+
+    def _handle_checkins(self, raw: bytes):
+        messages = wire.decode_checkin_batch(raw)
+        with self._lock:
+            if self._core.stopped:
+                # Stale traffic: the whole batch arrived after the task
+                # ended — single-message wire semantics (409), so remote
+                # devices see the same typed rejection as local callers.
+                raise wire.WireError(
+                    wire.ErrorCode.STOPPED,
+                    "task has stopped; no further check-ins",
+                )
+            acks = self._core.handle_checkins(messages)
+            iteration = self._core.iteration
+            stop = self._core.stopping_decision()
+        return 200, wire.encode_checkin_result(acks, iteration, stop)
+
+    def _handle_status(self, include_parameters: bool):
+        with self._lock:
+            payload = wire.encode_status(
+                iteration=self._core.iteration,
+                stop=self._core.stopping_decision(),
+                checkouts_served=self._core.checkouts_served,
+                rejected_messages=self._core.rejected_messages,
+                registered_devices=self._core.registry.num_registered,
+                num_parameters=self._core.model.num_parameters,
+                parameters=self._core.parameters if include_parameters else None,
+            )
+        return 200, payload

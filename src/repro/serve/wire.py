@@ -1,0 +1,437 @@
+"""Versioned wire schema for the remote Crowd-ML service API.
+
+Every HTTP body exchanged with :class:`~repro.serve.service.CrowdService`
+is one **envelope**::
+
+    {"protocol": 1, "kind": "<kind>", "body": {...}}
+
+The ``protocol`` stamp (:data:`PROTOCOL_VERSION`) lets either side reject
+a peer speaking a different schema *before* interpreting the body; the
+``kind`` tag names the payload so a single endpoint can dispatch and a
+mis-routed request fails loudly.  Protocol messages inside bodies reuse
+the :mod:`repro.core.codec` payload format — the serve layer adds only
+the envelope, the batch shapes, and typed errors; it never invents a
+second encoding for gradients or parameters.
+
+Request/response kinds
+----------------------
+
+=====================  =============================================
+kind                   body
+=====================  =============================================
+``join_request``       ``{"device_id": int}``
+``join_response``      ``{"device_id": int, "token": str}``
+``checkout_request``   codec ``checkout_request`` payload
+``checkout_response``  codec ``checkout_response`` payload
+``checkin_batch``      ``{"messages": [codec checkin payload, ...]}``
+``checkin_result``     ``{"acks": [codec ack | null, ...],
+                       "server_iteration": int, "stopped": bool,
+                       "stop_reason": str}``
+``status``             server counters + optional parameter vector
+``error``              ``{"code": str, "message": str}``
+=====================  =============================================
+
+Typed errors
+------------
+
+Decoding problems raise :class:`WireError` carrying a machine-readable
+:class:`ErrorCode` and the HTTP status the service maps it to.  The
+service encodes the same triple back as an ``error`` envelope, so remote
+clients re-raise the *same* typed error a local caller would have seen
+(auth failures, stopped-task rejections) instead of a bare HTTP status.
+
+Fidelity notes
+--------------
+
+* Floats survive exactly: ``json`` serializes Python floats via
+  ``repr``, which round-trips every finite IEEE-754 double bit for bit.
+  A sequential training run over this wire format therefore matches an
+  in-process run float for float.
+* :attr:`~repro.core.protocol.CheckinMessage.releases` (device-side
+  privacy accounting records) do **not** travel — the codec omits them
+  by design, mirroring the paper's deployment where the server only
+  sees the sanitized statistics.  A server-side accountant attached to
+  a remotely hosted core will therefore record no spend.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.codec import decode_message, encode_message
+from repro.core.protocol import (
+    CheckinAck,
+    CheckinMessage,
+    CheckoutRequest,
+    CheckoutResponse,
+)
+from repro.core.stopping import StopDecision, StopReason
+from repro.utils.exceptions import ProtocolError
+
+#: Version stamp carried by every envelope.  Bump on any incompatible
+#: change to the envelope or body schemas.
+PROTOCOL_VERSION = 1
+
+#: Hard cap on the number of check-ins one batch envelope may carry —
+#: a malformed (or hostile) client cannot make the server materialize an
+#: unbounded message list before validation rejects it.
+MAX_BATCH_MESSAGES = 10_000
+
+
+class ErrorCode:
+    """Machine-readable error codes carried by ``error`` envelopes."""
+
+    VERSION_MISMATCH = "version_mismatch"
+    MALFORMED = "malformed"
+    AUTH_FAILED = "auth_failed"
+    STOPPED = "stopped"
+    NOT_FOUND = "not_found"
+    METHOD_NOT_ALLOWED = "method_not_allowed"
+    PAYLOAD_TOO_LARGE = "payload_too_large"
+    INTERNAL = "internal"
+    UNREACHABLE = "unreachable"
+
+
+#: HTTP status the service answers with for each error code.
+HTTP_STATUS = {
+    ErrorCode.VERSION_MISMATCH: 426,
+    ErrorCode.MALFORMED: 400,
+    ErrorCode.AUTH_FAILED: 401,
+    ErrorCode.STOPPED: 409,
+    ErrorCode.NOT_FOUND: 404,
+    ErrorCode.METHOD_NOT_ALLOWED: 405,
+    ErrorCode.PAYLOAD_TOO_LARGE: 413,
+    ErrorCode.INTERNAL: 500,
+}
+
+
+class WireError(ProtocolError):
+    """A request or response that violates the wire schema.
+
+    Attributes
+    ----------
+    code:
+        One of the :class:`ErrorCode` constants.
+    http_status:
+        The HTTP status this error maps to (500 for unknown codes).
+    """
+
+    def __init__(self, code: str, message: str):
+        super().__init__(message)
+        self.code = code
+        self.http_status = HTTP_STATUS.get(code, 500)
+
+
+@dataclass(frozen=True)
+class CheckinBatchResult:
+    """Decoded ``checkin_result`` body: per-message acks + server state."""
+
+    acks: Tuple[Optional[CheckinAck], ...]
+    server_iteration: int
+    stopped: bool
+    stop_reason: str
+
+    @property
+    def stop_decision(self) -> StopDecision:
+        """The server's stopping state as a local :class:`StopDecision`."""
+        return StopDecision(self.stopped, StopReason(self.stop_reason))
+
+
+@dataclass(frozen=True)
+class ServiceStatus:
+    """Decoded ``status`` body: one snapshot of the hosted core."""
+
+    protocol_version: int
+    iteration: int
+    stopped: bool
+    stop_reason: str
+    checkouts_served: int
+    rejected_messages: int
+    registered_devices: int
+    num_parameters: int
+    parameters: Optional[np.ndarray] = None
+
+    @property
+    def stop_decision(self) -> StopDecision:
+        return StopDecision(self.stopped, StopReason(self.stop_reason))
+
+
+# --------------------------------------------------------------------- #
+# Envelope plumbing                                                     #
+# --------------------------------------------------------------------- #
+
+
+def encode_envelope(kind: str, body: Dict[str, Any]) -> str:
+    """Wrap ``body`` in a versioned envelope and serialize to JSON."""
+    return json.dumps(
+        {"protocol": PROTOCOL_VERSION, "kind": kind, "body": body},
+        separators=(",", ":"),
+    )
+
+
+def parse_envelope(
+    raw: Union[str, bytes], expected_kind: Optional[str] = None
+) -> Tuple[str, Dict[str, Any]]:
+    """Parse and validate an envelope; returns ``(kind, body)``.
+
+    Raises :class:`WireError` with :data:`ErrorCode.MALFORMED` for
+    anything that is not a well-formed envelope (bad UTF-8, truncated
+    JSON, non-dict payloads, missing fields, an unexpected ``kind``) and
+    :data:`ErrorCode.VERSION_MISMATCH` for an envelope whose protocol
+    stamp differs — or is missing entirely, which is an unknown (ancient)
+    protocol rather than a merely malformed body.
+    """
+    if isinstance(raw, bytes):
+        try:
+            raw = raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise WireError(ErrorCode.MALFORMED, f"body is not UTF-8: {error}")
+    try:
+        envelope = json.loads(raw)
+    except json.JSONDecodeError as error:
+        raise WireError(ErrorCode.MALFORMED, f"invalid JSON: {error}")
+    if not isinstance(envelope, dict):
+        raise WireError(
+            ErrorCode.MALFORMED,
+            f"envelope must be an object, got {type(envelope).__name__}",
+        )
+    version = envelope.get("protocol")
+    # Strict: the stamp must be the exact int (1.0 and True satisfy
+    # == but are not valid stamps).  The version check runs before any
+    # body interpretation, so a future schema can change everything but
+    # this stamp.
+    if (type(version) is not int) or version != PROTOCOL_VERSION:
+        raise WireError(
+            ErrorCode.VERSION_MISMATCH,
+            f"protocol version {version!r} != supported {PROTOCOL_VERSION}",
+        )
+    kind = envelope.get("kind")
+    body = envelope.get("body")
+    if not isinstance(kind, str) or not isinstance(body, dict):
+        raise WireError(ErrorCode.MALFORMED, "envelope needs string 'kind' and object 'body'")
+    if expected_kind is not None and kind != expected_kind:
+        raise WireError(
+            ErrorCode.MALFORMED, f"expected {expected_kind!r} envelope, got {kind!r}"
+        )
+    return kind, body
+
+
+def _decode_body_message(body: Dict[str, Any], expected_type: type):
+    """Decode a codec payload inside a body, normalizing failures."""
+    try:
+        message = decode_message(body)
+    except WireError:
+        raise
+    except ProtocolError as error:
+        raise WireError(ErrorCode.MALFORMED, str(error))
+    if not isinstance(message, expected_type):
+        raise WireError(
+            ErrorCode.MALFORMED,
+            f"expected a {expected_type.__name__} payload, got {type(message).__name__}",
+        )
+    return message
+
+
+# --------------------------------------------------------------------- #
+# join                                                                  #
+# --------------------------------------------------------------------- #
+
+
+def encode_join_request(device_id: int) -> str:
+    return encode_envelope("join_request", {"device_id": int(device_id)})
+
+
+def decode_join_request(raw: Union[str, bytes]) -> int:
+    _, body = parse_envelope(raw, "join_request")
+    try:
+        return int(body["device_id"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise WireError(ErrorCode.MALFORMED, f"malformed join_request: {error}")
+
+
+def encode_join_response(device_id: int, token: str) -> str:
+    return encode_envelope(
+        "join_response", {"device_id": int(device_id), "token": str(token)}
+    )
+
+
+def decode_join_response(raw: Union[str, bytes]) -> Tuple[int, str]:
+    _, body = parse_envelope(raw, "join_response")
+    try:
+        return int(body["device_id"]), str(body["token"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise WireError(ErrorCode.MALFORMED, f"malformed join_response: {error}")
+
+
+# --------------------------------------------------------------------- #
+# checkout                                                              #
+# --------------------------------------------------------------------- #
+
+
+def encode_checkout_request(request: CheckoutRequest) -> str:
+    return encode_envelope("checkout_request", encode_message(request))
+
+
+def decode_checkout_request(raw: Union[str, bytes]) -> CheckoutRequest:
+    _, body = parse_envelope(raw, "checkout_request")
+    return _decode_body_message(body, CheckoutRequest)
+
+
+def encode_checkout_response(response: CheckoutResponse) -> str:
+    return encode_envelope("checkout_response", encode_message(response))
+
+
+def decode_checkout_response(raw: Union[str, bytes]) -> CheckoutResponse:
+    _, body = parse_envelope(raw, "checkout_response")
+    return _decode_body_message(body, CheckoutResponse)
+
+
+# --------------------------------------------------------------------- #
+# batch check-in                                                        #
+# --------------------------------------------------------------------- #
+
+
+def encode_checkin_batch(messages: Sequence[CheckinMessage]) -> str:
+    return encode_envelope(
+        "checkin_batch", {"messages": [encode_message(m) for m in messages]}
+    )
+
+
+def decode_checkin_batch(raw: Union[str, bytes]) -> List[CheckinMessage]:
+    _, body = parse_envelope(raw, "checkin_batch")
+    messages = body.get("messages")
+    if not isinstance(messages, list):
+        raise WireError(ErrorCode.MALFORMED, "checkin_batch needs a 'messages' list")
+    if not messages:
+        raise WireError(ErrorCode.MALFORMED, "checkin_batch carries no messages")
+    if len(messages) > MAX_BATCH_MESSAGES:
+        raise WireError(
+            ErrorCode.MALFORMED,
+            f"checkin_batch carries {len(messages)} messages "
+            f"(limit {MAX_BATCH_MESSAGES})",
+        )
+    decoded = []
+    for entry in messages:
+        if not isinstance(entry, dict):
+            raise WireError(
+                ErrorCode.MALFORMED,
+                f"checkin_batch entries must be objects, got {type(entry).__name__}",
+            )
+        decoded.append(_decode_body_message(entry, CheckinMessage))
+    return decoded
+
+
+def encode_checkin_result(
+    acks: Sequence[Optional[CheckinAck]], server_iteration: int, stop: StopDecision
+) -> str:
+    return encode_envelope(
+        "checkin_result",
+        {
+            "acks": [None if ack is None else encode_message(ack) for ack in acks],
+            "server_iteration": int(server_iteration),
+            "stopped": bool(stop.stopped),
+            "stop_reason": stop.reason.value,
+        },
+    )
+
+
+def decode_checkin_result(raw: Union[str, bytes]) -> CheckinBatchResult:
+    _, body = parse_envelope(raw, "checkin_result")
+    try:
+        raw_acks = body["acks"]
+        server_iteration = int(body["server_iteration"])
+        stopped = bool(body["stopped"])
+        stop_reason = str(body["stop_reason"])
+        StopReason(stop_reason)  # must be a known reason
+    except (KeyError, TypeError, ValueError) as error:
+        raise WireError(ErrorCode.MALFORMED, f"malformed checkin_result: {error}")
+    if not isinstance(raw_acks, list):
+        raise WireError(ErrorCode.MALFORMED, "checkin_result needs an 'acks' list")
+    acks: List[Optional[CheckinAck]] = []
+    for entry in raw_acks:
+        if entry is None:
+            acks.append(None)
+        elif isinstance(entry, dict):
+            acks.append(_decode_body_message(entry, CheckinAck))
+        else:
+            raise WireError(
+                ErrorCode.MALFORMED,
+                f"ack entries must be objects or null, got {type(entry).__name__}",
+            )
+    return CheckinBatchResult(tuple(acks), server_iteration, stopped, stop_reason)
+
+
+# --------------------------------------------------------------------- #
+# status                                                                #
+# --------------------------------------------------------------------- #
+
+
+def encode_status(
+    iteration: int,
+    stop: StopDecision,
+    checkouts_served: int,
+    rejected_messages: int,
+    registered_devices: int,
+    num_parameters: int,
+    parameters: Optional[np.ndarray] = None,
+) -> str:
+    body: Dict[str, Any] = {
+        "protocol_version": PROTOCOL_VERSION,
+        "iteration": int(iteration),
+        "stopped": bool(stop.stopped),
+        "stop_reason": stop.reason.value,
+        "checkouts_served": int(checkouts_served),
+        "rejected_messages": int(rejected_messages),
+        "registered_devices": int(registered_devices),
+        "num_parameters": int(num_parameters),
+    }
+    if parameters is not None:
+        body["parameters"] = np.asarray(parameters, dtype=np.float64).tolist()
+    return encode_envelope("status", body)
+
+
+def decode_status(raw: Union[str, bytes]) -> ServiceStatus:
+    _, body = parse_envelope(raw, "status")
+    try:
+        parameters = body.get("parameters")
+        if parameters is not None:
+            parameters = np.asarray(parameters, dtype=np.float64)
+            if parameters.ndim != 1:
+                raise ValueError(f"parameters must be flat, got shape {parameters.shape}")
+        status = ServiceStatus(
+            protocol_version=int(body["protocol_version"]),
+            iteration=int(body["iteration"]),
+            stopped=bool(body["stopped"]),
+            stop_reason=str(body["stop_reason"]),
+            checkouts_served=int(body["checkouts_served"]),
+            rejected_messages=int(body["rejected_messages"]),
+            registered_devices=int(body["registered_devices"]),
+            num_parameters=int(body["num_parameters"]),
+            parameters=parameters,
+        )
+        StopReason(status.stop_reason)
+    except (KeyError, TypeError, ValueError) as error:
+        raise WireError(ErrorCode.MALFORMED, f"malformed status: {error}")
+    return status
+
+
+# --------------------------------------------------------------------- #
+# errors                                                                #
+# --------------------------------------------------------------------- #
+
+
+def encode_error(code: str, message: str) -> str:
+    return encode_envelope("error", {"code": str(code), "message": str(message)})
+
+
+def decode_error(raw: Union[str, bytes]) -> WireError:
+    """Decode an ``error`` envelope back into the typed exception."""
+    _, body = parse_envelope(raw, "error")
+    try:
+        return WireError(str(body["code"]), str(body["message"]))
+    except (KeyError, TypeError) as error:
+        raise WireError(ErrorCode.MALFORMED, f"malformed error envelope: {error}")

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Callable, Optional
 
 from repro.core.adaptive import BatchPolicy
@@ -67,7 +67,27 @@ class SimulationConfig:
         (``"direct"`` raises unless the config is zero-delay and
         outage-free).  The two transports produce bit-identical
         :class:`~repro.simulation.trace.RunTrace`\\ s on every config
-        where both are valid.
+        where both are valid.  ``"http"`` drives a **live**
+        :class:`~repro.serve.service.CrowdService` at ``server_url``
+        through :class:`~repro.serve.remote.HttpTransport`: the same
+        fused-round schedule as ``"direct"`` (and, for a server hosting
+        the matching spec, a bit-identical trace), with the server side
+        in another process.  Never auto-selected.  Server-owned knobs
+        (``learning_rate_constant``, ``projection_radius``,
+        ``max_iterations``, ``target_error``) must stay at their
+        defaults here — configure them on the server (``repro-serve``)
+        instead; non-default values are rejected rather than silently
+        ignored.
+    server_url:
+        Base URL of the remote service (``transport="http"`` only),
+        e.g. ``"http://127.0.0.1:8900"``.
+    coalesce_checkins:
+        Event-driven transport only: drain contiguous same-timestamp
+        check-in deliveries as one
+        :meth:`~repro.core.server_core.ServerCore.handle_checkins`
+        batch instead of one event dispatch each.  Bit-identical traces
+        either way (the recorded-trace suite gates both); the knob
+        exists for A/B measurement.
     snapshot_subsample:
         Opt-in cap on the number of test examples used per error
         snapshot (drawn once per run from a dedicated RNG stream).
@@ -95,13 +115,24 @@ class SimulationConfig:
     churn: Optional["ChurnSchedule"] = None
     batch_policy_factory: Optional[Callable[[], "BatchPolicy"]] = None
     transport: str = "auto"
+    server_url: Optional[str] = None
+    coalesce_checkins: bool = True
     snapshot_subsample: Optional[int] = None
 
     def __post_init__(self):
-        if self.transport not in ("auto", "direct", "simulated"):
+        if self.transport not in ("auto", "direct", "simulated", "http"):
             raise ConfigurationError(
-                f"transport must be 'auto', 'direct' or 'simulated', "
+                f"transport must be 'auto', 'direct', 'simulated' or 'http', "
                 f"got {self.transport!r}"
+            )
+        if self.transport == "http" and not self.server_url:
+            raise ConfigurationError(
+                "transport='http' needs server_url (e.g. 'http://127.0.0.1:8900')"
+            )
+        if self.transport != "http" and self.server_url is not None:
+            raise ConfigurationError(
+                f"server_url is only meaningful with transport='http', "
+                f"got transport={self.transport!r}"
             )
         if self.snapshot_subsample is not None and self.snapshot_subsample < 1:
             raise ConfigurationError(
@@ -132,6 +163,35 @@ class SimulationConfig:
             raise ConfigurationError("num_snapshots must be >= 1")
         if self.projection_radius is not None and self.projection_radius <= 0:
             raise ConfigurationError("projection_radius must be positive")
+        if self.transport == "http" and not self.direct_transport_eligible:
+            raise ConfigurationError(
+                "transport='http' runs fused synchronous rounds: it needs "
+                "zero link delays and a reliable network (use "
+                "SimulatedTransport to model delays/outages in-process)"
+            )
+        if self.transport == "http":
+            # The live server owns the optimizer and the stopping rule;
+            # accepting these knobs here and silently not applying them
+            # would be exactly the divergence the parity contract
+            # forbids, so reject anything the remote side cannot see.
+            # (Defaults come from the dataclass fields themselves, so
+            # this check can never drift from the declared defaults.)
+            defaults = {f.name: f.default for f in fields(self)}
+            server_owned = (
+                "learning_rate_constant", "projection_radius",
+                "max_iterations", "target_error",
+            )
+            mismatched = [
+                name for name in server_owned
+                if getattr(self, name) != defaults[name]
+            ]
+            if mismatched:
+                raise ConfigurationError(
+                    f"transport='http': {mismatched} are owned by the live "
+                    f"server — leave them at their defaults here and "
+                    f"configure repro-serve (or the hosted ServerCore) "
+                    f"with the intended values instead"
+                )
 
     @property
     def direct_transport_eligible(self) -> bool:

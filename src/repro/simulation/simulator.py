@@ -29,7 +29,13 @@ How the round trip itself executes depends on the transport
 * :class:`~repro.network.transport.SimulatedTransport` schedules each
   message leg on the event queue through a delayed, possibly lossy
   :class:`~repro.network.channel.Channel`.  Deliveries travel as
-  ``(bound method, args)`` pairs — no per-message closures.
+  ``(bound method, args)`` pairs — no per-message closures.  When τ > 0
+  synchronizes several check-ins onto the *same* arrival timestamp, the
+  first delivery drains the whole contiguous run from the heap and
+  applies it as one :meth:`ServerCore.handle_checkins
+  <repro.core.server_core.ServerCore.handle_checkins>` batch —
+  bit-identical to dispatching each event (order, snapshots, staleness,
+  and stopping are segmented exactly; the recorded-trace suite gates it).
 * :class:`~repro.network.transport.DirectTransport` (auto-selected for
   zero-delay, outage-free configs) runs the whole round *synchronously*
   inside the trigger event via :meth:`ServerCore.serve_round
@@ -38,6 +44,15 @@ How the round trip itself executes depends on the transport
   bit-identical to the event-driven one while firing **one** heap event
   per check-out instead of four (see the recorded-trace regression
   suite).
+* :class:`~repro.serve.remote.HttpTransport`
+  (``transport="http", server_url=...``) runs the same fused-round
+  schedule as the direct path, but the server side is a **live**
+  :class:`~repro.serve.service.CrowdService` in another process:
+  :class:`~repro.serve.remote.RemoteServerCore` stands in for the local
+  core, every leg is a ``/v1/checkout`` / ``/v1/checkins`` HTTP round
+  trip, and — for a server hosting the matching spec — the resulting
+  trace is bit-identical to a :class:`DirectTransport` run (floats
+  survive the JSON wire format exactly).
 """
 
 from __future__ import annotations
@@ -63,9 +78,7 @@ from repro.network.transport import (
     SimulatedTransport,
     Transport,
 )
-from repro.optim.projection import IdentityProjection, L2BallProjection
-from repro.optim.schedules import InverseSqrtRate
-from repro.optim.sgd import SGD
+from repro.optim import paper_sgd
 from repro.privacy.budget import split_budget
 from repro.simulation.config import SimulationConfig
 from repro.simulation.trace import CommunicationStats, RunTrace
@@ -154,37 +167,53 @@ class CrowdSimulator:
         self._rng_factory = RngFactory(seed)
         self._queue = EventQueue()
 
-        if config.resolved_transport() == "direct":
-            self._transport: Transport = DirectTransport(
-                config.link_delays, config.outage
+        resolved = config.resolved_transport()
+        self._remote = resolved == "http"
+        if self._remote:
+            # Imported here for layering, not laziness: the simulation
+            # package must stay importable standalone without a hard
+            # dependency on the serve layer (which depends back on
+            # network/ and core/).
+            from repro.serve.client import ServiceClient
+            from repro.serve.remote import HttpTransport, RemoteServerCore
+
+            self._transport: Transport = HttpTransport(
+                ServiceClient(config.server_url)
             )
+        elif resolved == "direct":
+            self._transport = DirectTransport(config.link_delays, config.outage)
         else:
             self._transport = SimulatedTransport(
                 self._queue, config.link_delays, config.outage
             )
         self._direct = self._transport.synchronous
+        self._coalesce = config.coalesce_checkins
 
-        projection = (
-            L2BallProjection(config.projection_radius)
-            if config.projection_radius is not None
-            else IdentityProjection()
-        )
-        optimizer = SGD(
-            model.init_parameters(),
-            schedule=InverseSqrtRate(config.learning_rate_constant),
-            projection=projection,
-        )
         total_samples = sum(len(ds) for ds in device_datasets) * config.num_passes
-        max_iterations = config.max_iterations
-        if max_iterations is None:
-            # Every check-in applies >= 1 sample, so a cap one beyond the
-            # total sample count can never bind before the data runs out.
-            max_iterations = total_samples + 1
-        server_config = ServerConfig(
-            max_iterations=max_iterations, target_error=config.target_error
-        )
-        self._server = CrowdMLServer(model, optimizer, server_config)
-        self._core: ServerCore = self._server.core
+        if self._remote:
+            # The live server owns the model, optimizer, and stopping
+            # config; the local ones must merely describe the same task.
+            core = RemoteServerCore(self._transport.client)
+            core.validate_model(model)
+            self._server: Optional[CrowdMLServer] = None
+            self._core = core
+        else:
+            optimizer = paper_sgd(
+                model.init_parameters(),
+                learning_rate_constant=config.learning_rate_constant,
+                projection_radius=config.projection_radius,
+            )
+            max_iterations = config.max_iterations
+            if max_iterations is None:
+                # Every check-in applies >= 1 sample, so a cap one beyond
+                # the total sample count can never bind before the data
+                # runs out.
+                max_iterations = total_samples + 1
+            server_config = ServerConfig(
+                max_iterations=max_iterations, target_error=config.target_error
+            )
+            self._server = CrowdMLServer(model, optimizer, server_config)
+            self._core = self._server.core
         self._total_samples = total_samples
 
         self._actors = [self._build_actor(m) for m in range(config.num_devices)]
@@ -205,6 +234,7 @@ class CrowdSimulator:
         self._comm = CommunicationStats()
         self._staleness: list[int] = []
         self._stopped_reason: Optional[str] = None
+        self._coalesced_checkins = 0
         # Bound-method handles created once: every schedule/send passes one
         # of these plus an args tuple, so the hot loop allocates neither
         # closures nor fresh bound methods per message.
@@ -214,7 +244,9 @@ class CrowdSimulator:
         self._on_checkin_handler = self._on_checkin_arrival
 
     @property
-    def server(self) -> CrowdMLServer:
+    def server(self) -> Optional[CrowdMLServer]:
+        """The in-process server shim (``None`` when driving a live
+        remote service over ``transport="http"``)."""
         return self._server
 
     @property
@@ -231,6 +263,12 @@ class CrowdSimulator:
         """Heap events executed so far (the throughput benchmark's y axis)."""
         return self._queue.fired
 
+    @property
+    def coalesced_checkins(self) -> int:
+        """Check-in deliveries absorbed into a batch drain instead of
+        being dispatched as their own event."""
+        return self._coalesced_checkins
+
     def _build_actor(self, device_index: int) -> _DeviceActor:
         config = self._config
         budget = split_budget(config.epsilon, self._model.num_classes)
@@ -241,7 +279,9 @@ class CrowdSimulator:
             holdout_fraction=config.holdout_fraction,
         )
         device_rng = self._rng_factory.generator("device", device_index)
-        token = self._server.register_device(device_index)
+        # Local cores mint the token in-process; a RemoteServerCore routes
+        # the same call through POST /v1/join on the live service.
+        token = self._core.register_device(device_index)
         batch_policy = (
             config.batch_policy_factory()
             if config.batch_policy_factory is not None
@@ -463,6 +503,23 @@ class CrowdSimulator:
     def _on_checkin_arrival(self, actor: _DeviceActor, message: CheckinMessage) -> None:
         if self._stopped_reason is not None or self._core.stopped:
             return
+        if self._coalesce:
+            # Batch drain: if the very next events are further check-in
+            # deliveries at this exact timestamp (τ > 0 synchronizing
+            # several devices), consume them now and apply the whole run
+            # as handle_checkins batches.  Only *contiguous* head events
+            # are taken, so nothing that could observe server state (a
+            # checkout arrival, a trigger) is ever reordered around an
+            # update.
+            taken = self._queue.take_matching(self._on_checkin_handler)
+            if taken is not None:
+                run = [message]
+                while taken is not None:
+                    run.append(taken[1])
+                    taken = self._queue.take_matching(self._on_checkin_handler)
+                self._coalesced_checkins += len(run) - 1
+                self._apply_checkin_run(run)
+                return
         self._staleness.append(self._core.iteration - message.checkout_iteration)
         self._core.handle_checkin(message)
         self._comm.checkins_delivered += 1
@@ -471,6 +528,69 @@ class CrowdSimulator:
         decision = self._core.stopping_decision()
         if decision.stopped:
             self._stopped_reason = decision.reason.value
+
+    def _apply_checkin_run(self, messages: List[CheckinMessage]) -> None:
+        """Apply a contiguous run of same-timestamp check-in deliveries.
+
+        Bit-identical to firing one ``_on_checkin_arrival`` per message:
+        the run is split into :meth:`ServerCore.handle_checkins
+        <repro.core.server_core.ServerCore.handle_checkins>` segments so
+        that every point where the sequential path would observe
+        intermediate state falls on a segment boundary —
+
+        * a snapshot-grid crossing ends its segment (the error snapshot
+          must see the parameters *at* the crossing, not after the run);
+        * the remaining ``max_iterations`` budget caps a segment (the
+          sequential guard drops post-stop deliveries before they reach
+          the core, so they must never be submitted);
+        * with a ρ target the stop can flip after *any* update, so
+          segments shrink to one message (the batch win stays for the
+          T_max-bounded figure configs, where the budget is closed-form).
+
+        Every message inside a segment is then guaranteed to be accepted
+        (registered device, validated shape, budget in hand), which is
+        what lets staleness be bookkept from the segment's start
+        iteration: accepted check-in *k* observes exactly *k* prior
+        applies.
+        """
+        core = self._core
+        server_config = core.config
+        per_message_stop = server_config.target_error is not None
+        grid = self._grid
+        n = len(messages)
+        i = 0
+        while i < n:
+            if self._stopped_reason is not None or core.stopped:
+                # Remaining deliveries arrived after the stop: the
+                # sequential guard ignores them (delivered but unapplied).
+                return
+            limit = i + 1 if per_message_stop else n
+            # Budget >= 1 here: a spent budget implies core.stopped above.
+            limit = min(limit, i + server_config.max_iterations - core.iteration)
+            consumed = self._samples_consumed
+            j = i
+            while j < limit:
+                consumed += messages[j].num_samples
+                j += 1
+                if (
+                    self._grid_pos < grid.shape[0]
+                    and consumed >= grid[self._grid_pos]
+                ):
+                    break
+            segment = messages[i:j]
+            start_iteration = core.iteration
+            for offset, message in enumerate(segment):
+                self._staleness.append(
+                    start_iteration + offset - message.checkout_iteration
+                )
+            core.handle_checkins(segment)
+            self._comm.checkins_delivered += len(segment)
+            self._samples_consumed = consumed
+            self._maybe_snapshot()
+            decision = core.stopping_decision()
+            if decision.stopped:
+                self._stopped_reason = decision.reason.value
+            i = j
 
     # ------------------------------------------------------------------ #
     # The check-out/check-in round trip — direct transport (fused)       #
@@ -499,14 +619,31 @@ class CrowdSimulator:
             (request,), self._complete_fused_round, (actor,)
         )
         if outcome.responses[0] is None:
-            # Stopped or rejected before the checkout was served (cannot
-            # happen mid-run on this path, but mirror Remark 1 recovery).
+            # Stopped or rejected before the checkout was served.  On the
+            # local direct path this cannot happen mid-run (a stop always
+            # surfaces through the check-in that caused it); on the remote
+            # path it can — the live server may have stopped between
+            # rounds (or under a concurrent client) and reject the
+            # checkout — so record the stop before Remark 1 recovery,
+            # which also halts the trigger chain.
+            if outcome.stop.stopped:
+                self._stopped_reason = outcome.stop.reason.value
             device.on_checkout_failed()
             self._schedule_trigger(actor)
             return
         message = outcome.messages[0]
         if message is None:
             return  # racing checkout: _complete_fused_round rescheduled
+        if outcome.acks[0] is None:
+            # The check-in was sent but rejected — only possible on the
+            # remote path, when the live server stopped under a
+            # concurrent client between our checkout and check-in.  Not
+            # an applied update: drop the optimistic staleness entry and
+            # record the stop instead of counting a phantom delivery.
+            self._staleness.pop()
+            if outcome.stop.stopped:
+                self._stopped_reason = outcome.stop.reason.value
+            return
         self._comm.checkins_delivered += 1
         self._samples_consumed += message.num_samples
         self._maybe_snapshot()

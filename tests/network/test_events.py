@@ -184,3 +184,89 @@ class TestArgsSlots:
         queue.schedule_after(2.0, fired.append, args=("tail",))
         queue.run()
         assert fired == [("x", 3), "tail"]
+
+
+class TestTakeMatching:
+    """Draining contiguous same-timestamp events from inside a handler."""
+
+    def test_takes_contiguous_same_time_same_callback(self):
+        queue = EventQueue()
+        fired = []
+
+        def deliver(tag):
+            fired.append(tag)
+            # Drain everything contiguous at this timestamp.
+            taken = queue.take_matching(deliver)
+            while taken is not None:
+                fired.append(("drained", *taken))
+                taken = queue.take_matching(deliver)
+
+        queue.schedule(1.0, deliver, args=("a",))
+        queue.schedule(1.0, deliver, args=("b",))
+        queue.schedule(1.0, deliver, args=("c",))
+        count = queue.run()
+        # One dispatch; the other two were consumed by take_matching.
+        assert fired == ["a", ("drained", "b"), ("drained", "c")]
+        assert count == 1
+        assert queue.fired == 3  # drained events still count as fired
+        assert queue.pending == 0
+
+    def test_stops_at_different_callback(self):
+        queue = EventQueue()
+        order = []
+
+        def deliver(tag):
+            order.append(tag)
+            taken = queue.take_matching(deliver)
+            while taken is not None:
+                order.append(("drained", *taken))
+                taken = queue.take_matching(deliver)
+
+        def other(tag):
+            order.append(("other", tag))
+
+        queue.schedule(1.0, deliver, args=("a",))
+        queue.schedule(1.0, other, args=("x",))
+        queue.schedule(1.0, deliver, args=("b",))
+        queue.run()
+        # "b" is NOT drained: "other" sits between them, so firing order
+        # is preserved exactly.
+        assert order == ["a", ("other", "x"), "b"]
+
+    def test_stops_at_later_timestamp(self):
+        queue = EventQueue()
+        seen = []
+
+        def deliver(tag):
+            seen.append((queue.now, tag))
+            taken = queue.take_matching(deliver)
+            while taken is not None:
+                seen.append((queue.now, "drained", *taken))
+                taken = queue.take_matching(deliver)
+
+        queue.schedule(1.0, deliver, args=("a",))
+        queue.schedule(2.0, deliver, args=("b",))
+        queue.run()
+        assert seen == [(1.0, "a"), (2.0, "b")]
+
+    def test_skips_cancelled_events(self):
+        queue = EventQueue()
+        taken_args = []
+
+        def deliver(tag):
+            taken = queue.take_matching(deliver)
+            while taken is not None:
+                taken_args.append(taken)
+                taken = queue.take_matching(deliver)
+
+        queue.schedule(1.0, deliver, args=("head",))
+        cancelled = queue.schedule(1.0, deliver, args=("gone",))
+        queue.schedule(1.0, deliver, args=("kept",))
+        cancelled.cancel()
+        queue.run()
+        assert taken_args == [("kept",)]
+        assert queue.pending == 0
+
+    def test_empty_queue_returns_none(self):
+        queue = EventQueue()
+        assert queue.take_matching(lambda: None) is None

@@ -1,0 +1,104 @@
+"""Tests for the ``repro-serve`` console entry point."""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import CheckoutRequest
+from repro.serve import ServiceClient, wire
+from repro.serve.cli import build_parser, build_service
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+)
+
+
+class TestBuildService:
+    def test_defaults_and_ephemeral_port(self):
+        args = build_parser().parse_args(
+            ["--num-features", "5", "--num-classes", "3", "--port", "0"]
+        )
+        service = build_service(args)
+        try:
+            assert service.port > 0
+            assert service.core.model.num_parameters == 15
+            assert service.core.config.max_iterations == 10**9
+        finally:
+            # stop() before start() must release the port, not deadlock.
+            service.stop()
+
+    def test_pre_registration_and_closed_join(self):
+        args = build_parser().parse_args(
+            ["--num-features", "4", "--num-classes", "2", "--port", "0",
+             "--register", "3", "--no-join", "--max-iterations", "50",
+             "--target-error", "0.25"]
+        )
+        service = build_service(args)
+        with service:
+            assert service.core.registry.num_registered == 3
+            assert service.core.config.target_error == 0.25
+            client = ServiceClient(service.url)
+            with pytest.raises(Exception):
+                client.join(9)
+            token = service.core.registry.register(1)
+            response = client.checkout(CheckoutRequest(1, token, 0.0))
+            assert response.parameters.shape == (8,)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["--num-features", "4", "--num-classes", "2",
+                 "--model", "transformer"]
+            )
+
+
+class TestConsoleScript:
+    def test_announces_url_and_serves(self):
+        """Launch the real process, scrape the announced port, drive it."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.serve.cli",
+             "--num-features", "4", "--num-classes", "2", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            line = process.stdout.readline()
+            match = re.match(r"serving on (http://127\.0\.0\.1:\d+)$", line.strip())
+            assert match, f"unexpected announcement: {line!r}"
+            url = match.group(1)
+            client = ServiceClient(url, timeout=10)
+            deadline = time.time() + 10
+            status = None
+            while time.time() < deadline:
+                try:
+                    status = client.status()
+                    break
+                except Exception:
+                    time.sleep(0.05)
+            assert status is not None, "server never became reachable"
+            assert status.protocol_version == wire.PROTOCOL_VERSION
+            token = client.join(0)
+            response = client.checkout(CheckoutRequest(0, token, 0.0))
+            assert np.array_equal(response.parameters, np.zeros(8))
+        finally:
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=30)
+        stderr = process.stderr.read()
+        assert process.returncode == 0, (
+            f"repro-serve exited {process.returncode}; stderr:\n{stderr}"
+        )
+        assert "served" in stderr  # the shutdown summary line ran

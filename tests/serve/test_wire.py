@@ -1,0 +1,203 @@
+"""Unit tests for the versioned wire schema (repro.serve.wire)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import (
+    CheckinAck,
+    CheckinMessage,
+    CheckoutRequest,
+    CheckoutResponse,
+)
+from repro.core.stopping import StopDecision, StopReason
+from repro.serve import wire
+
+
+def make_checkin(device_id=3, dim=4):
+    return CheckinMessage(
+        device_id=device_id,
+        token="tok",
+        gradient=np.arange(dim, dtype=np.float64) / 7.0,
+        num_samples=5,
+        noisy_error_count=2,
+        noisy_label_counts=np.array([2, 3], dtype=np.int64),
+        checkout_iteration=11,
+    )
+
+
+class TestEnvelope:
+    def test_round_trip(self):
+        raw = wire.encode_envelope("status", {"x": 1})
+        kind, body = wire.parse_envelope(raw)
+        assert kind == "status" and body == {"x": 1}
+
+    def test_version_stamp_present(self):
+        payload = json.loads(wire.encode_envelope("k", {}))
+        assert payload["protocol"] == wire.PROTOCOL_VERSION
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "",
+            "not json",
+            "[1,2,3]",
+            '"a string"',
+            '{"protocol": 1, "body": {}}',            # no kind
+            '{"protocol": 1, "kind": "x"}',           # no body
+            '{"protocol": 1, "kind": 7, "body": {}}',  # non-string kind
+            '{"protocol": 1, "kind": "x", "body": []}',  # non-object body
+            b"\xff\xfe garbage bytes",
+        ],
+    )
+    def test_malformed_envelopes(self, raw):
+        with pytest.raises(wire.WireError) as excinfo:
+            wire.parse_envelope(raw)
+        assert excinfo.value.code == wire.ErrorCode.MALFORMED
+        assert excinfo.value.http_status == 400
+
+    @pytest.mark.parametrize(
+        "version",
+        # 1.0 and True satisfy == 1 but are not valid stamps: the check
+        # is strict on type, not just value.
+        [0, 2, -1, "1", None, 1.5, 1.0, True],
+    )
+    def test_version_mismatch(self, version):
+        raw = json.dumps({"protocol": version, "kind": "status", "body": {}})
+        with pytest.raises(wire.WireError) as excinfo:
+            wire.parse_envelope(raw)
+        assert excinfo.value.code == wire.ErrorCode.VERSION_MISMATCH
+        assert excinfo.value.http_status == 426
+
+    def test_missing_version_stamp_is_version_mismatch(self):
+        # An envelope with no stamp at all is an unknown (ancient)
+        # protocol, not merely malformed: the client should upgrade.
+        raw = '{"kind": "status", "body": {}}'
+        with pytest.raises(wire.WireError) as excinfo:
+            wire.parse_envelope(raw)
+        assert excinfo.value.code == wire.ErrorCode.VERSION_MISMATCH
+        assert excinfo.value.http_status == 426
+
+    def test_unexpected_kind(self):
+        raw = wire.encode_envelope("status", {})
+        with pytest.raises(wire.WireError) as excinfo:
+            wire.parse_envelope(raw, "checkout_request")
+        assert excinfo.value.code == wire.ErrorCode.MALFORMED
+
+
+class TestMessageEnvelopes:
+    def test_checkout_request_round_trip(self):
+        request = CheckoutRequest(device_id=4, token="t", request_time=1.25)
+        assert wire.decode_checkout_request(
+            wire.encode_checkout_request(request)) == request
+
+    def test_checkout_response_round_trip_is_bit_exact(self):
+        parameters = np.random.default_rng(0).normal(size=17)
+        response = CheckoutResponse(
+            device_id=1, parameters=parameters, server_iteration=9,
+            issued_time=0.5,
+        )
+        decoded = wire.decode_checkout_response(
+            wire.encode_checkout_response(response))
+        assert np.array_equal(decoded.parameters, parameters)
+        assert decoded.parameters.dtype == np.float64
+        assert decoded.server_iteration == 9
+
+    def test_checkout_request_body_of_wrong_type(self):
+        # A well-formed envelope whose body is a different codec message.
+        raw = wire.encode_checkout_response(
+            CheckoutResponse(0, np.zeros(2), 0, 0.0))
+        payload = json.loads(raw)
+        payload["kind"] = "checkout_request"
+        with pytest.raises(wire.WireError) as excinfo:
+            wire.decode_checkout_request(json.dumps(payload))
+        assert excinfo.value.code == wire.ErrorCode.MALFORMED
+
+    def test_checkin_batch_round_trip(self):
+        messages = [make_checkin(device_id=i) for i in range(3)]
+        decoded = wire.decode_checkin_batch(wire.encode_checkin_batch(messages))
+        assert len(decoded) == 3
+        for original, copy in zip(messages, decoded):
+            assert copy.device_id == original.device_id
+            assert np.array_equal(copy.gradient, original.gradient)
+            assert np.array_equal(
+                copy.noisy_label_counts, original.noisy_label_counts)
+            assert copy.checkout_iteration == original.checkout_iteration
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            {},                                  # no messages key
+            {"messages": "nope"},                # not a list
+            {"messages": []},                    # empty batch
+            {"messages": [42]},                  # non-object entry
+            {"messages": [{"type": "checkin"}]},  # missing fields
+        ],
+    )
+    def test_checkin_batch_malformed(self, body):
+        raw = wire.encode_envelope("checkin_batch", body)
+        with pytest.raises(wire.WireError) as excinfo:
+            wire.decode_checkin_batch(raw)
+        assert excinfo.value.code == wire.ErrorCode.MALFORMED
+
+    def test_checkin_batch_size_cap(self):
+        entry = json.loads(wire.encode_checkin_batch([make_checkin()]))
+        entry["body"]["messages"] = (
+            entry["body"]["messages"] * (wire.MAX_BATCH_MESSAGES + 1)
+        )
+        with pytest.raises(wire.WireError, match="limit"):
+            wire.decode_checkin_batch(json.dumps(entry))
+
+    def test_checkin_result_round_trip_with_rejections(self):
+        acks = [CheckinAck(0, 5), None, CheckinAck(2, 6)]
+        stop = StopDecision(True, StopReason.MAX_ITERATIONS)
+        raw = wire.encode_checkin_result(acks, server_iteration=6, stop=stop)
+        decoded = wire.decode_checkin_result(raw)
+        assert decoded.acks == (CheckinAck(0, 5), None, CheckinAck(2, 6))
+        assert decoded.server_iteration == 6
+        assert decoded.stopped
+        assert decoded.stop_decision == stop
+
+    def test_checkin_result_unknown_stop_reason(self):
+        raw = json.loads(wire.encode_checkin_result([], 0, StopDecision.running()))
+        raw["body"]["stop_reason"] = "cosmic_rays"
+        with pytest.raises(wire.WireError) as excinfo:
+            wire.decode_checkin_result(json.dumps(raw))
+        assert excinfo.value.code == wire.ErrorCode.MALFORMED
+
+
+class TestStatusAndErrors:
+    def test_status_round_trip(self):
+        raw = wire.encode_status(
+            iteration=12, stop=StopDecision.running(), checkouts_served=30,
+            rejected_messages=1, registered_devices=8, num_parameters=510,
+        )
+        status = wire.decode_status(raw)
+        assert status.iteration == 12
+        assert not status.stopped
+        assert status.parameters is None
+        assert status.protocol_version == wire.PROTOCOL_VERSION
+        assert status.num_parameters == 510
+
+    def test_status_with_parameters_is_bit_exact(self):
+        parameters = np.random.default_rng(1).normal(size=23)
+        raw = wire.encode_status(
+            iteration=0, stop=StopDecision.running(), checkouts_served=0,
+            rejected_messages=0, registered_devices=0,
+            num_parameters=parameters.shape[0], parameters=parameters,
+        )
+        assert np.array_equal(wire.decode_status(raw).parameters, parameters)
+
+    def test_error_round_trip(self):
+        raw = wire.encode_error(wire.ErrorCode.STOPPED, "task over")
+        error = wire.decode_error(raw)
+        assert isinstance(error, wire.WireError)
+        assert error.code == wire.ErrorCode.STOPPED
+        assert error.http_status == 409
+        assert "task over" in str(error)
+
+    def test_join_round_trip(self):
+        assert wire.decode_join_request(wire.encode_join_request(9)) == 9
+        assert wire.decode_join_response(
+            wire.encode_join_response(9, "tok")) == (9, "tok")

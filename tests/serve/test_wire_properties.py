@@ -1,0 +1,183 @@
+"""Property/fuzz tests over the wire envelopes (satellite: never an
+unhandled exception).
+
+Two contracts:
+
+* **Round trip** — any protocol message survives
+  encode → JSON text → decode with exact value fidelity (floats are
+  IEEE-754 bit-exact through ``repr``).
+* **Totality** — feeding the decoders *anything* (random text, random
+  bytes, truncated valid payloads, version-fuzzed envelopes) produces
+  either a decoded message or a typed :class:`~repro.serve.wire.WireError`
+  — never ``KeyError``/``TypeError``/``ValueError`` leaking out of the
+  schema layer, which is what keeps :class:`CrowdService` un-crashable.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import CheckinMessage, CheckoutRequest, CheckoutResponse
+from repro.core.stopping import StopDecision
+from repro.serve import wire
+
+finite_floats = st.floats(allow_nan=False, allow_infinity=False,
+                          min_value=-1e12, max_value=1e12)
+
+DECODERS = (
+    wire.decode_join_request,
+    wire.decode_join_response,
+    wire.decode_checkout_request,
+    wire.decode_checkout_response,
+    wire.decode_checkin_batch,
+    wire.decode_checkin_result,
+    wire.decode_status,
+    wire.decode_error,
+)
+
+
+class TestRoundTrips:
+    @given(
+        device_id=st.integers(0, 10**6),
+        token=st.text(min_size=1, max_size=64),
+        time=finite_floats.filter(lambda t: t >= 0),
+    )
+    @settings(max_examples=50)
+    def test_checkout_request(self, device_id, token, time):
+        request = CheckoutRequest(device_id, token, time)
+        assert wire.decode_checkout_request(
+            wire.encode_checkout_request(request)) == request
+
+    @given(params=st.lists(finite_floats, min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_checkout_response_bit_exact(self, params):
+        response = CheckoutResponse(0, np.asarray(params), 3, 0.0)
+        decoded = wire.decode_checkout_response(
+            wire.encode_checkout_response(response))
+        # Bit-exact, not approx: the remote parity contract rests on this.
+        assert decoded.parameters.tobytes() == response.parameters.tobytes()
+
+    @given(
+        gradients=st.lists(
+            st.lists(finite_floats, min_size=3, max_size=3),
+            min_size=1, max_size=5,
+        ),
+        num_samples=st.integers(1, 1000),
+        error_count=st.integers(-50, 50),
+        counts=st.lists(st.integers(-10, 10**6), min_size=2, max_size=2),
+    )
+    @settings(max_examples=50)
+    def test_checkin_batch_bit_exact(self, gradients, num_samples,
+                                     error_count, counts):
+        messages = [
+            CheckinMessage(
+                device_id=i, token=f"t{i}",
+                gradient=np.asarray(gradient),
+                num_samples=num_samples,
+                noisy_error_count=error_count,
+                noisy_label_counts=np.asarray(counts, dtype=np.int64),
+                checkout_iteration=i,
+            )
+            for i, gradient in enumerate(gradients)
+        ]
+        decoded = wire.decode_checkin_batch(wire.encode_checkin_batch(messages))
+        for original, copy in zip(messages, decoded):
+            assert copy.gradient.tobytes() == original.gradient.tobytes()
+            assert copy.num_samples == original.num_samples
+            assert copy.noisy_error_count == original.noisy_error_count
+            assert np.array_equal(
+                copy.noisy_label_counts, original.noisy_label_counts)
+
+
+class TestTotality:
+    @given(raw=st.text(max_size=200))
+    @settings(max_examples=150)
+    def test_arbitrary_text_never_escapes_typed_errors(self, raw):
+        for decode in DECODERS:
+            try:
+                decode(raw)
+            except wire.WireError as error:
+                assert error.code in vars(wire.ErrorCode).values()
+                assert 400 <= error.http_status < 600
+
+    @given(raw=st.binary(max_size=200))
+    @settings(max_examples=100)
+    def test_arbitrary_bytes_never_escape_typed_errors(self, raw):
+        for decode in DECODERS:
+            try:
+                decode(raw)
+            except wire.WireError:
+                pass
+
+    @given(data=st.data())
+    @settings(max_examples=100)
+    def test_truncated_valid_payloads(self, data):
+        """Every prefix of a valid encoding decodes or fails typed."""
+        full = wire.encode_checkin_batch([
+            CheckinMessage(
+                device_id=1, token="t", gradient=np.ones(4),
+                num_samples=2, noisy_error_count=0,
+                noisy_label_counts=np.array([1, 1]), checkout_iteration=0,
+            )
+        ])
+        cut = data.draw(st.integers(0, len(full) - 1))
+        with pytest.raises(wire.WireError) as excinfo:
+            wire.decode_checkin_batch(full[:cut])
+        assert excinfo.value.code in (
+            wire.ErrorCode.MALFORMED, wire.ErrorCode.VERSION_MISMATCH
+        )
+
+    @given(
+        version=st.one_of(
+            st.integers(-5, 100).filter(lambda v: v != wire.PROTOCOL_VERSION),
+            st.text(max_size=5), st.none(), st.floats(allow_nan=False),
+        ),
+        kind=st.sampled_from(
+            ["checkout_request", "checkin_batch", "status", "error"]),
+    )
+    @settings(max_examples=100)
+    def test_wrong_version_is_always_version_mismatch(self, version, kind):
+        raw = json.dumps({"protocol": version, "kind": kind, "body": {}})
+        with pytest.raises(wire.WireError) as excinfo:
+            wire.parse_envelope(raw)
+        assert excinfo.value.code == wire.ErrorCode.VERSION_MISMATCH
+
+    @given(
+        body=st.recursive(
+            st.one_of(st.none(), st.booleans(), st.integers(),
+                      st.floats(allow_nan=False), st.text(max_size=10)),
+            lambda children: st.one_of(
+                st.lists(children, max_size=4),
+                st.dictionaries(st.text(max_size=8), children, max_size=4),
+            ),
+            max_leaves=12,
+        ).filter(lambda b: isinstance(b, dict)),
+        kind=st.sampled_from([
+            "join_request", "checkout_request", "checkin_batch",
+            "checkin_result", "status", "error",
+        ]),
+    )
+    @settings(max_examples=150)
+    def test_arbitrary_bodies_never_escape_typed_errors(self, body, kind):
+        """Structured garbage inside a valid envelope stays typed."""
+        raw = wire.encode_envelope(kind, body)
+        for decode in DECODERS:
+            try:
+                decode(raw)
+            except wire.WireError:
+                pass
+
+    def test_float_special_values_rejected_or_preserved(self):
+        """NaN/inf parameters: json encodes them; decode keeps values."""
+        response = CheckoutResponse(
+            0, np.array([np.inf, -np.inf, np.nan]), 0, 0.0)
+        decoded = wire.decode_checkout_response(
+            wire.encode_checkout_response(response))
+        assert decoded.parameters.tobytes() == response.parameters.tobytes()
+
+    def test_stop_decision_running_helper(self):
+        raw = wire.encode_checkin_result([], 0, StopDecision.running())
+        assert not wire.decode_checkin_result(raw).stopped

@@ -9,10 +9,21 @@ figure-level configuration matrix (the same knobs the retired cross-path
 suite exercised) and the exact-fingerprint encoding.
 
 Floats are fingerprinted losslessly: scalars via ``float.hex()``, arrays
-via SHA-256 over their raw little-endian bytes.  Fingerprints therefore
-pin the exact IEEE-754 bits, not a tolerance — matching the project's
-"bit-identical traces" contract.  The recorded bits are a property of the
-numpy/BLAS build that generated them; regenerate on a new platform with
+via SHA-256 over their raw little-endian bytes (the learned parameter
+vector additionally as per-element hex, so value-level comparison stays
+possible).  Fingerprints therefore pin the exact IEEE-754 bits, not a
+tolerance — matching the project's "bit-identical traces" contract on
+the platform that recorded them.
+
+Because those bits are a property of the numpy/BLAS build, comparison is
+**tolerance-tiered** (:func:`compare_fingerprint`): an exact match
+passes silently; on a mismatch, discrete trajectory facts (iteration
+grids, message counts, stop reason) must still match exactly while the
+float-valued fields (curve errors, final parameters, ε spend) may drift
+within ``REPRO_GOLDEN_ATOL`` (default 1e-6) — the pure-rounding
+signature of a different BLAS — producing a warning instead of a
+failure.  Set ``REPRO_GOLDEN_ATOL=0`` to forbid the fallback, or
+regenerate platform-native goldens with
 ``REPRO_REGEN_GOLDEN=1 python -m pytest tests/simulation/test_trace_regression.py``.
 """
 
@@ -21,7 +32,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Any, Dict
+import warnings
+from typing import Any, Dict, List
 
 import numpy as np
 
@@ -149,6 +161,11 @@ def trace_fingerprint(trace) -> Dict[str, Any]:
         "online_errors": _array_digest(trace.online_errors),
         "online_error_count": int(np.sum(trace.online_errors)),
         "final_parameters": _array_digest(trace.final_parameters),
+        # Value-level copy of the learned vector (lossless hex): the
+        # tier-2 atol comparison needs values, not just the bit digest.
+        "final_parameters_values": [
+            float(v).hex() for v in trace.final_parameters
+        ],
         "staleness": _array_digest(trace.staleness),
         "staleness_sum": int(np.sum(trace.staleness)) if trace.staleness.size else 0,
         "total_samples_consumed": int(trace.total_samples_consumed),
@@ -164,6 +181,163 @@ def trace_fingerprint(trace) -> Dict[str, Any]:
             "downlink_floats": comm.downlink_floats,
         },
     }
+
+
+GOLDEN_ATOL_ENV = "REPRO_GOLDEN_ATOL"
+DEFAULT_GOLDEN_ATOL = 1e-6
+
+#: Discrete trajectory facts: different BLAS rounding never changes these
+#: unless the run genuinely diverged, so they must match in every tier.
+#: (Staleness is schedule-derived — event ordering, not float values — so
+#: it is exact even on a foreign BLAS; a prediction flip big enough to
+#: change the schedule also changes server_iterations and fails here.)
+EXACT_FIELDS = (
+    "curve_iterations",
+    "total_samples_consumed",
+    "server_iterations",
+    "stop_reason",
+    "communication",
+    "staleness",
+    "staleness_sum",
+)
+#: Float-valued fields allowed to drift within atol in tier 2.
+FLOAT_LIST_FIELDS = ("curve_errors", "final_parameters_values")
+FLOAT_SCALAR_FIELDS = ("per_sample_epsilon",)
+#: Bit-level digests and prediction-sensitive counts, excused in tier 2:
+#: they pin exact IEEE-754 bits (or error-side-of-boundary outcomes),
+#: which differ on another BLAS *by construction* whenever tier 2 is in
+#: play at all.
+BIT_LEVEL_FIELDS = (
+    "online_errors",
+    "online_error_count",
+    "final_parameters",
+)
+#: Every fingerprint field must appear in exactly one tier above; a field
+#: outside this union fails tier 2 instead of being silently excused.
+TIERED_FIELDS = frozenset(
+    EXACT_FIELDS + FLOAT_LIST_FIELDS + FLOAT_SCALAR_FIELDS + BIT_LEVEL_FIELDS
+)
+
+
+def golden_atol() -> float:
+    """Tier-2 tolerance from ``REPRO_GOLDEN_ATOL`` (<= 0 disables tier 2)."""
+    raw = os.environ.get(GOLDEN_ATOL_ENV, "")
+    if not raw:
+        return DEFAULT_GOLDEN_ATOL
+    return float(raw)
+
+
+def _hex_values(field: Any) -> np.ndarray:
+    if not isinstance(field, list):
+        raise TypeError(f"expected a hex-float list, got {type(field).__name__}")
+    return np.array([float.fromhex(v) for v in field], dtype=np.float64)
+
+
+def compare_fingerprint(
+    name: str,
+    fingerprint: Dict[str, Any],
+    expected: Dict[str, Any],
+    atol: float = None,
+) -> List[str]:
+    """Tiered golden comparison; returns a list of failure descriptions.
+
+    Tier 1 — exact: every recorded field matches bit for bit (the union
+    of keys is compared, so a fingerprint field added without
+    regenerating the golden file fails loudly instead of being silently
+    skipped).  Tier 2 — atol fallback for foreign-BLAS hardware:
+    discrete fields must still match exactly; float-valued fields may
+    differ by at most ``atol`` elementwise; bit-level digests are
+    excused.  A tier-2 pass emits a :class:`UserWarning` naming the
+    largest drift, so CI logs show the platform is off-golden even
+    though the job stays green.
+    """
+    differing = [
+        key for key in sorted(set(expected) | set(fingerprint))
+        if fingerprint.get(key) != expected.get(key)
+    ]
+    if not differing:
+        return []
+    if atol is None:
+        atol = golden_atol()
+    if atol <= 0:
+        return [f"{name}: trace differs from golden on {differing} "
+                f"(tier-2 fallback disabled via {GOLDEN_ATOL_ENV})"]
+
+    problems = []
+    for key in differing:
+        if key not in TIERED_FIELDS:
+            # A fingerprint/golden field with no assigned tier: fail
+            # loudly (the tier-1 guarantee) instead of excusing it.
+            problems.append(
+                f"{name}: field {key!r} has no comparison tier; assign it "
+                f"in _golden.py and regenerate the golden file"
+            )
+    for key in EXACT_FIELDS:
+        if fingerprint.get(key) != expected.get(key):
+            problems.append(
+                f"{name}: discrete field {key!r} differs "
+                f"(no tolerance applies): {expected.get(key)!r} -> "
+                f"{fingerprint.get(key)!r}"
+            )
+    worst = 0.0
+    for key in FLOAT_LIST_FIELDS:
+        try:
+            got = _hex_values(fingerprint.get(key))
+            want = _hex_values(expected.get(key))
+        except (TypeError, ValueError) as error:
+            problems.append(f"{name}: cannot value-compare {key!r}: {error}")
+            continue
+        if got.shape != want.shape:
+            problems.append(
+                f"{name}: {key!r} length {got.shape} != golden {want.shape}"
+            )
+            continue
+        drift = float(np.max(np.abs(got - want))) if got.size else 0.0
+        worst = max(worst, drift)
+        if drift > atol:
+            problems.append(
+                f"{name}: {key!r} drifts by {drift:.3e} > atol {atol:.3e}"
+            )
+    for key in FLOAT_SCALAR_FIELDS:
+        try:
+            got = float.fromhex(fingerprint.get(key))
+            want = float.fromhex(expected.get(key))
+        except (TypeError, ValueError) as error:
+            problems.append(f"{name}: cannot value-compare {key!r}: {error}")
+            continue
+        drift = abs(got - want)
+        worst = max(worst, drift)
+        if drift > atol:
+            problems.append(
+                f"{name}: {key!r} drifts by {drift:.3e} > atol {atol:.3e}"
+            )
+    if problems:
+        return problems
+    float_fields_differ = any(
+        key in differing
+        for key in FLOAT_LIST_FIELDS + FLOAT_SCALAR_FIELDS
+    )
+    if not float_fields_differ:
+        # No float field differs at all (not even in representation, so
+        # this is not ±0.0 or low-bit BLAS drift): the only differing
+        # fields are the bit-level/prediction ones, which is a genuine
+        # regression (e.g. in online error recording) — no excuse
+        # applies.
+        return [
+            f"{name}: only bit-level fields differ ({differing}) while "
+            f"every float field is bit-exact — that is a regression, "
+            f"not BLAS drift"
+        ]
+    warnings.warn(
+        f"golden trace {name!r}: bit-exact match failed on {differing}; "
+        f"accepted at atol {atol:.1e} (max float drift {worst:.3e}). "
+        f"This platform's BLAS produces different low bits — regenerate "
+        f"platform-native goldens with REPRO_REGEN_GOLDEN=1 for exact "
+        f"pinning.",
+        UserWarning,
+        stacklevel=2,
+    )
+    return []
 
 
 def load_golden() -> Dict[str, Any]:

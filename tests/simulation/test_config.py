@@ -40,6 +40,60 @@ class TestValidation:
         assert config.projection_radius is None
 
 
+class TestHttpTransport:
+    def test_http_requires_server_url(self):
+        with pytest.raises(ConfigurationError, match="server_url"):
+            SimulationConfig(num_devices=5, transport="http")
+
+    def test_server_url_requires_http_transport(self):
+        with pytest.raises(ConfigurationError, match="server_url"):
+            SimulationConfig(num_devices=5, server_url="http://127.0.0.1:1")
+
+    def test_http_resolves_to_itself(self):
+        config = SimulationConfig(
+            num_devices=5, transport="http", server_url="http://127.0.0.1:1"
+        )
+        assert config.resolved_transport() == "http"
+
+    def test_auto_never_selects_http(self):
+        assert SimulationConfig(num_devices=5).resolved_transport() == "direct"
+
+    def test_http_rejects_delays_and_outages(self):
+        from repro.network.outage import BernoulliOutage
+
+        with pytest.raises(ConfigurationError, match="zero link delays"):
+            SimulationConfig(
+                num_devices=5, transport="http", server_url="http://127.0.0.1:1",
+                link_delays=LinkDelays.uniform(0.5),
+            )
+        with pytest.raises(ConfigurationError, match="reliable"):
+            SimulationConfig(
+                num_devices=5, transport="http", server_url="http://127.0.0.1:1",
+                outage=BernoulliOutage(0.5),
+            )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"learning_rate_constant": 30.0},
+            {"projection_radius": 10.0},
+            {"max_iterations": 50},
+            {"target_error": 0.2},
+        ],
+    )
+    def test_http_rejects_server_owned_knobs(self, kwargs):
+        """Knobs the live server owns are rejected, not silently ignored."""
+        with pytest.raises(ConfigurationError, match="owned by the live server"):
+            SimulationConfig(
+                num_devices=5, transport="http",
+                server_url="http://127.0.0.1:1", **kwargs,
+            )
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigurationError, match="transport"):
+            SimulationConfig(num_devices=5, transport="grpc")
+
+
 class TestDelayUnits:
     def test_delta_conversion(self):
         """Δ = 1/(M·F_s): a k·Δ delay spans k crowd-wide samples."""

@@ -1,0 +1,144 @@
+"""Unit tests for the tolerance-tiered golden-trace comparison."""
+
+import numpy as np
+import pytest
+
+from tests.simulation import _golden as golden_mod
+
+
+def make_fingerprint(**overrides):
+    """A small synthetic fingerprint with every recorded field."""
+    parameters = np.array([0.5, -1.25, 3.0])
+    fingerprint = {
+        "curve_iterations": [10, 20],
+        "curve_errors": [0.5.hex(), 0.25.hex()],
+        "online_errors": golden_mod._array_digest(np.array([True, False])),
+        "online_error_count": 1,
+        "final_parameters": golden_mod._array_digest(parameters),
+        "final_parameters_values": [float(v).hex() for v in parameters],
+        "staleness": golden_mod._array_digest(np.array([0, 1], dtype=np.int64)),
+        "staleness_sum": 1,
+        "total_samples_consumed": 20,
+        "server_iterations": 20,
+        "per_sample_epsilon": 0.0.hex(),
+        "stop_reason": "data_exhausted",
+        "communication": {"checkout_requests": 20},
+    }
+    fingerprint.update(overrides)
+    return fingerprint
+
+
+class TestFieldPartition:
+    def test_every_fingerprint_field_has_a_tier(self):
+        """A new fingerprint field must be assigned to a tier explicitly —
+        checked against the *recorded* goldens, not a synthetic copy."""
+        assert set(make_fingerprint()) == set(golden_mod.TIERED_FIELDS)
+        for name, fingerprint in golden_mod.load_golden().items():
+            assert set(fingerprint) == set(golden_mod.TIERED_FIELDS), name
+
+    def test_untiered_field_fails_tier_two(self):
+        """A field outside the tier partition is never silently excused."""
+        drifted = make_fingerprint(novel_metric=42)
+        problems = golden_mod.compare_fingerprint(
+            "case", drifted, make_fingerprint(), atol=1.0)
+        assert problems and "no comparison tier" in problems[0]
+        # ... whichever side carries it.
+        problems = golden_mod.compare_fingerprint(
+            "case", make_fingerprint(), drifted, atol=1.0)
+        assert problems and "no comparison tier" in problems[0]
+
+    def test_recorded_goldens_carry_value_fields(self):
+        golden = golden_mod.load_golden()
+        assert golden, "golden file is empty"
+        for name, fingerprint in golden.items():
+            values = fingerprint["final_parameters_values"]
+            digest = fingerprint["final_parameters"]
+            assert len(values) == digest["shape"][0], name
+            # The hex values decode to the exact recorded bits.
+            decoded = np.array([float.fromhex(v) for v in values])
+            assert golden_mod._array_digest(decoded)["sha256"] == digest["sha256"], name
+
+
+class TestCompareFingerprint:
+    def test_exact_match_passes_silently(self):
+        fingerprint = make_fingerprint()
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert golden_mod.compare_fingerprint(
+                "case", fingerprint, make_fingerprint()) == []
+
+    def test_float_drift_within_atol_warns_and_passes(self):
+        drifted = make_fingerprint(
+            curve_errors=[(0.5 + 1e-9).hex(), 0.25.hex()],
+            # Digests drift alongside on a real foreign platform.
+            online_errors=golden_mod._array_digest(np.array([False, True])),
+            online_error_count=2,
+        )
+        with pytest.warns(UserWarning, match="atol"):
+            problems = golden_mod.compare_fingerprint(
+                "case", drifted, make_fingerprint(), atol=1e-6)
+        assert problems == []
+
+    def test_drift_beyond_atol_fails(self):
+        drifted = make_fingerprint(
+            final_parameters_values=[0.5.hex(), (-1.25 + 1e-3).hex(), 3.0.hex()])
+        problems = golden_mod.compare_fingerprint(
+            "case", drifted, make_fingerprint(), atol=1e-6)
+        assert problems and "final_parameters_values" in problems[0]
+
+    def test_discrete_mismatch_fails_regardless_of_atol(self):
+        drifted = make_fingerprint(server_iterations=21)
+        problems = golden_mod.compare_fingerprint(
+            "case", drifted, make_fingerprint(), atol=1e6)
+        assert problems and "server_iterations" in problems[0]
+
+    def test_stop_reason_mismatch_fails(self):
+        drifted = make_fingerprint(stop_reason="max_iterations")
+        assert golden_mod.compare_fingerprint(
+            "case", drifted, make_fingerprint(), atol=1.0)
+
+    def test_signed_zero_representation_drift_still_warns(self):
+        """-0.0 vs +0.0 is zero measured drift but IS a float-field
+        difference (real BLAS signature) — tier 2 must excuse it."""
+        drifted = make_fingerprint(
+            final_parameters_values=[(-0.0).hex(), (-1.25).hex(), 3.0.hex()])
+        expected = make_fingerprint(
+            final_parameters_values=[0.0.hex(), (-1.25).hex(), 3.0.hex()])
+        with pytest.warns(UserWarning, match="atol"):
+            assert golden_mod.compare_fingerprint(
+                "case", drifted, expected, atol=1e-6) == []
+
+    def test_bit_level_only_mismatch_with_zero_drift_fails(self):
+        """An online-errors-only change with bit-exact floats is a real
+        regression, not BLAS drift — tier 2 must not excuse it."""
+        drifted = make_fingerprint(online_error_count=2)
+        problems = golden_mod.compare_fingerprint(
+            "case", drifted, make_fingerprint(), atol=1e-6)
+        assert problems and "regression" in problems[0]
+
+    def test_staleness_is_exact_in_every_tier(self):
+        """Staleness is schedule-derived: BLAS drift cannot excuse it."""
+        drifted = make_fingerprint(staleness_sum=2)
+        problems = golden_mod.compare_fingerprint(
+            "case", drifted, make_fingerprint(), atol=1e6)
+        assert problems and "staleness_sum" in problems[0]
+
+    def test_atol_zero_disables_tier_two(self):
+        drifted = make_fingerprint(
+            curve_errors=[(0.5 + 1e-12).hex(), 0.25.hex()])
+        problems = golden_mod.compare_fingerprint(
+            "case", drifted, make_fingerprint(), atol=0.0)
+        assert problems and "disabled" in problems[0]
+
+    def test_length_mismatch_fails(self):
+        drifted = make_fingerprint(curve_errors=[0.5.hex()])
+        problems = golden_mod.compare_fingerprint(
+            "case", drifted, make_fingerprint(), atol=1.0)
+        assert problems
+
+    def test_env_var_controls_default_atol(self, monkeypatch):
+        monkeypatch.setenv(golden_mod.GOLDEN_ATOL_ENV, "0.5")
+        assert golden_mod.golden_atol() == 0.5
+        monkeypatch.delenv(golden_mod.GOLDEN_ATOL_ENV)
+        assert golden_mod.golden_atol() == golden_mod.DEFAULT_GOLDEN_ATOL

@@ -57,14 +57,10 @@ def _check(name, fingerprint, golden):
     assert name in golden, (
         f"no golden trace recorded for {name!r}; run with REPRO_REGEN_GOLDEN=1"
     )
-    expected = golden[name]
-    # Union of keys: a fingerprint field added without regenerating the
-    # golden file fails loudly instead of being silently skipped.
-    differing = [
-        key for key in sorted(set(expected) | set(fingerprint))
-        if fingerprint.get(key) != expected.get(key)
-    ]
-    assert not differing, f"{name}: trace differs from golden on {differing}"
+    # Tiered: exact (bit-for-bit) first, then the REPRO_GOLDEN_ATOL
+    # fallback for foreign-BLAS hardware — see _golden.compare_fingerprint.
+    problems = golden_mod.compare_fingerprint(name, fingerprint, golden[name])
+    assert not problems, "\n".join(problems)
 
 
 def _zero_delay(overrides) -> bool:
