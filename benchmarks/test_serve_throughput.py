@@ -16,10 +16,18 @@ then:
    second, published to ``benchmarks/results/serve_throughput.json``.
    Wall-clock numbers are recorded, **not** asserted (shared-runner
    jitter must not flake CI).
+4. **Gateway tier** — a 256-device crowd behind
+   :class:`~repro.gateway.edge.EdgeGateway`\\ s, swept over
+   devices-per-gateway.  Two assertions gate: the batched tier must
+   clear **≥ 10×** the per-device rounds/s at 256 devices with zero
+   server errors, and a sequential pass-through gateway must land on
+   **bit-identical** final parameters to an in-process
+   ``Device``/``ServerCore`` replay of the same schedule.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import signal
@@ -30,11 +38,17 @@ import time
 
 import numpy as np
 
-from benchmarks._harness import publish_table
-from repro.core.config import DeviceConfig
+from benchmarks._harness import RESULTS_DIR, publish_table
+from repro.core.config import DeviceConfig, ServerConfig
+from repro.core.device import Device
+from repro.core.protocol import CheckoutRequest
+from repro.core.server_core import ServerCore
 from repro.data import iid_partition, make_mnist_like
 from repro.evaluation import assert_traces_identical
+from repro.gateway import TwoTierTopology
+from repro.gateway.edge import EdgeGateway
 from repro.models import MulticlassLogisticRegression
+from repro.optim import paper_sgd
 from repro.serve import HttpTransport, RemoteDevice, ServiceClient
 from repro.simulation import CrowdSimulator, SimulationConfig
 
@@ -192,4 +206,238 @@ def test_serve_smoke_and_throughput():
         f"{concurrent_elapsed:.2f}s = {concurrent_rps:.0f} rounds/s "
         f"(0 server errors)",
     ]
-    publish_table("serve_throughput", "\n".join(lines), metrics)
+    _publish_merged("\n".join(lines), metrics)
+
+
+# --------------------------------------------------------------------- #
+# Gateway tier: 256 devices behind EdgeGateways, devices-per-gateway     #
+# sweep.  The speedup gate IS asserted (it is request-count-driven: the  #
+# batched tier collapses 2·N data requests per round into ~2 per gateway #
+# — a 10× margin survives any shared-runner jitter).                     #
+# --------------------------------------------------------------------- #
+
+CROWD_DEVICES = 256
+CROWD_BATCH = 2
+DEVICES_PER_GATEWAY = (16, 64, 256)
+
+
+def _crowd_rounds() -> int:
+    return 2 if os.environ.get("REPRO_SCALE", "benchmark") == "smoke" else 4
+
+
+def _publish_merged(text: str, metrics: dict) -> None:
+    """Publish under the single ``serve_throughput`` name, merging with
+    whatever arms an earlier test in this module already wrote — the CI
+    artifact carries the HTTP arms and the gateway arms side by side."""
+    json_path = os.path.join(RESULTS_DIR, "serve_throughput.json")
+    txt_path = os.path.join(RESULTS_DIR, "serve_throughput.txt")
+    arms: dict = {}
+    existing_text = ""
+    if os.path.exists(json_path):
+        with open(json_path) as handle:
+            arms = json.load(handle).get("arms", {})
+    if os.path.exists(txt_path):
+        with open(txt_path) as handle:
+            existing_text = handle.read().rstrip("\n")
+    arms = {key: value for key, value in arms.items() if key not in metrics}
+    arms.update(metrics)
+    if existing_text and not text.startswith(existing_text):
+        text = existing_text + "\n" + text
+    publish_table("serve_throughput", text, arms)
+
+
+def _drive_crowd(url: str, num_rounds: int, gateways=None, assignment=None,
+                 seed: int = 50):
+    """One fixed round-robin schedule of device rounds over HTTP.
+
+    Same schedule (device rngs, data streams, visit order) regardless of
+    routing, so arms differ only in how the traffic reaches the server.
+    Returns (devices, data_requests_made, rounds_elapsed); the timed
+    window covers the rounds plus trailing flushes — enrollment is
+    identical setup in every arm and stays outside it.
+    """
+    transport = HttpTransport(url)
+    model = MulticlassLogisticRegression(DIM, CLASSES)
+    devices = []
+    for d in range(CROWD_DEVICES):
+        gateway = gateways[assignment[d]] if gateways is not None else None
+        devices.append(RemoteDevice.join(
+            transport, d, model,
+            DeviceConfig.default(batch_size=CROWD_BATCH, num_classes=CLASSES),
+            np.random.default_rng(seed + d),
+            gateway=gateway,
+        ))
+    streams = [np.random.default_rng(7000 + d) for d in range(CROWD_DEVICES)]
+    start = time.perf_counter()
+    for _ in range(num_rounds):
+        for device, stream in zip(devices, streams):
+            while not device.observe(
+                stream.normal(size=DIM), int(stream.integers(CLASSES))
+            ):
+                pass
+            device.run_round()
+    if gateways is not None:
+        for gateway in gateways:
+            if not gateway.stopped:
+                gateway.flush()
+    elapsed = time.perf_counter() - start
+    if gateways is not None:
+        requests = sum(g.requests_made for g in gateways)
+    else:
+        # Fallback path: one checkout + one single-message POST per round.
+        requests = 2 * CROWD_DEVICES * num_rounds
+    return devices, requests, elapsed
+
+
+def _direct_reference(num_rounds: int, seed: int = 50) -> ServerCore:
+    """In-process Device + ServerCore replay of ``_drive_crowd``'s
+    schedule — the DirectTransport-semantics parity target."""
+    model = MulticlassLogisticRegression(DIM, CLASSES)
+    core = ServerCore(
+        model,
+        paper_sgd(model.init_parameters(),
+                  learning_rate_constant=LEARNING_RATE,
+                  projection_radius=PROJECTION_RADIUS),
+        ServerConfig(max_iterations=10**7),
+    )
+    devices = [
+        Device(d, model,
+               DeviceConfig.default(batch_size=CROWD_BATCH, num_classes=CLASSES),
+               core.register_device(d), np.random.default_rng(seed + d))
+        for d in range(CROWD_DEVICES)
+    ]
+    streams = [np.random.default_rng(7000 + d) for d in range(CROWD_DEVICES)]
+    for _ in range(num_rounds):
+        for device, stream in zip(devices, streams):
+            while not device.observe(
+                stream.normal(size=DIM), int(stream.integers(CLASSES))
+            ):
+                pass
+            device.mark_checkout_requested()
+            response = core.handle_checkout(
+                CheckoutRequest(device.device_id, device.token, 0.0)
+            )
+            result = device.complete_checkout(
+                response.parameters, response.server_iteration
+            )
+            core.handle_checkins([result.message])
+    return core
+
+
+def test_gateway_throughput():
+    num_rounds = _crowd_rounds()
+    total_rounds = CROWD_DEVICES * num_rounds
+    metrics: dict = {}
+    lines = [
+        f"serve_throughput gateway tier ({CROWD_DEVICES} devices x "
+        f"{num_rounds} rounds; speedup gate asserted)",
+    ]
+
+    # Arm 0 — per-device HTTP: every round its own checkout + POST.
+    process, url = spawn_server(max_iterations=10**7)
+    try:
+        devices, baseline_requests, baseline_elapsed = _drive_crowd(
+            url, num_rounds
+        )
+        status = ServiceClient(url).status()
+        assert status.rejected_messages == 0
+        assert status.iteration == total_rounds
+        assert all(d.rounds_completed == num_rounds for d in devices)
+    finally:
+        stop_server(process)
+    baseline_rps = total_rounds / max(baseline_elapsed, 1e-9)
+    metrics["per_device_http"] = {
+        "devices": CROWD_DEVICES,
+        "rounds": total_rounds,
+        "requests": baseline_requests,
+        "seconds": round(baseline_elapsed, 4),
+        "rounds_per_sec": round(baseline_rps, 1),
+        "requests_per_sec": round(
+            baseline_requests / max(baseline_elapsed, 1e-9), 1),
+        "server_errors": 0,
+    }
+    lines.append(
+        f"  per-device HTTP      : {total_rounds} rounds / "
+        f"{baseline_requests} requests in {baseline_elapsed:.2f}s = "
+        f"{baseline_rps:.0f} rounds/s"
+    )
+
+    # Arms 1..k — the gateway tier, swept over devices-per-gateway.
+    speedups = {}
+    for dpg in DEVICES_PER_GATEWAY:
+        num_gateways = CROWD_DEVICES // dpg
+        assignment = TwoTierTopology(
+            num_gateways=num_gateways, assignment="block"
+        ).assign(CROWD_DEVICES)
+        process, url = spawn_server(max_iterations=10**7)
+        try:
+            gateways = [
+                EdgeGateway(url, flush_size=dpg, device_id=2**31 - 1 - g)
+                for g in range(num_gateways)
+            ]
+            devices, requests, elapsed = _drive_crowd(
+                url, num_rounds, gateways, assignment
+            )
+            status = ServiceClient(url).status()
+            # Zero server errors, every round pooled, flushed, and acked.
+            assert status.rejected_messages == 0
+            assert status.iteration == total_rounds
+            assert all(d.rounds_completed == num_rounds for d in devices)
+            # Shared epoch check-outs: ~2 upstream requests per gateway
+            # per round instead of 2·dpg.
+            assert requests == num_gateways * (1 + 2 * num_rounds)
+        finally:
+            stop_server(process)
+        rps = total_rounds / max(elapsed, 1e-9)
+        speedups[dpg] = rps / baseline_rps
+        metrics[f"gateway_dpg_{dpg}"] = {
+            "devices": CROWD_DEVICES,
+            "gateways": num_gateways,
+            "devices_per_gateway": dpg,
+            "rounds": total_rounds,
+            "requests": requests,
+            "seconds": round(elapsed, 4),
+            "rounds_per_sec": round(rps, 1),
+            "requests_per_sec": round(requests / max(elapsed, 1e-9), 1),
+            "speedup_vs_per_device": round(speedups[dpg], 1),
+            "server_errors": 0,
+        }
+        lines.append(
+            f"  gateway dpg={dpg:<4d}     : {total_rounds} rounds / "
+            f"{requests} requests in {elapsed:.2f}s = {rps:.0f} rounds/s "
+            f"({speedups[dpg]:.1f}x per-device)"
+        )
+
+    # THE GATE: batched uplinks clear 10x per-device HTTP at 256 devices.
+    best = max(speedups.values())
+    assert best >= 10.0, (
+        f"gateway tier speedup {best:.1f}x < 10x over per-device HTTP "
+        f"(per-device {baseline_rps:.0f} rounds/s; sweep {speedups})"
+    )
+
+    # Parity arm — sequential pass-through gateway (flush_size=1,
+    # forwarded check-outs) vs an in-process Device/ServerCore replay of
+    # the identical schedule: bit-identical final parameters.
+    reference = _direct_reference(num_rounds)
+    process, url = spawn_server(max_iterations=10**7)
+    try:
+        gateway = EdgeGateway(url, flush_size=1, share_checkouts=False)
+        devices, _, _ = _drive_crowd(
+            url, num_rounds, [gateway], [0] * CROWD_DEVICES
+        )
+        status = ServiceClient(url).status(include_parameters=True)
+        assert status.rejected_messages == 0
+        assert status.iteration == reference.iteration == total_rounds
+        assert np.array_equal(status.parameters, reference.parameters)
+    finally:
+        stop_server(process)
+    metrics["gateway_parity"] = {
+        "devices": CROWD_DEVICES,
+        "rounds": total_rounds,
+        "bit_identical_to_direct": True,
+    }
+    lines.append(
+        "  gateway parity       : flush_size=1 pass-through bit-identical "
+        "to in-process Device/ServerCore replay"
+    )
+    _publish_merged("\n".join(lines), metrics)

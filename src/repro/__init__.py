@@ -32,6 +32,11 @@ arXiv:1501.02484).  The package is organized as:
   :class:`ServiceClient`/:class:`HttpTransport`/:class:`RemoteDevice`
   clients, and the ``repro-serve`` CLI — the same protocol surface the
   simulator exercises, served over a real network.
+* :mod:`repro.gateway` — the edge gateway tier: device↔gateway↔server
+  two-tier topologies (:class:`TwoTierTopology`/:class:`GatewayProfile`)
+  with batch-aggregating uplinks (:class:`GatewayAggregator`), available
+  both in-simulator and as :class:`~repro.gateway.edge.EdgeGateway`
+  fronting a live service.
 
 Quickstart::
 
@@ -76,6 +81,12 @@ from repro.experiments import (
     run_fig8_experiment,
     run_fig9_experiment,
 )
+from repro.gateway import (
+    AggregatorStats,
+    GatewayAggregator,
+    GatewayProfile,
+    TwoTierTopology,
+)
 from repro.models import (
     MulticlassLinearSVM,
     MulticlassLogisticRegression,
@@ -106,9 +117,10 @@ from repro.simulation import (
 )
 from repro.store import RunStore, StoreError
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "AggregatorStats",
     "ArmSpec",
     "CrowdMLServer",
     "CrowdService",
@@ -121,6 +133,8 @@ __all__ = [
     "ExperimentSession",
     "ExperimentSpec",
     "FigureResult",
+    "GatewayAggregator",
+    "GatewayProfile",
     "HttpTransport",
     "MODELS",
     "MulticlassLinearSVM",
@@ -140,6 +154,7 @@ __all__ = [
     "SimulationConfig",
     "StoreError",
     "TrialSetReport",
+    "TwoTierTopology",
     "make_cifar_like",
     "make_mnist_like",
     "quick_crowd_run",

@@ -13,7 +13,7 @@ touching core modules::
     def _build(num_features, num_classes, **kwargs):
         return MyModel(num_features, num_classes, **kwargs)
 
-Five registries are populated at import time with every built-in component:
+Six registries are populated at import time with every built-in component:
 
 * :data:`MODELS` — ``logistic``, ``linear_svm``, ``ridge``.
 * :data:`DATASETS` — ``mnist_like``, ``cifar_like``, ``activity_stream``,
@@ -23,6 +23,8 @@ Five registries are populated at import time with every built-in component:
   ``step_decay``.
 * :data:`PRIVACY_MECHANISMS` — ``laplace``, ``discrete_laplace``,
   ``gaussian``, ``exponential``.
+* :data:`GATEWAY_ASSIGNMENTS` — ``round_robin``, ``block``, ``hash``
+  device→gateway assignment policies for the two-tier topology.
 """
 
 from __future__ import annotations
@@ -143,6 +145,10 @@ PARTITIONERS = Registry("partitioner")
 SCHEDULES = Registry("schedule")
 #: Differential-privacy noise mechanisms.
 PRIVACY_MECHANISMS = Registry("privacy mechanism")
+#: Device→gateway assignment policies for the two-tier gateway topology.
+#: Factories take ``num_devices`` and ``num_gateways`` and return a
+#: sequence of gateway indices, one per device.
+GATEWAY_ASSIGNMENTS = Registry("gateway assignment policy")
 
 
 def _register_builtins() -> None:
@@ -196,11 +202,31 @@ def _register_builtins() -> None:
     PRIVACY_MECHANISMS.register("gaussian", GaussianMechanism)
     PRIVACY_MECHANISMS.register("exponential", ExponentialMechanism)
 
+    # Pure index math, defined inline so the registry stays import-light
+    # (repro.gateway imports this module, not the other way round).
+    def _round_robin(num_devices: int, num_gateways: int):
+        return [m % num_gateways for m in range(num_devices)]
+
+    def _block(num_devices: int, num_gateways: int):
+        return [m * num_gateways // num_devices for m in range(num_devices)]
+
+    def _hash(num_devices: int, num_gateways: int):
+        # Knuth multiplicative hashing: deterministic, scrambles locality.
+        return [
+            ((m * 2654435761) & 0xFFFFFFFF) % num_gateways
+            for m in range(num_devices)
+        ]
+
+    GATEWAY_ASSIGNMENTS.register("round_robin", _round_robin)
+    GATEWAY_ASSIGNMENTS.register("block", _block)
+    GATEWAY_ASSIGNMENTS.register("hash", _hash)
+
 
 _register_builtins()
 
 __all__ = [
     "DATASETS",
+    "GATEWAY_ASSIGNMENTS",
     "MODELS",
     "PARTITIONERS",
     "PRIVACY_MECHANISMS",

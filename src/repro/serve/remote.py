@@ -32,7 +32,7 @@ see README "Serving" for the full caveat list.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -50,6 +50,9 @@ from repro.network.transport import DirectLink, Transport
 from repro.serve.client import RemoteServiceError, ServiceClient
 from repro.serve import wire
 from repro.utils.exceptions import ConfigurationError, ProtocolError
+
+if TYPE_CHECKING:
+    from repro.gateway.edge import EdgeGateway
 
 
 class HttpLink(DirectLink):
@@ -102,13 +105,30 @@ class RemoteDevice:
     code — and runs its check-out/check-in round against the link's
     remote service.  Thread-safe across *instances* (one per device);
     a single instance must be driven from one thread.
+
+    With a ``gateway`` (an :class:`~repro.gateway.edge.EdgeGateway`
+    fronting the same service), the device's traffic routes through the
+    edge tier instead: check-outs come from the gateway's shared epoch
+    cache and check-ins pool in its aggregator, leaving as batched
+    uploads.  Without one, every round falls back to **one message per
+    round trip** — a ``POST /v1/checkout`` plus a single-message
+    ``POST /v1/checkins`` per check-in, the pre-gateway behaviour (and
+    the reason the per-device HTTP path is bounded by request latency;
+    see the serve-throughput benchmark).
     """
 
-    def __init__(self, device: Device, link: HttpLink):
+    def __init__(
+        self,
+        device: Device,
+        link: HttpLink,
+        gateway: Optional["EdgeGateway"] = None,
+    ):
         self.device = device
         self.link = link
+        self.gateway = gateway
         self._stopped = False
         self._pending_checkin: Optional[CheckinMessage] = None
+        self._last_gateway_ack: Optional[CheckinAck] = None
         self.rounds_completed = 0
 
     @classmethod
@@ -119,11 +139,12 @@ class RemoteDevice:
         model,
         config,
         rng: np.random.Generator,
+        gateway: Optional["EdgeGateway"] = None,
     ) -> "RemoteDevice":
         """Enroll with the remote registry and build the device runtime."""
         token = transport.client.join(device_id)
         link = transport.connect(device_id)
-        return cls(Device(device_id, model, config, token, rng), link)
+        return cls(Device(device_id, model, config, token, rng), link, gateway)
 
     @property
     def stopped(self) -> bool:
@@ -144,8 +165,21 @@ class RemoteDevice:
         later retry, and a check-in lost to a transient transport
         failure is *kept* (the buffer was already consumed computing
         it) and re-uploaded at the next call before any new round.
+
+        Gateway routing: with a configured :attr:`gateway` the check-in
+        joins the gateway's pool instead of being POSTed — the return
+        value is this message's ack when the add happened to trigger the
+        flush, ``None`` while it is merely buffered (the ack arrives
+        through the pool's flush and is counted in
+        :attr:`rounds_completed` then).  Retry custody also moves to the
+        gateway: a failed batch stays buffered *there*, so
+        ``_pending_checkin`` is never set on this path.  Without a
+        gateway the fallback is one message per round, as above.
         """
         device = self.device
+        gateway = self.gateway
+        if not self._stopped and gateway is not None and gateway.stopped:
+            self._stopped = True
         if self._stopped:
             return None
         if self._pending_checkin is not None:
@@ -163,7 +197,10 @@ class RemoteDevice:
         )
         self.link.note_request(request.payload_floats)
         try:
-            response = self.link.client.checkout(request)
+            if gateway is not None:
+                response = gateway.checkout(request)
+            else:
+                response = self.link.client.checkout(request)
         except RemoteServiceError as error:
             device.on_checkout_failed()
             if error.code == wire.ErrorCode.STOPPED:
@@ -176,7 +213,19 @@ class RemoteDevice:
         )
         message = result.message
         self.link.note_checkin(message.payload_floats)
+        if gateway is not None:
+            self._last_gateway_ack = None
+            gateway.add(message, on_ack=self._on_gateway_ack)
+            if gateway.stopped:
+                self._stopped = True
+            return self._last_gateway_ack
         return self._upload(message)
+
+    def _on_gateway_ack(self, ack: Optional[CheckinAck]) -> None:
+        """Receive this device's ack when its gateway batch flushes."""
+        self._last_gateway_ack = ack
+        if ack is not None:
+            self.rounds_completed += 1
 
     def _upload(self, message: CheckinMessage) -> Optional[CheckinAck]:
         """POST one check-in; on transient failure keep it for retry."""

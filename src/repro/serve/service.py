@@ -81,6 +81,11 @@ class CrowdService:
         self.requests_served = 0
         #: error responses sent, keyed by wire error code.
         self.errors_returned: Dict[str, int] = {}
+        # Checkout responses are dominated by the encoded parameter
+        # vector, which only changes when an update advances the server
+        # iteration: cache the encoded fragment keyed by iteration and
+        # splice the per-request fields around it.
+        self._encoded_parameters: Optional[tuple] = None
         service = self
 
         class _Handler(BaseHTTPRequestHandler):
@@ -266,7 +271,24 @@ class CrowdService:
                     "task has stopped; no further check-outs",
                 )
             response = self._core.handle_checkout(request)
-        return 200, wire.encode_checkout_response(response)
+            # Parameters only change when an update advances the
+            # iteration, so the iteration key makes the cached fragment
+            # exactly as fresh as the response it came from.  Encoding
+            # happens at most once per iteration (under the lock, so
+            # concurrent checkouts of the same iteration share one
+            # encode); the splice below is byte-identical to
+            # encode_checkout_response (pinned by test).
+            cached = self._encoded_parameters
+            if cached is None or cached[0] != response.server_iteration:
+                cached = (
+                    response.server_iteration,
+                    wire.encode_parameters_fragment(response.parameters),
+                )
+                self._encoded_parameters = cached
+        return 200, wire.encode_checkout_response_cached(
+            response.device_id, cached[1], response.server_iteration,
+            response.issued_time,
+        )
 
     def _handle_checkins(self, raw: bytes):
         messages = wire.decode_checkin_batch(raw)

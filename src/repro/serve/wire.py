@@ -3,7 +3,7 @@
 Every HTTP body exchanged with :class:`~repro.serve.service.CrowdService`
 is one **envelope**::
 
-    {"protocol": 1, "kind": "<kind>", "body": {...}}
+    {"protocol": 2, "kind": "<kind>", "body": {...}}
 
 The ``protocol`` stamp (:data:`PROTOCOL_VERSION`) lets either side reject
 a peer speaking a different schema *before* interpreting the body; the
@@ -43,10 +43,14 @@ clients re-raise the *same* typed error a local caller would have seen
 Fidelity notes
 --------------
 
-* Floats survive exactly: ``json`` serializes Python floats via
-  ``repr``, which round-trips every finite IEEE-754 double bit for bit.
-  A sequential training run over this wire format therefore matches an
-  in-process run float for float.
+* Floats survive exactly.  Gradient/parameter vectors travel packed
+  (base64 of the little-endian float64 buffer, see
+  :func:`repro.core.codec.pack_float_array`) and reconstruct the
+  identical doubles; scalar floats serialize via ``repr``, which
+  round-trips every finite IEEE-754 double bit for bit.  A sequential
+  training run over this wire format therefore matches an in-process
+  run float for float.  Decoders also accept plain JSON lists for the
+  packed fields (the portable client form).
 * :attr:`~repro.core.protocol.CheckinMessage.releases` (device-side
   privacy accounting records) do **not** travel — the codec omits them
   by design, mirroring the paper's deployment where the server only
@@ -62,7 +66,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.codec import decode_message, encode_message
+from repro.core.codec import decode_message, encode_message, pack_float_array
 from repro.core.protocol import (
     CheckinAck,
     CheckinMessage,
@@ -73,8 +77,11 @@ from repro.core.stopping import StopDecision, StopReason
 from repro.utils.exceptions import ProtocolError
 
 #: Version stamp carried by every envelope.  Bump on any incompatible
-#: change to the envelope or body schemas.
-PROTOCOL_VERSION = 1
+#: change to the envelope or body schemas.  History: 1 = JSON float
+#: lists for all arrays; 2 = gradient/parameter vectors travel packed
+#: (base64 float64, ROADMAP's binary wire encoding) — a v1 decoder
+#: cannot read v2 bodies, so the stamp moved.
+PROTOCOL_VERSION = 2
 
 #: Hard cap on the number of check-ins one batch envelope may carry —
 #: a malformed (or hostile) client cannot make the server materialize an
@@ -283,6 +290,40 @@ def decode_checkout_request(raw: Union[str, bytes]) -> CheckoutRequest:
 
 def encode_checkout_response(response: CheckoutResponse) -> str:
     return encode_envelope("checkout_response", encode_message(response))
+
+
+def encode_parameters_fragment(parameters: np.ndarray) -> str:
+    """The JSON fragment for a parameter vector (a packed string).
+
+    This is the expensive part of a ``checkout_response`` (the encoded
+    vector dominates the payload); the service caches it per server
+    iteration and splices it into responses via
+    :func:`encode_checkout_response_cached`.
+    """
+    return json.dumps(pack_float_array(parameters), separators=(",", ":"))
+
+
+def encode_checkout_response_cached(
+    device_id: int, parameters_fragment: str, server_iteration: int,
+    issued_time: float,
+) -> str:
+    """Byte-identical to :func:`encode_checkout_response`, without
+    re-encoding the parameter vector.
+
+    ``parameters_fragment`` must come from
+    :func:`encode_parameters_fragment` for the same parameters the
+    response would carry; the per-request fields (``device_id``,
+    ``issued_time``) are spliced around it.  The equality with the
+    reference encoder is pinned by a test — any change to the envelope
+    or body layout must keep the two in lockstep.
+    """
+    return (
+        f'{{"protocol":{PROTOCOL_VERSION},"kind":"checkout_response",'
+        f'"body":{{"type":"checkout_response","device_id":{int(device_id)},'
+        f'"parameters":{parameters_fragment},'
+        f'"server_iteration":{int(server_iteration)},'
+        f'"issued_time":{json.dumps(float(issued_time))}}}}}'
+    )
 
 
 def decode_checkout_response(raw: Union[str, bytes]) -> CheckoutResponse:

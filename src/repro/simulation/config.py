@@ -4,13 +4,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, fields
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.adaptive import BatchPolicy
 from repro.network.latency import LinkDelays
 from repro.network.outage import NoOutage, OutageModel
 from repro.simulation.churn import ChurnSchedule
 from repro.utils.exceptions import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.gateway.topology import TwoTierTopology
 
 
 @dataclass(frozen=True)
@@ -95,6 +98,20 @@ class SimulationConfig:
         changes snapshot values — it is meant for the scalability
         ablations, where each of the ~60 snapshots otherwise runs a full
         test-set forward pass.
+    gateways:
+        Optional :class:`~repro.gateway.topology.TwoTierTopology`.  When
+        set, devices reach the server through batch-aggregating edge
+        gateways (:class:`~repro.gateway.transport.GatewayTransport`):
+        every per-link property — device↔gateway and gateway↔server
+        delays, outages, stall windows — lives in the topology's
+        gateway profiles, so ``link_delays`` and ``outage`` must stay at
+        their reliable zero defaults (rejected otherwise, to rule out
+        double-modelling the same hop).  Only valid with
+        ``transport="auto"`` or ``"simulated"``: the tier is inherently
+        event-driven, and the synchronous ``"direct"``/``"http"`` paths
+        cannot host it.  A *transparent* topology (pass-through flush,
+        zero delays, no outages/stalls) is bit-identical to running
+        without gateways — the recorded-trace suite gates this.
     """
 
     num_devices: int
@@ -118,6 +135,7 @@ class SimulationConfig:
     server_url: Optional[str] = None
     coalesce_checkins: bool = True
     snapshot_subsample: Optional[int] = None
+    gateways: Optional["TwoTierTopology"] = None
 
     def __post_init__(self):
         if self.transport not in ("auto", "direct", "simulated", "http"):
@@ -163,6 +181,18 @@ class SimulationConfig:
             raise ConfigurationError("num_snapshots must be >= 1")
         if self.projection_radius is not None and self.projection_radius <= 0:
             raise ConfigurationError("projection_radius must be positive")
+        if self.gateways is not None:
+            if self.transport not in ("auto", "simulated"):
+                raise ConfigurationError(
+                    f"gateways need the event-driven transport: use "
+                    f"transport='auto' or 'simulated', got {self.transport!r}"
+                )
+            if not self.link_delays.is_zero or not isinstance(self.outage, NoOutage):
+                raise ConfigurationError(
+                    "with gateways, per-hop delays and outages live in the "
+                    "gateway profiles (device_delays/server_delays/...); "
+                    "leave link_delays and outage at their defaults"
+                )
         if self.transport == "http" and not self.direct_transport_eligible:
             raise ConfigurationError(
                 "transport='http' runs fused synchronous rounds: it needs "
@@ -204,7 +234,14 @@ class SimulationConfig:
         return self.link_delays.is_zero and isinstance(self.outage, NoOutage)
 
     def resolved_transport(self) -> str:
-        """The concrete transport ``"auto"`` resolves to for this config."""
+        """The concrete transport ``"auto"`` resolves to for this config.
+
+        A configured gateway tier always resolves to ``"gateway"`` —
+        the tier needs the event queue even when every hop is zero-delay
+        (flush timers and batch deliveries are events).
+        """
+        if self.gateways is not None:
+            return "gateway"
         if self.transport == "auto":
             return "direct" if self.direct_transport_eligible else "simulated"
         return self.transport

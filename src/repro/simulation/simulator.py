@@ -169,6 +169,7 @@ class CrowdSimulator:
 
         resolved = config.resolved_transport()
         self._remote = resolved == "http"
+        self._gateway = None
         if self._remote:
             # Imported here for layering, not laziness: the simulation
             # package must stay importable standalone without a hard
@@ -180,6 +181,21 @@ class CrowdSimulator:
             self._transport: Transport = HttpTransport(
                 ServiceClient(config.server_url)
             )
+        elif resolved == "gateway":
+            # Same layering rule as the serve import above: gateway/
+            # depends on network/ and core/, so simulation/ must not
+            # import it unconditionally.
+            from repro.gateway.transport import GatewayTransport
+
+            self._on_gateway_batch_handler = self._on_gateway_batch
+            self._gateway = GatewayTransport(
+                self._queue,
+                config.gateways,
+                config.num_devices,
+                self._on_gateway_batch_handler,
+                self._rng_factory,
+            )
+            self._transport = self._gateway
         elif resolved == "direct":
             self._transport = DirectTransport(config.link_delays, config.outage)
         else:
@@ -257,6 +273,12 @@ class CrowdSimulator:
     def transport(self) -> Transport:
         """The transport protocol messages actually travel through."""
         return self._transport
+
+    @property
+    def gateway(self):
+        """The :class:`~repro.gateway.transport.GatewayTransport` when a
+        two-tier topology is configured, else ``None``."""
+        return self._gateway
 
     @property
     def events_fired(self) -> int:
@@ -592,6 +614,27 @@ class CrowdSimulator:
                 self._stopped_reason = decision.reason.value
             i = j
 
+    def _on_gateway_batch(self, messages: List[CheckinMessage]) -> None:
+        """A gateway's flushed check-in batch reached the server.
+
+        The batch is applied through the same segmented
+        :meth:`_apply_checkin_run` as coalesced per-message deliveries,
+        so a pass-through gateway (every batch a single message) is
+        bit-identical to per-device delivery.  Batches from other
+        gateways landing on the same timestamp are drained into the run
+        too, exactly like same-timestamp per-message deliveries.
+        """
+        if self._stopped_reason is not None or self._core.stopped:
+            return
+        run = list(messages)
+        if self._coalesce:
+            taken = self._queue.take_matching(self._on_gateway_batch_handler)
+            while taken is not None:
+                run.extend(taken[0])
+                self._coalesced_checkins += len(taken[0])
+                taken = self._queue.take_matching(self._on_gateway_batch_handler)
+        self._apply_checkin_run(run)
+
     # ------------------------------------------------------------------ #
     # The check-out/check-in round trip — direct transport (fused)       #
     # ------------------------------------------------------------------ #
@@ -694,8 +737,19 @@ class CrowdSimulator:
         """Execute the simulation to completion and return its trace."""
         for actor in self._actors:
             self._schedule_trigger(actor)
-        while self._queue.step():
-            pass
+        while True:
+            while self._queue.step():
+                pass
+            # With a gateway tier, an empty queue may leave check-ins
+            # stranded in gateway buffers (no deadline configured, or a
+            # trailing trickle below flush_size): drain them — the
+            # shutdown flush — and keep stepping until the whole tier is
+            # quiescent.  After a stop the leftovers would be ignored on
+            # delivery anyway, so the drain is skipped.
+            if self._gateway is None or self._stopped_reason is not None:
+                break
+            if not self._gateway.drain_stranded():
+                break
 
         if self._stopped_reason is None:
             self._stopped_reason = "data_exhausted"
@@ -730,6 +784,11 @@ class CrowdSimulator:
         self._comm.messages_dropped = sum(
             actor.link.messages_dropped for actor in self._actors
         )
+        if self._gateway is not None:
+            # Whole batches lost on a gateway's backhaul (per-device
+            # drops — edge-hop losses and capacity overflow — are
+            # already counted on the device links above).
+            self._comm.messages_dropped += self._gateway.checkins_lost
         return RunTrace(
             curve=curve,
             online_errors=online,

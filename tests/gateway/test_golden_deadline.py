@@ -1,0 +1,128 @@
+"""Recorded-trace regression for *non-transparent* gateway configs.
+
+Nonzero hop delays plus deadline-triggered flushing give the gateway
+tier its own arrival orderings — deterministic, but not reducible to any
+flat-topology run.  These fingerprints live in their **own** golden file
+(``tests/data/golden_gateway_traces.json``); the flat-topology goldens
+in ``golden_traces.json`` are untouched by this suite.
+
+Regenerate after an intentional trace change with::
+
+    REPRO_REGEN_GATEWAY_GOLDEN=1 python -m pytest tests/gateway/test_golden_deadline.py
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.gateway import GatewayProfile, TwoTierTopology
+from repro.network.latency import LinkDelays
+from repro.network.outage import BernoulliOutage
+
+from tests.simulation import _golden as golden_mod
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "data" / "golden_gateway_traces.json"
+)
+REGENERATE = os.environ.get("REPRO_REGEN_GATEWAY_GOLDEN", "") not in ("", "0")
+
+#: Named gateway topologies whose traces are pinned.  All exercise the
+#: deadline trigger at nonzero delay — the ordering regime the
+#: transparent-parity suite cannot reach.
+CASES = {
+    "deadline_trickle": TwoTierTopology(
+        num_gateways=3,
+        profile=GatewayProfile(
+            flush_size=10_000,  # unreachable: the deadline does the work
+            flush_deadline=0.4,
+            device_delays=LinkDelays.uniform(0.05),
+            server_delays=LinkDelays.uniform(0.2),
+        ),
+    ),
+    "deadline_vs_size": TwoTierTopology(
+        num_gateways=2,
+        assignment="block",
+        profile=GatewayProfile(
+            flush_size=4,
+            flush_deadline=0.6,
+            server_delays=LinkDelays.uniform(0.3),
+        ),
+    ),
+    "stalled_segment": TwoTierTopology(
+        num_gateways=2,
+        profiles={
+            0: GatewayProfile(
+                flush_size=4,
+                flush_deadline=0.5,
+                server_delays=LinkDelays.uniform(0.1),
+                stall_windows=((2.0, 6.0),),
+            ),
+        },
+        profile=GatewayProfile(
+            flush_size=4,
+            flush_deadline=0.5,
+            server_delays=LinkDelays.uniform(0.1),
+        ),
+    ),
+    "lossy_backhaul_deadline": TwoTierTopology(
+        num_gateways=2,
+        profile=GatewayProfile(
+            flush_size=6,
+            flush_deadline=0.8,
+            device_delays=LinkDelays.uniform(0.1),
+            server_delays=LinkDelays.uniform(0.2),
+            server_outage=BernoulliOutage(0.2),
+        ),
+    ),
+}
+
+
+def _load():
+    if not GOLDEN_PATH.exists():
+        return {}
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+def _save(golden):
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def data():
+    return golden_mod.make_data()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return {} if REGENERATE else _load()
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_deadline_flush_ordering_matches_golden(data, golden, name):
+    trace, _ = golden_mod.run_case(data, {}, gateways=CASES[name])
+    fingerprint = golden_mod.trace_fingerprint(trace)
+    if REGENERATE:
+        stored = _load()
+        stored[name] = fingerprint
+        _save(stored)
+        return
+    assert name in golden, (
+        f"no gateway golden recorded for {name!r}; run with "
+        "REPRO_REGEN_GATEWAY_GOLDEN=1"
+    )
+    problems = golden_mod.compare_fingerprint(name, fingerprint, golden[name])
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_cases_are_deterministic(data, name):
+    """Two fresh runs of the same topology produce one fingerprint —
+    deadline timers and stall bookkeeping leak no hidden state."""
+    first, _ = golden_mod.run_case(data, {}, gateways=CASES[name])
+    second, _ = golden_mod.run_case(data, {}, gateways=CASES[name])
+    assert golden_mod.trace_fingerprint(first) == golden_mod.trace_fingerprint(
+        second
+    )

@@ -1,0 +1,146 @@
+"""Property tests: the gateway tier is invisible when it should be.
+
+The subsystem's core promise, hypothesis-driven: under zero delay a
+**pass-through** gateway tier delivers bit-identical traces to plain
+per-device delivery — for any gateway count, any device→gateway
+assignment (named policy or an arbitrary explicit map), stopping rules
+that trip mid-flush, and partial Bernoulli outages on the edge hop
+(which must consume the device RNG streams in exactly the flat
+topology's order).  A second property pins the batching invariants that
+hold even when the tier *is* visible: conservation (every check-in is
+applied, lost, or still pending nowhere) and bounded batch sizes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import iid_partition, make_mnist_like
+from repro.evaluation import assert_traces_identical
+from repro.gateway import GatewayProfile, TwoTierTopology
+from repro.models import MulticlassLogisticRegression
+from repro.network.outage import BernoulliOutage, NoOutage
+from repro.simulation import CrowdSimulator, SimulationConfig
+
+NUM_DEVICES = 5
+DIM, CLASSES = 50, 10
+
+
+@pytest.fixture(scope="module")
+def data():
+    train, test = make_mnist_like(num_train=100, num_test=20, seed=2)
+    parts = iid_partition(train, NUM_DEVICES, np.random.default_rng(2))
+    return parts, test
+
+
+def _simulate(parts, test, *, gateways=None, outage=None, max_iterations=None,
+              seed=11):
+    config = SimulationConfig(
+        num_devices=NUM_DEVICES,
+        batch_size=2,
+        num_snapshots=4,
+        max_iterations=max_iterations,
+        transport="simulated" if gateways is None else "auto",
+        gateways=gateways,
+        outage=outage if outage is not None else NoOutage(),
+    )
+    simulator = CrowdSimulator(
+        MulticlassLogisticRegression(DIM, CLASSES), parts, test, config,
+        seed=seed,
+    )
+    return simulator, simulator.run()
+
+
+assignments = st.one_of(
+    st.sampled_from(["round_robin", "block", "hash"]),
+    # An arbitrary explicit device→gateway map (resized to G below).
+    st.lists(
+        st.integers(min_value=0, max_value=7),
+        min_size=NUM_DEVICES, max_size=NUM_DEVICES,
+    ),
+)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    num_gateways=st.integers(min_value=1, max_value=6),
+    assignment=assignments,
+    drop_probability=st.sampled_from([0.0, 0.15, 0.35]),
+    max_iterations=st.sampled_from([None, 7, 23]),
+)
+def test_pass_through_tier_is_bit_identical_to_per_device_delivery(
+    data, num_gateways, assignment, drop_probability, max_iterations
+):
+    """Zero delay ⇒ the tier is invisible: shuffled assignments, stops
+    that land mid-flush, and partial edge outages all reproduce the
+    per-device run exactly."""
+    parts, test = data
+    if not isinstance(assignment, str):
+        assignment = tuple(g % num_gateways for g in assignment)
+    outage = (
+        BernoulliOutage(drop_probability) if drop_probability else NoOutage()
+    )
+    topo = TwoTierTopology(
+        num_gateways=num_gateways,
+        assignment=assignment,
+        profile=GatewayProfile(
+            flush_size=1,
+            device_outage=(
+                BernoulliOutage(drop_probability)
+                if drop_probability
+                else NoOutage()
+            ),
+        ),
+    )
+    _, plain = _simulate(
+        parts, test, outage=outage, max_iterations=max_iterations
+    )
+    _, tiered = _simulate(
+        parts, test, gateways=topo, max_iterations=max_iterations
+    )
+    assert_traces_identical(plain, tiered, context="pass-through tier")
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    num_gateways=st.integers(min_value=1, max_value=4),
+    flush_size=st.integers(min_value=2, max_value=16),
+    deadline=st.sampled_from([None, 0.5, 2.0]),
+    max_iterations=st.sampled_from([None, 9]),
+)
+def test_batched_tier_conserves_every_checkin(
+    data, num_gateways, flush_size, deadline, max_iterations
+):
+    """Visible batching still loses nothing: every check-in the devices
+    sent was flushed upstream, except check-ins pooled when a stopping
+    rule ended the task mid-flush (the server would refuse them anyway);
+    no upstream batch exceeded the configured size bound."""
+    parts, test = data
+    topo = TwoTierTopology(
+        num_gateways=num_gateways,
+        profile=GatewayProfile(flush_size=flush_size, flush_deadline=deadline),
+    )
+    simulator, trace = _simulate(
+        parts, test, gateways=topo, max_iterations=max_iterations
+    )
+    assert simulator.gateway.checkins_lost == 0
+    nodes = simulator.gateway.nodes
+    sent = sum(node.aggregator.stats.checkins_added for node in nodes)
+    flushed = sum(node.aggregator.stats.messages_flushed for node in nodes)
+    pending = simulator.gateway.pending_checkins
+    assert flushed + pending == sent  # conservation, message by message
+    assert all(
+        node.aggregator.stats.largest_flush <= flush_size for node in nodes
+    )
+    if max_iterations is None:
+        # Without a stop the end-of-run drain strands nothing.
+        assert pending == 0
+        total = sum(len(p) for p in parts)
+        assert trace.total_samples_consumed == total
+    else:
+        # A mid-flush stop may leave pooled check-ins behind — but never
+        # a full batch (that would have flushed before the stop landed).
+        assert pending < flush_size * len(nodes)
+        assert trace.stop_reason == "max_iterations"
+        assert trace.server_iterations == max_iterations

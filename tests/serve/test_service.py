@@ -195,13 +195,13 @@ class TestRobustness:
         b"garbage",
         b"\x00\x01\x02\xff\xfe",
         b"{",
-        b'{"protocol": 1}',
+        b'{"protocol": 2}',
         b'[]',
-        b'{"protocol": 1, "kind": "checkout_request", "body": {}}',
-        b'{"protocol": 1, "kind": "checkin_batch", "body": {"messages": [{}]}}',
-        json.dumps({"protocol": 1, "kind": "checkin_batch", "body": {
+        b'{"protocol": 2, "kind": "checkout_request", "body": {}}',
+        b'{"protocol": 2, "kind": "checkin_batch", "body": {"messages": [{}]}}',
+        json.dumps({"protocol": 2, "kind": "checkin_batch", "body": {
             "messages": [{"type": "checkin", "device_id": "x"}]}}).encode(),
-        json.dumps({"protocol": 1, "kind": "checkout_request", "body": {
+        json.dumps({"protocol": 2, "kind": "checkout_request", "body": {
             "type": "checkout_request", "device_id": 0, "token": "t",
             "request_time": "soon"}}).encode(),
         "∞ unicode ≠ ascii".encode("utf-8"),

@@ -44,10 +44,10 @@ class TestEnvelope:
             "not json",
             "[1,2,3]",
             '"a string"',
-            '{"protocol": 1, "body": {}}',            # no kind
-            '{"protocol": 1, "kind": "x"}',           # no body
-            '{"protocol": 1, "kind": 7, "body": {}}',  # non-string kind
-            '{"protocol": 1, "kind": "x", "body": []}',  # non-object body
+            '{"protocol": 2, "body": {}}',            # no kind
+            '{"protocol": 2, "kind": "x"}',           # no body
+            '{"protocol": 2, "kind": 7, "body": {}}',  # non-string kind
+            '{"protocol": 2, "kind": "x", "body": []}',  # non-object body
             b"\xff\xfe garbage bytes",
         ],
     )
@@ -59,9 +59,9 @@ class TestEnvelope:
 
     @pytest.mark.parametrize(
         "version",
-        # 1.0 and True satisfy == 1 but are not valid stamps: the check
-        # is strict on type, not just value.
-        [0, 2, -1, "1", None, 1.5, 1.0, True],
+        # 2.0 satisfies == 2 but is not a valid stamp: the check is
+        # strict on type, not just value.
+        [0, 1, -1, "2", None, 1.5, 2.0, True],
     )
     def test_version_mismatch(self, version):
         raw = json.dumps({"protocol": version, "kind": "status", "body": {}})
