@@ -37,6 +37,12 @@ arXiv:1501.02484).  The package is organized as:
   with batch-aggregating uplinks (:class:`GatewayAggregator`), available
   both in-simulator and as :class:`~repro.gateway.edge.EdgeGateway`
   fronting a live service.
+* :mod:`repro.persist` — durable serving: versioned ``ServerCore``
+  snapshots (bit-exact round trip), write-ahead checkpoint policy +
+  store for ``repro-serve --state-dir`` crash-resume, and the fault
+  harness (:class:`~repro.persist.FaultyProxy` /
+  :class:`~repro.persist.ServeProcess`) that proves exactly-once
+  check-in application under injected chaos.
 
 Quickstart::
 
@@ -117,7 +123,7 @@ from repro.simulation import (
 )
 from repro.store import RunStore, StoreError
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AggregatorStats",

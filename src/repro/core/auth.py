@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 import hmac
-from typing import Dict
+from typing import Any, Dict
 
 from repro.utils.exceptions import AuthenticationError
 
@@ -71,3 +71,27 @@ class DeviceRegistry:
             raise AuthenticationError(f"unknown device {device_id}")
         if not hmac.compare_digest(expected, str(token)):
             raise AuthenticationError(f"invalid token for device {device_id}")
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable registry state (enrollments + revocations).
+
+        The server key travels too: a restored registry must keep minting
+        the same tokens, or re-joining devices would be locked out.
+        """
+        return {
+            "server_key": self._server_key.decode("utf-8"),
+            "tokens": {str(device_id): token
+                       for device_id, token in sorted(self._tokens.items())},
+            "revoked": sorted(self._revoked),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "DeviceRegistry":
+        """Inverse of :meth:`state_dict`."""
+        registry = cls(server_key=str(state["server_key"]))
+        registry._tokens = {
+            int(device_id): str(token)
+            for device_id, token in dict(state["tokens"]).items()
+        }
+        registry._revoked = {int(device_id) for device_id in state["revoked"]}
+        return registry

@@ -109,11 +109,18 @@ def encode_message(message: Message) -> Dict[str, Any]:
             "noisy_label_counts": message.noisy_label_counts.tolist(),
             "checkout_iteration": message.checkout_iteration,
         }
+        # Untracked messages (the default) keep the pre-seq byte layout.
+        if message.checkin_seq >= 0:
+            body["checkin_seq"] = message.checkin_seq
     else:  # CheckinAck
         body = {
             "device_id": message.device_id,
             "server_iteration": message.server_iteration,
         }
+        if message.checkin_seq >= 0:
+            body["checkin_seq"] = message.checkin_seq
+        if message.duplicate:
+            body["duplicate"] = True
     return {"type": tag, **body}
 
 
@@ -150,11 +157,14 @@ def decode_message(payload: Dict[str, Any]) -> Message:
                     payload["noisy_label_counts"], dtype=np.int64
                 ),
                 checkout_iteration=int(payload["checkout_iteration"]),
+                checkin_seq=int(payload.get("checkin_seq", -1)),
             )
         if tag == "checkin_ack":
             return CheckinAck(
                 device_id=int(payload["device_id"]),
                 server_iteration=int(payload["server_iteration"]),
+                checkin_seq=int(payload.get("checkin_seq", -1)),
+                duplicate=bool(payload.get("duplicate", False)),
             )
     except (KeyError, TypeError, ValueError) as error:
         raise ProtocolError(f"malformed {tag!r} payload: {error}") from error

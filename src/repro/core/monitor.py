@@ -16,7 +16,7 @@ presentation but the raw sums are kept for the convergence analysis.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Any, Dict
 
 import numpy as np
 
@@ -133,3 +133,46 @@ class ProgressMonitor:
     def device_sample_count(self, device_id: int) -> int:
         progress = self._devices.get(int(device_id))
         return progress.samples if progress is not None else 0
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable accumulator state (all integers — exact)."""
+        return {
+            "num_classes": self._num_classes,
+            "total_samples": self._total_samples,
+            "total_noisy_errors": self._total_noisy_errors,
+            "total_label_counts": [int(c) for c in self._total_label_counts],
+            "num_checkins": self._num_checkins,
+            "devices": {
+                str(device_id): {
+                    "samples": progress.samples,
+                    "noisy_errors": progress.noisy_errors,
+                    "label_counts": (
+                        None if progress.label_counts is None
+                        else [int(c) for c in progress.label_counts]
+                    ),
+                }
+                for device_id, progress in sorted(self._devices.items())
+            },
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "ProgressMonitor":
+        """Inverse of :meth:`state_dict`."""
+        monitor = cls(int(state["num_classes"]))
+        monitor._total_samples = int(state["total_samples"])
+        monitor._total_noisy_errors = int(state["total_noisy_errors"])
+        monitor._total_label_counts = np.asarray(
+            state["total_label_counts"], dtype=np.int64
+        )
+        monitor._num_checkins = int(state["num_checkins"])
+        for device_id, entry in dict(state["devices"]).items():
+            progress = DeviceProgress(
+                samples=int(entry["samples"]),
+                noisy_errors=int(entry["noisy_errors"]),
+            )
+            if entry["label_counts"] is not None:
+                progress.label_counts = np.asarray(
+                    entry["label_counts"], dtype=np.int64
+                )
+            monitor._devices[int(device_id)] = progress
+        return monitor

@@ -88,6 +88,13 @@ class CheckinMessage:
         available to delay-aware update rules.
     releases:
         Privacy-accounting records for the mechanisms applied.
+    checkin_seq:
+        Per-device monotone sequence number for idempotent re-submission
+        (Remark 1): retry-capable clients number their check-ins so the
+        server can recognize a replay of an already-applied message and
+        answer with the original ack instead of applying it twice.  The
+        default ``-1`` means "untracked" — the in-process simulation path
+        never sets it and is unaffected.
     """
 
     device_id: int
@@ -98,6 +105,7 @@ class CheckinMessage:
     noisy_label_counts: np.ndarray
     checkout_iteration: int
     releases: Tuple[ReleaseRecord, ...] = field(default_factory=tuple)
+    checkin_seq: int = -1
 
     def __post_init__(self):
         gradient = self.gradient
@@ -127,10 +135,17 @@ class CheckinAck(NamedTuple):
     """Server's acknowledgement of an applied check-in.
 
     (A NamedTuple — one is built per applied check-in.)
+
+    ``checkin_seq`` echoes the message's sequence number (``-1`` when the
+    sender did not number it); ``duplicate`` is True when the server
+    recognized a replay of an already-applied message and answered with
+    the original ack's iteration instead of applying it again.
     """
 
     device_id: int
     server_iteration: int
+    checkin_seq: int = -1
+    duplicate: bool = False
 
     @property
     def payload_floats(self) -> int:

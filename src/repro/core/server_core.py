@@ -30,7 +30,7 @@ is applied, so repeated evaluations are allocation-free hits.
 
 from __future__ import annotations
 
-from typing import Callable, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -86,6 +86,10 @@ class ServerCore:
         when given, every applied check-in's release records are charged
         (via the run-length aggregated path), giving the server its own
         view of the privacy spend the devices report.
+    monitor:
+        Optional pre-populated :class:`ProgressMonitor` — the snapshot
+        restore seam (:mod:`repro.persist`).  Must match the model's
+        class count; a fresh monitor is created when omitted.
 
     Examples
     --------
@@ -109,6 +113,7 @@ class ServerCore:
         config: Optional[ServerConfig] = None,
         registry: Optional[DeviceRegistry] = None,
         accountant: Optional[PrivacyAccountant] = None,
+        monitor: Optional[ProgressMonitor] = None,
     ):
         self._model = model
         if optimizer is None:
@@ -122,9 +127,18 @@ class ServerCore:
         self._config = config if config is not None else ServerConfig(max_iterations=10**9)
         self._registry = registry if registry is not None else DeviceRegistry()
         self._accountant = accountant
-        self._monitor = ProgressMonitor(model.num_classes)
+        if monitor is not None and monitor.num_classes != model.num_classes:
+            raise ProtocolError(
+                f"monitor tracks {monitor.num_classes} classes but the model "
+                f"has {model.num_classes}"
+            )
+        self._monitor = monitor if monitor is not None else ProgressMonitor(model.num_classes)
         self._checkouts_served = 0
         self._rejected_messages = 0
+        self._duplicates_suppressed = 0
+        # Idempotent re-submission (Remark 1): per device, the highest
+        # applied checkin_seq and the server iteration its ack carried.
+        self._applied_seqs: Dict[int, Tuple[int, int]] = {}
         self._stop_cache: Optional[StopDecision] = None
 
     # -- state views ---------------------------------------------------- #
@@ -152,6 +166,11 @@ class ServerCore:
         return self._accountant
 
     @property
+    def optimizer(self):
+        """The update rule (owns w and t) — exposed for snapshotting."""
+        return self._optimizer
+
+    @property
     def parameters(self) -> np.ndarray:
         """Current model parameters w (copy)."""
         return self._optimizer.parameters
@@ -169,6 +188,43 @@ class ServerCore:
     def rejected_messages(self) -> int:
         """Messages refused by authentication or the stopping state."""
         return self._rejected_messages
+
+    @property
+    def duplicates_suppressed(self) -> int:
+        """Replayed check-ins recognized by sequence number and not re-applied."""
+        return self._duplicates_suppressed
+
+    def applied_checkin_seq(self, device_id: int) -> int:
+        """Highest applied checkin_seq for a device (``-1`` if none tracked).
+
+        Rejoining clients seed their sequence counter from this so a
+        resumed server never mistakes their fresh traffic for replays.
+        """
+        entry = self._applied_seqs.get(int(device_id))
+        return -1 if entry is None else entry[0]
+
+    def counters_state(self) -> Dict[str, object]:
+        """Serializable bookkeeping state (the snapshot codec's slice)."""
+        return {
+            "checkouts_served": self._checkouts_served,
+            "rejected_messages": self._rejected_messages,
+            "duplicates_suppressed": self._duplicates_suppressed,
+            "applied_seqs": {
+                str(device_id): [seq, iteration]
+                for device_id, (seq, iteration) in sorted(self._applied_seqs.items())
+            },
+        }
+
+    def restore_counters(self, state: Dict[str, object]) -> None:
+        """Inverse of :meth:`counters_state` (snapshot restore seam)."""
+        self._checkouts_served = int(state["checkouts_served"])
+        self._rejected_messages = int(state["rejected_messages"])
+        self._duplicates_suppressed = int(state.get("duplicates_suppressed", 0))
+        self._applied_seqs = {
+            int(device_id): (int(entry[0]), int(entry[1]))
+            for device_id, entry in dict(state.get("applied_seqs", {})).items()
+        }
+        self._stop_cache = None
 
     def register_device(self, device_id: int) -> str:
         """Enroll a device (Web-portal join flow); returns its token."""
@@ -232,6 +288,9 @@ class ServerCore:
                 f"gradient length {message.gradient.shape[0]} != "
                 f"model num_parameters {self._model.num_parameters}"
             )
+        replay = self._replay_ack(message)
+        if replay is not None:
+            return replay
         if self.stopped:
             self._rejected_messages += 1
             raise ProtocolError("task has stopped; no further check-ins")
@@ -268,6 +327,12 @@ class ServerCore:
             if message.gradient.shape[0] != num_parameters:
                 self._rejected_messages += 1
                 acks.append(None)
+                continue
+            replay = self._replay_ack(message)
+            if replay is not None:
+                # A suppressed replay applies no update, so it does not
+                # consume the batch's iteration budget.
+                acks.append(replay)
                 continue
             if remaining <= 0 or (track_error and self.stopped):
                 self._rejected_messages += 1
@@ -335,12 +400,38 @@ class ServerCore:
                 self._rejected_messages += 1
                 acks.append(None)
                 continue
+            replay = self._replay_ack(message)
+            if replay is not None:
+                acks.append(replay)
+                continue
             acks.append(self._apply(message))
         return RoundOutcome(
             tuple(responses), tuple(messages), tuple(acks), self.stopping_decision()
         )
 
     # -- internals ------------------------------------------------------ #
+
+    def _replay_ack(self, message: CheckinMessage) -> Optional[CheckinAck]:
+        """Recognize a re-submitted, already-applied check-in (Remark 1).
+
+        Only sequence-numbered messages participate; the answer echoes
+        the iteration recorded when the device's newest check-in was
+        applied, so an immediate retry of the last message reproduces its
+        original ack bit for bit.
+        """
+        seq = message.checkin_seq
+        if seq < 0:
+            return None
+        entry = self._applied_seqs.get(message.device_id)
+        if entry is None or seq > entry[0]:
+            return None
+        self._duplicates_suppressed += 1
+        return CheckinAck(
+            device_id=message.device_id,
+            server_iteration=entry[1],
+            checkin_seq=seq,
+            duplicate=True,
+        )
 
     def _apply(self, message: CheckinMessage) -> CheckinAck:
         """Fold one accepted check-in into the server state."""
@@ -358,4 +449,12 @@ class ServerCore:
             # hits — pre-aggregating here would allocate per message.
             self._accountant.charge_checkin(message.releases)
         self._stop_cache = None
-        return CheckinAck(device_id=message.device_id, server_iteration=self.iteration)
+        iteration = self.iteration
+        if message.checkin_seq >= 0:
+            self._applied_seqs[message.device_id] = (message.checkin_seq, iteration)
+            return CheckinAck(
+                device_id=message.device_id,
+                server_iteration=iteration,
+                checkin_seq=message.checkin_seq,
+            )
+        return CheckinAck(device_id=message.device_id, server_iteration=iteration)

@@ -93,5 +93,17 @@ class StepDecayRate(LearningRateSchedule):
         self._factor = float(factor)
         self._period = int(period)
 
+    @property
+    def constant(self) -> float:
+        return self._constant
+
+    @property
+    def factor(self) -> float:
+        return self._factor
+
+    @property
+    def period(self) -> int:
+        return self._period
+
     def rate(self, iteration: int) -> float:
         return self._constant * self._factor ** (iteration // self._period)

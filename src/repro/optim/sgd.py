@@ -86,6 +86,25 @@ class Optimizer(ABC):
         self._parameters = np.asarray(self._projection(updated), dtype=np.float64)
         return self._parameters
 
+    def restore_state(self, parameters: np.ndarray, iteration: int) -> None:
+        """Rebind (w, t) from a snapshot — the :mod:`repro.persist` seam.
+
+        The parameters are adopted bit for bit (no projection re-applied:
+        a snapshotted vector was already projected when it was produced).
+        """
+        parameters = check_vector(
+            np.array(parameters, dtype=np.float64, copy=True), "parameters"
+        )
+        if parameters.shape != self._parameters.shape:
+            raise ConfigurationError(
+                f"snapshot parameters have shape {parameters.shape}, "
+                f"optimizer expects {self._parameters.shape}"
+            )
+        if iteration < 0:
+            raise ConfigurationError(f"iteration must be >= 0, got {iteration}")
+        self._parameters = parameters
+        self._iteration = int(iteration)
+
     @abstractmethod
     def _apply(self, gradient: np.ndarray) -> np.ndarray:
         """Compute the pre-projection update for the current iteration."""
@@ -153,6 +172,10 @@ class AdaGrad(Optimizer):
         return self._constant
 
     @property
+    def damping(self) -> float:
+        return self._damping
+
+    @property
     def accumulator(self) -> np.ndarray:
         """Accumulated squared gradients G(t) (copy)."""
         return self._accumulator.copy()
@@ -161,6 +184,23 @@ class AdaGrad(Optimizer):
         self._accumulator += gradient**2
         scale = self._constant / (self._damping + np.sqrt(self._accumulator))
         return self._parameters - scale * gradient
+
+    def restore_state(
+        self,
+        parameters: np.ndarray,
+        iteration: int,
+        accumulator: Optional[np.ndarray] = None,
+    ) -> None:
+        """Also restore the squared-gradient accumulator G(t)."""
+        super().restore_state(parameters, iteration)
+        if accumulator is not None:
+            accumulator = np.array(accumulator, dtype=np.float64, copy=True)
+            if accumulator.shape != self._parameters.shape:
+                raise ConfigurationError(
+                    f"accumulator shape {accumulator.shape} != "
+                    f"parameter shape {self._parameters.shape}"
+                )
+            self._accumulator = accumulator
 
 
 class AveragedSGD(SGD):
@@ -192,6 +232,15 @@ class AveragedSGD(SGD):
         """Polyak average of post-burn-in iterates (copy)."""
         return self._average.copy()
 
+    @property
+    def burn_in(self) -> int:
+        return self._burn_in
+
+    @property
+    def averaged_steps(self) -> int:
+        """Number of iterates folded into the average so far."""
+        return self._averaged_steps
+
     def step(self, gradient: np.ndarray) -> np.ndarray:
         updated = super().step(gradient)
         if self._iteration > self._burn_in:
@@ -200,3 +249,22 @@ class AveragedSGD(SGD):
         else:
             self._average = updated.copy()
         return updated
+
+    def restore_state(
+        self,
+        parameters: np.ndarray,
+        iteration: int,
+        average: Optional[np.ndarray] = None,
+        averaged_steps: int = 0,
+    ) -> None:
+        """Also restore the Polyak average and its step count."""
+        super().restore_state(parameters, iteration)
+        if average is not None:
+            average = np.array(average, dtype=np.float64, copy=True)
+            if average.shape != self._parameters.shape:
+                raise ConfigurationError(
+                    f"average shape {average.shape} != "
+                    f"parameter shape {self._parameters.shape}"
+                )
+            self._average = average
+            self._averaged_steps = int(averaged_steps)

@@ -1,0 +1,51 @@
+"""Durable serving: snapshot/restore, checkpointing, and fault injection.
+
+Three layers, bottom-up:
+
+* :mod:`repro.persist.snapshot` — a canonical, versioned, bit-exact
+  serialization of full :class:`~repro.core.server_core.ServerCore`
+  state (``restore_core(snapshot_core(core))`` is indistinguishable from
+  the live core, property-tested).
+* :mod:`repro.persist.checkpoint` — write-ahead checkpoint files under a
+  state dir, with atomic writes, checksums, retention pruning, and
+  newest-valid-wins recovery.
+* :mod:`repro.persist.faults` — the adversary: a seeded lossy TCP proxy
+  and a SIGKILL-able ``repro-serve`` subprocess harness, used by the
+  durability tests and the chaos campaign.
+"""
+
+from repro.persist.checkpoint import (
+    STATE_FORMAT,
+    Checkpointer,
+    CheckpointPolicy,
+    SnapshotStore,
+)
+from repro.persist.faults import FaultInjectionError, FaultyProxy, ServeProcess
+from repro.persist.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    canonical_json,
+    core_states_equal,
+    describe_mismatch,
+    restore_core,
+    snapshot_checksum,
+    snapshot_core,
+)
+
+__all__ = [
+    "SNAPSHOT_VERSION",
+    "STATE_FORMAT",
+    "CheckpointPolicy",
+    "Checkpointer",
+    "FaultInjectionError",
+    "FaultyProxy",
+    "ServeProcess",
+    "SnapshotError",
+    "SnapshotStore",
+    "canonical_json",
+    "core_states_equal",
+    "describe_mismatch",
+    "restore_core",
+    "snapshot_checksum",
+    "snapshot_core",
+]

@@ -1,0 +1,273 @@
+"""Write-ahead checkpointing of :class:`ServerCore` snapshots.
+
+State-dir layout (the run store's atomicity discipline, applied to one
+live server instead of a content-addressed sweep)::
+
+    <state_dir>/
+        state.json                  # {"format": 1} marker
+        lock                        # fcntl writer lock (FileLock)
+        snapshots/
+            snapshot-000000000042.json
+            snapshot-000000000057.json
+            ...
+
+Every snapshot file is written via temp-file + ``os.replace``
+(:func:`repro.store.backend.write_json_atomic`), so a SIGKILL at any
+instant leaves either the previous complete file or an invisible temp —
+never a half-written snapshot under the real name.  Each file carries a
+SHA-256 checksum over the canonical snapshot body as a second line of
+defense (a torn file that somehow landed is detected and skipped);
+:meth:`SnapshotStore.load_latest` walks newest → oldest and returns the
+first valid snapshot.
+
+:class:`CheckpointPolicy` decides *when* to write (``every_n_updates`` /
+``every_seconds``); :class:`Checkpointer` binds a policy to a store and
+is what :class:`~repro.serve.service.CrowdService` calls under its core
+lock — the snapshot is durable **before** the ack leaves the server, so
+with ``every_n_updates=1`` a crash can only lose work the client never
+saw acknowledged (which it retries, and the sequence-number dedupe makes
+the retry exactly-once).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.persist.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    snapshot_checksum,
+    snapshot_core,
+)
+from repro.store.backend import write_json_atomic
+from repro.store.locking import FileLock
+
+#: On-disk format version of the state dir, recorded in ``state.json``.
+STATE_FORMAT = 1
+
+_SNAPSHOT_PREFIX = "snapshot-"
+
+
+class CheckpointPolicy:
+    """When to write a checkpoint: update-count and/or wall-clock cadence.
+
+    Parameters
+    ----------
+    every_n_updates:
+        Checkpoint once at least this many updates have been applied
+        since the last one (``1`` = write-ahead every update; ``None``
+        disables the count trigger).
+    every_seconds:
+        Checkpoint once this much wall-clock time has passed since the
+        last one (``None`` disables the time trigger).
+
+    With both ``None`` the policy never fires on its own — only forced
+    checkpoints (startup, shutdown) are written.
+    """
+
+    def __init__(
+        self,
+        every_n_updates: Optional[int] = 1,
+        every_seconds: Optional[float] = None,
+    ):
+        if every_n_updates is not None and every_n_updates < 1:
+            raise ValueError(
+                f"every_n_updates must be >= 1, got {every_n_updates}"
+            )
+        if every_seconds is not None and every_seconds <= 0:
+            raise ValueError(f"every_seconds must be > 0, got {every_seconds}")
+        self.every_n_updates = every_n_updates
+        self.every_seconds = every_seconds
+
+    def due(
+        self,
+        iteration: int,
+        last_iteration: int,
+        now: float,
+        last_time: float,
+    ) -> bool:
+        """Should a checkpoint be written at this point?"""
+        if iteration == last_iteration:
+            # Nothing new to make durable (registrations are checkpointed
+            # explicitly by the service, not through the policy).
+            return False
+        if (
+            self.every_n_updates is not None
+            and iteration - last_iteration >= self.every_n_updates
+        ):
+            return True
+        if self.every_seconds is not None and now - last_time >= self.every_seconds:
+            return True
+        return False
+
+
+class SnapshotStore:
+    """Atomic, retention-pruned snapshot files under one state dir."""
+
+    def __init__(self, state_dir: str, retain: int = 4, lock_timeout: float = 10.0):
+        if retain < 1:
+            raise ValueError(f"retain must be >= 1, got {retain}")
+        self.state_dir = os.path.abspath(state_dir)
+        self.retain = int(retain)
+        self.snapshots_dir = os.path.join(self.state_dir, "snapshots")
+        os.makedirs(self.snapshots_dir, exist_ok=True)
+        self._lock = FileLock(
+            os.path.join(self.state_dir, "lock"), timeout=lock_timeout
+        )
+        self._check_marker()
+
+    def _check_marker(self) -> None:
+        marker_path = os.path.join(self.state_dir, "state.json")
+        if os.path.isfile(marker_path):
+            with open(marker_path) as handle:
+                marker = json.load(handle)
+            if marker.get("format") != STATE_FORMAT:
+                raise SnapshotError(
+                    f"state dir {self.state_dir} has format "
+                    f"{marker.get('format')!r}; this build reads {STATE_FORMAT}"
+                )
+        else:
+            write_json_atomic(marker_path, {"format": STATE_FORMAT})
+
+    # -- paths ---------------------------------------------------------- #
+
+    def snapshot_paths(self) -> List[str]:
+        """All snapshot files, newest (highest iteration) first."""
+        try:
+            names = os.listdir(self.snapshots_dir)
+        except FileNotFoundError:
+            return []
+        files = [
+            name for name in names
+            if name.startswith(_SNAPSHOT_PREFIX) and name.endswith(".json")
+        ]
+        # The zero-padded iteration makes lexicographic == numeric order.
+        return [
+            os.path.join(self.snapshots_dir, name)
+            for name in sorted(files, reverse=True)
+        ]
+
+    def _path_for(self, iteration: int) -> str:
+        return os.path.join(
+            self.snapshots_dir, f"{_SNAPSHOT_PREFIX}{iteration:012d}.json"
+        )
+
+    # -- write ---------------------------------------------------------- #
+
+    def write(self, snapshot: Dict[str, Any]) -> str:
+        """Persist one snapshot atomically; prunes old files; returns path.
+
+        The file payload wraps the snapshot with its checksum::
+
+            {"checksum": "<sha256>", "snapshot": {...}}
+
+        Two snapshots at the same iteration (e.g. a registration burst
+        between updates) overwrite — newer state strictly supersedes.
+        """
+        iteration = int(snapshot["optimizer"]["iteration"])
+        payload = {
+            "checksum": snapshot_checksum(snapshot),
+            "snapshot": snapshot,
+        }
+        path = self._path_for(iteration)
+        with self._lock:
+            write_json_atomic(path, payload)
+            self._prune_locked(keep=path)
+        return path
+
+    def _prune_locked(self, keep: str) -> None:
+        paths = self.snapshot_paths()
+        for path in paths[self.retain:]:
+            if path == keep:
+                continue
+            try:
+                os.unlink(path)
+            except OSError:
+                pass  # already gone (concurrent pruner) — harmless
+
+    # -- read ----------------------------------------------------------- #
+
+    def load_latest(self) -> Optional[Tuple[Dict[str, Any], str]]:
+        """Newest valid snapshot as ``(snapshot, path)``; ``None`` if empty.
+
+        Walks newest → oldest, skipping torn/truncated/corrupt files (the
+        fallback the checkpoint discipline promises).  If snapshot files
+        exist but *none* is valid, raises :class:`SnapshotError` — a
+        state dir full of garbage should stop a resume, not silently
+        start the run over.  A snapshot stamped with a *newer* schema
+        version also raises: falling back past it would resurrect stale
+        state.
+        """
+        paths = self.snapshot_paths()
+        if not paths:
+            return None
+        for path in paths:
+            snapshot = self._load_one(path)
+            if snapshot is not None:
+                return snapshot, path
+        raise SnapshotError(
+            f"no valid snapshot among {len(paths)} file(s) in "
+            f"{self.snapshots_dir}"
+        )
+
+    def _load_one(self, path: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None  # torn/truncated/unreadable — fall back
+        if not isinstance(payload, dict):
+            return None
+        snapshot = payload.get("snapshot")
+        checksum = payload.get("checksum")
+        if not isinstance(snapshot, dict) or not isinstance(checksum, str):
+            return None
+        version = snapshot.get("snapshot_version")
+        if isinstance(version, int) and version > SNAPSHOT_VERSION:
+            raise SnapshotError(
+                f"{path} is a version-{version} snapshot; this build reads "
+                f"up to {SNAPSHOT_VERSION}"
+            )
+        if snapshot_checksum(snapshot) != checksum:
+            return None  # bits landed but don't add up — fall back
+        return snapshot
+
+
+class Checkpointer:
+    """Policy-driven snapshot writer bound to one store.
+
+    The caller (the service, under its core lock) invokes
+    :meth:`after_update` after state changes and :meth:`checkpoint` for
+    forced writes (startup priming, registrations, shutdown flush).
+    """
+
+    def __init__(self, store: SnapshotStore, policy: Optional[CheckpointPolicy] = None):
+        self.store = store
+        self.policy = policy if policy is not None else CheckpointPolicy()
+        self.snapshots_written = 0
+        self._last_iteration = -1
+        self._last_time = time.monotonic()
+
+    def checkpoint(self, core) -> str:
+        """Write a snapshot now, unconditionally; returns its path."""
+        path = self.store.write(snapshot_core(core))
+        self.snapshots_written += 1
+        self._last_iteration = core.iteration
+        self._last_time = time.monotonic()
+        return path
+
+    def after_update(self, core) -> Optional[str]:
+        """Checkpoint iff the policy says this state change warrants it."""
+        if self.policy.due(
+            core.iteration, self._last_iteration, time.monotonic(), self._last_time
+        ):
+            return self.checkpoint(core)
+        return None
+
+    def note_restored(self, core) -> None:
+        """Record a resume point so the next trigger measures from it."""
+        self._last_iteration = core.iteration
+        self._last_time = time.monotonic()

@@ -1,0 +1,365 @@
+"""Fault injection for the serve path: a lossy TCP proxy + process killer.
+
+Durability claims are only worth what a fault campaign says they are, so
+this module provides the two fault sources the durable-serving tests
+inject:
+
+* :class:`FaultyProxy` — an in-process TCP proxy between a client and a
+  live :class:`~repro.serve.service.CrowdService`.  Per connection it
+  draws one fault from a **seeded** RNG: refuse outright, drop the
+  connection mid-request (the server never sees a complete request),
+  swallow the response after the server has fully processed the request
+  (the client never sees the ack — the double-apply trap), delay the
+  response, or pass through.  The proxy is HTTP-aware just enough to know
+  where a request ends (Content-Length), so "drop the response" really
+  means *after* the upstream applied the update.  One request per proxied
+  connection: closing after each exchange also exercises the client's
+  stale-socket reconnect path.
+* :class:`ServeProcess` — spawn / SIGKILL / restart a real ``repro-serve``
+  subprocess, scraping the announced URL.  SIGKILL is the crash under
+  test: no handlers run, no flush happens; whatever the checkpoint
+  discipline made durable is all that survives.
+
+Both record counters so tests can assert the campaign actually injected
+faults rather than passing vacuously.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import urlparse
+
+from repro.utils.exceptions import ReproError
+
+_CRLF2 = b"\r\n\r\n"
+
+
+class FaultInjectionError(ReproError):
+    """The fault harness itself failed (not an injected fault)."""
+
+
+def _read_http_message(sock: socket.socket, already: bytes = b"") -> Optional[bytes]:
+    """Read one full HTTP message (headers + Content-Length body).
+
+    Returns the raw bytes, or ``None`` if the peer closed before a full
+    message arrived.  Chunked encoding is not handled — neither side of
+    this wire ever sends it.
+    """
+    data = already
+    while _CRLF2 not in data:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return None
+        data += chunk
+    head, _, rest = data.partition(_CRLF2)
+    content_length = 0
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError:
+                return None
+            break
+    while len(rest) < content_length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return None
+        rest += chunk
+    return head + _CRLF2 + rest[:content_length]
+
+
+class FaultyProxy:
+    """Seeded lossy TCP proxy in front of one HTTP upstream.
+
+    Parameters
+    ----------
+    upstream:
+        The real service — a base URL (``http://127.0.0.1:8900``) or a
+        ``(host, port)`` pair.  May also be retargeted between requests
+        via :meth:`set_upstream` (a server that restarted on a new port).
+    seed:
+        Seeds the fault plan; the same seed injects the same fault
+        sequence (per accepted connection, in accept order).
+    refuse / drop_request / drop_response / delay:
+        Per-connection fault probabilities, evaluated in that order
+        (their sum must be <= 1; the remainder passes through).
+    delay_seconds:
+        How long a delayed response is held back.
+    """
+
+    def __init__(
+        self,
+        upstream,
+        host: str = "127.0.0.1",
+        *,
+        seed: int = 0,
+        refuse: float = 0.0,
+        drop_request: float = 0.0,
+        drop_response: float = 0.0,
+        delay: float = 0.0,
+        delay_seconds: float = 0.02,
+    ):
+        if isinstance(upstream, str):
+            parsed = urlparse(upstream)
+            self._upstream = (parsed.hostname or "127.0.0.1", int(parsed.port or 80))
+        else:
+            upstream_host, upstream_port = upstream
+            self._upstream = (str(upstream_host), int(upstream_port))
+        for name, p in (("refuse", refuse), ("drop_request", drop_request),
+                        ("drop_response", drop_response), ("delay", delay)):
+            if not (0.0 <= p <= 1.0):
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if refuse + drop_request + drop_response + delay > 1.0 + 1e-9:
+            raise ValueError("fault probabilities must sum to <= 1")
+        self._probabilities = (refuse, drop_request, drop_response, delay)
+        self._delay_seconds = float(delay_seconds)
+        self._rng = random.Random(seed)
+        self._plan_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self.counts: Dict[str, int] = {
+            "connections": 0, "refused": 0, "requests_dropped": 0,
+            "responses_dropped": 0, "delayed": 0, "passed": 0,
+        }
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen(64)
+        self._host, self._port = self._listener.getsockname()
+        self._running = False
+        self._accept_thread: Optional[threading.Thread] = None
+        self._workers: List[threading.Thread] = []
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    @property
+    def url(self) -> str:
+        return f"http://{self._host}:{self._port}"
+
+    @property
+    def port(self) -> int:
+        return self._port
+
+    def set_upstream(self, upstream_port: int, upstream_host: str = "127.0.0.1") -> None:
+        """Point subsequent connections at a (restarted) upstream."""
+        self._upstream = (upstream_host, int(upstream_port))
+
+    def start(self) -> "FaultyProxy":
+        if self._running:
+            raise FaultInjectionError("proxy already started")
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="faulty-proxy", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        # Closing the listener does not wake a thread blocked in
+        # accept() on Linux; poke it with a throwaway connection (the
+        # accept loop re-checks _running before counting anything).
+        try:
+            with socket.create_connection((self._host, self._port), timeout=1.0):
+                pass
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        for worker in self._workers:
+            worker.join(timeout=1.0)
+        self._workers.clear()
+
+    def __enter__(self) -> "FaultyProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- internals ------------------------------------------------------ #
+
+    def _draw_fault(self) -> str:
+        with self._plan_lock:
+            roll = self._rng.random()
+        refuse, drop_request, drop_response, delay = self._probabilities
+        if roll < refuse:
+            return "refused"
+        if roll < refuse + drop_request:
+            return "requests_dropped"
+        if roll < refuse + drop_request + drop_response:
+            return "responses_dropped"
+        if roll < refuse + drop_request + drop_response + delay:
+            return "delayed"
+        return "passed"
+
+    def _count(self, key: str) -> None:
+        with self._counter_lock:
+            self.counts[key] += 1
+
+    def _accept_loop(self) -> None:
+        while self._running:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            if not self._running:
+                # stop()'s wake-up poke, not real traffic.
+                client.close()
+                return
+            self._count("connections")
+            fault = self._draw_fault()
+            if fault == "refused":
+                self._count("refused")
+                client.close()
+                continue
+            worker = threading.Thread(
+                target=self._handle, args=(client, fault), daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+
+    def _handle(self, client: socket.socket, fault: str) -> None:
+        upstream: Optional[socket.socket] = None
+        try:
+            client.settimeout(30.0)
+            if fault == "requests_dropped":
+                # Take the first bytes (the client is committed) and cut
+                # the line — the upstream never hears about this request.
+                try:
+                    client.recv(4096)
+                except OSError:
+                    pass
+                self._count("requests_dropped")
+                return
+            request = _read_http_message(client)
+            if request is None:
+                return  # client went away first — nothing to do
+            upstream = socket.create_connection(self._upstream, timeout=30.0)
+            upstream.settimeout(30.0)
+            upstream.sendall(request)
+            response = _read_http_message(upstream)
+            if response is None:
+                return  # upstream died mid-response; client sees the cut
+            if fault == "responses_dropped":
+                # The upstream has fully processed the request; the ack
+                # dies here.  This is the duplicate-suppression trap.
+                self._count("responses_dropped")
+                return
+            if fault == "delayed":
+                self._count("delayed")
+                time.sleep(self._delay_seconds)
+            else:
+                self._count("passed")
+            client.sendall(response)
+        except OSError:
+            pass  # injected chaos causes real socket errors; that's fine
+        finally:
+            if upstream is not None:
+                try:
+                    upstream.close()
+                except OSError:
+                    pass
+            try:
+                client.close()
+            except OSError:
+                pass
+
+
+class ServeProcess:
+    """A real ``repro-serve`` subprocess you can crash and resurrect.
+
+    Parameters
+    ----------
+    cli_args:
+        Arguments after ``repro-serve`` (e.g. ``["--num-features", "4",
+        ...]``).  Use a fixed ``--port`` so a restart comes back at the
+        same address.
+    env:
+        Environment for the subprocess; defaults to ``os.environ`` (the
+        caller must ensure ``repro`` is importable, e.g. via PYTHONPATH).
+    """
+
+    def __init__(self, cli_args: List[str], env: Optional[Dict[str, str]] = None):
+        self.cli_args = list(cli_args)
+        self.env = dict(os.environ if env is None else env)
+        self.process: Optional[subprocess.Popen] = None
+        self.url: Optional[str] = None
+        self.kills = 0
+
+    @property
+    def running(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    def start(self, timeout: float = 20.0, attempts: int = 5) -> str:
+        """Spawn and wait for the ``serving on <url>`` announcement."""
+        if self.running:
+            raise FaultInjectionError("server already running")
+        last_stderr = ""
+        for attempt in range(attempts):
+            process = subprocess.Popen(
+                [sys.executable, "-m", "repro.serve.cli", *self.cli_args],
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                text=True, env=self.env,
+            )
+            deadline = time.monotonic() + timeout
+            line = ""
+            while time.monotonic() < deadline:
+                line = process.stdout.readline()
+                if line.startswith("serving on ") or not line:
+                    break
+            if line.startswith("serving on "):
+                self.process = process
+                self.url = line.split("serving on ", 1)[1].strip()
+                return self.url
+            # Spawn failed (e.g. the killed predecessor's port not yet
+            # released) — reap and retry.
+            process.kill()
+            _, last_stderr = process.communicate()
+            time.sleep(0.2 * (attempt + 1))
+        raise FaultInjectionError(
+            f"repro-serve failed to announce a URL; last stderr:\n{last_stderr}"
+        )
+
+    def sigkill(self) -> None:
+        """The crash under test: no handlers, no flush, instant death."""
+        if not self.running:
+            raise FaultInjectionError("no running server to kill")
+        self.process.send_signal(signal.SIGKILL)
+        self.process.wait(timeout=30)
+        self.kills += 1
+        self.process = None
+
+    def terminate(self, timeout: float = 30.0) -> int:
+        """Graceful SIGTERM; returns the exit code."""
+        if self.process is None:
+            raise FaultInjectionError("no server process to terminate")
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+        try:
+            self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait(timeout=timeout)
+        code = self.process.returncode
+        self.process = None
+        return code
+
+    def stop(self) -> None:
+        """Best-effort cleanup for test teardown."""
+        if self.process is not None and self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=30)
+        self.process = None

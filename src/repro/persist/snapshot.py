@@ -1,0 +1,349 @@
+"""Versioned snapshot codec for the full :class:`ServerCore` state.
+
+A snapshot is one JSON-compatible dict capturing everything Algorithm 2
+accumulates between check-ins:
+
+* the optimizer — parameters **bit-exact** via the packed float64 codec
+  (:func:`repro.core.codec.pack_float_array`), the iteration counter t,
+  and per-rule extras (AdaGrad's accumulator, the Polyak average);
+* the schedule and projection hyperparameters (scalar floats survive via
+  JSON ``repr`` round-trip — exact for every finite double);
+* the server config, the bookkeeping counters (checkouts, rejections,
+  duplicate suppressions, per-device applied check-in sequences);
+* the :class:`~repro.core.auth.DeviceRegistry` (enrollments, revocations,
+  and the minting key), the :class:`~repro.core.monitor.ProgressMonitor`
+  accumulators (all integers — exact), and the
+  :class:`~repro.privacy.PrivacyAccountant` run-length ledger.
+
+The stopping decision is **not** stored: it is a pure function of config
++ iteration + monitor, so the restored core recomputes it — a snapshot
+cannot disagree with its own state.
+
+``restore_core(snapshot_core(core), model)`` produces a core whose
+observable state — and whose response to any further traffic — is
+bit-identical to the original (property-tested against generated traffic
+histories in ``tests/persist/``).
+
+Snapshots carry a :data:`SNAPSHOT_VERSION` stamp and a model fingerprint;
+restoring against a different schema version or a mismatched model raises
+:class:`SnapshotError` instead of silently loading the wrong run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.auth import DeviceRegistry
+from repro.core.config import ServerConfig
+from repro.core.codec import pack_float_array, unpack_float_array
+from repro.core.monitor import ProgressMonitor
+from repro.core.server_core import ServerCore
+from repro.models.base import Model
+from repro.optim.projection import (
+    BoxProjection,
+    IdentityProjection,
+    L2BallProjection,
+    Projection,
+)
+from repro.optim.schedules import (
+    ConstantRate,
+    InverseSqrtRate,
+    InverseTimeRate,
+    LearningRateSchedule,
+    StepDecayRate,
+)
+from repro.optim.sgd import SGD, AdaGrad, AveragedSGD, Optimizer
+from repro.privacy.accountant import PrivacyAccountant
+from repro.utils.exceptions import ReproError
+
+#: Schema stamp carried by every snapshot.  Bump on any incompatible
+#: change to the layout below; :func:`restore_core` refuses other stamps.
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(ReproError):
+    """A snapshot that cannot be produced or restored."""
+
+
+# --------------------------------------------------------------------- #
+# schedule / projection / optimizer codecs                              #
+# --------------------------------------------------------------------- #
+
+
+def _encode_schedule(schedule: LearningRateSchedule) -> Dict[str, Any]:
+    if type(schedule) is ConstantRate:
+        return {"type": "constant", "constant": schedule.constant}
+    if type(schedule) is InverseSqrtRate:
+        return {"type": "inverse_sqrt", "constant": schedule.constant}
+    if type(schedule) is InverseTimeRate:
+        return {
+            "type": "inverse_time",
+            "constant": schedule.constant,
+            "decay": schedule.decay,
+        }
+    if type(schedule) is StepDecayRate:
+        return {
+            "type": "step_decay",
+            "constant": schedule.constant,
+            "factor": schedule.factor,
+            "period": schedule.period,
+        }
+    raise SnapshotError(f"cannot snapshot schedule {type(schedule).__name__}")
+
+
+def _decode_schedule(state: Dict[str, Any]) -> LearningRateSchedule:
+    kind = state.get("type")
+    if kind == "constant":
+        return ConstantRate(float(state["constant"]))
+    if kind == "inverse_sqrt":
+        return InverseSqrtRate(float(state["constant"]))
+    if kind == "inverse_time":
+        return InverseTimeRate(float(state["constant"]), float(state["decay"]))
+    if kind == "step_decay":
+        return StepDecayRate(
+            float(state["constant"]), float(state["factor"]), int(state["period"])
+        )
+    raise SnapshotError(f"unknown schedule type {kind!r}")
+
+
+def _encode_projection(projection: Projection) -> Dict[str, Any]:
+    if type(projection) is IdentityProjection:
+        return {"type": "identity"}
+    if type(projection) is L2BallProjection:
+        return {"type": "l2_ball", "radius": projection.radius}
+    if type(projection) is BoxProjection:
+        return {"type": "box", "bound": projection.bound}
+    raise SnapshotError(f"cannot snapshot projection {type(projection).__name__}")
+
+
+def _decode_projection(state: Dict[str, Any]) -> Projection:
+    kind = state.get("type")
+    if kind == "identity":
+        return IdentityProjection()
+    if kind == "l2_ball":
+        return L2BallProjection(float(state["radius"]))
+    if kind == "box":
+        return BoxProjection(float(state["bound"]))
+    raise SnapshotError(f"unknown projection type {kind!r}")
+
+
+def _encode_optimizer(optimizer: Optimizer) -> Dict[str, Any]:
+    state: Dict[str, Any] = {
+        "parameters": pack_float_array(optimizer.parameters_view),
+        "iteration": optimizer.iteration,
+        "projection": _encode_projection(optimizer.projection),
+    }
+    # Exact-type dispatch (AveragedSGD before SGD: it is a subclass).
+    if type(optimizer) is AveragedSGD:
+        state["type"] = "averaged_sgd"
+        state["schedule"] = _encode_schedule(optimizer.schedule)
+        state["burn_in"] = optimizer.burn_in
+        state["average"] = pack_float_array(optimizer.averaged_parameters)
+        state["averaged_steps"] = optimizer.averaged_steps
+    elif type(optimizer) is SGD:
+        state["type"] = "sgd"
+        state["schedule"] = _encode_schedule(optimizer.schedule)
+    elif type(optimizer) is AdaGrad:
+        state["type"] = "adagrad"
+        state["constant"] = optimizer.constant
+        state["damping"] = optimizer.damping
+        state["accumulator"] = pack_float_array(optimizer.accumulator)
+    else:
+        raise SnapshotError(f"cannot snapshot optimizer {type(optimizer).__name__}")
+    return state
+
+
+def _decode_optimizer(state: Dict[str, Any]) -> Optimizer:
+    kind = state.get("type")
+    parameters = unpack_float_array(state["parameters"])
+    projection = _decode_projection(state["projection"])
+    iteration = int(state["iteration"])
+    if kind == "sgd":
+        optimizer: Optimizer = SGD(
+            parameters, schedule=_decode_schedule(state["schedule"]),
+            projection=projection,
+        )
+        optimizer.restore_state(parameters, iteration)
+    elif kind == "averaged_sgd":
+        optimizer = AveragedSGD(
+            parameters, schedule=_decode_schedule(state["schedule"]),
+            projection=projection, burn_in=int(state["burn_in"]),
+        )
+        optimizer.restore_state(
+            parameters, iteration,
+            average=unpack_float_array(state["average"]),
+            averaged_steps=int(state["averaged_steps"]),
+        )
+    elif kind == "adagrad":
+        optimizer = AdaGrad(
+            parameters, constant=float(state["constant"]),
+            damping=float(state["damping"]), projection=projection,
+        )
+        optimizer.restore_state(
+            parameters, iteration,
+            accumulator=unpack_float_array(state["accumulator"]),
+        )
+    else:
+        raise SnapshotError(f"unknown optimizer type {kind!r}")
+    return optimizer
+
+
+# --------------------------------------------------------------------- #
+# whole-core snapshot / restore                                         #
+# --------------------------------------------------------------------- #
+
+
+def _model_fingerprint(model: Model) -> Dict[str, Any]:
+    return {
+        "type": type(model).__name__,
+        "num_features": model.num_features,
+        "num_classes": model.num_classes,
+        "num_parameters": model.num_parameters,
+    }
+
+
+def snapshot_core(core: ServerCore) -> Dict[str, Any]:
+    """Serialize the full state of ``core`` as a JSON-compatible dict."""
+    config = core.config
+    return {
+        "snapshot_version": SNAPSHOT_VERSION,
+        "model": _model_fingerprint(core.model),
+        "config": {
+            "max_iterations": config.max_iterations,
+            "target_error": config.target_error,
+            "min_samples_for_error_stop": config.min_samples_for_error_stop,
+        },
+        "optimizer": _encode_optimizer(core.optimizer),
+        "counters": core.counters_state(),
+        "registry": core.registry.state_dict(),
+        "monitor": core.monitor.state_dict(),
+        "accountant": (
+            None if core.accountant is None else core.accountant.state_dict()
+        ),
+    }
+
+
+def restore_core(snapshot: Dict[str, Any], model: Model) -> ServerCore:
+    """Rebuild a :class:`ServerCore` from :func:`snapshot_core` output.
+
+    ``model`` is supplied by the caller (models are code, not data — the
+    CLI rebuilds its model from its own arguments) and validated against
+    the snapshot's fingerprint, so a snapshot can never be restored onto
+    a different task definition.
+    """
+    if not isinstance(snapshot, dict):
+        raise SnapshotError(
+            f"snapshot must be a dict, got {type(snapshot).__name__}"
+        )
+    version = snapshot.get("snapshot_version")
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot version {version!r} != supported {SNAPSHOT_VERSION}"
+        )
+    try:
+        fingerprint = snapshot["model"]
+        expected = _model_fingerprint(model)
+        if fingerprint != expected:
+            raise SnapshotError(
+                f"snapshot was taken of model {fingerprint}, "
+                f"cannot restore onto {expected}"
+            )
+        config_state = snapshot["config"]
+        config = ServerConfig(
+            max_iterations=int(config_state["max_iterations"]),
+            target_error=(
+                None if config_state["target_error"] is None
+                else float(config_state["target_error"])
+            ),
+            min_samples_for_error_stop=int(
+                config_state["min_samples_for_error_stop"]
+            ),
+        )
+        optimizer = _decode_optimizer(snapshot["optimizer"])
+        registry = DeviceRegistry.from_state(snapshot["registry"])
+        monitor = ProgressMonitor.from_state(snapshot["monitor"])
+        accountant = (
+            None if snapshot["accountant"] is None
+            else PrivacyAccountant.from_state(snapshot["accountant"])
+        )
+        core = ServerCore(
+            model,
+            optimizer,
+            config=config,
+            registry=registry,
+            accountant=accountant,
+            monitor=monitor,
+        )
+        core.restore_counters(snapshot["counters"])
+    except SnapshotError:
+        raise
+    except (KeyError, TypeError, ValueError) as error:
+        raise SnapshotError(f"malformed snapshot: {error}") from error
+    return core
+
+
+# --------------------------------------------------------------------- #
+# canonical file form + equality                                        #
+# --------------------------------------------------------------------- #
+
+
+def canonical_json(snapshot: Dict[str, Any]) -> str:
+    """Canonical serialization (sorted keys) used for checksumming."""
+    return json.dumps(snapshot, sort_keys=True, separators=(",", ":"))
+
+
+def snapshot_checksum(snapshot: Dict[str, Any]) -> str:
+    """SHA-256 over the canonical form — the torn-file detector."""
+    return hashlib.sha256(canonical_json(snapshot).encode("utf-8")).hexdigest()
+
+
+def core_states_equal(a: ServerCore, b: ServerCore) -> bool:
+    """True when two cores are observably identical (parameters bit-exact).
+
+    Compares everything a snapshot captures plus the recomputed stopping
+    decision; the accountant comparison covers the full run-length ledger.
+    """
+    if a.parameters.tobytes() != b.parameters.tobytes():
+        return False
+    if a.iteration != b.iteration:
+        return False
+    if a.counters_state() != b.counters_state():
+        return False
+    if a.registry.state_dict() != b.registry.state_dict():
+        return False
+    if a.monitor.state_dict() != b.monitor.state_dict():
+        return False
+    if (a.accountant is None) != (b.accountant is None):
+        return False
+    if a.accountant is not None and (
+        a.accountant.state_dict() != b.accountant.state_dict()
+    ):
+        return False
+    if _encode_optimizer(a.optimizer) != _encode_optimizer(b.optimizer):
+        return False
+    return a.stopping_decision() == b.stopping_decision()
+
+
+def describe_mismatch(a: ServerCore, b: ServerCore) -> Optional[str]:
+    """Name the first differing state slice (test failure diagnostics)."""
+    if a.parameters.tobytes() != b.parameters.tobytes():
+        delta = float(np.max(np.abs(a.parameters - b.parameters)))
+        return f"parameters differ (max abs delta {delta})"
+    for name, view in (
+        ("iteration", lambda c: c.iteration),
+        ("counters", lambda c: c.counters_state()),
+        ("registry", lambda c: c.registry.state_dict()),
+        ("monitor", lambda c: c.monitor.state_dict()),
+        ("optimizer", lambda c: _encode_optimizer(c.optimizer)),
+        ("stop decision", lambda c: c.stopping_decision()),
+        ("accountant", lambda c: (
+            None if c.accountant is None else c.accountant.state_dict()
+        )),
+    ):
+        if view(a) != view(b):
+            return f"{name} differs: {view(a)!r} != {view(b)!r}"
+    return None

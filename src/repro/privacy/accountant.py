@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.privacy.mechanism import AggregatedRelease, ReleaseRecord
 from repro.utils.exceptions import PrivacyBudgetExceededError
@@ -215,3 +215,52 @@ class PrivacyAccountant:
         self._per_sample_epsilon = 0.0
         self._total_epsilon = 0.0
         self._total_delta = 0.0
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Serializable ledger state.
+
+        Epsilons may be ``inf`` (the no-noise setting); JSON's
+        ``Infinity`` literal round-trips it, and finite floats survive
+        via ``repr`` exactly, so a restored ledger reports the identical
+        spend bit for bit.
+        """
+        return {
+            "per_sample_cap": self._per_sample_cap,
+            "per_sample_epsilon": self._per_sample_epsilon,
+            "total_epsilon": self._total_epsilon,
+            "total_delta": self._total_delta,
+            "num_records": self._num_records,
+            "runs": [
+                {
+                    "epsilon": record.epsilon,
+                    "delta": record.delta,
+                    "mechanism": record.mechanism,
+                    "sensitivity": record.sensitivity,
+                    "count": count,
+                }
+                for record, count in self._runs
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Any]) -> "PrivacyAccountant":
+        """Inverse of :meth:`state_dict`."""
+        cap = state["per_sample_cap"]
+        accountant = cls(per_sample_cap=None if cap is None else float(cap))
+        accountant._per_sample_epsilon = float(state["per_sample_epsilon"])
+        accountant._total_epsilon = float(state["total_epsilon"])
+        accountant._total_delta = float(state["total_delta"])
+        accountant._num_records = int(state["num_records"])
+        accountant._runs = [
+            [
+                ReleaseRecord(
+                    epsilon=float(entry["epsilon"]),
+                    delta=float(entry["delta"]),
+                    mechanism=str(entry["mechanism"]),
+                    sensitivity=float(entry["sensitivity"]),
+                ),
+                int(entry["count"]),
+            ]
+            for entry in state["runs"]
+        ]
+        return accountant

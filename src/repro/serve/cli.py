@@ -12,14 +12,27 @@ the c/√t schedule) and hosts it with
     # ephemeral port: parse the announced URL from the first stdout line
     repro-serve --num-features 50 --num-classes 10 --port 0
 
+    # durable: checkpoint every update, resume after any crash
+    repro-serve --num-features 50 --num-classes 10 --port 8900 \\
+                --state-dir /var/lib/crowdml --checkpoint-every 1
+
 The first line printed is always ``serving on http://HOST:PORT`` (flushed
-immediately), so scripts and CI can scrape the bound port.  Stop with
-SIGINT/SIGTERM; the listener shuts down cleanly.
+immediately), so scripts and CI can scrape the bound port.
+
+Durability: with ``--state-dir`` the service checkpoints the full core
+state write-ahead (see :mod:`repro.persist`); on startup it resumes from
+the newest valid snapshot in that directory (torn files are skipped), so
+a SIGKILLed server restarted with the same flags picks the run up where
+the last durable checkpoint left it.  SIGINT/SIGTERM shut down
+gracefully — the listener stops, in-flight requests drain, and a final
+snapshot is flushed; exit code 0 means the shutdown was clean, 3 that
+the drain timed out or the final flush failed (state is whatever the
+last successful checkpoint captured).
 
 The optimizer mirrors :class:`~repro.simulation.simulator.CrowdSimulator`
 exactly (same schedule, same projection), so a remote run against a
 matching spec reproduces an in-process run bit for bit — see
-``examples/remote_round.py``.
+``examples/remote_round.py`` and ``examples/durable_round.py``.
 """
 
 from __future__ import annotations
@@ -33,6 +46,8 @@ from repro.core.auth import DeviceRegistry
 from repro.core.config import ServerConfig
 from repro.core.server_core import ServerCore
 from repro.optim import paper_sgd
+from repro.persist.checkpoint import Checkpointer, CheckpointPolicy, SnapshotStore
+from repro.persist.snapshot import restore_core
 from repro.registry import MODELS
 from repro.serve.service import CrowdService
 from repro.serve.wire import PROTOCOL_VERSION
@@ -71,34 +86,78 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-join", action="store_true",
                         help="disable POST /v1/join (closed deployment: use "
                              "--register or a provisioned --server-key)")
+    parser.add_argument("--state-dir", default=None, metavar="DIR",
+                        help="durable state directory: checkpoint here and "
+                             "resume from the newest valid snapshot at startup")
+    parser.add_argument("--checkpoint-every", type=int, default=1, metavar="N",
+                        help="checkpoint after every N applied updates "
+                             "(default 1 = write-ahead each update; 0 "
+                             "disables the count trigger)")
+    parser.add_argument("--checkpoint-seconds", type=float, default=None,
+                        metavar="S",
+                        help="additionally checkpoint every S seconds of "
+                             "wall clock (default: off)")
+    parser.add_argument("--retain", type=int, default=4, metavar="K",
+                        help="keep the newest K snapshots (default 4)")
     return parser
 
 
 def build_service(args: argparse.Namespace) -> CrowdService:
-    """Construct the core + service a parsed command line describes."""
+    """Construct the core + service a parsed command line describes.
+
+    With ``--state-dir``, the newest valid snapshot there supersedes the
+    command-line task state (parameters, counters, registry — the flags
+    still define the model shape, which the snapshot must match); the
+    chosen resume point is recorded on the returned service as
+    ``service.resumed_from`` (``None`` for a fresh start).
+    """
     model = MODELS.create(
         args.model, num_features=args.num_features, num_classes=args.num_classes
     )
-    # The one shared construction CrowdSimulator also uses — bit-parity
-    # of remote runs against in-process runs rests on it.
-    optimizer = paper_sgd(
-        model.init_parameters(),
-        learning_rate_constant=args.learning_rate_constant,
-        projection_radius=None if args.no_projection else args.projection_radius,
+    checkpointer = None
+    resumed_from = None
+    core = None
+    if args.state_dir is not None:
+        store = SnapshotStore(args.state_dir, retain=args.retain)
+        policy = CheckpointPolicy(
+            every_n_updates=args.checkpoint_every if args.checkpoint_every > 0
+            else None,
+            every_seconds=args.checkpoint_seconds,
+        )
+        checkpointer = Checkpointer(store, policy)
+        loaded = store.load_latest()
+        if loaded is not None:
+            snapshot, resumed_from = loaded
+            core = restore_core(snapshot, model)
+            checkpointer.note_restored(core)
+    if core is None:
+        # The one shared construction CrowdSimulator also uses —
+        # bit-parity of remote runs against in-process runs rests on it.
+        optimizer = paper_sgd(
+            model.init_parameters(),
+            learning_rate_constant=args.learning_rate_constant,
+            projection_radius=None if args.no_projection else args.projection_radius,
+        )
+        core = ServerCore(
+            model,
+            optimizer,
+            config=ServerConfig(
+                max_iterations=args.max_iterations, target_error=args.target_error
+            ),
+            registry=DeviceRegistry(server_key=args.server_key),
+        )
+        for device_id in range(args.register):
+            core.register_device(device_id)
+        if checkpointer is not None:
+            # Prime the state dir so even a crash before the first
+            # check-in resumes the exact initial task state.
+            checkpointer.checkpoint(core)
+    service = CrowdService(
+        core, host=args.host, port=args.port, allow_join=not args.no_join,
+        checkpointer=checkpointer,
     )
-    core = ServerCore(
-        model,
-        optimizer,
-        config=ServerConfig(
-            max_iterations=args.max_iterations, target_error=args.target_error
-        ),
-        registry=DeviceRegistry(server_key=args.server_key),
-    )
-    for device_id in range(args.register):
-        core.register_device(device_id)
-    return CrowdService(
-        core, host=args.host, port=args.port, allow_join=not args.no_join
-    )
+    service.resumed_from = resumed_from
+    return service
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -116,23 +175,40 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"protocol=v{PROTOCOL_VERSION} join={'off' if args.no_join else 'on'}",
         flush=True,
     )
+    if service.resumed_from is not None:
+        print(
+            f"resumed iteration {service.core.iteration} "
+            f"from {service.resumed_from}",
+            flush=True,
+        )
 
     def _shutdown(signum, frame):
         raise KeyboardInterrupt
 
     signal.signal(signal.SIGTERM, _shutdown)
+    dirty = False
     try:
         service.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         service.stop()
+        # Graceful half of durability: requests already inside a handler
+        # get their responses, then the final state is made durable.
+        if not service.drain(timeout=10.0):
+            print("repro-serve: shutdown drain timed out", file=sys.stderr)
+            dirty = True
+        try:
+            service.checkpoint_now()
+        except (ReproError, OSError) as error:
+            print(f"repro-serve: final snapshot failed: {error}", file=sys.stderr)
+            dirty = True
         print(
             f"served {service.requests_served} requests "
             f"({service.total_errors} errors)",
             file=sys.stderr,
         )
-    return 0
+    return 3 if dirty else 0
 
 
 if __name__ == "__main__":

@@ -1,23 +1,65 @@
 """HTTP client for a remote :class:`~repro.serve.service.CrowdService`.
 
 :class:`ServiceClient` speaks the :mod:`repro.serve.wire` envelopes over
-plain ``urllib`` — no third-party HTTP stack — and converts ``error``
-envelopes back into typed exceptions, so callers handle a remote
-rejection exactly like a local :class:`~repro.core.server_core.ServerCore`
-raise: :class:`RemoteAuthenticationError` for bad tokens,
+pooled stdlib :class:`http.client.HTTPConnection` sockets — no
+third-party HTTP stack — and converts ``error`` envelopes back into
+typed exceptions, so callers handle a remote rejection exactly like a
+local :class:`~repro.core.server_core.ServerCore` raise:
+:class:`RemoteAuthenticationError` for bad tokens,
 :class:`RemoteServiceError` with :attr:`~RemoteServiceError.code` for
 everything else.
+
+Connection discipline
+---------------------
+
+Each thread keeps one persistent connection to the endpoint (the server
+speaks HTTP/1.1 keep-alive), so a training run costs ~1 TCP handshake
+per thread instead of one per request; the
+:attr:`~ServiceClient.requests_sent` / :attr:`~ServiceClient.connections_opened`
+counters make the reuse ratio observable (the serve-throughput benchmark
+records it).  A pooled socket can go stale between requests — the server
+restarted, an idle timeout fired, a proxy hung up.  Sending on a stale
+*reused* socket fails instantly and deterministically, so the client
+transparently reconnects and replays that request once; this is **not**
+counted as a retry (no state reached the server).
+
+Retries
+-------
+
+With ``retries > 0`` the client additionally retries *transient*
+failures — connection refused/reset on a fresh socket, timeouts, and
+5xx ``internal`` answers — with exponential backoff plus jitter.  4xx
+typed errors (auth, malformed, stopped, version mismatch) never retry:
+the server answered, the answer is the answer.  Retrying a request whose
+*response* was lost can re-submit an already-applied check-in; that is
+safe if and only if messages carry ``checkin_seq`` (the server's dedupe
+ledger answers the replay with the original ack) — which is exactly what
+:class:`~repro.serve.remote.RemoteDevice` does.
 """
 
 from __future__ import annotations
 
-import urllib.error
-import urllib.request
-from typing import Optional, Sequence
+import http.client
+import random
+import threading
+import time
+from typing import Optional, Sequence, Tuple
+from urllib.parse import urlparse
 
 from repro.core.protocol import CheckinMessage, CheckoutRequest, CheckoutResponse
 from repro.serve import wire
 from repro.utils.exceptions import AuthenticationError, ProtocolError
+
+#: Errors that mean "the pooled socket died between requests" — eligible
+#: for the transparent reconnect-and-replay (RemoteDisconnected covers
+#: the common FIN-between-requests case; BadStatusLine a half-closed
+#: pipe that garbled the status line).
+_STALE_SOCKET_ERRORS = (
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+    ConnectionResetError,
+    BrokenPipeError,
+)
 
 
 class RemoteServiceError(ProtocolError):
@@ -57,11 +99,18 @@ def _raise_for_error(payload: bytes, http_status: int) -> None:
     raise RemoteServiceError(error.code, str(error), http_status)
 
 
-class ServiceClient:
-    """Thin, stateless JSON-over-HTTP client for one service endpoint.
+def _retryable(error: RemoteServiceError) -> bool:
+    """Transient: worth another attempt.  Typed 4xx answers are final."""
+    if error.code == wire.ErrorCode.UNREACHABLE:
+        return True
+    return error.http_status is not None and error.http_status >= 500
 
-    Thread-safe: each call opens its own connection, so any number of
-    device threads may share one client.
+
+class ServiceClient:
+    """Pooled, retrying JSON-over-HTTP client for one service endpoint.
+
+    Thread-safe: each thread gets its own pooled connection, so any
+    number of device threads may share one client.
 
     Parameters
     ----------
@@ -69,42 +118,180 @@ class ServiceClient:
         e.g. ``http://127.0.0.1:8900`` (trailing slashes are stripped).
     timeout:
         Per-request socket timeout in seconds.
+    retries:
+        Extra attempts for *transient* failures (0 = fail fast, the
+        historical behaviour).  See the module docstring for what
+        retries — and what makes retried check-ins idempotent.
+    backoff / backoff_max:
+        First retry sleeps ``backoff`` seconds (plus jitter), doubling
+        per attempt up to ``backoff_max``.
+    jitter:
+        Uniform multiplicative jitter fraction on each sleep (0.25 =
+        up to +25%), decorrelating a thundering herd of retriers.
     """
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 0,
+        backoff: float = 0.05,
+        backoff_max: float = 2.0,
+        jitter: float = 0.25,
+    ):
         self._base_url = str(base_url).rstrip("/")
+        parsed = urlparse(self._base_url)
+        if parsed.scheme != "http" or parsed.hostname is None:
+            raise ProtocolError(
+                f"base_url must be http://host[:port], got {base_url!r}"
+            )
+        self._host = parsed.hostname
+        self._port = parsed.port if parsed.port is not None else 80
         self._timeout = float(timeout)
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        self._retries = int(retries)
+        self._backoff = float(backoff)
+        self._backoff_max = float(backoff_max)
+        self._jitter = float(jitter)
+        self._rng = random.Random()
+        self._local = threading.local()
+        self._counter_lock = threading.Lock()
+        self.requests_sent = 0
+        self.connections_opened = 0
+        self.reconnects = 0
+        self.retries_used = 0
 
     @property
     def base_url(self) -> str:
         return self._base_url
 
-    def _call(self, method: str, path: str, payload: Optional[str] = None) -> bytes:
-        request = urllib.request.Request(
-            self._base_url + path,
-            data=None if payload is None else payload.encode("utf-8"),
-            method=method,
-            headers={"Content-Type": "application/json"},
+    @property
+    def retries(self) -> int:
+        return self._retries
+
+    @property
+    def reuse_ratio(self) -> float:
+        """Requests per connection — ≫1 means keep-alive is working."""
+        if self.connections_opened == 0:
+            return 0.0
+        return self.requests_sent / self.connections_opened
+
+    # -- connection pool (one per thread) ------------------------------- #
+
+    def _connection(self) -> Tuple[http.client.HTTPConnection, bool]:
+        """This thread's pooled connection; ``(conn, was_reused)``."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            return conn, True
+        conn = http.client.HTTPConnection(
+            self._host, self._port, timeout=self._timeout
         )
+        self._local.conn = conn
+        with self._counter_lock:
+            self.connections_opened += 1
+        return conn, False
+
+    def _discard(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        self._local.conn = None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def close(self) -> None:
+        """Close the calling thread's pooled connection (if any)."""
+        self._discard()
+
+    # -- request plumbing ----------------------------------------------- #
+
+    def _roundtrip(
+        self, conn: http.client.HTTPConnection, method: str, path: str,
+        body: Optional[bytes],
+    ) -> Tuple[int, bytes]:
+        conn.request(
+            method, path, body=body, headers={"Content-Type": "application/json"}
+        )
+        response = conn.getresponse()
+        data = response.read()  # must drain fully before the socket is reused
+        if response.will_close:
+            self._discard()
+        with self._counter_lock:
+            self.requests_sent += 1
+        return response.status, data
+
+    def _call_once(self, method: str, path: str, body: Optional[bytes]) -> bytes:
+        conn, reused = self._connection()
         try:
-            with urllib.request.urlopen(request, timeout=self._timeout) as response:
-                return response.read()
-        except urllib.error.HTTPError as error:
-            body = error.read()
-            _raise_for_error(body, error.code)
-        except urllib.error.URLError as error:
+            status, data = self._roundtrip(conn, method, path, body)
+        except _STALE_SOCKET_ERRORS as error:
+            self._discard()
+            if not reused:
+                # A fresh socket that dies mid-exchange is a real
+                # transient failure, not keep-alive staleness.
+                raise RemoteServiceError(
+                    wire.ErrorCode.UNREACHABLE,
+                    f"connection to {self._base_url} failed: {error}",
+                )
+            # The pooled socket went stale between requests; nothing
+            # reached the server on this attempt.  Replay once on a
+            # fresh connection, transparently.
+            with self._counter_lock:
+                self.reconnects += 1
+            conn, _ = self._connection()
+            try:
+                status, data = self._roundtrip(conn, method, path, body)
+            except OSError as retry_error:
+                self._discard()
+                raise RemoteServiceError(
+                    wire.ErrorCode.UNREACHABLE,
+                    f"cannot reach {self._base_url}: {retry_error}",
+                )
+        except OSError as error:
+            self._discard()
             raise RemoteServiceError(
                 wire.ErrorCode.UNREACHABLE,
-                f"cannot reach {self._base_url}: {error.reason}",
+                f"cannot reach {self._base_url}: {error}",
             )
+        if status != 200:
+            _raise_for_error(data, status)
+        return data
+
+    def _call(self, method: str, path: str, payload: Optional[str] = None) -> bytes:
+        body = None if payload is None else payload.encode("utf-8")
+        delay = self._backoff
+        for attempt in range(self._retries + 1):
+            try:
+                return self._call_once(method, path, body)
+            except RemoteServiceError as error:
+                if attempt >= self._retries or not _retryable(error):
+                    raise
+            with self._counter_lock:
+                self.retries_used += 1
+            time.sleep(delay * (1.0 + self._jitter * self._rng.random()))
+            delay = min(delay * 2.0, self._backoff_max)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # -- service API ---------------------------------------------------- #
 
     def join(self, device_id: int) -> str:
         """Enroll ``device_id`` with the remote registry; returns its token."""
-        raw = self._call("POST", "/v1/join", wire.encode_join_request(device_id))
-        _, token = wire.decode_join_response(raw)
+        token, _ = self.join_info(device_id)
         return token
+
+    def join_info(self, device_id: int) -> Tuple[str, int]:
+        """Enroll and return ``(token, last_checkin_seq)``.
+
+        ``last_checkin_seq`` is the highest sequence number the server
+        has already applied for this device (``-1`` for a new device) —
+        a retrying client resumes its numbering after it, so rejoining
+        a resumed server never collides with the dedupe ledger.
+        """
+        raw = self._call("POST", "/v1/join", wire.encode_join_request(device_id))
+        _, token, last_seq = wire.decode_join_response_seq(raw)
+        return token, last_seq
 
     def checkout(self, request: CheckoutRequest) -> CheckoutResponse:
         """Server Routine 1 over HTTP: fetch the current parameters."""

@@ -32,6 +32,7 @@ see README "Serving" for the full caveat list.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 import numpy as np
@@ -122,6 +123,7 @@ class RemoteDevice:
         device: Device,
         link: HttpLink,
         gateway: Optional["EdgeGateway"] = None,
+        first_checkin_seq: int = 0,
     ):
         self.device = device
         self.link = link
@@ -130,6 +132,17 @@ class RemoteDevice:
         self._pending_checkin: Optional[CheckinMessage] = None
         self._last_gateway_ack: Optional[CheckinAck] = None
         self.rounds_completed = 0
+        if first_checkin_seq < 0:
+            raise ConfigurationError(
+                f"first_checkin_seq must be >= 0, got {first_checkin_seq}"
+            )
+        # Every check-in this device produces is stamped with the next
+        # sequence number (Remark 1 idempotency): a retry — whether from
+        # _pending_checkin custody here or an EdgeGateway's buffer —
+        # re-sends the *same* stamped message, so a server that already
+        # applied it answers with the original ack instead of a second
+        # update.
+        self._next_checkin_seq = int(first_checkin_seq)
 
     @classmethod
     def join(
@@ -141,10 +154,22 @@ class RemoteDevice:
         rng: np.random.Generator,
         gateway: Optional["EdgeGateway"] = None,
     ) -> "RemoteDevice":
-        """Enroll with the remote registry and build the device runtime."""
-        token = transport.client.join(device_id)
+        """Enroll with the remote registry and build the device runtime.
+
+        The join response carries the server's last applied sequence
+        number for this device (``-1`` for a fresh enrollment), and
+        numbering resumes after it — so re-joining a server that
+        restored from a snapshot cannot reuse sequence numbers its
+        dedupe ledger would swallow.
+        """
+        token, last_seq = transport.client.join_info(device_id)
         link = transport.connect(device_id)
-        return cls(Device(device_id, model, config, token, rng), link, gateway)
+        return cls(
+            Device(device_id, model, config, token, rng),
+            link,
+            gateway,
+            first_checkin_seq=last_seq + 1,
+        )
 
     @property
     def stopped(self) -> bool:
@@ -211,7 +236,8 @@ class RemoteDevice:
         result = device.complete_checkout(
             response.parameters, response.server_iteration
         )
-        message = result.message
+        message = replace(result.message, checkin_seq=self._next_checkin_seq)
+        self._next_checkin_seq += 1
         self.link.note_checkin(message.payload_floats)
         if gateway is not None:
             self._last_gateway_ack = None
@@ -260,10 +286,22 @@ class RemoteServerCore:
     slots.  ``iteration``/``stopped`` reflect the latest server state
     this client has *seen* — exact for a single sequential client,
     a lower bound under concurrency.
+
+    With ``tag_checkins=True`` every check-in leaving this proxy is
+    stamped with a per-device ``checkin_seq`` (numbering seeded from the
+    join response), making re-submissions idempotent on the server.
+    This is what makes a *retrying* :class:`ServiceClient` safe: a
+    replayed check-in whose original response was lost is answered from
+    the server's dedupe ledger instead of applied twice.
+    :class:`~repro.simulation.simulator.CrowdSimulator` enables it
+    whenever ``http_retries > 0``.  Off by default — untagged messages
+    are byte-identical to the pre-sequencing wire format.
     """
 
-    def __init__(self, client: ServiceClient):
+    def __init__(self, client: ServiceClient, tag_checkins: bool = False):
         self._client = client
+        self._tag_checkins = bool(tag_checkins)
+        self._next_seqs: dict = {}
         status = client.status()
         if status.protocol_version != wire.PROTOCOL_VERSION:
             raise ConfigurationError(
@@ -324,7 +362,19 @@ class RemoteServerCore:
 
     def register_device(self, device_id: int) -> str:
         """Enroll a device through ``POST /v1/join``; returns its token."""
-        return self._client.join(device_id)
+        token, last_seq = self._client.join_info(device_id)
+        if self._tag_checkins:
+            self._next_seqs[int(device_id)] = last_seq + 1
+        return token
+
+    def _tag(self, message: CheckinMessage) -> CheckinMessage:
+        """Stamp the next per-device sequence number (when tagging)."""
+        if not self._tag_checkins or message.checkin_seq >= 0:
+            return message
+        device_id = int(message.device_id)
+        seq = self._next_seqs.get(device_id, 0)
+        self._next_seqs[device_id] = seq + 1
+        return replace(message, checkin_seq=seq)
 
     def handle_checkout(self, request: CheckoutRequest) -> CheckoutResponse:
         response = self._client.checkout(request)
@@ -333,7 +383,7 @@ class RemoteServerCore:
 
     def handle_checkin(self, message: CheckinMessage) -> CheckinAck:
         """Single-message wire semantics: a rejected check-in raises."""
-        result = self._client.checkins([message])
+        result = self._client.checkins([self._tag(message)])
         self._observe(result.server_iteration, result.stop_decision)
         ack = result.acks[0]
         if ack is None:
@@ -352,6 +402,7 @@ class RemoteServerCore:
         back as all-``None`` acks, exactly like ``ServerCore`` rejecting
         every message of the batch.
         """
+        messages = [self._tag(m) for m in messages]
         try:
             result = self._client.checkins(messages)
         except RemoteServiceError as error:
@@ -398,6 +449,8 @@ class RemoteServerCore:
             self._observe(response.server_iteration, StopDecision.running())
             responses.append(response)
             message = complete(response, *complete_args)
+            if message is not None:
+                message = self._tag(message)
             messages.append(message)
             if message is None:
                 acks.append(None)

@@ -25,6 +25,7 @@ while the service keeps serving.
 from __future__ import annotations
 
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, Optional
 from urllib.parse import parse_qs, urlparse
@@ -52,6 +53,17 @@ class CrowdService:
         Whether ``POST /v1/join`` enrolls new devices (the Web-portal
         join flow).  Disable for a closed deployment where the registry
         is provisioned out of band.
+    checkpointer:
+        Optional :class:`~repro.persist.checkpoint.Checkpointer`.  When
+        set, the service checkpoints **write-ahead**: after a check-in
+        batch mutates the core, the policy-gated snapshot is written
+        while the core lock is still held and *before* the ack leaves
+        the server.  With ``every_n_updates=1`` a crash can therefore
+        only lose updates whose acks the clients never saw — which they
+        retry, and the sequence-number dedupe applies exactly once.
+        Registrations checkpoint unconditionally (tokens must never be
+        handed out and then forgotten).  A failing snapshot write fails
+        the request (500) rather than acknowledging undurable state.
 
     Examples
     --------
@@ -71,11 +83,15 @@ class CrowdService:
         host: str = "127.0.0.1",
         port: int = 0,
         allow_join: bool = True,
+        checkpointer=None,
     ):
         self._core = core
         self._allow_join = bool(allow_join)
+        self._checkpointer = checkpointer
         self._lock = threading.Lock()
         self._counter_lock = threading.Lock()
+        self._idle = threading.Condition(self._counter_lock)
+        self._inflight = 0
         self._thread: Optional[threading.Thread] = None
         self._serving = False
         self.requests_served = 0
@@ -165,6 +181,30 @@ class CrowdService:
             self._thread = None
         self._http.server_close()
 
+    def drain(self, timeout: float = 10.0) -> bool:
+        """Wait until no request is mid-dispatch; True if quiesced.
+
+        Called after the listener stopped accepting: connections already
+        inside a handler finish and get their responses before the
+        process exits (the graceful-shutdown half of the durability
+        story — the final snapshot must postdate every acked update).
+        """
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    def checkpoint_now(self) -> Optional[str]:
+        """Force a snapshot of the current core state (shutdown flush)."""
+        if self._checkpointer is None:
+            return None
+        with self._lock:
+            return self._checkpointer.checkpoint(self._core)
+
     def __enter__(self) -> "CrowdService":
         return self.start()
 
@@ -175,6 +215,17 @@ class CrowdService:
 
     def _dispatch(self, handler: BaseHTTPRequestHandler, method: str) -> None:
         """Route one request; every exit path sends exactly one response."""
+        with self._idle:
+            self._inflight += 1
+        try:
+            self._dispatch_inner(handler, method)
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
+
+    def _dispatch_inner(self, handler: BaseHTTPRequestHandler, method: str) -> None:
         code = None
         try:
             status, payload = self._handle(handler, method)
@@ -260,7 +311,12 @@ class CrowdService:
             raise AuthenticationError("join is disabled on this service")
         with self._lock:
             token = self._core.register_device(device_id)
-        return 200, wire.encode_join_response(device_id, token)
+            last_seq = self._core.applied_checkin_seq(device_id)
+            if self._checkpointer is not None:
+                # Unconditional: a token handed out must survive a crash,
+                # or the device's traffic is rejected after resume.
+                self._checkpointer.checkpoint(self._core)
+        return 200, wire.encode_join_response(device_id, token, last_seq)
 
     def _handle_checkout(self, raw: bytes):
         request = wire.decode_checkout_request(raw)
@@ -304,6 +360,9 @@ class CrowdService:
             acks = self._core.handle_checkins(messages)
             iteration = self._core.iteration
             stop = self._core.stopping_decision()
+            if self._checkpointer is not None:
+                # Write-ahead: durable before the ack leaves the server.
+                self._checkpointer.after_update(self._core)
         return 200, wire.encode_checkin_result(acks, iteration, stop)
 
     def _handle_status(self, include_parameters: bool):
@@ -315,6 +374,7 @@ class CrowdService:
                 rejected_messages=self._core.rejected_messages,
                 registered_devices=self._core.registry.num_registered,
                 num_parameters=self._core.model.num_parameters,
+                duplicates_suppressed=self._core.duplicates_suppressed,
                 parameters=self._core.parameters if include_parameters else None,
             )
         return 200, payload

@@ -20,7 +20,8 @@ Request/response kinds
 kind                   body
 =====================  =============================================
 ``join_request``       ``{"device_id": int}``
-``join_response``      ``{"device_id": int, "token": str}``
+``join_response``      ``{"device_id": int, "token": str,
+                       "last_checkin_seq": int?}``
 ``checkout_request``   codec ``checkout_request`` payload
 ``checkout_response``  codec ``checkout_response`` payload
 ``checkin_batch``      ``{"messages": [codec checkin payload, ...]}``
@@ -160,6 +161,7 @@ class ServiceStatus:
     rejected_messages: int
     registered_devices: int
     num_parameters: int
+    duplicates_suppressed: int = 0
     parameters: Optional[np.ndarray] = None
 
     @property
@@ -260,16 +262,40 @@ def decode_join_request(raw: Union[str, bytes]) -> int:
         raise WireError(ErrorCode.MALFORMED, f"malformed join_request: {error}")
 
 
-def encode_join_response(device_id: int, token: str) -> str:
-    return encode_envelope(
-        "join_response", {"device_id": int(device_id), "token": str(token)}
-    )
+def encode_join_response(
+    device_id: int, token: str, last_checkin_seq: int = -1
+) -> str:
+    """``last_checkin_seq`` is the highest check-in sequence the server
+    has already applied for this device (``-1`` = none).  A retry-capable
+    client resumes numbering *after* it, so a device re-joining a server
+    that restored from a snapshot doesn't reuse sequence numbers the
+    dedupe ledger would silently swallow.  Encoded only when set, so the
+    join bytes of seq-unaware deployments are unchanged.
+    """
+    body: Dict[str, Any] = {"device_id": int(device_id), "token": str(token)}
+    if last_checkin_seq >= 0:
+        body["last_checkin_seq"] = int(last_checkin_seq)
+    return encode_envelope("join_response", body)
 
 
 def decode_join_response(raw: Union[str, bytes]) -> Tuple[int, str]:
     _, body = parse_envelope(raw, "join_response")
     try:
         return int(body["device_id"]), str(body["token"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise WireError(ErrorCode.MALFORMED, f"malformed join_response: {error}")
+
+
+def decode_join_response_seq(raw: Union[str, bytes]) -> Tuple[int, str, int]:
+    """Like :func:`decode_join_response`, plus the server's
+    ``last_checkin_seq`` for the device (``-1`` when absent)."""
+    _, body = parse_envelope(raw, "join_response")
+    try:
+        return (
+            int(body["device_id"]),
+            str(body["token"]),
+            int(body.get("last_checkin_seq", -1)),
+        )
     except (KeyError, TypeError, ValueError) as error:
         raise WireError(ErrorCode.MALFORMED, f"malformed join_response: {error}")
 
@@ -418,6 +444,7 @@ def encode_status(
     rejected_messages: int,
     registered_devices: int,
     num_parameters: int,
+    duplicates_suppressed: int = 0,
     parameters: Optional[np.ndarray] = None,
 ) -> str:
     body: Dict[str, Any] = {
@@ -429,6 +456,7 @@ def encode_status(
         "rejected_messages": int(rejected_messages),
         "registered_devices": int(registered_devices),
         "num_parameters": int(num_parameters),
+        "duplicates_suppressed": int(duplicates_suppressed),
     }
     if parameters is not None:
         body["parameters"] = np.asarray(parameters, dtype=np.float64).tolist()
@@ -452,6 +480,7 @@ def decode_status(raw: Union[str, bytes]) -> ServiceStatus:
             rejected_messages=int(body["rejected_messages"]),
             registered_devices=int(body["registered_devices"]),
             num_parameters=int(body["num_parameters"]),
+            duplicates_suppressed=int(body.get("duplicates_suppressed", 0)),
             parameters=parameters,
         )
         StopReason(status.stop_reason)

@@ -84,6 +84,11 @@ class SimulationConfig:
     server_url:
         Base URL of the remote service (``transport="http"`` only),
         e.g. ``"http://127.0.0.1:8900"``.
+    http_retries:
+        ``transport="http"`` only: extra attempts the HTTP client makes
+        on transient failures (connection refused/reset, 5xx), with
+        exponential backoff — how a run rides out a server bounce.
+        Default 0 = fail fast, the historical behaviour.
     coalesce_checkins:
         Event-driven transport only: drain contiguous same-timestamp
         check-in deliveries as one
@@ -133,6 +138,7 @@ class SimulationConfig:
     batch_policy_factory: Optional[Callable[[], "BatchPolicy"]] = None
     transport: str = "auto"
     server_url: Optional[str] = None
+    http_retries: int = 0
     coalesce_checkins: bool = True
     snapshot_subsample: Optional[int] = None
     gateways: Optional["TwoTierTopology"] = None
@@ -150,6 +156,15 @@ class SimulationConfig:
         if self.transport != "http" and self.server_url is not None:
             raise ConfigurationError(
                 f"server_url is only meaningful with transport='http', "
+                f"got transport={self.transport!r}"
+            )
+        if self.http_retries < 0:
+            raise ConfigurationError(
+                f"http_retries must be >= 0, got {self.http_retries}"
+            )
+        if self.http_retries and self.transport != "http":
+            raise ConfigurationError(
+                f"http_retries is only meaningful with transport='http', "
                 f"got transport={self.transport!r}"
             )
         if self.snapshot_subsample is not None and self.snapshot_subsample < 1:

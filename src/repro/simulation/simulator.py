@@ -179,7 +179,7 @@ class CrowdSimulator:
             from repro.serve.remote import HttpTransport, RemoteServerCore
 
             self._transport: Transport = HttpTransport(
-                ServiceClient(config.server_url)
+                ServiceClient(config.server_url, retries=config.http_retries)
             )
         elif resolved == "gateway":
             # Same layering rule as the serve import above: gateway/
@@ -209,7 +209,12 @@ class CrowdSimulator:
         if self._remote:
             # The live server owns the model, optimizer, and stopping
             # config; the local ones must merely describe the same task.
-            core = RemoteServerCore(self._transport.client)
+            # Retrying clients must tag check-ins with sequence numbers:
+            # a retry whose original response was lost is then answered
+            # from the server's dedupe ledger instead of applied twice.
+            core = RemoteServerCore(
+                self._transport.client, tag_checkins=config.http_retries > 0
+            )
             core.validate_model(model)
             self._server: Optional[CrowdMLServer] = None
             self._core = core

@@ -1,0 +1,161 @@
+"""Sequence-number dedupe on :class:`ServerCore` (Remark 1, exactly-once).
+
+A retry-capable client stamps each check-in with a per-device monotone
+``checkin_seq``; the server's ledger answers replays of already-applied
+messages with the original ack instead of a second update.  These tests
+pin that contract on every endpoint that applies check-ins.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.protocol import CheckoutRequest
+
+from tests.persist.conftest import make_core, make_message
+
+
+@pytest.fixture
+def core_and_token():
+    core = make_core()
+    return core, core.register_device(0)
+
+
+def test_replay_returns_original_ack_without_reapplying(
+    core_and_token, traffic_rng
+):
+    core, token = core_and_token
+    message = make_message(core, 0, token, traffic_rng, seq=0)
+    first = core.handle_checkin(message)
+    assert first.checkin_seq == 0 and not first.duplicate
+    state_before = core.parameters.tobytes()
+
+    replay = core.handle_checkin(message)
+    assert replay.duplicate
+    assert replay.server_iteration == first.server_iteration
+    assert replay.checkin_seq == 0
+    assert core.iteration == 1
+    assert core.parameters.tobytes() == state_before
+    assert core.duplicates_suppressed == 1
+    assert core.monitor.num_checkins == 1  # stats not double-counted either
+
+
+def test_stale_lower_seq_also_suppressed(core_and_token, traffic_rng):
+    core, token = core_and_token
+    for seq in range(3):
+        core.handle_checkin(make_message(core, 0, token, traffic_rng, seq=seq))
+    stale = make_message(core, 0, token, traffic_rng, seq=0)
+    ack = core.handle_checkin(stale)
+    assert ack.duplicate
+    # The echoed iteration is the *newest* applied check-in's — exact
+    # for an immediate retry of the last message, a safe answer for
+    # anything older (the device already moved on).
+    assert ack.server_iteration == 3
+    assert core.iteration == 3
+
+
+def test_untagged_messages_never_tracked(core_and_token, traffic_rng):
+    core, token = core_and_token
+    message = make_message(core, 0, token, traffic_rng)  # seq = -1
+    core.handle_checkin(message)
+    core.handle_checkin(message)  # the historical path: applies again
+    assert core.iteration == 2
+    assert core.duplicates_suppressed == 0
+    assert core.applied_checkin_seq(0) == -1
+
+
+def test_ledger_is_per_device(traffic_rng):
+    core = make_core()
+    tokens = {i: core.register_device(i) for i in range(2)}
+    core.handle_checkin(make_message(core, 0, tokens[0], traffic_rng, seq=0))
+    # Device 1 using seq 0 is fresh traffic, not a replay of device 0's.
+    ack = core.handle_checkin(make_message(core, 1, tokens[1], traffic_rng, seq=0))
+    assert not ack.duplicate
+    assert core.iteration == 2
+    assert core.applied_checkin_seq(0) == 0
+    assert core.applied_checkin_seq(1) == 0
+    assert core.applied_checkin_seq(2) == -1
+
+
+def test_batch_replay_consumes_no_iteration_budget(traffic_rng):
+    # One iteration of budget left; the batch is [replay, fresh]: the
+    # replay must not eat the slot the fresh message needs.
+    core = make_core(max_iterations=2)
+    token = core.register_device(0)
+    applied = make_message(core, 0, token, traffic_rng, seq=0)
+    core.handle_checkin(applied)
+    fresh = make_message(core, 0, token, traffic_rng, seq=1)
+    acks = core.handle_checkins([applied, fresh])
+    assert acks[0] is not None and acks[0].duplicate
+    assert acks[1] is not None and not acks[1].duplicate
+    assert core.iteration == 2
+    assert core.duplicates_suppressed == 1
+
+
+def test_serve_round_replay_path(traffic_rng):
+    core = make_core()
+    token = core.register_device(0)
+    applied = make_message(core, 0, token, traffic_rng, seq=0)
+    core.handle_checkin(applied)
+    request = CheckoutRequest(device_id=0, token=token, request_time=0.0)
+    outcome = core.serve_round([request], lambda response: applied)
+    assert outcome.acks[0].duplicate
+    assert core.iteration == 1
+    assert core.duplicates_suppressed == 1
+
+
+def test_rejections_not_confused_with_replays(core_and_token, traffic_rng):
+    core, token = core_and_token
+    message = make_message(core, 0, token, traffic_rng, seq=0)
+    core.handle_checkin(message)
+    bad = make_message(core, 0, "wrong-token", traffic_rng, seq=0)
+    with pytest.raises(Exception):
+        core.handle_checkin(bad)
+    assert core.rejected_messages == 1
+    assert core.duplicates_suppressed == 0  # auth precedes the ledger
+
+
+def test_counters_state_roundtrip(traffic_rng):
+    core = make_core()
+    tokens = {i: core.register_device(i) for i in range(2)}
+    for seq in range(3):
+        for device_id in tokens:
+            message = make_message(core, device_id, tokens[device_id],
+                                   traffic_rng, seq=seq)
+            core.handle_checkin(message)
+            if seq == 1:
+                core.handle_checkin(message)  # one replay each
+
+    state = core.counters_state()
+    assert state["duplicates_suppressed"] == 2
+    twin = make_core()
+    for device_id in tokens:
+        twin.register_device(device_id)
+    twin.restore_counters(state)
+    assert twin.counters_state() == state
+    assert twin.applied_checkin_seq(0) == core.applied_checkin_seq(0)
+    # JSON-shaped keys (strings) restore too — the snapshot wire form.
+    import json
+
+    twin.restore_counters(json.loads(json.dumps(state)))
+    assert twin.counters_state() == state
+
+
+def test_replayed_ack_iteration_survives_restore(traffic_rng):
+    core = make_core()
+    token = core.register_device(0)
+    message = make_message(core, 0, token, traffic_rng, seq=0)
+    original = core.handle_checkin(message)
+    core.handle_checkin(make_message(core, 0, token, traffic_rng, seq=1))
+
+    twin = make_core()
+    twin.register_device(0)
+    twin.restore_counters(core.counters_state())
+    # The twin never saw the traffic, but its restored ledger answers
+    # the replay of seq 0 with an ack (duplicate, iteration as recorded
+    # for the device's newest applied message).
+    ack = twin._replay_ack(message)
+    assert ack is not None and ack.duplicate
+    assert ack.server_iteration == 2
+    assert original.server_iteration == 1

@@ -1,0 +1,305 @@
+"""Snapshot codec: ``restore_core(snapshot_core(core))`` is the core.
+
+Every optimizer/schedule/projection combination the codec claims to
+cover round-trips bit-exactly, including through an actual JSON
+serialization (the form checkpoints live in on disk); mismatched
+versions, models, and mangled payloads raise :class:`SnapshotError`
+instead of restoring the wrong run.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.config import ServerConfig
+from repro.models import MulticlassLogisticRegression
+from repro.optim import paper_sgd
+from repro.optim.projection import BoxProjection, IdentityProjection, L2BallProjection
+from repro.optim.schedules import (
+    ConstantRate,
+    InverseSqrtRate,
+    InverseTimeRate,
+    StepDecayRate,
+)
+from repro.optim.sgd import SGD, AdaGrad, AveragedSGD
+from repro.persist import (
+    SNAPSHOT_VERSION,
+    SnapshotError,
+    canonical_json,
+    core_states_equal,
+    describe_mismatch,
+    restore_core,
+    snapshot_checksum,
+    snapshot_core,
+)
+from repro.privacy.accountant import PrivacyAccountant
+from repro.privacy.mechanism import ReleaseRecord
+
+from tests.persist.conftest import make_core, make_message, make_model
+
+
+def drive(core, rng, num_messages=7, num_devices=2, seq_base=None, releases=()):
+    """Register devices and apply a deterministic burst of check-ins."""
+    tokens = {i: core.register_device(i) for i in range(num_devices)}
+    next_seq = dict.fromkeys(tokens, 0 if seq_base is not None else -1)
+    for i in range(num_messages):
+        device_id = i % num_devices
+        seq = -1
+        if seq_base is not None:
+            seq = next_seq[device_id]
+            next_seq[device_id] += 1
+        core.handle_checkin(
+            make_message(core, device_id, tokens[device_id], rng,
+                         seq=seq, releases=releases)
+        )
+    return tokens
+
+
+def roundtrip(core):
+    """Snapshot → JSON wire → restore, as the checkpoint store does it."""
+    snapshot = json.loads(json.dumps(snapshot_core(core)))
+    return restore_core(snapshot, make_model())
+
+
+def assert_restores_exactly(core):
+    restored = roundtrip(core)
+    assert describe_mismatch(core, restored) is None
+    assert core_states_equal(core, restored)
+
+
+# --------------------------------------------------------------------- #
+# round trips                                                           #
+# --------------------------------------------------------------------- #
+
+
+def test_paper_sgd_roundtrip(traffic_rng):
+    core = make_core()
+    drive(core, traffic_rng)
+    assert core.iteration == 7
+    assert_restores_exactly(core)
+
+
+def test_fresh_core_roundtrip():
+    assert_restores_exactly(make_core())
+
+
+SCHEDULES = [
+    ConstantRate(0.25),
+    InverseSqrtRate(1.5),
+    InverseTimeRate(2.0, 0.1),
+    StepDecayRate(1.0, 0.5, 3),
+]
+
+PROJECTIONS = [IdentityProjection(), L2BallProjection(3.0), BoxProjection(2.0)]
+
+
+@pytest.mark.parametrize("schedule", SCHEDULES, ids=lambda s: type(s).__name__)
+@pytest.mark.parametrize("projection", PROJECTIONS, ids=lambda p: type(p).__name__)
+def test_sgd_variants_roundtrip(schedule, projection, traffic_rng):
+    model = make_model()
+    core = make_core(
+        optimizer=SGD(model.init_parameters(), schedule=schedule,
+                      projection=projection)
+    )
+    drive(core, traffic_rng, num_messages=5)
+    assert_restores_exactly(core)
+
+
+def test_averaged_sgd_roundtrip(traffic_rng):
+    model = make_model()
+    core = make_core(
+        optimizer=AveragedSGD(
+            model.init_parameters(), schedule=InverseSqrtRate(0.7),
+            projection=L2BallProjection(5.0), burn_in=3,
+        )
+    )
+    drive(core, traffic_rng, num_messages=8)
+    restored = roundtrip(core)
+    assert describe_mismatch(core, restored) is None
+    # The Polyak average is part of the observable state: both cores must
+    # report identical averaged parameters, not just identical iterates.
+    assert (core.optimizer.averaged_parameters.tobytes()
+            == restored.optimizer.averaged_parameters.tobytes())
+    assert restored.optimizer.averaged_steps == core.optimizer.averaged_steps
+
+
+def test_adagrad_roundtrip(traffic_rng):
+    model = make_model()
+    core = make_core(
+        optimizer=AdaGrad(model.init_parameters(), constant=0.3,
+                          damping=1e-7, projection=BoxProjection(4.0))
+    )
+    drive(core, traffic_rng, num_messages=6)
+    restored = roundtrip(core)
+    assert describe_mismatch(core, restored) is None
+    assert (core.optimizer.accumulator.tobytes()
+            == restored.optimizer.accumulator.tobytes())
+
+
+def test_accountant_roundtrip(traffic_rng):
+    releases = (
+        ReleaseRecord(epsilon=0.125, mechanism="laplace", sensitivity=2.0),
+        ReleaseRecord(epsilon=0.0625, delta=1e-6, mechanism="dlap"),
+        ReleaseRecord(epsilon=0.0625, delta=1e-6, mechanism="dlap"),
+    )
+    core = make_core(accountant=PrivacyAccountant(per_sample_cap=100.0))
+    drive(core, traffic_rng, releases=releases)
+    restored = roundtrip(core)
+    assert describe_mismatch(core, restored) is None
+    assert restored.accountant.spend() == core.accountant.spend()
+    assert restored.accountant.record_runs == core.accountant.record_runs
+
+
+def test_accountant_infinite_epsilon_roundtrip(traffic_rng):
+    # The no-noise arms release with eps = inf (zero spend, but the
+    # ledger records them); JSON's Infinity literal must carry the inf
+    # through the snapshot file intact.
+    releases = (ReleaseRecord(epsilon=math.inf, mechanism="identity"),)
+    core = make_core(accountant=PrivacyAccountant())
+    drive(core, traffic_rng, num_messages=3, releases=releases)
+    assert math.isinf(core.accountant.record_runs[0][0].epsilon)
+    restored = roundtrip(core)
+    assert core_states_equal(core, restored)
+    assert restored.accountant.record_runs == core.accountant.record_runs
+    assert math.isinf(restored.accountant.record_runs[0][0].epsilon)
+
+
+def test_revoked_registry_roundtrip(traffic_rng):
+    core = make_core()
+    drive(core, traffic_rng, num_devices=3)
+    core.registry.revoke(1)
+    restored = roundtrip(core)
+    assert core_states_equal(core, restored)
+    assert not restored.registry.is_registered(1)
+    assert restored.registry.is_registered(0)
+
+
+def test_dedupe_ledger_roundtrip(traffic_rng):
+    core = make_core()
+    tokens = drive(core, traffic_rng, seq_base=0)
+    restored = roundtrip(core)
+    assert core_states_equal(core, restored)
+    for device_id in tokens:
+        assert (restored.applied_checkin_seq(device_id)
+                == core.applied_checkin_seq(device_id))
+    # A replay against the *restored* core is recognized from the ledger.
+    replay = make_message(restored, 0, tokens[0], traffic_rng, seq=0)
+    ack = restored.handle_checkin(replay)
+    assert ack.duplicate
+    assert restored.iteration == core.iteration
+
+
+def test_stop_decision_recomputed_not_stored(traffic_rng):
+    core = make_core(max_iterations=4)
+    drive(core, traffic_rng, num_messages=4)
+    assert core.stopped
+    snapshot = snapshot_core(core)
+    assert "stop" not in snapshot and "stopped" not in snapshot
+    restored = restore_core(json.loads(json.dumps(snapshot)), make_model())
+    assert restored.stopped
+    assert restored.stopping_decision() == core.stopping_decision()
+
+
+def test_restored_core_continues_identically(traffic_rng):
+    core = make_core()
+    tokens = drive(core, traffic_rng, seq_base=0)
+    restored = roundtrip(core)
+    # Same further traffic → same acks, same states, forever after.
+    follow_rng = np.random.default_rng(99)
+    seqs = {i: core.applied_checkin_seq(i) + 1 for i in tokens}
+    for i in range(6):
+        device_id = i % len(tokens)
+        message = make_message(core, device_id, tokens[device_id],
+                               follow_rng, seq=seqs[device_id])
+        seqs[device_id] += 1
+        assert core.handle_checkin(message) == restored.handle_checkin(message)
+    assert core_states_equal(core, restored)
+
+
+# --------------------------------------------------------------------- #
+# canonical form + checksum                                             #
+# --------------------------------------------------------------------- #
+
+
+def test_snapshot_is_deterministic(traffic_rng):
+    core = make_core()
+    drive(core, traffic_rng)
+    first, second = snapshot_core(core), snapshot_core(core)
+    assert first == second
+    assert snapshot_checksum(first) == snapshot_checksum(second)
+
+
+def test_checksum_survives_json_roundtrip(traffic_rng):
+    core = make_core()
+    drive(core, traffic_rng)
+    snapshot = snapshot_core(core)
+    rehydrated = json.loads(json.dumps(snapshot))
+    assert canonical_json(rehydrated) == canonical_json(snapshot)
+    assert snapshot_checksum(rehydrated) == snapshot_checksum(snapshot)
+
+
+def test_checksum_detects_any_state_change(traffic_rng):
+    core = make_core()
+    drive(core, traffic_rng)
+    before = snapshot_checksum(snapshot_core(core))
+    tokens = {0: core.registry.register(0)}
+    core.handle_checkin(make_message(core, 0, tokens[0], traffic_rng))
+    assert snapshot_checksum(snapshot_core(core)) != before
+
+
+# --------------------------------------------------------------------- #
+# refusal paths                                                         #
+# --------------------------------------------------------------------- #
+
+
+def test_version_mismatch_raises():
+    snapshot = snapshot_core(make_core())
+    snapshot["snapshot_version"] = SNAPSHOT_VERSION + 1
+    with pytest.raises(SnapshotError, match="version"):
+        restore_core(snapshot, make_model())
+
+
+def test_model_fingerprint_mismatch_raises():
+    snapshot = snapshot_core(make_core())
+    other = MulticlassLogisticRegression(num_features=5, num_classes=3)
+    with pytest.raises(SnapshotError, match="cannot restore"):
+        restore_core(snapshot, other)
+
+
+def test_non_dict_snapshot_raises():
+    with pytest.raises(SnapshotError, match="dict"):
+        restore_core("not a snapshot", make_model())
+
+
+@pytest.mark.parametrize("missing", ["model", "config", "optimizer", "counters",
+                                     "registry", "monitor", "accountant"])
+def test_missing_section_raises(missing):
+    snapshot = snapshot_core(make_core())
+    del snapshot[missing]
+    with pytest.raises(SnapshotError):
+        restore_core(snapshot, make_model())
+
+
+def test_unknown_optimizer_type_raises():
+    snapshot = snapshot_core(make_core())
+    snapshot["optimizer"]["type"] = "momentum"
+    with pytest.raises(SnapshotError, match="optimizer"):
+        restore_core(snapshot, make_model())
+
+
+def test_unknown_schedule_type_raises():
+    snapshot = snapshot_core(make_core())
+    snapshot["optimizer"]["schedule"] = {"type": "cosine"}
+    with pytest.raises(SnapshotError, match="schedule"):
+        restore_core(snapshot, make_model())
+
+
+def test_unknown_projection_type_raises():
+    snapshot = snapshot_core(make_core())
+    snapshot["optimizer"]["projection"] = {"type": "simplex"}
+    with pytest.raises(SnapshotError, match="projection"):
+        restore_core(snapshot, make_model())

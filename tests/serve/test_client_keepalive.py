@@ -1,0 +1,186 @@
+"""Keep-alive discipline of :class:`ServiceClient`.
+
+One pooled connection per thread, requests ride it back to back
+(``reuse_ratio`` ≫ 1); a stale pooled socket triggers a transparent
+reconnect-and-replay that is *not* a retry; genuinely transient failures
+retry with backoff; typed 4xx answers never do.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.core.config import ServerConfig
+from repro.core.protocol import CheckoutRequest
+from repro.core.server_core import ServerCore
+from repro.models import MulticlassLogisticRegression
+from repro.serve import wire
+from repro.serve.client import (
+    RemoteAuthenticationError,
+    RemoteServiceError,
+    ServiceClient,
+)
+from repro.serve.service import CrowdService
+
+
+def make_service(port: int = 0) -> CrowdService:
+    core = ServerCore(
+        MulticlassLogisticRegression(num_features=4, num_classes=3),
+        config=ServerConfig(max_iterations=10_000),
+    )
+    return CrowdService(core, port=port)
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def test_requests_reuse_one_connection():
+    with make_service() as service:
+        client = ServiceClient(service.url, timeout=5.0)
+        client.join(0)
+        for _ in range(24):
+            client.status()
+        assert client.requests_sent == 25
+        assert client.connections_opened == 1
+        assert client.reuse_ratio == 25.0
+        assert client.reconnects == 0
+
+
+def test_each_thread_gets_its_own_connection():
+    with make_service() as service:
+        client = ServiceClient(service.url, timeout=5.0)
+        barrier = threading.Barrier(2)
+
+        def worker():
+            barrier.wait()
+            for _ in range(5):
+                client.status()
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert client.requests_sent == 10
+        assert client.connections_opened == 2
+
+
+def one_shot_keepalive_stub(port: int) -> threading.Thread:
+    """Serve one valid keep-alive ``/v1/status`` response, then hang up.
+
+    The client pools the connection (the response did not announce a
+    close); the silent FIN afterwards makes that pooled socket stale —
+    the deterministic trigger for the reconnect-and-replay path.
+    """
+    from repro.core.stopping import StopDecision
+
+    body = wire.encode_status(
+        iteration=0, stop=StopDecision.running(), checkouts_served=0,
+        rejected_messages=0, registered_devices=0, num_parameters=15,
+    ).encode("utf-8")
+    listener = socket.socket()
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", port))
+    listener.listen(1)
+
+    def serve_once():
+        conn, _ = listener.accept()
+        conn.recv(65536)
+        conn.sendall(
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+        )
+        conn.close()  # keep-alive promised, then a silent FIN
+        listener.close()
+
+    thread = threading.Thread(target=serve_once)
+    thread.start()
+    return thread
+
+
+def test_stale_socket_reconnect_is_not_a_retry():
+    port = free_port()
+    stub = one_shot_keepalive_stub(port)
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout=5.0)
+    assert client.status().iteration == 0
+    stub.join()
+    # The real service takes over the address; the pooled socket is dead.
+    service = make_service(port)
+    service.start()
+    try:
+        assert client.status().iteration == 0
+        assert client.reconnects == 1
+        assert client.retries_used == 0  # transparent, not a retry
+        assert client.connections_opened == 2
+    finally:
+        service.stop()
+
+
+def test_fresh_socket_failure_is_transient_not_stale():
+    # Nothing listening: a fresh-socket failure surfaces as unreachable
+    # after exhausting retries — never as a silent reconnect loop.
+    port = free_port()
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout=1.0,
+                           retries=2, backoff=0.01, backoff_max=0.02)
+    with pytest.raises(RemoteServiceError) as excinfo:
+        client.status()
+    assert excinfo.value.code == wire.ErrorCode.UNREACHABLE
+    assert client.retries_used == 2
+    assert client.reconnects == 0
+
+
+def test_retries_ride_out_a_flaky_start():
+    # The "server" hangs up on the first 3 connections before the real
+    # service takes over the port; a retrying client rides it out.
+    port = free_port()
+    listener = socket.socket()
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind(("127.0.0.1", port))
+    listener.listen(8)
+    state = {}
+
+    def flaky_then_up():
+        for _ in range(3):
+            conn, _ = listener.accept()
+            conn.close()
+        listener.close()
+        state["service"] = make_service(port).start()
+
+    starter = threading.Thread(target=flaky_then_up)
+    starter.start()
+    try:
+        client = ServiceClient(f"http://127.0.0.1:{port}", timeout=5.0,
+                               retries=20, backoff=0.02, backoff_max=0.1)
+        assert client.status().iteration == 0
+        assert client.retries_used >= 3
+        assert client.reconnects == 0  # fresh-socket failures, not staleness
+    finally:
+        starter.join()
+        if "service" in state:
+            state["service"].stop()
+
+
+def test_typed_4xx_answers_never_retry():
+    with make_service() as service:
+        client = ServiceClient(service.url, timeout=5.0, retries=5,
+                               backoff=0.01)
+        request = CheckoutRequest(device_id=0, token="bogus", request_time=0.0)
+        with pytest.raises(RemoteAuthenticationError):
+            client.checkout(request)
+        assert client.retries_used == 0
+
+
+def test_close_releases_the_pooled_connection():
+    with make_service() as service:
+        client = ServiceClient(service.url, timeout=5.0)
+        client.status()
+        client.close()
+        client.status()
+        assert client.connections_opened == 2
+        assert client.reconnects == 0

@@ -27,6 +27,7 @@ class TestExports:
         import repro.models
         import repro.network
         import repro.optim
+        import repro.persist
         import repro.portal
         import repro.privacy
         import repro.simulation
@@ -40,6 +41,7 @@ class TestExports:
         import repro.models
         import repro.network
         import repro.optim
+        import repro.persist
         import repro.privacy
         import repro.simulation
 
@@ -50,6 +52,7 @@ class TestExports:
             repro.models,
             repro.network,
             repro.optim,
+            repro.persist,
             repro.privacy,
             repro.simulation,
         ):
