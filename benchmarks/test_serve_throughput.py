@@ -33,6 +33,7 @@ import re
 import signal
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 
@@ -95,6 +96,40 @@ def spawn_server(max_iterations: int):
             time.sleep(0.05)
     else:
         raise AssertionError("repro-serve never became reachable")
+    return process, url
+
+
+def spawn_sharded_server(num_workers: int, state_dir: str,
+                         max_iterations: int):
+    """Launch ``repro-serve --workers N``; returns (process, frontend_url)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve.cli",
+         "--num-features", str(DIM), "--num-classes", str(CLASSES),
+         "--learning-rate-constant", str(LEARNING_RATE),
+         "--projection-radius", str(PROJECTION_RADIUS),
+         "--max-iterations", str(max_iterations),
+         "--port", "0", "--workers", str(num_workers),
+         "--state-dir", state_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
+    )
+    line = process.stdout.readline()
+    match = re.match(r"serving on (http://[\d.]+:\d+)$", line.strip())
+    assert match, f"sharded repro-serve did not announce a URL: {line!r}"
+    url = match.group(1)
+    client = ServiceClient(url, timeout=10)
+    deadline = time.time() + 30
+    while time.time() < deadline:
+        try:
+            client.status()
+            break
+        except Exception:
+            time.sleep(0.05)
+    else:
+        raise AssertionError("sharded repro-serve never became reachable")
     return process, url
 
 
@@ -441,6 +476,102 @@ def test_gateway_throughput():
         "to in-process Device/ServerCore replay"
     )
     _publish_merged("\n".join(lines), metrics)
+
+
+# --------------------------------------------------------------------- #
+# Multi-worker tier: repro-serve --workers N behind the shard front end. #
+# Timing is recorded, not asserted; the gates are correctness-shaped:    #
+# zero rejected messages, zero front-end internal errors, and the shard  #
+# iteration totals summing to the driven round count (exactly-once).     #
+# --------------------------------------------------------------------- #
+
+SHARD_WORKERS = 2
+
+
+def _sharded_rounds() -> int:
+    return 40 if os.environ.get("REPRO_SCALE", "benchmark") == "smoke" else 120
+
+
+def test_multi_worker_throughput():
+    samples_per_device = _sharded_rounds()
+    expected_rounds = NUM_DEVICES * (samples_per_device // BATCH_SIZE)
+    with tempfile.TemporaryDirectory(prefix="serve-shards-") as state_dir:
+        process, url = spawn_sharded_server(
+            SHARD_WORKERS, state_dir, max_iterations=10**7
+        )
+        try:
+            transport = HttpTransport(ServiceClient(url))
+            failures: list[Exception] = []
+
+            def drive(device_index: int) -> None:
+                try:
+                    rng = np.random.default_rng(600 + device_index)
+                    remote = RemoteDevice.join(
+                        transport, device_index,
+                        MulticlassLogisticRegression(DIM, CLASSES),
+                        DeviceConfig.default(batch_size=BATCH_SIZE,
+                                             num_classes=CLASSES),
+                        np.random.default_rng(device_index),
+                    )
+                    for _ in range(samples_per_device):
+                        if remote.observe(rng.normal(size=DIM),
+                                          int(rng.integers(CLASSES))):
+                            assert remote.run_round() is not None
+                except Exception as error:  # noqa: BLE001
+                    failures.append(error)
+
+            threads = [
+                threading.Thread(target=drive, args=(m,))
+                for m in range(NUM_DEVICES)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=180)
+            elapsed = time.perf_counter() - start
+
+            assert not failures, failures[0]
+            status = ServiceClient(url).status()
+            # Exactly-once across shards: aggregate iteration == rounds.
+            assert status.rejected_messages == 0
+            assert status.iteration == expected_rounds
+            assert status.shards is not None
+            assert len(status.shards) == SHARD_WORKERS
+            assert sum(row["iteration"] for row in status.shards) \
+                == expected_rounds
+            per_shard = {row["shard"]: row["iteration"]
+                         for row in status.shards}
+        finally:
+            process.send_signal(signal.SIGTERM)
+            try:
+                assert process.wait(timeout=60) == 0
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait(timeout=30)
+                raise
+
+    rps = expected_rounds / max(elapsed, 1e-9)
+    metrics = {
+        "multi_worker": {
+            "workers": SHARD_WORKERS,
+            "devices": NUM_DEVICES,
+            "rounds": expected_rounds,
+            "per_shard_rounds": per_shard,
+            "seconds": round(elapsed, 4),
+            "rounds_per_sec": round(rps, 1),
+            "server_errors": 0,
+        },
+    }
+    text = (
+        f"serve_throughput multi-worker tier ({SHARD_WORKERS} workers behind "
+        "one shard front end; timing non-gating)\n"
+        f"  multi-worker         : {NUM_DEVICES} devices x "
+        f"{expected_rounds // NUM_DEVICES} rounds over {SHARD_WORKERS} "
+        f"shards in {elapsed:.2f}s = {rps:.0f} rounds/s (0 server errors, "
+        "aggregate iteration exact)"
+    )
+    _publish_merged(text, metrics)
 
 
 # --------------------------------------------------------------------- #

@@ -43,6 +43,13 @@ arXiv:1501.02484).  The package is organized as:
   harness (:class:`~repro.persist.FaultyProxy` /
   :class:`~repro.persist.ServeProcess`) that proves exactly-once
   check-in application under injected chaos.
+* :mod:`repro.shard` — the sharded serving tier: ``repro-serve
+  --workers N`` runs N durable workers behind one
+  :class:`~repro.shard.ShardFrontEnd` (stable-hash device routing,
+  batch split/merge), supervised by a
+  :class:`~repro.shard.ShardSupervisor` that health-checks workers,
+  fails a shard over from its newest snapshot, and fences zombie
+  incarnations with a monotonic epoch.
 
 Quickstart::
 
@@ -123,7 +130,7 @@ from repro.simulation import (
 )
 from repro.store import RunStore, StoreError
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AggregatorStats",

@@ -9,18 +9,29 @@ Three layers, bottom-up:
 * :mod:`repro.persist.checkpoint` — write-ahead checkpoint files under a
   state dir, with atomic writes, checksums, retention pruning, and
   newest-valid-wins recovery.
-* :mod:`repro.persist.faults` — the adversary: a seeded lossy TCP proxy
-  and a SIGKILL-able ``repro-serve`` subprocess harness, used by the
-  durability tests and the chaos campaign.
+* :mod:`repro.persist.faults` — the adversary: a seeded lossy TCP proxy,
+  a SIGKILL-able ``repro-serve`` subprocess harness, and the sharded
+  tier's every-K-batches worker killer, used by the durability tests and
+  the chaos campaigns.
+
+The checkpoint layer also carries the sharded tier's incarnation fence
+(``epoch.json`` + :class:`FencedWriteError`) — see the
+:mod:`repro.persist.checkpoint` docstring for the fencing protocol.
 """
 
 from repro.persist.checkpoint import (
     STATE_FORMAT,
     Checkpointer,
     CheckpointPolicy,
+    FencedWriteError,
     SnapshotStore,
 )
-from repro.persist.faults import FaultInjectionError, FaultyProxy, ServeProcess
+from repro.persist.faults import (
+    FaultInjectionError,
+    FaultyProxy,
+    ServeProcess,
+    WorkerKiller,
+)
 from repro.persist.snapshot import (
     SNAPSHOT_VERSION,
     SnapshotError,
@@ -39,9 +50,11 @@ __all__ = [
     "Checkpointer",
     "FaultInjectionError",
     "FaultyProxy",
+    "FencedWriteError",
     "ServeProcess",
     "SnapshotError",
     "SnapshotStore",
+    "WorkerKiller",
     "canonical_json",
     "core_states_equal",
     "describe_mismatch",

@@ -6,6 +6,7 @@ live server instead of a content-addressed sweep)::
     <state_dir>/
         state.json                  # {"format": 1} marker
         lock                        # fcntl writer lock (FileLock)
+        epoch.json                  # {"epoch": N} incarnation fence (optional)
         snapshots/
             snapshot-000000000042.json
             snapshot-000000000057.json
@@ -27,6 +28,31 @@ lock — the snapshot is durable **before** the ack leaves the server, so
 with ``every_n_updates=1`` a crash can only lose work the client never
 saw acknowledged (which it retries, and the sequence-number dedupe makes
 the retry exactly-once).
+
+Epoch fencing (sharded tier)
+----------------------------
+
+When N workers share one state tree (one ``shard-<k>/`` dir each), a
+supervisor that declares a worker dead and spawns a replacement must
+also *fence* the old incarnation: a SIGSTOPped or network-partitioned
+"zombie" may wake up later and try to checkpoint state the replacement
+has already moved past.  The fence is a monotonic integer in
+``epoch.json``:
+
+* the supervisor calls :meth:`SnapshotStore.advance_fence` **before**
+  spawning each incarnation and hands the returned epoch to the worker;
+* a store opened with ``epoch=e`` stamps ``e`` into every snapshot
+  payload and, under the same fcntl lock that serializes writers,
+  refuses to write once the fence has advanced past ``e``
+  (:class:`FencedWriteError`).
+
+Because the service checkpoints write-ahead, a fenced write fails the
+request before any ack leaves the zombie — its client retries against
+the current incarnation and the dedupe ledger keeps the replay
+exactly-once.  The fence-then-read order in the supervisor (advance the
+fence, *then* load the snapshot to restore from) linearizes the
+takeover: any zombie write either lands before the bump (and is part of
+the restored state) or is refused.
 """
 
 from __future__ import annotations
@@ -49,6 +75,11 @@ from repro.store.locking import FileLock
 STATE_FORMAT = 1
 
 _SNAPSHOT_PREFIX = "snapshot-"
+_FENCE_FILENAME = "epoch.json"
+
+
+class FencedWriteError(SnapshotError):
+    """A write from a superseded incarnation was refused by the fence."""
 
 
 class CheckpointPolicy:
@@ -105,13 +136,35 @@ class CheckpointPolicy:
 
 
 class SnapshotStore:
-    """Atomic, retention-pruned snapshot files under one state dir."""
+    """Atomic, retention-pruned snapshot files under one state dir.
 
-    def __init__(self, state_dir: str, retain: int = 4, lock_timeout: float = 10.0):
+    Parameters
+    ----------
+    state_dir / retain / lock_timeout:
+        Directory, newest-K retention, and fcntl lock acquisition
+        timeout.
+    epoch:
+        Incarnation epoch of this writer (``None`` = unfenced, the
+        single-process default).  A fenced store stamps its epoch into
+        every snapshot payload and refuses :meth:`write` once
+        :meth:`advance_fence` has moved ``epoch.json`` past it — see the
+        module docstring's fencing protocol.
+    """
+
+    def __init__(
+        self,
+        state_dir: str,
+        retain: int = 4,
+        lock_timeout: float = 10.0,
+        epoch: Optional[int] = None,
+    ):
         if retain < 1:
             raise ValueError(f"retain must be >= 1, got {retain}")
+        if epoch is not None and epoch < 0:
+            raise ValueError(f"epoch must be >= 0, got {epoch}")
         self.state_dir = os.path.abspath(state_dir)
         self.retain = int(retain)
+        self.epoch = None if epoch is None else int(epoch)
         self.snapshots_dir = os.path.join(self.state_dir, "snapshots")
         os.makedirs(self.snapshots_dir, exist_ok=True)
         self._lock = FileLock(
@@ -155,6 +208,53 @@ class SnapshotStore:
             self.snapshots_dir, f"{_SNAPSHOT_PREFIX}{iteration:012d}.json"
         )
 
+    # -- incarnation fence ----------------------------------------------- #
+
+    @property
+    def _fence_path(self) -> str:
+        return os.path.join(self.state_dir, _FENCE_FILENAME)
+
+    def fence_epoch(self) -> int:
+        """The current fence (``-1`` when no incarnation was ever fenced).
+
+        A torn/garbled fence file reads as ``-1`` — the file is written
+        atomically, so that only happens to a state dir damaged out of
+        band, and treating it as unfenced merely disables refusals (the
+        safe direction for a single-writer dir).
+        """
+        try:
+            with open(self._fence_path) as handle:
+                fence = json.load(handle).get("epoch", -1)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError, AttributeError):
+            return -1
+        return fence if isinstance(fence, int) else -1
+
+    def advance_fence(self) -> int:
+        """Ratchet the fence one epoch forward; returns the new epoch.
+
+        The supervisor calls this **before** spawning an incarnation
+        (and before reading the snapshot a failover restores from): the
+        bump happens under the same lock that serializes snapshot
+        writes, so once it returns, any write from an older epoch is
+        refused — a zombie's late checkpoint can never land after the
+        takeover read it is missing from.
+        """
+        with self._lock:
+            new_epoch = self.fence_epoch() + 1
+            write_json_atomic(self._fence_path, {"epoch": new_epoch})
+        return new_epoch
+
+    def _check_fence_locked(self) -> None:
+        if self.epoch is None:
+            return
+        fence = self.fence_epoch()
+        if fence > self.epoch:
+            raise FencedWriteError(
+                f"write from epoch {self.epoch} refused: {self.state_dir} "
+                f"is fenced at epoch {fence} (a newer incarnation owns "
+                f"this shard)"
+            )
+
     # -- write ---------------------------------------------------------- #
 
     def write(self, snapshot: Dict[str, Any]) -> str:
@@ -172,8 +272,14 @@ class SnapshotStore:
             "checksum": snapshot_checksum(snapshot),
             "snapshot": snapshot,
         }
+        if self.epoch is not None:
+            # Outside the checksummed snapshot body: the epoch describes
+            # the *writer*, not the core state, so two incarnations that
+            # happen to write identical state stay byte-comparable.
+            payload["epoch"] = self.epoch
         path = self._path_for(iteration)
         with self._lock:
+            self._check_fence_locked()
             write_json_atomic(path, payload)
             self._prune_locked(keep=path)
         return path

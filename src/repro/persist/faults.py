@@ -19,8 +19,14 @@ inject:
   subprocess, scraping the announced URL.  SIGKILL is the crash under
   test: no handlers run, no flush happens; whatever the checkpoint
   discipline made durable is all that survives.
+* :class:`WorkerKiller` — the sharded-tier campaign: every K driven
+  batches, SIGKILL one random (seeded) live worker under a
+  :class:`~repro.shard.supervisor.ShardSupervisor` and let its health
+  loop fail the shard over.  The client keeps retrying through the
+  front end; the acceptance gate is per-shard bit-parity with an
+  uninterrupted run.
 
-Both record counters so tests can assert the campaign actually injected
+All record counters so tests can assert the campaign actually injected
 faults rather than passing vacuously.
 """
 
@@ -125,7 +131,7 @@ class FaultyProxy:
         self._rng = random.Random(seed)
         self._plan_lock = threading.Lock()
         self._counter_lock = threading.Lock()
-        self.counts: Dict[str, int] = {
+        self._counts: Dict[str, int] = {
             "connections": 0, "refused": 0, "requests_dropped": 0,
             "responses_dropped": 0, "delayed": 0, "passed": 0,
         }
@@ -147,6 +153,24 @@ class FaultyProxy:
     @property
     def port(self) -> int:
         return self._port
+
+    def stats(self) -> Dict[str, int]:
+        """A *consistent* snapshot of the fault counters.
+
+        Taken under the same lock the handler threads increment with, so
+        invariants across counters (e.g. ``connections == refused +
+        requests_dropped + responses_dropped + delayed + passed`` once
+        traffic has drained) hold within one snapshot — reading the
+        fields one by one off a live proxy can tear between increments.
+        """
+        with self._counter_lock:
+            return dict(self._counts)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Back-compat alias for :meth:`stats` (a snapshot, not the live
+        dict — mutations do not feed back into the proxy)."""
+        return self.stats()
 
     def set_upstream(self, upstream_port: int, upstream_host: str = "127.0.0.1") -> None:
         """Point subsequent connections at a (restarted) upstream."""
@@ -207,7 +231,7 @@ class FaultyProxy:
 
     def _count(self, key: str) -> None:
         with self._counter_lock:
-            self.counts[key] += 1
+            self._counts[key] += 1
 
     def _accept_loop(self) -> None:
         while self._running:
@@ -363,3 +387,66 @@ class ServeProcess:
             self.process.kill()
             self.process.wait(timeout=30)
         self.process = None
+
+
+class WorkerKiller:
+    """SIGKILL a random live shard worker every ``every`` driven batches.
+
+    The campaign driver calls :meth:`after_batch` once per client batch;
+    every ``every``-th call picks one live worker under the supervisor
+    (seeded RNG, so the kill schedule is reproducible) and crashes it
+    with SIGKILL — no handlers, no flush.  Detection and failover are
+    deliberately left to the supervisor's health loop: the campaign
+    injects the death, the tier under test must notice and recover.
+
+    Parameters
+    ----------
+    supervisor:
+        The :class:`~repro.shard.supervisor.ShardSupervisor` whose
+        workers are fair game.
+    every:
+        Kill cadence in batches (>= 1).
+    seed:
+        Seeds the victim choice.
+    max_kills:
+        Stop killing after this many crashes (``None`` = unbounded) —
+        lets a campaign end with a quiet tail so the tier provably
+        converges back to healthy.
+    """
+
+    def __init__(self, supervisor, every: int = 5, seed: int = 0,
+                 max_kills: Optional[int] = None):
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self._supervisor = supervisor
+        self.every = int(every)
+        self._rng = random.Random(seed)
+        self.max_kills = max_kills
+        self._lock = threading.Lock()
+        self.batches_seen = 0
+        self.kills = 0
+        #: Shard indices in kill order — the campaign's reproducible trace.
+        self.killed_shards: List[int] = []
+
+    def after_batch(self) -> Optional[int]:
+        """Count one batch; maybe kill.  Returns the shard killed (or None)."""
+        with self._lock:
+            self.batches_seen += 1
+            if self.batches_seen % self.every != 0:
+                return None
+            if self.max_kills is not None and self.kills >= self.max_kills:
+                return None
+            live = [
+                shard for shard, worker in enumerate(self._supervisor.workers)
+                if worker.alive
+            ]
+            if not live:
+                return None  # everything already dead/mid-failover
+            shard = live[self._rng.randrange(len(live))]
+            try:
+                self._supervisor.workers[shard].sigkill()
+            except ReproError:
+                return None  # lost the race with a failover — fine
+            self.kills += 1
+            self.killed_shards.append(shard)
+            return shard

@@ -25,6 +25,8 @@ Six registries are populated at import time with every built-in component:
   ``gaussian``, ``exponential``.
 * :data:`GATEWAY_ASSIGNMENTS` — ``round_robin``, ``block``, ``hash``
   device→gateway assignment policies for the two-tier topology.
+* :data:`SHARD_ROUTING` — ``stable_hash``, ``modulo`` device→shard
+  routing policies for the multi-worker serving tier.
 """
 
 from __future__ import annotations
@@ -149,6 +151,13 @@ PRIVACY_MECHANISMS = Registry("privacy mechanism")
 #: Factories take ``num_devices`` and ``num_gateways`` and return a
 #: sequence of gateway indices, one per device.
 GATEWAY_ASSIGNMENTS = Registry("gateway assignment policy")
+#: Device→shard routing policies for the sharded serving tier
+#: (:mod:`repro.shard`).  Factories take no arguments and return a
+#: routing function ``(device_id, num_shards) -> shard_index``.  Unlike
+#: :data:`GATEWAY_ASSIGNMENTS` (which precomputes a list for a known
+#: device population), routing functions handle *open* device-id spaces:
+#: any id a client ever presents maps to a shard.
+SHARD_ROUTING = Registry("shard routing policy")
 
 
 def _register_builtins() -> None:
@@ -221,6 +230,26 @@ def _register_builtins() -> None:
     GATEWAY_ASSIGNMENTS.register("block", _block)
     GATEWAY_ASSIGNMENTS.register("hash", _hash)
 
+    # Shard routing functions must be stable across processes (a front
+    # end, its workers, and an offline reference all recompute them), so
+    # they are pure integer math like the gateway policies above.
+    def _shard_stable_hash():
+        from repro.core.sharding import stable_device_hash
+
+        def route(device_id: int, num_shards: int) -> int:
+            return stable_device_hash(device_id) % num_shards
+
+        return route
+
+    def _shard_modulo():
+        def route(device_id: int, num_shards: int) -> int:
+            return int(device_id) % num_shards
+
+        return route
+
+    SHARD_ROUTING.register("stable_hash", _shard_stable_hash)
+    SHARD_ROUTING.register("modulo", _shard_modulo)
+
 
 _register_builtins()
 
@@ -233,4 +262,5 @@ __all__ = [
     "Registry",
     "RegistryError",
     "SCHEDULES",
+    "SHARD_ROUTING",
 ]

@@ -16,6 +16,11 @@ the c/√t schedule) and hosts it with
     repro-serve --num-features 50 --num-classes 10 --port 8900 \\
                 --state-dir /var/lib/crowdml --checkpoint-every 1
 
+    # sharded: 4 supervised workers behind one front end, per-shard
+    # snapshots in shard-<k>/ subdirs, health-checked fenced failover
+    repro-serve --num-features 50 --num-classes 10 --port 8900 \\
+                --state-dir /var/lib/crowdml --workers 4
+
 The first line printed is always ``serving on http://HOST:PORT`` (flushed
 immediately), so scripts and CI can scrape the bound port.
 
@@ -38,17 +43,19 @@ matching spec reproduces an in-process run bit for bit — see
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import sys
 from typing import List, Optional
 
+import repro
 from repro.core.auth import DeviceRegistry
 from repro.core.config import ServerConfig
 from repro.core.server_core import ServerCore
 from repro.optim import paper_sgd
 from repro.persist.checkpoint import Checkpointer, CheckpointPolicy, SnapshotStore
 from repro.persist.snapshot import restore_core
-from repro.registry import MODELS
+from repro.registry import MODELS, SHARD_ROUTING
 from repro.serve.service import CrowdService
 from repro.serve.wire import PROTOCOL_VERSION
 from repro.utils.exceptions import ReproError
@@ -99,6 +106,25 @@ def build_parser() -> argparse.ArgumentParser:
                              "wall clock (default: off)")
     parser.add_argument("--retain", type=int, default=4, metavar="K",
                         help="keep the newest K snapshots (default 4)")
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="run a sharded tier: N worker processes "
+                             "(one ServerCore + shard-<k>/ snapshots each) "
+                             "behind a health-checked front end on --port; "
+                             "requires --state-dir (default 0 = single "
+                             "unsharded service)")
+    parser.add_argument("--shard-policy", default="stable_hash",
+                        choices=SHARD_ROUTING.names(),
+                        help="device->shard routing policy "
+                             "(default stable_hash)")
+    parser.add_argument("--shard-index", type=int, default=None, metavar="K",
+                        help="worker mode: serve shard K of --shard-count "
+                             "(normally set by the supervisor, not by hand)")
+    parser.add_argument("--shard-count", type=int, default=0, metavar="N",
+                        help="worker mode: total shards in the tier")
+    parser.add_argument("--shard-epoch", type=int, default=-1, metavar="E",
+                        help="worker mode: incarnation epoch this worker "
+                             "writes at; refuses to start if the state "
+                             "dir's fence has already passed it")
     return parser
 
 
@@ -114,11 +140,33 @@ def build_service(args: argparse.Namespace) -> CrowdService:
     model = MODELS.create(
         args.model, num_features=args.num_features, num_classes=args.num_classes
     )
+    router = None
+    if args.shard_index is not None:
+        if args.shard_count < 1 or not 0 <= args.shard_index < args.shard_count:
+            raise ReproError(
+                f"--shard-index {args.shard_index} needs "
+                f"0 <= index < --shard-count ({args.shard_count})"
+            )
+        from repro.shard.routing import ShardRouter
+
+        router = ShardRouter(args.shard_count, policy=args.shard_policy)
+    shard_epoch = args.shard_epoch if args.shard_epoch >= 0 else None
     checkpointer = None
     resumed_from = None
     core = None
     if args.state_dir is not None:
-        store = SnapshotStore(args.state_dir, retain=args.retain)
+        store = SnapshotStore(args.state_dir, retain=args.retain,
+                              epoch=shard_epoch)
+        if shard_epoch is not None:
+            fence = store.fence_epoch()
+            if fence > shard_epoch:
+                # A newer incarnation owns this shard; starting anyway
+                # would only serve answers the front end must refuse.
+                raise ReproError(
+                    f"state dir {store.state_dir} is fenced at epoch "
+                    f"{fence}; this incarnation (epoch {shard_epoch}) is "
+                    f"superseded"
+                )
         policy = CheckpointPolicy(
             every_n_updates=args.checkpoint_every if args.checkpoint_every > 0
             else None,
@@ -147,6 +195,11 @@ def build_service(args: argparse.Namespace) -> CrowdService:
             registry=DeviceRegistry(server_key=args.server_key),
         )
         for device_id in range(args.register):
+            # A shard worker enrolls only the devices it owns — tokens
+            # are pure HMAC of (server key, device id), so the front
+            # end's routing and the worker's registry always agree.
+            if router is not None and router.shard_of(device_id) != args.shard_index:
+                continue
             core.register_device(device_id)
         if checkpointer is not None:
             # Prime the state dir so even a crash before the first
@@ -154,14 +207,125 @@ def build_service(args: argparse.Namespace) -> CrowdService:
             checkpointer.checkpoint(core)
     service = CrowdService(
         core, host=args.host, port=args.port, allow_join=not args.no_join,
-        checkpointer=checkpointer,
+        checkpointer=checkpointer, shard_epoch=shard_epoch,
     )
     service.resumed_from = resumed_from
     return service
 
 
+def _worker_base_args(args: argparse.Namespace) -> List[str]:
+    """The ``repro-serve`` flags every shard worker incarnation shares.
+
+    Per-incarnation flags (``--port``, ``--state-dir``, ``--shard-epoch``)
+    are supplied by :meth:`~repro.shard.worker.ShardWorker.spawn`;
+    ``--shard-index`` is appended per worker by :func:`run_sharded`.
+    """
+    base = [
+        "--host", args.host,
+        "--model", args.model,
+        "--num-features", str(args.num_features),
+        "--num-classes", str(args.num_classes),
+        "--learning-rate-constant", str(args.learning_rate_constant),
+        "--projection-radius", str(args.projection_radius),
+        "--max-iterations", str(args.max_iterations),
+        "--server-key", args.server_key,
+        "--checkpoint-every", str(args.checkpoint_every),
+        "--retain", str(args.retain),
+        "--shard-count", str(args.workers),
+        "--shard-policy", args.shard_policy,
+    ]
+    if args.no_projection:
+        base.append("--no-projection")
+    if args.target_error is not None:
+        base += ["--target-error", str(args.target_error)]
+    if args.checkpoint_seconds is not None:
+        base += ["--checkpoint-seconds", str(args.checkpoint_seconds)]
+    if args.register:
+        base += ["--register", str(args.register)]
+    if args.no_join:
+        base.append("--no-join")
+    return base
+
+
+def run_sharded(args: argparse.Namespace) -> int:
+    """``--workers N``: supervise N shard workers behind one front end."""
+    from repro.shard import ShardFrontEnd, ShardRouter, ShardSupervisor, ShardWorker
+
+    if args.state_dir is None:
+        print("repro-serve: --workers requires --state-dir (the tier is "
+              "durable by construction)", file=sys.stderr)
+        return 2
+    if args.shard_index is not None:
+        print("repro-serve: --workers and --shard-index are mutually "
+              "exclusive (front end vs worker mode)", file=sys.stderr)
+        return 2
+    # Children run `python -m repro.serve.cli`; make sure they can import
+    # repro even if only the parent had it on its path.
+    env = dict(os.environ)
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = package_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    base = _worker_base_args(args)
+    workers = [
+        ShardWorker(
+            shard,
+            os.path.join(args.state_dir, f"shard-{shard}"),
+            base + ["--shard-index", str(shard)],
+            env=env,
+        )
+        for shard in range(args.workers)
+    ]
+    supervisor = ShardSupervisor(workers)
+    try:
+        supervisor.start()
+    except ReproError as error:
+        print(f"repro-serve: shard tier failed to start: {error}",
+              file=sys.stderr)
+        return 2
+    router = ShardRouter(args.workers, policy=args.shard_policy)
+    frontend = ShardFrontEnd(router, supervisor, host=args.host, port=args.port)
+    print(f"serving on {frontend.url}", flush=True)
+    print(
+        f"sharded tier: {args.workers} workers policy={args.shard_policy} "
+        f"protocol=v{PROTOCOL_VERSION}",
+        flush=True,
+    )
+    for shard, (url, epoch) in sorted(supervisor.endpoints().items()):
+        print(f"shard {shard} at {url} epoch {epoch}", flush=True)
+
+    def _shutdown(signum, frame):
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    dirty = False
+    try:
+        frontend.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        frontend.stop()
+        if not frontend.drain(timeout=10.0):
+            print("repro-serve: front-end drain timed out", file=sys.stderr)
+            dirty = True
+        codes = supervisor.stop(graceful=True)
+        for shard, code in sorted(codes.items()):
+            if code not in (0, None):
+                print(f"repro-serve: shard {shard} worker exited {code}",
+                      file=sys.stderr)
+                dirty = True
+        print(
+            f"served {frontend.requests_served} requests "
+            f"({frontend.total_errors} errors) across {args.workers} shards",
+            file=sys.stderr,
+        )
+    return 3 if dirty else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.workers > 0:
+        return run_sharded(args)
     try:
         service = build_service(args)
     except ReproError as error:
@@ -175,6 +339,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"protocol=v{PROTOCOL_VERSION} join={'off' if args.no_join else 'on'}",
         flush=True,
     )
+    if args.shard_index is not None:
+        print(
+            f"shard {args.shard_index}/{args.shard_count} "
+            f"policy={args.shard_policy} epoch={args.shard_epoch}",
+            flush=True,
+        )
     if service.resumed_from is not None:
         print(
             f"resumed iteration {service.core.iteration} "

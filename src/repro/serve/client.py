@@ -128,6 +128,11 @@ class ServiceClient:
     jitter:
         Uniform multiplicative jitter fraction on each sleep (0.25 =
         up to +25%), decorrelating a thundering herd of retriers.
+    retry_rng:
+        Source of the jitter draws: a :class:`random.Random`, an int
+        seed, or ``None`` (default) for an unseeded generator.  Chaos
+        campaigns seed it so a test's backoff schedule — and therefore
+        its interleaving against injected faults — is deterministic.
     """
 
     def __init__(
@@ -138,6 +143,7 @@ class ServiceClient:
         backoff: float = 0.05,
         backoff_max: float = 2.0,
         jitter: float = 0.25,
+        retry_rng=None,
     ):
         self._base_url = str(base_url).rstrip("/")
         parsed = urlparse(self._base_url)
@@ -154,7 +160,12 @@ class ServiceClient:
         self._backoff = float(backoff)
         self._backoff_max = float(backoff_max)
         self._jitter = float(jitter)
-        self._rng = random.Random()
+        if retry_rng is None:
+            self._rng = random.Random()
+        elif isinstance(retry_rng, random.Random):
+            self._rng = retry_rng
+        else:
+            self._rng = random.Random(retry_rng)
         self._local = threading.local()
         self._counter_lock = threading.Lock()
         self.requests_sent = 0
@@ -259,8 +270,14 @@ class ServiceClient:
             _raise_for_error(data, status)
         return data
 
-    def _call(self, method: str, path: str, payload: Optional[str] = None) -> bytes:
-        body = None if payload is None else payload.encode("utf-8")
+    def _call(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[str] = None,
+        raw_body: Optional[bytes] = None,
+    ) -> bytes:
+        body = raw_body if payload is None else payload.encode("utf-8")
         delay = self._backoff
         for attempt in range(self._retries + 1):
             try:
@@ -273,6 +290,17 @@ class ServiceClient:
             time.sleep(delay * (1.0 + self._jitter * self._rng.random()))
             delay = min(delay * 2.0, self._backoff_max)
         raise AssertionError("unreachable")  # pragma: no cover
+
+    def call_raw(self, method: str, path: str, payload: Optional[bytes] = None) -> bytes:
+        """One request with the full pooling/reconnect/retry discipline,
+        exchanging **raw bytes** — no envelope encode or decode.
+
+        This is the forwarding seam for proxies that relay
+        already-encoded envelopes verbatim (the sharded front end): the
+        upstream's 200 body comes back byte-identical, and a non-200
+        raises the same typed errors the high-level API raises.
+        """
+        return self._call(method, path, raw_body=payload)
 
     # -- service API ---------------------------------------------------- #
 

@@ -64,6 +64,13 @@ class CrowdService:
         Registrations checkpoint unconditionally (tokens must never be
         handed out and then forgotten).  A failing snapshot write fails
         the request (500) rather than acknowledging undurable state.
+    shard_epoch:
+        Incarnation epoch of this worker on a sharded tier (``None`` =
+        unsharded).  Stamped into every check-in result and status body
+        so a front end can refuse answers from a fenced zombie
+        incarnation; the matching fence on the *durable* side is the
+        checkpointer's store opened with the same epoch
+        (:class:`~repro.persist.checkpoint.SnapshotStore`).
 
     Examples
     --------
@@ -84,10 +91,12 @@ class CrowdService:
         port: int = 0,
         allow_join: bool = True,
         checkpointer=None,
+        shard_epoch: Optional[int] = None,
     ):
         self._core = core
         self._allow_join = bool(allow_join)
         self._checkpointer = checkpointer
+        self._shard_epoch = -1 if shard_epoch is None else int(shard_epoch)
         self._lock = threading.Lock()
         self._counter_lock = threading.Lock()
         self._idle = threading.Condition(self._counter_lock)
@@ -363,7 +372,9 @@ class CrowdService:
             if self._checkpointer is not None:
                 # Write-ahead: durable before the ack leaves the server.
                 self._checkpointer.after_update(self._core)
-        return 200, wire.encode_checkin_result(acks, iteration, stop)
+        return 200, wire.encode_checkin_result(
+            acks, iteration, stop, epoch=self._shard_epoch
+        )
 
     def _handle_status(self, include_parameters: bool):
         with self._lock:
@@ -376,5 +387,6 @@ class CrowdService:
                 num_parameters=self._core.model.num_parameters,
                 duplicates_suppressed=self._core.duplicates_suppressed,
                 parameters=self._core.parameters if include_parameters else None,
+                epoch=self._shard_epoch,
             )
         return 200, payload

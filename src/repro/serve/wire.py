@@ -102,6 +102,11 @@ class ErrorCode:
     PAYLOAD_TOO_LARGE = "payload_too_large"
     INTERNAL = "internal"
     UNREACHABLE = "unreachable"
+    #: The request was understood but no healthy worker can serve it
+    #: right now (a sharded front end mid-failover).  Mapped to 503, so
+    #: retrying clients back off and replay — by which time the
+    #: supervisor has usually respawned the shard.
+    UNAVAILABLE = "unavailable"
 
 
 #: HTTP status the service answers with for each error code.
@@ -114,6 +119,7 @@ HTTP_STATUS = {
     ErrorCode.METHOD_NOT_ALLOWED: 405,
     ErrorCode.PAYLOAD_TOO_LARGE: 413,
     ErrorCode.INTERNAL: 500,
+    ErrorCode.UNAVAILABLE: 503,
 }
 
 
@@ -136,12 +142,18 @@ class WireError(ProtocolError):
 
 @dataclass(frozen=True)
 class CheckinBatchResult:
-    """Decoded ``checkin_result`` body: per-message acks + server state."""
+    """Decoded ``checkin_result`` body: per-message acks + server state.
+
+    ``epoch`` is the answering worker's incarnation epoch on a sharded
+    tier (``-1`` on an unsharded service, which omits the field) — the
+    front end uses it to refuse answers from a fenced zombie.
+    """
 
     acks: Tuple[Optional[CheckinAck], ...]
     server_iteration: int
     stopped: bool
     stop_reason: str
+    epoch: int = -1
 
     @property
     def stop_decision(self) -> StopDecision:
@@ -163,6 +175,11 @@ class ServiceStatus:
     num_parameters: int
     duplicates_suppressed: int = 0
     parameters: Optional[np.ndarray] = None
+    #: Worker incarnation epoch (``-1`` = unsharded service).
+    epoch: int = -1
+    #: Per-shard detail rows from an aggregating front end (``None`` on
+    #: a plain worker status).
+    shards: Optional[Tuple[Dict[str, Any], ...]] = None
 
     @property
     def stop_decision(self) -> StopDecision:
@@ -393,17 +410,22 @@ def decode_checkin_batch(raw: Union[str, bytes]) -> List[CheckinMessage]:
 
 
 def encode_checkin_result(
-    acks: Sequence[Optional[CheckinAck]], server_iteration: int, stop: StopDecision
+    acks: Sequence[Optional[CheckinAck]],
+    server_iteration: int,
+    stop: StopDecision,
+    epoch: int = -1,
 ) -> str:
-    return encode_envelope(
-        "checkin_result",
-        {
-            "acks": [None if ack is None else encode_message(ack) for ack in acks],
-            "server_iteration": int(server_iteration),
-            "stopped": bool(stop.stopped),
-            "stop_reason": stop.reason.value,
-        },
-    )
+    body: Dict[str, Any] = {
+        "acks": [None if ack is None else encode_message(ack) for ack in acks],
+        "server_iteration": int(server_iteration),
+        "stopped": bool(stop.stopped),
+        "stop_reason": stop.reason.value,
+    }
+    if epoch >= 0:
+        # Only sharded workers stamp an epoch, so unsharded result bytes
+        # are unchanged.
+        body["epoch"] = int(epoch)
+    return encode_envelope("checkin_result", body)
 
 
 def decode_checkin_result(raw: Union[str, bytes]) -> CheckinBatchResult:
@@ -413,6 +435,7 @@ def decode_checkin_result(raw: Union[str, bytes]) -> CheckinBatchResult:
         server_iteration = int(body["server_iteration"])
         stopped = bool(body["stopped"])
         stop_reason = str(body["stop_reason"])
+        epoch = int(body.get("epoch", -1))
         StopReason(stop_reason)  # must be a known reason
     except (KeyError, TypeError, ValueError) as error:
         raise WireError(ErrorCode.MALFORMED, f"malformed checkin_result: {error}")
@@ -429,7 +452,9 @@ def decode_checkin_result(raw: Union[str, bytes]) -> CheckinBatchResult:
                 ErrorCode.MALFORMED,
                 f"ack entries must be objects or null, got {type(entry).__name__}",
             )
-    return CheckinBatchResult(tuple(acks), server_iteration, stopped, stop_reason)
+    return CheckinBatchResult(
+        tuple(acks), server_iteration, stopped, stop_reason, epoch
+    )
 
 
 # --------------------------------------------------------------------- #
@@ -446,6 +471,8 @@ def encode_status(
     num_parameters: int,
     duplicates_suppressed: int = 0,
     parameters: Optional[np.ndarray] = None,
+    epoch: int = -1,
+    shards: Optional[Sequence[Dict[str, Any]]] = None,
 ) -> str:
     body: Dict[str, Any] = {
         "protocol_version": PROTOCOL_VERSION,
@@ -460,6 +487,10 @@ def encode_status(
     }
     if parameters is not None:
         body["parameters"] = np.asarray(parameters, dtype=np.float64).tolist()
+    if epoch >= 0:
+        body["epoch"] = int(epoch)
+    if shards is not None:
+        body["shards"] = [dict(entry) for entry in shards]
     return encode_envelope("status", body)
 
 
@@ -471,6 +502,13 @@ def decode_status(raw: Union[str, bytes]) -> ServiceStatus:
             parameters = np.asarray(parameters, dtype=np.float64)
             if parameters.ndim != 1:
                 raise ValueError(f"parameters must be flat, got shape {parameters.shape}")
+        shards = body.get("shards")
+        if shards is not None:
+            if not isinstance(shards, list) or not all(
+                isinstance(entry, dict) for entry in shards
+            ):
+                raise ValueError("'shards' must be a list of objects")
+            shards = tuple(shards)
         status = ServiceStatus(
             protocol_version=int(body["protocol_version"]),
             iteration=int(body["iteration"]),
@@ -482,6 +520,8 @@ def decode_status(raw: Union[str, bytes]) -> ServiceStatus:
             num_parameters=int(body["num_parameters"]),
             duplicates_suppressed=int(body.get("duplicates_suppressed", 0)),
             parameters=parameters,
+            epoch=int(body.get("epoch", -1)),
+            shards=shards,
         )
         StopReason(status.stop_reason)
     except (KeyError, TypeError, ValueError) as error:

@@ -1,0 +1,29 @@
+"""Sharded durable serving: N workers, one front end, fenced failover.
+
+The tier partitions devices across worker processes by stable hash of
+``device_id`` (:mod:`repro.shard.routing`); each worker is a full
+:class:`~repro.core.server_core.ServerCore` +
+:class:`~repro.persist.checkpoint.Checkpointer` over its own
+``shard-<k>/`` snapshot directory.  A
+:class:`~repro.shard.supervisor.ShardSupervisor` health-checks the
+workers and fails a dead or wedged shard over onto a replacement
+incarnation at a higher epoch, while the
+:class:`~repro.shard.frontend.ShardFrontEnd` keeps one stable client
+endpoint routing across whatever incarnations are live.
+"""
+
+from repro.shard.frontend import ShardFrontEnd, StaticEndpoints
+from repro.shard.routing import ShardRouter, ShardRoutingError
+from repro.shard.supervisor import ShardSupervisor, SupervisorError
+from repro.shard.worker import ShardWorker, WorkerSpawnError
+
+__all__ = [
+    "ShardFrontEnd",
+    "ShardRouter",
+    "ShardRoutingError",
+    "ShardSupervisor",
+    "ShardWorker",
+    "StaticEndpoints",
+    "SupervisorError",
+    "WorkerSpawnError",
+]

@@ -1,0 +1,565 @@
+"""``ShardFrontEnd`` — one HTTP endpoint fronting N shard workers.
+
+Clients speak the exact :mod:`repro.serve.wire` protocol they would
+speak to a single :class:`~repro.serve.service.CrowdService`; the front
+end routes each request to the worker owning the device:
+
+* ``POST /v1/join`` / ``POST /v1/checkout`` — resolved by the envelope's
+  ``device_id`` and forwarded **byte-for-byte** (the response comes back
+  verbatim too, so single-shard traffic pays no re-encode).
+* ``POST /v1/checkins`` — a batch whose messages all route to one shard
+  is forwarded verbatim; a mixed batch (a gateway flushing several
+  devices) is split into per-shard sub-batches and the acks merged back
+  into the original message order.  The merged ``server_iteration`` is
+  the sum of the answering shards' iterations (total applied updates),
+  and the batch reports ``stopped`` only when every involved shard has
+  stopped.
+* ``GET /v1/status`` — aggregated counters across all shards
+  (:func:`~repro.core.sharding.merge_status_counts`) plus a per-shard
+  detail list; ``?shard=k`` passes one worker's status through verbatim
+  (the only way to read parameters — per-shard vectors are the unit of
+  bit-exactness, so ``?parameters=1`` without a shard is refused).
+
+Routing reads the supervisor's endpoint table on **every** request, so a
+failover repoints traffic immediately.  A shard with no healthy worker
+answers 503 ``unavailable`` — retryable by
+:class:`~repro.serve.client.ServiceClient` — and answers stamped with an
+epoch older than the table's are refused the same way (a fenced zombie's
+late reply must not reach a client as truth).
+
+Splitting and forwarding never decodes gradients: the front end parses
+envelope JSON only, so the hot path stays request-bound, not
+serialization-bound.
+
+Exactly-once across a split: if forwarding sub-batch 2 fails after
+sub-batch 1 was applied, the whole request errors and the client retries
+the full batch — shard 1's dedupe ledger answers the replayed half with
+its original acks, so nothing double-applies.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlparse
+
+from repro.core.sharding import ShardMergeError, merge_status_counts
+from repro.core.stopping import StopDecision, StopReason
+from repro.serve import wire
+from repro.serve.client import RemoteServiceError, ServiceClient
+from repro.serve.service import MAX_BODY_BYTES
+from repro.shard.routing import ShardRouter
+from repro.utils.exceptions import AuthenticationError, ProtocolError
+
+
+class StaticEndpoints:
+    """A fixed (but mutable) shard→endpoint table for in-process tiers.
+
+    Anything with an ``endpoints() -> {shard: (url, epoch)}`` method can
+    back a front end; production uses
+    :class:`~repro.shard.supervisor.ShardSupervisor`, tests use this.
+    Values may be bare URLs (epoch defaults to ``-1`` = unfenced).
+    """
+
+    def __init__(self, endpoints: Mapping[int, Union[str, Tuple[str, int]]]):
+        self._lock = threading.Lock()
+        self._endpoints: Dict[int, Tuple[str, int]] = {}
+        for shard, entry in endpoints.items():
+            if isinstance(entry, str):
+                self._endpoints[int(shard)] = (entry, -1)
+            else:
+                url, epoch = entry
+                self._endpoints[int(shard)] = (str(url), int(epoch))
+
+    def endpoints(self) -> Dict[int, Tuple[str, int]]:
+        with self._lock:
+            return dict(self._endpoints)
+
+    def set(self, shard: int, url: Optional[str], epoch: int = -1) -> None:
+        """Repoint (or with ``url=None`` unroute) one shard."""
+        with self._lock:
+            if url is None:
+                self._endpoints.pop(int(shard), None)
+            else:
+                self._endpoints[int(shard)] = (str(url), int(epoch))
+
+
+class ShardFrontEnd:
+    """Route wire-protocol traffic across per-shard workers.
+
+    Parameters
+    ----------
+    router:
+        The :class:`~repro.shard.routing.ShardRouter` deciding device
+        ownership (must match the ``--shard-policy``/``--shard-count``
+        the workers were launched with).
+    endpoints:
+        Endpoint resolver — a
+        :class:`~repro.shard.supervisor.ShardSupervisor` or
+        :class:`StaticEndpoints` (anything with ``endpoints()``).
+    host / port:
+        Bind address of the front end itself (``port=0`` = ephemeral).
+    worker_timeout / worker_retries / worker_backoff:
+        Upstream :class:`~repro.serve.client.ServiceClient` knobs.  A
+        couple of fast retries ride out the instant of a worker restart
+        without surfacing a 503 for every blip.
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        endpoints,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        worker_timeout: float = 30.0,
+        worker_retries: int = 2,
+        worker_backoff: float = 0.05,
+    ):
+        self._router = router
+        self._resolver = endpoints
+        self._worker_timeout = float(worker_timeout)
+        self._worker_retries = int(worker_retries)
+        self._worker_backoff = float(worker_backoff)
+        self._clients: Dict[str, ServiceClient] = {}
+        self._clients_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._idle = threading.Condition(self._counter_lock)
+        self._inflight = 0
+        self._thread: Optional[threading.Thread] = None
+        self._serving = False
+        self.requests_served = 0
+        #: error responses sent, keyed by wire error code.
+        self.errors_returned: Dict[str, int] = {}
+        #: mixed-shard check-in batches that were split.
+        self.split_batches = 0
+        #: worker answers refused for carrying a fenced (stale) epoch.
+        self.stale_epoch_rejections = 0
+        frontend = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+                pass
+
+            def do_POST(self):
+                frontend._dispatch(self, "POST")
+
+            def do_GET(self):
+                frontend._dispatch(self, "GET")
+
+        self._http = ThreadingHTTPServer((host, int(port)), _Handler)
+        self._http.daemon_threads = True
+
+    # -- lifecycle (mirrors CrowdService) -------------------------------- #
+
+    @property
+    def router(self) -> ShardRouter:
+        return self._router
+
+    @property
+    def host(self) -> str:
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def total_errors(self) -> int:
+        return sum(self.errors_returned.values())
+
+    def start(self) -> "ShardFrontEnd":
+        if self._thread is not None:
+            raise ProtocolError("front end already started")
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._http.serve_forever, name="shard-frontend", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        try:
+            self._serving = True
+            self._http.serve_forever()
+        finally:
+            self._serving = False
+
+    def stop(self) -> None:
+        if self._serving:
+            self._http.shutdown()
+            self._serving = False
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._http.server_close()
+
+    def drain(self, timeout: float = 10.0) -> bool:
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    def __enter__(self) -> "ShardFrontEnd":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- request plumbing ------------------------------------------------ #
+
+    def _dispatch(self, handler: BaseHTTPRequestHandler, method: str) -> None:
+        with self._idle:
+            self._inflight += 1
+        try:
+            self._dispatch_inner(handler, method)
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
+
+    def _dispatch_inner(self, handler: BaseHTTPRequestHandler, method: str) -> None:
+        code = None
+        try:
+            status, payload = self._handle(handler, method)
+        except wire.WireError as error:
+            code = error.code
+            status, payload = error.http_status, wire.encode_error(code, str(error))
+        except AuthenticationError as error:
+            code = wire.ErrorCode.AUTH_FAILED
+            status, payload = 401, wire.encode_error(code, str(error))
+        except ProtocolError as error:
+            code = wire.ErrorCode.MALFORMED
+            status, payload = 400, wire.encode_error(code, str(error))
+        except Exception as error:  # noqa: BLE001 - the front end must survive
+            code = wire.ErrorCode.INTERNAL
+            status, payload = 500, wire.encode_error(
+                code, f"{type(error).__name__}: {error}"
+            )
+        if code is not None:
+            handler.close_connection = True
+        self._send(handler, status, payload)
+        with self._counter_lock:
+            self.requests_served += 1
+            if code is not None:
+                self.errors_returned[code] = self.errors_returned.get(code, 0) + 1
+
+    def _handle(self, handler: BaseHTTPRequestHandler, method: str):
+        parsed = urlparse(handler.path)
+        route = (method, parsed.path)
+        if route == ("POST", "/v1/join"):
+            return self._handle_routed(self._read_body(handler), "join_request",
+                                       "/v1/join")
+        if route == ("POST", "/v1/checkout"):
+            return self._handle_routed(self._read_body(handler), "checkout_request",
+                                       "/v1/checkout")
+        if route == ("POST", "/v1/checkins"):
+            return self._handle_checkins(self._read_body(handler))
+        if route == ("GET", "/v1/status"):
+            return self._handle_status(parse_qs(parsed.query))
+        known_paths = {"/v1/join", "/v1/checkout", "/v1/checkins", "/v1/status"}
+        if parsed.path in known_paths:
+            raise wire.WireError(
+                wire.ErrorCode.METHOD_NOT_ALLOWED,
+                f"{method} not supported on {parsed.path}",
+            )
+        raise wire.WireError(wire.ErrorCode.NOT_FOUND, f"no route {parsed.path}")
+
+    def _read_body(self, handler: BaseHTTPRequestHandler) -> bytes:
+        try:
+            length = int(handler.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise wire.WireError(wire.ErrorCode.MALFORMED, "bad Content-Length header")
+        if length < 0:
+            raise wire.WireError(wire.ErrorCode.MALFORMED, "bad Content-Length header")
+        if length > MAX_BODY_BYTES:
+            raise wire.WireError(
+                wire.ErrorCode.PAYLOAD_TOO_LARGE,
+                f"body of {length} bytes exceeds the {MAX_BODY_BYTES} byte limit",
+            )
+        return handler.rfile.read(length)
+
+    def _send(self, handler: BaseHTTPRequestHandler, status: int, payload: str) -> None:
+        body = payload.encode("utf-8")
+        try:
+            handler.send_response(status)
+            handler.send_header("Content-Type", "application/json")
+            handler.send_header("Content-Length", str(len(body)))
+            handler.end_headers()
+            handler.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    # -- upstream forwarding --------------------------------------------- #
+
+    def _endpoint(self, shard: int) -> Tuple[str, int]:
+        entry = self._resolver.endpoints().get(shard)
+        if entry is None:
+            raise wire.WireError(
+                wire.ErrorCode.UNAVAILABLE,
+                f"shard {shard} has no healthy worker (failover in progress); "
+                f"retry",
+            )
+        return entry
+
+    def _client_for(self, url: str) -> ServiceClient:
+        with self._clients_lock:
+            client = self._clients.get(url)
+            if client is None:
+                client = ServiceClient(
+                    url,
+                    timeout=self._worker_timeout,
+                    retries=self._worker_retries,
+                    backoff=self._worker_backoff,
+                )
+                self._clients[url] = client
+            return client
+
+    def _forward(self, shard: int, method: str, path: str,
+                 body: Optional[bytes]) -> bytes:
+        url, _ = self._endpoint(shard)
+        try:
+            return self._client_for(url).call_raw(method, path, body)
+        except RemoteServiceError as error:
+            if error.code == wire.ErrorCode.AUTH_FAILED:
+                raise AuthenticationError(str(error))
+            if error.code == wire.ErrorCode.UNREACHABLE or (
+                error.http_status is not None and error.http_status >= 500
+            ):
+                # The worker is mid-crash/restart: answer retryable, the
+                # supervisor will have repointed by the client's replay.
+                raise wire.WireError(
+                    wire.ErrorCode.UNAVAILABLE,
+                    f"shard {shard} worker unavailable: {error}",
+                )
+            # Typed 4xx answers pass through with their own code/status.
+            raise wire.WireError(error.code, str(error))
+
+    def _check_epoch(self, shard: int, raw_response: bytes) -> None:
+        """Refuse an answer stamped with an epoch the fence has passed.
+
+        The table is re-read *after* the response arrived: a request
+        that raced a failover may have reached the fenced zombie, whose
+        answer must not surface as truth.  The refusal is retryable —
+        the client's replay resolves the *current* endpoint, and the
+        dedupe ledger keeps a replayed check-in exactly-once.
+        """
+        try:
+            body = json.loads(raw_response).get("body", {})
+            answered = body.get("epoch", -1)
+        except (ValueError, AttributeError):
+            return  # unparseable → let the caller's decode complain
+        entry = self._resolver.endpoints().get(shard)
+        expected = entry[1] if entry is not None else -1
+        if isinstance(answered, int) and 0 <= answered < expected:
+            with self._counter_lock:
+                self.stale_epoch_rejections += 1
+            raise wire.WireError(
+                wire.ErrorCode.UNAVAILABLE,
+                f"shard {shard} answered from fenced epoch {answered} "
+                f"(current epoch {expected}); retry",
+            )
+
+    # -- route handlers -------------------------------------------------- #
+
+    @staticmethod
+    def _device_id_of(body: Dict[str, Any], kind: str) -> int:
+        try:
+            return int(body["device_id"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise wire.WireError(
+                wire.ErrorCode.MALFORMED, f"malformed {kind}: {error}"
+            )
+
+    def _handle_routed(self, raw: bytes, kind: str, path: str):
+        """join/checkout: single-device requests forwarded verbatim."""
+        _, body = wire.parse_envelope(raw, kind)
+        shard = self._router.shard_of(self._device_id_of(body, kind))
+        return 200, self._forward(shard, "POST", path, raw).decode("utf-8")
+
+    def _handle_checkins(self, raw: bytes):
+        _, body = wire.parse_envelope(raw, "checkin_batch")
+        messages = body.get("messages")
+        if not isinstance(messages, list) or not messages:
+            raise wire.WireError(
+                wire.ErrorCode.MALFORMED,
+                "checkin_batch needs a non-empty 'messages' list",
+            )
+        if len(messages) > wire.MAX_BATCH_MESSAGES:
+            raise wire.WireError(
+                wire.ErrorCode.MALFORMED,
+                f"checkin_batch carries {len(messages)} messages "
+                f"(limit {wire.MAX_BATCH_MESSAGES})",
+            )
+        for entry in messages:
+            if not isinstance(entry, dict):
+                raise wire.WireError(
+                    wire.ErrorCode.MALFORMED,
+                    "checkin_batch entries must be objects",
+                )
+        groups = self._router.split(
+            messages,
+            device_id_of=lambda entry: self._device_id_of(entry, "checkin"),
+        )
+        if len(groups) == 1:
+            # Single-shard batch: verbatim passthrough both ways.
+            (shard,) = groups
+            answer = self._forward(shard, "POST", "/v1/checkins", raw)
+            self._check_epoch(shard, answer)
+            return 200, answer.decode("utf-8")
+        return 200, self._split_checkins(raw, messages, groups)
+
+    def _split_checkins(
+        self,
+        raw: bytes,
+        messages: List[Dict[str, Any]],
+        groups: Dict[int, List[Tuple[int, Dict[str, Any]]]],
+    ) -> str:
+        with self._counter_lock:
+            self.split_batches += 1
+        answers: Dict[int, List[Optional[Dict[str, Any]]]] = {}
+        iteration_total = 0
+        stopped_flags: List[bool] = []
+        stop_reason: Optional[str] = None
+        for shard in sorted(groups):
+            entries = groups[shard]
+            sub = wire.encode_envelope(
+                "checkin_batch", {"messages": [item for _, item in entries]}
+            )
+            try:
+                answer = self._forward(
+                    shard, "POST", "/v1/checkins", sub.encode("utf-8")
+                )
+            except wire.WireError as error:
+                if error.code == wire.ErrorCode.STOPPED:
+                    # This shard's task ended: its half of the batch is
+                    # refused wholesale (all-None acks), like ServerCore
+                    # rejecting messages after the stop.
+                    answers[shard] = [None] * len(entries)
+                    stopped_flags.append(True)
+                    continue
+                raise
+            self._check_epoch(shard, answer)
+            _, result = wire.parse_envelope(answer, "checkin_result")
+            acks = result.get("acks")
+            if not isinstance(acks, list):
+                raise wire.WireError(
+                    wire.ErrorCode.INTERNAL,
+                    f"shard {shard} answered a checkin_result without acks",
+                )
+            answers[shard] = acks
+            iteration_total += int(result.get("server_iteration", 0))
+            group_stopped = bool(result.get("stopped", False))
+            stopped_flags.append(group_stopped)
+            if group_stopped and stop_reason is None:
+                stop_reason = str(result.get("stop_reason", "running"))
+        merged_acks = ShardRouter.merge(groups, answers, len(messages))
+        all_stopped = bool(stopped_flags) and all(stopped_flags)
+        return wire.encode_envelope(
+            "checkin_result",
+            {
+                "acks": merged_acks,
+                "server_iteration": iteration_total,
+                "stopped": all_stopped,
+                "stop_reason": (
+                    stop_reason if all_stopped and stop_reason is not None
+                    else "running"
+                ),
+            },
+        )
+
+    def _handle_status(self, query: Dict[str, List[str]]):
+        include = query.get("parameters", ["0"])[-1] not in ("", "0", "false")
+        shard_values = query.get("shard")
+        if shard_values:
+            try:
+                shard = int(shard_values[-1])
+            except ValueError:
+                raise wire.WireError(
+                    wire.ErrorCode.MALFORMED, f"bad shard index {shard_values[-1]!r}"
+                )
+            if not 0 <= shard < self._router.num_shards:
+                raise wire.WireError(
+                    wire.ErrorCode.NOT_FOUND,
+                    f"no shard {shard} (tier runs {self._router.num_shards})",
+                )
+            path = "/v1/status" + ("?parameters=1" if include else "")
+            answer = self._forward(shard, "GET", path, None)
+            self._check_epoch(shard, answer)
+            return 200, answer.decode("utf-8")
+        if include:
+            raise wire.WireError(
+                wire.ErrorCode.MALFORMED,
+                "parameters are per-shard state; use ?shard=<k>&parameters=1",
+            )
+        return 200, self._aggregate_status()
+
+    def _aggregate_status(self) -> str:
+        table = self._resolver.endpoints()
+        counts: List[Dict[str, Any]] = []
+        rows: List[Dict[str, Any]] = []
+        for shard in range(self._router.num_shards):
+            entry = table.get(shard)
+            if entry is None:
+                raise wire.WireError(
+                    wire.ErrorCode.UNAVAILABLE,
+                    f"shard {shard} has no healthy worker; aggregate status "
+                    f"unavailable mid-failover",
+                )
+            url, epoch = entry
+            try:
+                status = self._client_for(url).status()
+            except RemoteServiceError as error:
+                raise wire.WireError(
+                    wire.ErrorCode.UNAVAILABLE,
+                    f"shard {shard} status probe failed: {error}",
+                )
+            counts.append({
+                "iteration": status.iteration,
+                "stopped": status.stopped,
+                "stop_reason": status.stop_reason,
+                "checkouts_served": status.checkouts_served,
+                "rejected_messages": status.rejected_messages,
+                "registered_devices": status.registered_devices,
+                "num_parameters": status.num_parameters,
+                "duplicates_suppressed": status.duplicates_suppressed,
+            })
+            rows.append({
+                "shard": shard,
+                "url": url,
+                "epoch": status.epoch if status.epoch >= 0 else epoch,
+                "iteration": status.iteration,
+                "stopped": status.stopped,
+            })
+        try:
+            merged = merge_status_counts(counts)
+        except ShardMergeError as error:
+            raise wire.WireError(wire.ErrorCode.INTERNAL, str(error))
+        return wire.encode_status(
+            iteration=merged["iteration"],
+            stop=StopDecision(
+                bool(merged["stopped"]), StopReason(merged["stop_reason"])
+            ),
+            checkouts_served=merged["checkouts_served"],
+            rejected_messages=merged["rejected_messages"],
+            registered_devices=merged["registered_devices"],
+            num_parameters=merged["num_parameters"],
+            duplicates_suppressed=merged["duplicates_suppressed"],
+            shards=rows,
+        )
+
+
+__all__ = ["ShardFrontEnd", "StaticEndpoints"]

@@ -1,0 +1,122 @@
+"""Device→shard routing for the multi-worker serving tier.
+
+A :class:`ShardRouter` binds a routing *policy* (a pure function
+``(device_id, num_shards) -> shard``) to a fixed shard count.  Policies
+come from the :data:`~repro.registry.SHARD_ROUTING` registry by name —
+downstream code plugs in a new partitioning without touching this module
+— or are passed as a callable directly.
+
+The router is deliberately state-free: the front end, every worker, the
+supervisor, and an offline reference computation each build their own
+router from ``(num_shards, policy_name)`` and must agree on every
+device, which is why built-in policies are stable integer math
+(:func:`~repro.core.sharding.stable_device_hash`) rather than anything
+process-salted.
+
+Besides single-id routing, the router knows how to :meth:`split` an
+ordered batch into per-shard groups (preserving each item's original
+position) and :meth:`merge` per-shard answer lists back into the
+original order — the two halves of forwarding one mixed check-in batch
+through per-shard workers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.registry import SHARD_ROUTING
+from repro.utils.exceptions import ReproError
+
+
+class ShardRoutingError(ReproError):
+    """A routing policy misbehaved (bad shard index, bad merge shape)."""
+
+
+class ShardRouter:
+    """Map device ids onto ``num_shards`` workers with a named policy.
+
+    Parameters
+    ----------
+    num_shards:
+        How many shards the tier runs (>= 1).
+    policy:
+        A :data:`~repro.registry.SHARD_ROUTING` name (default
+        ``"stable_hash"``) or a callable ``(device_id, num_shards) ->
+        shard`` for ad-hoc policies.
+
+    Examples
+    --------
+    >>> router = ShardRouter(4)
+    >>> router.shard_of(7) == router.shard_of(7)
+    True
+    >>> sorted({router.shard_of(m) for m in range(100)})
+    [0, 1, 2, 3]
+    """
+
+    def __init__(self, num_shards: int, policy="stable_hash"):
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = int(num_shards)
+        if callable(policy):
+            self.policy_name = getattr(policy, "__name__", "<callable>")
+            self._route = policy
+        else:
+            self.policy_name = str(policy)
+            self._route = SHARD_ROUTING.create(self.policy_name)
+
+    def shard_of(self, device_id: int) -> int:
+        """The shard owning ``device_id`` (validated ``0 <= k < N``)."""
+        shard = int(self._route(int(device_id), self.num_shards))
+        if not 0 <= shard < self.num_shards:
+            raise ShardRoutingError(
+                f"policy {self.policy_name!r} routed device {device_id} to "
+                f"shard {shard}, outside [0, {self.num_shards})"
+            )
+        return shard
+
+    def split(
+        self,
+        items: Sequence[Any],
+        device_id_of: Optional[Callable[[Any], int]] = None,
+    ) -> Dict[int, List[Tuple[int, Any]]]:
+        """Group an ordered batch by owning shard.
+
+        Returns ``{shard: [(original_index, item), ...]}`` with each
+        group in original order.  ``device_id_of`` extracts the routing
+        key (default: ``item["device_id"]`` — the raw JSON payload form
+        every wire message carries).
+        """
+        if device_id_of is None:
+            device_id_of = lambda item: item["device_id"]  # noqa: E731
+        groups: Dict[int, List[Tuple[int, Any]]] = {}
+        for index, item in enumerate(items):
+            shard = self.shard_of(device_id_of(item))
+            groups.setdefault(shard, []).append((index, item))
+        return groups
+
+    @staticmethod
+    def merge(
+        groups: Dict[int, List[Tuple[int, Any]]],
+        answers: Dict[int, Sequence[Any]],
+        total: int,
+    ) -> List[Any]:
+        """Reassemble per-shard answer lists into original batch order.
+
+        ``answers[shard]`` must be positionally parallel to
+        ``groups[shard]`` (one answer per forwarded item); any length
+        mismatch raises rather than silently misattributing acks.
+        """
+        merged: List[Any] = [None] * total
+        for shard, entries in groups.items():
+            shard_answers = answers[shard]
+            if len(shard_answers) != len(entries):
+                raise ShardRoutingError(
+                    f"shard {shard} answered {len(shard_answers)} entries "
+                    f"for {len(entries)} forwarded items"
+                )
+            for (index, _), answer in zip(entries, shard_answers):
+                merged[index] = answer
+        return merged
+
+
+__all__ = ["ShardRouter", "ShardRoutingError"]

@@ -1,0 +1,300 @@
+"""Health-checked worker supervision with fenced failover.
+
+The :class:`ShardSupervisor` owns the live incarnation of every shard
+slot.  Its job splits in three:
+
+* **Launch** — pick a fixed port per shard, advance the shard's fence
+  (:meth:`~repro.persist.checkpoint.SnapshotStore.advance_fence`), and
+  spawn the worker at the returned epoch.  Fence-then-spawn means no
+  two incarnations of a shard can ever both hold a writable epoch.
+* **Watch** — a daemon thread probes each worker every
+  ``health_interval`` seconds: process liveness first (a SIGKILLed
+  worker is detected without any network timeout), then a heartbeat
+  ``GET /v1/status``.  ``heartbeat_misses`` consecutive probe failures
+  declare a live-but-wedged worker dead (the zombie case — the process
+  exists, the service doesn't answer).
+* **Fail over** — advance the fence (fencing the old incarnation's
+  writes *before* anything reads the snapshot to restore from), then
+  respawn on the shard's own port.  When the port cannot be rebound —
+  typically because the zombie still holds the listening socket — the
+  shard is restored onto a **sibling slot**: a fresh process on a new
+  ephemeral port, resumed from the shard's newest valid snapshot, and
+  the routing table repoints.  Either way the replacement serves the
+  exact durable state; the fenced zombie's late writes are refused at
+  the store and its late answers carry a stale epoch the front end
+  rejects.
+
+The front end reads :meth:`endpoints` on every request, so a repointed
+shard takes effect immediately; requests that race the failover window
+get a retryable 503 until the replacement announces.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.persist.checkpoint import SnapshotStore
+from repro.serve.client import ServiceClient
+from repro.shard.worker import ShardWorker, WorkerSpawnError
+from repro.utils.exceptions import ReproError
+
+
+class SupervisorError(ReproError):
+    """The supervisor was driven outside its lifecycle contract."""
+
+
+def _free_port(host: str = "127.0.0.1") -> int:
+    with socket.socket() as probe:
+        probe.bind((host, 0))
+        return probe.getsockname()[1]
+
+
+class ShardSupervisor:
+    """Spawn, health-check, and fail over a tier of :class:`ShardWorker`\\ s.
+
+    Parameters
+    ----------
+    workers:
+        One :class:`~repro.shard.worker.ShardWorker` per shard, in shard
+        order.
+    health_interval:
+        Seconds between probe sweeps (the detection latency floor).
+    heartbeat_timeout:
+        Socket timeout of one heartbeat ``GET /v1/status``.
+    heartbeat_misses:
+        Consecutive heartbeat failures before a *live* process is
+        declared wedged and failed over (process exits fail over on the
+        first sweep regardless).
+    spawn_attempts / spawn_backoff:
+        In-place respawn attempts on the shard's own port before
+        failing over to a sibling slot (fresh ephemeral port).
+    kill_zombies:
+        SIGKILL a live-but-wedged incarnation before respawning
+        (default).  ``False`` leaves the zombie running — the
+        fence/stale-epoch tests use this to prove refusal is what
+        protects the state, not the kill.
+    """
+
+    def __init__(
+        self,
+        workers: Sequence[ShardWorker],
+        health_interval: float = 0.5,
+        heartbeat_timeout: float = 2.0,
+        heartbeat_misses: int = 2,
+        spawn_attempts: int = 3,
+        spawn_backoff: float = 0.2,
+        kill_zombies: bool = True,
+    ):
+        if not workers:
+            raise ValueError("a supervisor needs at least one worker")
+        self.workers: List[ShardWorker] = list(workers)
+        self.health_interval = float(health_interval)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.heartbeat_misses = int(heartbeat_misses)
+        self.spawn_attempts = int(spawn_attempts)
+        self.spawn_backoff = float(spawn_backoff)
+        self.kill_zombies = bool(kill_zombies)
+        self._table_lock = threading.Lock()
+        self._endpoints: Dict[int, Tuple[str, int]] = {}
+        self._failover_lock = threading.Lock()
+        self._misses = [0] * len(self.workers)
+        self._heartbeat_clients: Dict[int, Tuple[str, ServiceClient]] = {}
+        self._stop_event = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started = False
+        self._stats_lock = threading.Lock()
+        self._stats = {
+            "failovers": 0,
+            "process_exit_failovers": 0,
+            "heartbeat_failovers": 0,
+            "respawns_in_place": 0,
+            "sibling_failovers": 0,
+            "heartbeat_misses": 0,
+        }
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.workers)
+
+    def start(self) -> "ShardSupervisor":
+        """Fence + spawn every shard at epoch, then start the watch thread."""
+        if self._started:
+            raise SupervisorError("supervisor already started")
+        self._started = True
+        try:
+            for shard, worker in enumerate(self.workers):
+                epoch = SnapshotStore(worker.shard_dir).advance_fence()
+                url = self._spawn_with_retry(worker, epoch, _free_port())
+                self._set_endpoint(shard, url, epoch)
+        except WorkerSpawnError:
+            self._shutdown_workers(graceful=False)
+            raise
+        self._thread = threading.Thread(
+            target=self._watch_loop, name="shard-supervisor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, graceful: bool = True, timeout: float = 30.0) -> Dict[int, Optional[int]]:
+        """Stop watching, shut every worker down; per-shard exit codes.
+
+        ``graceful`` terminates with SIGTERM so each worker drains and
+        flushes a final snapshot (exit code 0 = clean).
+        """
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        return self._shutdown_workers(graceful=graceful, timeout=timeout)
+
+    def _shutdown_workers(
+        self, graceful: bool, timeout: float = 30.0
+    ) -> Dict[int, Optional[int]]:
+        codes: Dict[int, Optional[int]] = {}
+        for shard, worker in enumerate(self.workers):
+            if graceful:
+                codes[shard] = worker.terminate(timeout=timeout)
+            else:
+                worker.stop()
+                codes[shard] = None
+        return codes
+
+    def __enter__(self) -> "ShardSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- routing table --------------------------------------------------- #
+
+    def _set_endpoint(self, shard: int, url: Optional[str], epoch: int) -> None:
+        with self._table_lock:
+            if url is None:
+                self._endpoints.pop(shard, None)
+            else:
+                self._endpoints[shard] = (url, epoch)
+
+    def endpoints(self) -> Dict[int, Tuple[str, int]]:
+        """Current routing table: ``{shard: (url, epoch)}``.
+
+        A shard mid-failover (or down) is absent — callers answer its
+        traffic with a retryable 503 until it reappears.
+        """
+        with self._table_lock:
+            return dict(self._endpoints)
+
+    def stats(self) -> Dict[str, int]:
+        """Consistent snapshot of the supervision counters."""
+        with self._stats_lock:
+            return dict(self._stats)
+
+    def _bump(self, key: str, by: int = 1) -> None:
+        with self._stats_lock:
+            self._stats[key] += by
+
+    # -- failover -------------------------------------------------------- #
+
+    def failover(self, shard: int, reason: str = "manual") -> str:
+        """Fence the old incarnation and bring up a replacement.
+
+        Respawn on the shard's own port first; if the address cannot be
+        rebound (a live zombie still holds the socket), restore the
+        shard onto a sibling slot at a fresh ephemeral port.  Returns
+        the replacement's URL.  Serialized — concurrent detections of
+        the same death perform one failover.
+        """
+        with self._failover_lock:
+            worker = self.workers[shard]
+            # Unroute first: traffic hitting the dying incarnation's
+            # address during the window gets a clean 503 from the front
+            # end instead of a socket error from a corpse.
+            self._set_endpoint(shard, None, -1)
+            # Fence BEFORE reading anything: after this returns, a write
+            # from the old epoch is refused, so the snapshot the
+            # replacement restores is the newest state that can ever
+            # exist for the old incarnation.
+            epoch = SnapshotStore(worker.shard_dir).advance_fence()
+            if worker.alive:
+                if self.kill_zombies:
+                    worker.sigkill()
+                else:
+                    # Leave the zombie running (fence tests): it keeps
+                    # its socket, so the in-place respawn below fails to
+                    # bind and the shard lands on a sibling slot.
+                    worker.orphan()
+            own_port = worker.port
+            try:
+                url = self._spawn_with_retry(worker, epoch, own_port)
+                self._bump("respawns_in_place")
+            except WorkerSpawnError:
+                # Sibling slot: same durable shard, fresh address.
+                url = worker.spawn(epoch=epoch, port=0)
+                self._bump("sibling_failovers")
+            self._misses[shard] = 0
+            self._set_endpoint(shard, url, epoch)
+            self._bump("failovers")
+            return url
+
+    def _spawn_with_retry(self, worker: ShardWorker, epoch: int, port: int) -> str:
+        last_error: Optional[WorkerSpawnError] = None
+        for attempt in range(self.spawn_attempts):
+            try:
+                return worker.spawn(epoch=epoch, port=port)
+            except WorkerSpawnError as error:
+                last_error = error
+                time.sleep(self.spawn_backoff * (attempt + 1))
+        raise last_error
+
+    # -- the watch loop -------------------------------------------------- #
+
+    def _heartbeat_client(self, shard: int, url: str) -> ServiceClient:
+        cached = self._heartbeat_clients.get(shard)
+        if cached is not None and cached[0] == url:
+            return cached[1]
+        client = ServiceClient(url, timeout=self.heartbeat_timeout, retries=0)
+        self._heartbeat_clients[shard] = (url, client)
+        return client
+
+    def _watch_loop(self) -> None:
+        while not self._stop_event.wait(self.health_interval):
+            for shard, worker in enumerate(self.workers):
+                if self._stop_event.is_set():
+                    return
+                try:
+                    self._probe(shard, worker)
+                except WorkerSpawnError:
+                    # Replacement failed to come up; the shard stays
+                    # unrouted (503) and the next sweep tries again.
+                    continue
+                except Exception:  # noqa: BLE001 - the watcher must survive
+                    continue
+
+    def _probe(self, shard: int, worker: ShardWorker) -> None:
+        if not worker.alive:
+            self._bump("process_exit_failovers")
+            self.failover(shard, reason="process-exit")
+            return
+        endpoint = self.endpoints().get(shard)
+        if endpoint is None:
+            # Unrouted but alive: a previous failover half-finished.
+            self._bump("process_exit_failovers")
+            self.failover(shard, reason="unrouted")
+            return
+        try:
+            self._heartbeat_client(shard, endpoint[0]).status()
+        except Exception:  # noqa: BLE001 - any probe failure is a miss
+            self._misses[shard] += 1
+            self._bump("heartbeat_misses")
+            if self._misses[shard] >= self.heartbeat_misses:
+                self._bump("heartbeat_failovers")
+                self.failover(shard, reason="heartbeat")
+        else:
+            self._misses[shard] = 0
+
+
+__all__ = ["ShardSupervisor", "SupervisorError"]

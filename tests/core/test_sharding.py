@@ -1,0 +1,115 @@
+"""Shard math: stable hashing and cross-shard merges."""
+
+import pytest
+
+from repro.core.sharding import (
+    ShardMergeError,
+    merge_counters,
+    merge_status_counts,
+    stable_device_hash,
+)
+
+
+class TestStableDeviceHash:
+    def test_deterministic(self):
+        assert stable_device_hash(7) == stable_device_hash(7)
+
+    def test_known_value(self):
+        # Pinned: a changed constant would silently re-shard every
+        # deployed state dir.
+        assert stable_device_hash(1) == 2654435761 & 0xFFFFFFFF
+        assert stable_device_hash(0) == 0
+
+    def test_fits_32_bits(self):
+        for device_id in (1, 12345, 2**31 - 1, 2**40):
+            assert 0 <= stable_device_hash(device_id) < 2**32
+
+    def test_spreads_sequential_ids(self):
+        # Sequential ids must not all land in one residue class.
+        shards = {stable_device_hash(d) % 4 for d in range(64)}
+        assert shards == {0, 1, 2, 3}
+
+
+def counters(checkouts=0, rejected=0, dups=0, seqs=None):
+    return {
+        "checkouts_served": checkouts,
+        "rejected_messages": rejected,
+        "duplicates_suppressed": dups,
+        "applied_seqs": seqs or {},
+    }
+
+
+class TestMergeCounters:
+    def test_sums_and_unions(self):
+        merged = merge_counters([
+            counters(checkouts=3, rejected=1, dups=2, seqs={"0": [4, 10]}),
+            counters(checkouts=5, dups=1, seqs={"3": [2, 7]}),
+        ])
+        assert merged["checkouts_served"] == 8
+        assert merged["rejected_messages"] == 1
+        assert merged["duplicates_suppressed"] == 3
+        assert merged["applied_seqs"] == {"0": [4, 10], "3": [2, 7]}
+
+    def test_ledger_collision_raises(self):
+        with pytest.raises(ShardMergeError, match="more than one shard"):
+            merge_counters([
+                counters(seqs={"5": [1, 1]}),
+                counters(seqs={"5": [2, 2]}),
+            ])
+
+    def test_empty_input_is_zero(self):
+        merged = merge_counters([])
+        assert merged["checkouts_served"] == 0
+        assert merged["applied_seqs"] == {}
+
+
+def status(iteration=0, stopped=False, reason="running", devices=0,
+           num_parameters=8, dups=0):
+    return {
+        "iteration": iteration,
+        "stopped": stopped,
+        "stop_reason": reason,
+        "checkouts_served": iteration,
+        "rejected_messages": 0,
+        "registered_devices": devices,
+        "num_parameters": num_parameters,
+        "duplicates_suppressed": dups,
+    }
+
+
+class TestMergeStatusCounts:
+    def test_counters_sum(self):
+        merged = merge_status_counts([
+            status(iteration=10, devices=2, dups=1),
+            status(iteration=7, devices=3, dups=4),
+        ])
+        assert merged["iteration"] == 17
+        assert merged["registered_devices"] == 5
+        assert merged["duplicates_suppressed"] == 5
+        assert merged["num_parameters"] == 8
+
+    def test_running_while_any_shard_lives(self):
+        merged = merge_status_counts([
+            status(stopped=True, reason="max_iterations"),
+            status(stopped=False),
+        ])
+        assert merged["stopped"] is False
+        assert merged["stop_reason"] == "running"
+
+    def test_stopped_only_when_all_stopped(self):
+        merged = merge_status_counts([
+            status(stopped=True, reason="target_error"),
+            status(stopped=True, reason="max_iterations"),
+        ])
+        assert merged["stopped"] is True
+        assert merged["stop_reason"] == "target_error"  # first stopped wins
+
+    def test_shape_disagreement_raises(self):
+        with pytest.raises(ShardMergeError, match="num_parameters"):
+            merge_status_counts([
+                status(num_parameters=8), status(num_parameters=9),
+            ])
+
+    def test_empty_raises(self):
+        with pytest.raises(ShardMergeError, match="empty"):
+            merge_status_counts([])

@@ -1,0 +1,81 @@
+"""EdgeGateway pre-splitting uplink batches per shard.
+
+A shard-aware gateway sends one uplink batch per owning shard, so every
+batch the front end receives is single-shard and takes its verbatim
+passthrough path — the split happens once, at the edge.
+"""
+
+import pytest
+
+from repro.gateway.edge import EdgeGateway
+
+from tests.shard.conftest import (
+    InProcessTier,
+    make_client,
+    make_message,
+    owned_devices,
+    traffic_rng,  # noqa: F401  (fixture)
+)
+
+
+@pytest.fixture
+def tier():
+    built = InProcessTier(num_shards=2)
+    yield built
+    built.close()
+
+
+def test_mixed_flush_splits_per_shard(tier, traffic_rng):
+    client = make_client(tier.frontend.url, retries=0)
+    devices = owned_devices(tier.router, 0)[:2] + owned_devices(tier.router, 1)[:2]
+    tokens = {d: client.join(d) for d in devices}
+    gateway = EdgeGateway(client, flush_size=len(devices),
+                          shard_router=tier.router)
+    acks = {}
+    for device_id in devices:
+        message = make_message(
+            tier.cores[tier.router.shard_of(device_id)],
+            device_id, tokens[device_id], traffic_rng, seq=0,
+        )
+        gateway.add(message, on_ack=lambda ack, d=device_id: acks.__setitem__(d, ack))
+    assert gateway.pending == 0  # flush_size trigger fired
+    assert gateway.shard_splits == 1
+    # The front end saw only single-shard batches: no split there.
+    assert tier.frontend.split_batches == 0
+    assert set(acks) == set(devices)
+    assert all(ack is not None for ack in acks.values())
+    assert tier.cores[0].iteration == 2
+    assert tier.cores[1].iteration == 2
+    # Merged last_result reflects the whole flush.
+    assert gateway.last_result is not None
+    assert gateway.last_result.server_iteration == 4
+    assert gateway.last_result.stopped is False
+
+
+def test_single_shard_flush_goes_whole(tier, traffic_rng):
+    client = make_client(tier.frontend.url, retries=0)
+    devices = owned_devices(tier.router, 0)[:2]
+    tokens = {d: client.join(d) for d in devices}
+    gateway = EdgeGateway(client, flush_size=2, shard_router=tier.router)
+    for device_id in devices:
+        gateway.add(make_message(
+            tier.cores[0], device_id, tokens[device_id], traffic_rng, seq=0,
+        ))
+    assert gateway.shard_splits == 0  # one owning shard → one batch
+    assert tier.cores[0].iteration == 2
+
+
+def test_routerless_gateway_unchanged(tier, traffic_rng):
+    # Default construction: no router, whole flush goes up as one batch
+    # and the front end does the splitting.
+    client = make_client(tier.frontend.url, retries=0)
+    devices = owned_devices(tier.router, 0)[:1] + owned_devices(tier.router, 1)[:1]
+    tokens = {d: client.join(d) for d in devices}
+    gateway = EdgeGateway(client, flush_size=2)
+    for device_id in devices:
+        gateway.add(make_message(
+            tier.cores[tier.router.shard_of(device_id)],
+            device_id, tokens[device_id], traffic_rng, seq=0,
+        ))
+    assert gateway.shard_splits == 0
+    assert tier.frontend.split_batches == 1

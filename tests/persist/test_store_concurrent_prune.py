@@ -1,0 +1,89 @@
+"""SnapshotStore retention pruning under concurrent writers.
+
+The store's fcntl lock is per-open-descriptor, so two store handles in
+one process contend exactly like two processes.  The invariants under
+concurrent write+prune:
+
+* a reader's ``load_latest`` never fails and never goes backwards,
+* pruning converges to the newest ``retain`` files,
+* no torn file is ever visible under a real snapshot name.
+"""
+
+import copy
+import threading
+
+import pytest
+
+from repro.persist import SnapshotStore, snapshot_core
+
+from tests.persist.conftest import make_core
+
+RETAIN = 3
+WRITES_PER_WRITER = 25
+
+
+@pytest.fixture
+def base_snapshot():
+    return snapshot_core(make_core())
+
+
+def at_iteration(base: dict, iteration: int) -> dict:
+    snapshot = copy.deepcopy(base)
+    snapshot["optimizer"]["iteration"] = iteration
+    return snapshot
+
+
+def test_reader_is_monotonic_under_concurrent_writers(tmp_path, base_snapshot):
+    # Two writer handles on the same dir (per-fd locks → real contention),
+    # interleaved iteration numbers so both keep producing "newest" files.
+    writers = [SnapshotStore(str(tmp_path), retain=RETAIN) for _ in range(2)]
+    reader = SnapshotStore(str(tmp_path), retain=RETAIN)
+    errors = []
+
+    def write_stream(store: SnapshotStore, offset: int):
+        try:
+            for step in range(WRITES_PER_WRITER):
+                store.write(at_iteration(base_snapshot, offset + 2 * step))
+        except Exception as error:  # noqa: BLE001 - collected for the assert
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=write_stream, args=(store, offset))
+        for store, offset in zip(writers, (0, 1))
+    ]
+    for thread in threads:
+        thread.start()
+
+    seen = -1
+    while any(thread.is_alive() for thread in threads):
+        loaded = reader.load_latest()
+        if loaded is None:
+            continue  # nothing durable yet
+        snapshot, _ = loaded
+        iteration = snapshot["optimizer"]["iteration"]
+        assert iteration >= seen, "load_latest went backwards"
+        seen = iteration
+    for thread in threads:
+        thread.join()
+
+    assert not errors, errors
+    # Convergence: newest file is the globally newest write, retention
+    # kept exactly the newest RETAIN files, and every survivor is valid.
+    final, path = reader.load_latest()
+    top = 2 * (WRITES_PER_WRITER - 1) + 1
+    assert final["optimizer"]["iteration"] == top
+    survivors = reader.snapshot_paths()
+    assert len(survivors) == RETAIN
+    for survivor in survivors:
+        assert reader._load_one(survivor) is not None
+
+
+def test_prune_never_removes_the_write_it_rides_on(tmp_path, base_snapshot):
+    # retain=1 is the harshest pruning; the just-written snapshot must
+    # always survive its own prune even when it is not the newest name.
+    store = SnapshotStore(str(tmp_path), retain=1)
+    store.write(at_iteration(base_snapshot, 10))
+    path = store.write(at_iteration(base_snapshot, 5))  # older than 10
+    assert path in store.snapshot_paths()
+    snapshot, newest = store.load_latest()
+    assert snapshot["optimizer"]["iteration"] == 10

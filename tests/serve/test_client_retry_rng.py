@@ -1,0 +1,59 @@
+"""Seedable retry jitter: deterministic backoff schedules for campaigns."""
+
+import random
+
+import pytest
+
+from repro.serve import wire
+from repro.serve.client import RemoteServiceError, ServiceClient
+
+
+def failing_client(monkeypatch, recorded, retry_rng, retries=4):
+    client = ServiceClient("http://127.0.0.1:9", retries=retries,
+                           backoff=0.05, backoff_max=0.4,
+                           retry_rng=retry_rng)
+
+    def always_down(method, path, body):
+        raise RemoteServiceError(
+            wire.ErrorCode.UNREACHABLE, "injected: endpoint down"
+        )
+
+    monkeypatch.setattr(client, "_call_once", always_down)
+    monkeypatch.setattr("repro.serve.client.time.sleep", recorded.append)
+    return client
+
+
+def drive(monkeypatch, retry_rng):
+    sleeps = []
+    client = failing_client(monkeypatch, sleeps, retry_rng)
+    with pytest.raises(RemoteServiceError):
+        client.status()
+    return sleeps
+
+
+class TestRetryRngSeeding:
+    def test_same_seed_same_backoff_schedule(self, monkeypatch):
+        assert drive(monkeypatch, 42) == drive(monkeypatch, 42)
+
+    def test_different_seeds_differ(self, monkeypatch):
+        assert drive(monkeypatch, 1) != drive(monkeypatch, 2)
+
+    def test_schedule_shape(self, monkeypatch):
+        sleeps = drive(monkeypatch, 7)
+        assert len(sleeps) == 4  # one sleep per retry
+        # Exponential base with up to +25% jitter, capped at backoff_max.
+        for base, actual in zip((0.05, 0.1, 0.2, 0.4), sleeps):
+            assert base <= actual <= base * 1.25 + 1e-12
+
+    def test_random_instance_used_directly(self, monkeypatch):
+        rng = random.Random(99)
+        expected = [
+            min(0.05 * 2**i, 0.4) * (1.0 + 0.25 * random.Random(99).random())
+            for i in range(1)
+        ]
+        sleeps = drive(monkeypatch, rng)
+        assert sleeps[0] == pytest.approx(expected[0])
+
+    def test_unseeded_default_still_works(self, monkeypatch):
+        sleeps = drive(monkeypatch, None)
+        assert len(sleeps) == 4

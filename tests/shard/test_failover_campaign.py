@@ -1,0 +1,142 @@
+"""The sharded-tier acceptance campaign.
+
+A seeded chaos run against a real 3-worker tier: clients drive traffic
+through a lossy proxy (dropped acks force replays) into the front end,
+while a :class:`WorkerKiller` SIGKILLs workers mid-campaign and the
+supervisor fails the shards over.  The gates:
+
+* every driven check-in is eventually acked (clients retry through it),
+* the front end returns **zero** internal errors,
+* replays are suppressed exactly-once (``duplicates_suppressed > 0``
+  and the dedupe ledger answers replays with the original ack),
+* each shard's final durable parameters are **bit-identical** to an
+  uninterrupted in-process reference fed the same messages in the same
+  order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.auth import DeviceRegistry
+from repro.core.protocol import CheckinMessage
+from repro.persist import FaultyProxy, SnapshotStore, WorkerKiller, restore_core
+from repro.serve.client import ServiceClient
+from repro.shard import ShardFrontEnd, ShardRouter
+
+from tests.persist.conftest import CLASSES, make_model
+from tests.shard.conftest import SERVER_KEY, make_core, start_supervised_tier
+
+NUM_SHARDS = 3
+DEVICES = list(range(6))
+ROUNDS = 5
+KILL_EVERY = 8
+MAX_KILLS = 2
+NUM_PARAMETERS = make_model().num_parameters
+
+
+def build_message(device_id: int, token: str, seq: int,
+                  rng: np.random.Generator) -> CheckinMessage:
+    """Deterministic traffic; checkout_iteration pinned so the reference
+    replay constructs byte-identical messages."""
+    return CheckinMessage(
+        device_id=device_id,
+        token=token,
+        gradient=rng.normal(size=NUM_PARAMETERS),
+        num_samples=int(rng.integers(1, 6)),
+        noisy_error_count=int(rng.integers(0, 4)),
+        noisy_label_counts=rng.integers(0, 5, size=CLASSES),
+        checkout_iteration=0,
+        checkin_seq=seq,
+    )
+
+
+@pytest.mark.slow
+def test_failover_campaign_keeps_each_shard_bit_identical(tmp_path):
+    supervisor = start_supervised_tier(tmp_path, num_shards=NUM_SHARDS)
+    router = ShardRouter(NUM_SHARDS)
+    frontend = ShardFrontEnd(router, supervisor).start()
+    proxy = FaultyProxy(frontend.url, seed=7, drop_response=0.2).start()
+    killer = WorkerKiller(supervisor, every=KILL_EVERY, seed=3,
+                          max_kills=MAX_KILLS)
+    client = ServiceClient(proxy.url, timeout=15.0, retries=16,
+                           backoff=0.02, backoff_max=0.5,
+                           retry_rng=20260808)
+    reference_registry = make_core(
+        registry=DeviceRegistry(server_key=SERVER_KEY)
+    )
+    sent = []  # (device_id, message) in ack order — the replay script
+    try:
+        tokens = {}
+        for device_id in DEVICES:
+            tokens[device_id] = client.join(device_id)
+            assert tokens[device_id] == reference_registry.register_device(device_id)
+
+        rng = np.random.default_rng(20260808)
+        for round_index in range(ROUNDS):
+            for device_id in DEVICES:
+                message = build_message(
+                    device_id, tokens[device_id], seq=round_index, rng=rng
+                )
+                result = client.checkins([message])
+                assert result.acks[0] is not None, (
+                    f"round {round_index} device {device_id} never acked"
+                )
+                sent.append((device_id, message))
+                killer.after_batch()
+
+        # The campaign actually injected chaos.
+        assert killer.kills == MAX_KILLS, killer.killed_shards
+        assert proxy.stats()["responses_dropped"] > 0
+
+        # Deterministic replay probe: re-send an already-applied message;
+        # the ledger must answer with the original ack, not re-apply.
+        probe_device, probe_message = sent[-1]
+        replay = client.checkins([probe_message])
+        assert replay.acks[0] is not None
+        assert replay.acks[0].duplicate is True
+        replayed_ack_iteration = replay.acks[0].server_iteration
+
+        status = client.status()
+        assert status.duplicates_suppressed > 0
+        total_iterations = status.iteration
+
+        # Zero unhandled server errors at the front end: retryable 503s
+        # during failover windows are fine, 500s are not.
+        assert frontend.errors_returned.get("internal", 0) == 0
+    finally:
+        proxy.stop()
+        frontend.stop()
+        exit_codes = supervisor.stop(graceful=True)
+
+    assert all(code == 0 for code in exit_codes.values()), exit_codes
+
+    # -- per-shard bit-parity against an uninterrupted reference -------- #
+    references = {}
+    for shard in range(NUM_SHARDS):
+        core = make_core(registry=DeviceRegistry(server_key=SERVER_KEY))
+        for device_id in DEVICES:
+            if router.shard_of(device_id) == shard:
+                core.register_device(device_id)
+        references[shard] = core
+    for device_id, message in sent:
+        references[router.shard_of(device_id)].handle_checkins([message])
+
+    assert sum(core.iteration for core in references.values()) == len(sent)
+    assert total_iterations == len(sent)  # exactly-once despite the chaos
+
+    probe_shard = router.shard_of(probe_device)
+    probe_ledger = references[probe_shard].counters_state()["applied_seqs"]
+    assert replayed_ack_iteration == probe_ledger[str(probe_device)][1]
+
+    for shard in range(NUM_SHARDS):
+        store = SnapshotStore(str(tmp_path / f"shard-{shard}"))
+        snapshot, _ = store.load_latest()
+        restored = restore_core(snapshot, make_model())
+        reference = references[shard]
+        assert restored.iteration == reference.iteration, f"shard {shard}"
+        np.testing.assert_array_equal(
+            restored.parameters, reference.parameters,
+            err_msg=f"shard {shard} diverged from the uninterrupted run",
+        )
+        assert (restored.counters_state()["applied_seqs"]
+                == reference.counters_state()["applied_seqs"]), f"shard {shard}"

@@ -1,0 +1,84 @@
+"""ShardRouter: policies, splitting, and merge discipline."""
+
+import pytest
+
+from repro.core.sharding import stable_device_hash
+from repro.registry import SHARD_ROUTING
+from repro.shard import ShardRouter, ShardRoutingError
+
+
+class TestRegistryPolicies:
+    def test_builtins_registered(self):
+        assert "stable_hash" in SHARD_ROUTING.names()
+        assert "modulo" in SHARD_ROUTING.names()
+
+    def test_stable_hash_matches_core_hash(self):
+        router = ShardRouter(5, policy="stable_hash")
+        for device_id in range(50):
+            assert router.shard_of(device_id) == stable_device_hash(device_id) % 5
+
+    def test_modulo_policy(self):
+        router = ShardRouter(3, policy="modulo")
+        assert [router.shard_of(d) for d in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_callable_policy(self):
+        router = ShardRouter(4, policy=lambda device_id, n: device_id % n)
+        assert router.shard_of(7) == 3
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(Exception):
+            ShardRouter(2, policy="no-such-policy")
+
+
+class TestShardOf:
+    def test_stable_across_instances(self):
+        a, b = ShardRouter(8), ShardRouter(8)
+        assert all(a.shard_of(d) == b.shard_of(d) for d in range(100))
+
+    def test_all_shards_reachable(self):
+        router = ShardRouter(4)
+        assert {router.shard_of(d) for d in range(64)} == {0, 1, 2, 3}
+
+    def test_single_shard(self):
+        router = ShardRouter(1)
+        assert all(router.shard_of(d) == 0 for d in range(10))
+
+    def test_bad_num_shards(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+    def test_out_of_range_policy_caught(self):
+        router = ShardRouter(2, policy=lambda device_id, n: 5)
+        with pytest.raises(ShardRoutingError, match="outside"):
+            router.shard_of(1)
+
+
+class TestSplitMerge:
+    def test_split_preserves_order_and_indices(self):
+        router = ShardRouter(2, policy="modulo")
+        items = [{"device_id": d} for d in (0, 1, 2, 3, 4)]
+        groups = router.split(items)
+        assert groups[0] == [(0, items[0]), (2, items[2]), (4, items[4])]
+        assert groups[1] == [(1, items[1]), (3, items[3])]
+
+    def test_split_custom_key(self):
+        router = ShardRouter(2, policy="modulo")
+        groups = router.split([10, 11], device_id_of=lambda x: x)
+        assert set(groups) == {0, 1}
+
+    def test_merge_restores_original_order(self):
+        router = ShardRouter(2, policy="modulo")
+        items = [{"device_id": d} for d in (0, 1, 2, 3)]
+        groups = router.split(items)
+        answers = {
+            shard: [f"ack-{item['device_id']}" for _, item in entries]
+            for shard, entries in groups.items()
+        }
+        merged = ShardRouter.merge(groups, answers, len(items))
+        assert merged == ["ack-0", "ack-1", "ack-2", "ack-3"]
+
+    def test_merge_length_mismatch_raises(self):
+        router = ShardRouter(2, policy="modulo")
+        groups = router.split([{"device_id": 0}, {"device_id": 2}])
+        with pytest.raises(ShardRoutingError, match="answered"):
+            ShardRouter.merge(groups, {0: ["only-one"]}, 2)

@@ -30,6 +30,7 @@ class TestExports:
         import repro.persist
         import repro.portal
         import repro.privacy
+        import repro.shard
         import repro.simulation
         import repro.store
         import repro.utils
@@ -43,6 +44,7 @@ class TestExports:
         import repro.optim
         import repro.persist
         import repro.privacy
+        import repro.shard
         import repro.simulation
 
         for module in (
@@ -54,6 +56,7 @@ class TestExports:
             repro.optim,
             repro.persist,
             repro.privacy,
+            repro.shard,
             repro.simulation,
         ):
             for name in module.__all__:
