@@ -67,7 +67,7 @@ def _scale():
     return 1600, 120
 
 
-def spawn_server(max_iterations: int):
+def spawn_server(max_iterations: int, extra: tuple = ()):
     """Launch the actual repro-serve entry point; returns (process, url)."""
     env = dict(os.environ)
     env["PYTHONPATH"] = SRC_DIR + (
@@ -79,7 +79,7 @@ def spawn_server(max_iterations: int):
          "--learning-rate-constant", str(LEARNING_RATE),
          "--projection-radius", str(PROJECTION_RADIUS),
          "--max-iterations", str(max_iterations),
-         "--port", "0"],
+         "--port", "0", *extra],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env,
     )
     line = process.stdout.readline()
@@ -133,6 +133,31 @@ def spawn_sharded_server(num_workers: int, state_dir: str,
     return process, url
 
 
+def scrape_latency_percentiles(url: str) -> dict:
+    """Per-endpoint p50/p95/p99 (ms) from a live ``/v1/metrics`` scrape.
+
+    The server must have been spawned with ``--metrics``; percentiles
+    are exact over the histogram's retention window (single process).
+    """
+    snapshot = ServiceClient(url).metrics_snapshot()
+    assert snapshot["enabled"], "scrape target was not spawned with --metrics"
+    out: dict = {}
+    for hist in snapshot["histograms"]:
+        if hist["name"] != "service_request_seconds":
+            continue
+        endpoint = hist["labels"].get("endpoint", "other")
+        if not hist["count"]:
+            continue
+        pcts = hist["percentiles"]
+        out[endpoint] = {
+            "count": hist["count"],
+            "p50_ms": round(pcts["p50"] * 1e3, 3),
+            "p95_ms": round(pcts["p95"] * 1e3, 3),
+            "p99_ms": round(pcts["p99"] * 1e3, 3),
+        }
+    return out
+
+
 def stop_server(process) -> None:
     process.send_signal(signal.SIGTERM)
     try:
@@ -175,8 +200,9 @@ def test_serve_smoke_and_throughput():
     finally:
         stop_server(process)
 
-    # Concurrent multi-client smoke on a fresh server.
-    process, url = spawn_server(max_iterations=10**7)
+    # Concurrent multi-client smoke on a fresh server — observed, so the
+    # published table carries per-endpoint latency percentiles (PR 9).
+    process, url = spawn_server(max_iterations=10**7, extra=("--metrics",))
     try:
         transport = HttpTransport(ServiceClient(url))
         failures: list[Exception] = []
@@ -213,6 +239,8 @@ def test_serve_smoke_and_throughput():
         assert status.rejected_messages == 0
         assert status.iteration == expected_rounds
         concurrent_rps = expected_rounds / max(concurrent_elapsed, 1e-9)
+        latency = scrape_latency_percentiles(url)
+        assert latency.get("checkins", {}).get("count", 0) > 0
     finally:
         stop_server(process)
 
@@ -229,6 +257,7 @@ def test_serve_smoke_and_throughput():
             "seconds": round(concurrent_elapsed, 4),
             "rounds_per_sec": round(concurrent_rps, 1),
             "server_errors": 0,
+            "latency_percentiles": latency,
         },
     }
     lines = [
@@ -241,6 +270,13 @@ def test_serve_smoke_and_throughput():
         f"{concurrent_elapsed:.2f}s = {concurrent_rps:.0f} rounds/s "
         f"(0 server errors)",
     ]
+    for endpoint in sorted(latency):
+        row = latency[endpoint]
+        lines.append(
+            f"    {endpoint:<9s}: p50 {row['p50_ms']:.2f}ms  "
+            f"p95 {row['p95_ms']:.2f}ms  p99 {row['p99_ms']:.2f}ms  "
+            f"({row['count']} requests)"
+        )
     _publish_merged("\n".join(lines), metrics)
 
 

@@ -45,6 +45,7 @@ from repro.core.protocol import (
 )
 from repro.core.stopping import StopDecision, evaluate_stopping
 from repro.models.base import Model
+from repro.obs.metrics import NULL_REGISTRY, default_size_buckets
 from repro.optim.sgd import SGD, Optimizer
 from repro.privacy.accountant import PrivacyAccountant
 from repro.utils.exceptions import ProtocolError
@@ -140,6 +141,27 @@ class ServerCore:
         # applied checkin_seq and the server iteration its ack carried.
         self._applied_seqs: Dict[int, Tuple[int, int]] = {}
         self._stop_cache: Optional[StopDecision] = None
+        self.attach_metrics(None)
+
+    def attach_metrics(self, metrics=None) -> None:
+        """(Re)bind observability instruments (:mod:`repro.obs`).
+
+        Called with ``None`` (the default state, and what ``__init__``
+        does) every instrument is a shared no-op singleton, so the
+        instrumented sites cost one no-op method call.  The serve layer
+        re-binds after construction — including after a snapshot restore,
+        which builds the core internally — so metrics never enter
+        snapshots.  Instrumented sites sit off the per-message hot path:
+        once per batch, per suppressed duplicate, per round.
+        """
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._metrics = registry
+        self._m_batches = registry.counter("core_checkin_batches_total")
+        self._m_batch_size = registry.histogram(
+            "core_checkin_batch_size", buckets=default_size_buckets()
+        )
+        self._m_duplicates = registry.counter("core_duplicates_suppressed_total")
+        self._m_stopped = registry.gauge("core_stopped")
 
     # -- state views ---------------------------------------------------- #
 
@@ -311,6 +333,8 @@ class ServerCore:
         makes the per-message re-check allocation-free.
         """
         acks: List[Optional[CheckinAck]] = []
+        self._m_batches.inc()
+        self._m_batch_size.observe(len(messages))
         num_parameters = self._model.num_parameters
         # Closed-form iteration budget: each accepted message advances t
         # by exactly one, so without a target-error rule the stop point
@@ -340,6 +364,9 @@ class ServerCore:
                 continue
             acks.append(self._apply(message))
             remaining -= 1
+        decision = self._stop_cache
+        if decision is not None:
+            self._m_stopped.set(1.0 if decision.stopped else 0.0)
         return acks
 
     def serve_round(
@@ -405,8 +432,10 @@ class ServerCore:
                 acks.append(replay)
                 continue
             acks.append(self._apply(message))
+        decision = self.stopping_decision()
+        self._m_stopped.set(1.0 if decision.stopped else 0.0)
         return RoundOutcome(
-            tuple(responses), tuple(messages), tuple(acks), self.stopping_decision()
+            tuple(responses), tuple(messages), tuple(acks), decision
         )
 
     # -- internals ------------------------------------------------------ #
@@ -426,6 +455,7 @@ class ServerCore:
         if entry is None or seq > entry[0]:
             return None
         self._duplicates_suppressed += 1
+        self._m_duplicates.inc()
         return CheckinAck(
             device_id=message.device_id,
             server_iteration=entry[1],

@@ -43,10 +43,11 @@ the batched analogue of Remark 1's keep-and-retry.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.protocol import CheckinAck, CheckinMessage
+from repro.obs.metrics import NULL_REGISTRY, default_size_buckets
 from repro.utils.exceptions import ConfigurationError
 
 #: ``upstream`` contract: list of messages in, per-message acks out
@@ -65,11 +66,20 @@ class AggregatorStats:
     size_flushes: int = 0
     deadline_flushes: int = 0
     capacity_flushes: int = 0
+    #: flushes whose upstream raised — the batch went back into gateway
+    #: custody (re-queued at the front) for the next flush to retry.
+    custody_requeues: int = 0
 
     @property
     def mean_flush_size(self) -> float:
         """Average messages per upstream batch (0 when none flushed)."""
         return self.messages_flushed / self.flushes if self.flushes else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Plain-dict view of the counters (:mod:`repro.obs` idiom)."""
+        out: Dict[str, float] = asdict(self)
+        out["mean_flush_size"] = self.mean_flush_size
+        return out
 
 
 class GatewayAggregator:
@@ -117,6 +127,7 @@ class GatewayAggregator:
         flush_deadline: Optional[float] = None,
         capacity: Optional[int] = None,
         clock: Optional[Callable[[], float]] = None,
+        metrics=None,
     ):
         if flush_size < 1:
             raise ConfigurationError(f"flush_size must be >= 1, got {flush_size}")
@@ -138,6 +149,16 @@ class GatewayAggregator:
         self._deadline_at: Optional[float] = None
         self._suspended = False
         self.stats = AggregatorStats()
+        # Per-flush instrumentation only — add() stays uninstrumented
+        # because the simulator drives it per check-in.
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_flushes = registry.counter("gateway_flushes_total")
+        self._m_flush_size = registry.histogram(
+            "gateway_flush_size", buckets=default_size_buckets()
+        )
+        self._m_custody_requeues = registry.counter(
+            "gateway_custody_requeues_total"
+        )
 
     # -- state views ---------------------------------------------------- #
 
@@ -167,6 +188,10 @@ class GatewayAggregator:
     def suspended(self) -> bool:
         """True while the upstream link is stalled (no flushing)."""
         return self._suspended
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        """Uniform plain-dict counter snapshot (:mod:`repro.obs` idiom)."""
+        return self.stats.snapshot()
 
     # -- pooling -------------------------------------------------------- #
 
@@ -224,10 +249,14 @@ class GatewayAggregator:
             self._on_acks = callbacks + self._on_acks
             if self._buffer and self._flush_deadline is not None:
                 self._deadline_at = self._clock() + self._flush_deadline
+            self.stats.custody_requeues += 1
+            self._m_custody_requeues.inc()
             raise
         self.stats.flushes += 1
         self.stats.messages_flushed += len(batch)
         self.stats.largest_flush = max(self.stats.largest_flush, len(batch))
+        self._m_flushes.inc()
+        self._m_flush_size.observe(len(batch))
         if acks is None:
             return None
         acks = list(acks)

@@ -30,7 +30,7 @@ only.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.protocol import CheckinAck, CheckinMessage, CheckoutRequest, CheckoutResponse
 from repro.gateway.aggregator import GatewayAggregator
@@ -86,6 +86,7 @@ class EdgeGateway:
         share_checkouts: bool = True,
         device_id: int = GATEWAY_DEVICE_ID,
         shard_router=None,
+        metrics=None,
     ):
         if isinstance(client_or_url, ServiceClient):
             self._client = client_or_url
@@ -107,6 +108,7 @@ class EdgeGateway:
             flush_size=flush_size,
             flush_deadline=flush_deadline,
             capacity=capacity,
+            metrics=metrics,
         )
 
     # -- state views ----------------------------------------------------- #
@@ -134,6 +136,15 @@ class EdgeGateway:
     def last_result(self) -> Optional[wire.CheckinBatchResult]:
         """The most recent batch result (server iteration + stop state)."""
         return self._last_result
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Uniform plain-dict counter snapshot (:mod:`repro.obs` idiom):
+        the gateway's own counters merged with its aggregator's."""
+        out = self.aggregator.stats_snapshot()
+        out["requests_made"] = self.requests_made
+        out["shard_splits"] = self.shard_splits
+        out["pending"] = self.aggregator.pending
+        return out
 
     # -- downlink: shared check-outs -------------------------------------- #
 

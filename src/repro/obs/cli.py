@@ -1,0 +1,188 @@
+"""``repro-obs`` — scrape, pretty-print, and diff metrics snapshots.
+
+Operates on the JSON snapshot documents every ``GET /v1/metrics``
+endpoint serves (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`)::
+
+    # live scrape (front end or worker), human-readable table
+    repro-obs show http://127.0.0.1:8900
+
+    # save a snapshot, then diff two of them (counter deltas)
+    repro-obs show http://127.0.0.1:8900 --json > before.json
+    ... traffic ...
+    repro-obs show http://127.0.0.1:8900 --json > after.json
+    repro-obs diff before.json after.json
+
+``show`` accepts a service base URL (``/v1/metrics?format=json`` is
+appended), a full metrics URL, or a path to a saved JSON snapshot;
+``diff`` accepts any two of the same and prints counters whose values
+changed plus histogram count/sum deltas — the quick "what did that
+traffic cost" question a perf PR starts with.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import urllib.request
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.obs.metrics import _label_key, render_prometheus
+
+
+def load_snapshot(source: str, timeout: float = 10.0) -> Dict[str, Any]:
+    """Load a snapshot document from a URL or a file path.
+
+    A bare service URL gets ``/v1/metrics?format=json`` appended; a URL
+    already naming ``/v1/metrics`` gets ``format=json`` ensured.
+    """
+    if source.startswith("http://") or source.startswith("https://"):
+        url = source.rstrip("/")
+        if "/v1/metrics" not in url:
+            url += "/v1/metrics?format=json"
+        elif "format=" not in url:
+            url += ("&" if "?" in url else "?") + "format=json"
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    with open(source) as handle:
+        return json.load(handle)
+
+
+def _entry_label(entry: Mapping[str, Any]) -> str:
+    labels = entry.get("labels", {})
+    if not labels:
+        return str(entry["name"])
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return f"{entry['name']}{{{inner}}}"
+
+
+def format_table(snapshot: Mapping[str, Any]) -> str:
+    """Human-readable rendering of one snapshot."""
+    lines: List[str] = [
+        f"registry: {snapshot.get('registry', '?')} "
+        f"(enabled={snapshot.get('enabled', True)})"
+    ]
+    counters = snapshot.get("counters", [])
+    if counters:
+        lines.append("")
+        lines.append("counters:")
+        width = max(len(_entry_label(e)) for e in counters)
+        for entry in sorted(counters, key=_entry_label):
+            lines.append(
+                f"  {_entry_label(entry):<{width}}  {entry['value']}"
+            )
+    gauges = snapshot.get("gauges", [])
+    if gauges:
+        lines.append("")
+        lines.append("gauges:")
+        width = max(len(_entry_label(e)) for e in gauges)
+        for entry in sorted(gauges, key=_entry_label):
+            lines.append(
+                f"  {_entry_label(entry):<{width}}  {entry['value']:g}"
+            )
+    histograms = snapshot.get("histograms", [])
+    if histograms:
+        lines.append("")
+        lines.append("histograms:  (count / mean / p50 / p95 / p99)")
+        width = max(len(_entry_label(e)) for e in histograms)
+        for entry in sorted(histograms, key=_entry_label):
+            count = entry["count"]
+            mean = entry["sum"] / count if count else 0.0
+            pcts = entry.get("percentiles", {})
+
+            def fmt(value: Optional[float]) -> str:
+                return "-" if value is None else f"{value:.6g}"
+
+            lines.append(
+                f"  {_entry_label(entry):<{width}}  {count} / {mean:.6g} / "
+                f"{fmt(pcts.get('p50'))} / {fmt(pcts.get('p95'))} / "
+                f"{fmt(pcts.get('p99'))}"
+            )
+    return "\n".join(lines)
+
+
+def _keyed(entries) -> Dict[Tuple, Dict[str, Any]]:
+    return {
+        (entry["name"], _label_key(entry.get("labels", {}))): entry
+        for entry in entries
+    }
+
+
+def format_diff(before: Mapping[str, Any], after: Mapping[str, Any]) -> str:
+    """Counter/histogram deltas between two snapshots (after − before)."""
+    lines: List[str] = []
+    before_counters = _keyed(before.get("counters", []))
+    rows = []
+    for key, entry in _keyed(after.get("counters", [])).items():
+        base = before_counters.get(key, {}).get("value", 0)
+        delta = entry["value"] - base
+        if delta:
+            rows.append((_entry_label(entry), delta))
+    if rows:
+        lines.append("counter deltas:")
+        width = max(len(label) for label, _ in rows)
+        for label, delta in sorted(rows):
+            lines.append(f"  {label:<{width}}  {delta:+d}")
+    before_hists = _keyed(before.get("histograms", []))
+    rows = []
+    for key, entry in _keyed(after.get("histograms", [])).items():
+        base = before_hists.get(key, {})
+        count_delta = entry["count"] - base.get("count", 0)
+        sum_delta = entry["sum"] - base.get("sum", 0.0)
+        if count_delta:
+            mean = sum_delta / count_delta
+            rows.append((_entry_label(entry), count_delta, mean))
+    if rows:
+        if lines:
+            lines.append("")
+        lines.append("histogram deltas:  (count / mean-of-new)")
+        width = max(len(label) for label, _, _ in rows)
+        for label, count_delta, mean in sorted(rows):
+            lines.append(f"  {label:<{width}}  {count_delta:+d} / {mean:.6g}")
+    if not lines:
+        lines.append("no counter or histogram changes")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Scrape, pretty-print, and diff /v1/metrics snapshots.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    show = sub.add_parser("show", help="print one snapshot")
+    show.add_argument("source", help="service URL or saved snapshot file")
+    group = show.add_mutually_exclusive_group()
+    group.add_argument("--json", action="store_true",
+                       help="emit the raw JSON snapshot (pipe to a file)")
+    group.add_argument("--prometheus", action="store_true",
+                       help="emit Prometheus exposition text")
+    diff = sub.add_parser("diff", help="counter/histogram deltas A -> B")
+    diff.add_argument("before", help="service URL or saved snapshot file")
+    diff.add_argument("after", help="service URL or saved snapshot file")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "show":
+            snapshot = load_snapshot(args.source)
+            if args.json:
+                print(json.dumps(snapshot, indent=2, sort_keys=True))
+            elif args.prometheus:
+                sys.stdout.write(render_prometheus(snapshot))
+            else:
+                print(format_table(snapshot))
+        else:
+            before = load_snapshot(args.before)
+            after = load_snapshot(args.after)
+            print(format_diff(before, after))
+    except (OSError, ValueError, KeyError) as error:
+        print(f"repro-obs: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,218 @@
+"""Lightweight per-request tracing: spans, phases, bounded retention.
+
+A :class:`TraceRecorder` collects one record per traced operation (an
+HTTP request, a simulator run) with named **phase** timings inside it —
+the serve path records ``decode → lock_wait → core_apply → checkpoint →
+encode``, which is exactly the latency attribution ROADMAP item 1 asks
+for before attacking the serve gap.
+
+Memory is bounded: records land in a ring buffer
+(``collections.deque(maxlen=capacity)``) — a long-lived server retains
+the newest ``capacity`` traces, never more.  With a ``trace_dir``, every
+finished record is also appended as one JSON line to
+``<trace_dir>/trace-<name>-<pid>.jsonl`` (line-buffered, so a crashed
+worker's file still ends on a complete record); per-PID filenames keep
+concurrent shard workers from interleaving writes into one file.
+
+Record schema (one JSON object per line)::
+
+    {
+      "trace": "<operation name, e.g. POST /v1/checkins>",
+      "start": <unix seconds, float>,
+      "duration_ms": <float>,
+      "status": <caller-supplied outcome, e.g. HTTP status int>,
+      "phases": {"decode": <ms>, "lock_wait": <ms>, ...}
+    }
+
+Phases not entered are simply absent.  ``duration_ms`` covers begin →
+finish; phase times need not tile it (queueing and glue are the
+remainder — that remainder is itself a finding).
+
+Disabled mode mirrors :mod:`repro.obs.metrics`: :data:`NULL_TRACER` is a
+process-wide no-op recorder whose handles are shared singletons, so
+``tracer or NULL_TRACER`` makes tracing unconditional and free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+__all__ = ["TraceRecorder", "NULL_TRACER", "NullTraceRecorder"]
+
+
+class _Phase:
+    """Context manager timing one named phase of an active trace."""
+
+    __slots__ = ("_trace", "_name", "_start")
+
+    def __init__(self, trace: "_ActiveTrace", name: str):
+        self._trace = trace
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Phase":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._trace.add_phase(
+            self._name, time.perf_counter() - self._start
+        )
+        return False
+
+
+class _ActiveTrace:
+    """One in-flight traced operation; finished exactly once."""
+
+    __slots__ = ("_recorder", "name", "_wall_start", "_start", "phases")
+
+    def __init__(self, recorder: "TraceRecorder", name: str):
+        self._recorder = recorder
+        self.name = name
+        self._wall_start = time.time()
+        self._start = time.perf_counter()
+        self.phases: List = []
+
+    def phase(self, name: str) -> _Phase:
+        """Time a named sub-span: ``with trace.phase("decode"): ...``"""
+        return _Phase(self, name)
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Record an externally timed phase (e.g. a lock wait measured
+        around an acquire that is not a ``with`` block of its own)."""
+        self.phases.append((name, seconds))
+
+    def finish(self, status: Any = None) -> None:
+        duration = time.perf_counter() - self._start
+        self._recorder._record({
+            "trace": self.name,
+            "start": self._wall_start,
+            "duration_ms": duration * 1e3,
+            "status": status,
+            "phases": {name: seconds * 1e3 for name, seconds in self.phases},
+        })
+
+
+class TraceRecorder:
+    """Bounded-memory trace sink with optional JSONL spooling.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer size: the newest ``capacity`` finished records are
+        retained for :meth:`snapshot`.
+    trace_dir:
+        When set, every finished record is appended to
+        ``trace-<name>-<pid>.jsonl`` in this directory (created if
+        missing).
+    name:
+        Distinguishes this recorder's spool file (e.g. ``shard-2``).
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        trace_dir: Optional[str] = None,
+        name: str = "serve",
+    ):
+        self.capacity = max(int(capacity), 1)
+        self.name = str(name)
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=self.capacity)
+        self.records_total = 0
+        self._path: Optional[str] = None
+        self._file = None
+        if trace_dir is not None:
+            os.makedirs(trace_dir, exist_ok=True)
+            self._path = os.path.join(
+                trace_dir, f"trace-{self.name}-{os.getpid()}.jsonl"
+            )
+            self._file = open(self._path, "a", buffering=1)
+
+    @property
+    def path(self) -> Optional[str]:
+        """The JSONL spool file, when spooling is on."""
+        return self._path
+
+    def begin(self, name: str) -> _ActiveTrace:
+        """Start tracing one operation; call ``.finish(status)`` on it."""
+        return _ActiveTrace(self, name)
+
+    def _record(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self._ring.append(record)
+            self.records_total += 1
+            if self._file is not None:
+                try:
+                    self._file.write(json.dumps(record) + "\n")
+                except (OSError, ValueError):
+                    pass  # a full/closed spool must never fail a request
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """The retained records, oldest → newest (copies)."""
+        with self._lock:
+            return [dict(record) for record in self._ring]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                try:
+                    self._file.close()
+                except OSError:
+                    pass
+                self._file = None
+
+
+class _NullPhase:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullPhase":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+class _NullTrace:
+    __slots__ = ()
+    name = "null"
+
+    def phase(self, name: str) -> _NullPhase:
+        return _NULL_PHASE
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        pass
+
+    def finish(self, status: Any = None) -> None:
+        pass
+
+
+class NullTraceRecorder:
+    """No-op recorder; its handles are shared allocation-free singletons."""
+
+    capacity = 0
+    name = "null"
+    path = None
+    records_total = 0
+
+    def begin(self, name: str) -> _NullTrace:
+        return _NULL_TRACE
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return []
+
+    def close(self) -> None:
+        pass
+
+
+_NULL_PHASE = _NullPhase()
+_NULL_TRACE = _NullTrace()
+
+#: Process-wide disabled recorder; ``tracer or NULL_TRACER`` at
+#: construction sites makes tracing unconditional and free.
+NULL_TRACER = NullTraceRecorder()

@@ -356,10 +356,27 @@ class Checkpointer:
         self.snapshots_written = 0
         self._last_iteration = -1
         self._last_time = time.monotonic()
+        self.attach_metrics(None)
+
+    def attach_metrics(self, metrics=None) -> None:
+        """(Re)bind obs instruments (no-op singletons when ``None``)."""
+        from repro.obs.metrics import NULL_REGISTRY
+
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_snapshots = registry.counter("checkpoint_snapshots_total")
+        self._m_bytes = registry.counter("checkpoint_bytes_total")
+        self._m_write_seconds = registry.histogram("checkpoint_write_seconds")
 
     def checkpoint(self, core) -> str:
         """Write a snapshot now, unconditionally; returns its path."""
+        write_start = time.perf_counter()
         path = self.store.write(snapshot_core(core))
+        self._m_write_seconds.observe(time.perf_counter() - write_start)
+        self._m_snapshots.inc()
+        try:
+            self._m_bytes.inc(os.path.getsize(path))
+        except OSError:
+            pass  # racing a prune; size accounting is best-effort
         self.snapshots_written += 1
         self._last_iteration = core.iteration
         self._last_time = time.monotonic()

@@ -172,6 +172,10 @@ class FaultyProxy:
         dict — mutations do not feed back into the proxy)."""
         return self.stats()
 
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Uniform plain-dict counter snapshot (:mod:`repro.obs` idiom)."""
+        return self.stats()
+
     def set_upstream(self, upstream_port: int, upstream_host: str = "127.0.0.1") -> None:
         """Point subsequent connections at a (restarted) upstream."""
         self._upstream = (upstream_host, int(upstream_port))

@@ -53,12 +53,24 @@ from repro.core.auth import DeviceRegistry
 from repro.core.config import ServerConfig
 from repro.core.server_core import ServerCore
 from repro.optim import paper_sgd
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceRecorder
 from repro.persist.checkpoint import Checkpointer, CheckpointPolicy, SnapshotStore
 from repro.persist.snapshot import restore_core
 from repro.registry import MODELS, SHARD_ROUTING
 from repro.serve.service import CrowdService
 from repro.serve.wire import PROTOCOL_VERSION
 from repro.utils.exceptions import ReproError
+
+
+def _build_obs(args: argparse.Namespace, name: str):
+    """Registry + tracer a parsed command line asks for (or ``None``s)."""
+    metrics = None
+    tracer = None
+    if args.metrics or args.trace_dir is not None:
+        metrics = MetricsRegistry(name=name)
+        tracer = TraceRecorder(trace_dir=args.trace_dir, name=name)
+    return metrics, tracer
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -125,6 +137,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker mode: incarnation epoch this worker "
                              "writes at; refuses to start if the state "
                              "dir's fence has already passed it")
+    parser.add_argument("--metrics", action="store_true",
+                        help="enable the in-process metrics registry; "
+                             "GET /v1/metrics serves Prometheus text "
+                             "(?format=json for the raw snapshot).  The "
+                             "endpoint always answers; without this flag "
+                             "it reports an empty disabled registry")
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="spool per-request phase traces as JSONL "
+                             "into DIR (implies request tracing; without "
+                             "it traces stay in a small in-memory ring "
+                             "only when --metrics is set)")
     return parser
 
 
@@ -205,9 +228,14 @@ def build_service(args: argparse.Namespace) -> CrowdService:
             # Prime the state dir so even a crash before the first
             # check-in resumes the exact initial task state.
             checkpointer.checkpoint(core)
+    worker_name = (
+        f"shard-{args.shard_index}" if args.shard_index is not None else "serve"
+    )
+    metrics, tracer = _build_obs(args, worker_name)
     service = CrowdService(
         core, host=args.host, port=args.port, allow_join=not args.no_join,
         checkpointer=checkpointer, shard_epoch=shard_epoch,
+        metrics=metrics, tracer=tracer,
     )
     service.resumed_from = resumed_from
     return service
@@ -244,6 +272,10 @@ def _worker_base_args(args: argparse.Namespace) -> List[str]:
         base += ["--register", str(args.register)]
     if args.no_join:
         base.append("--no-join")
+    if args.metrics:
+        base.append("--metrics")
+    if args.trace_dir is not None:
+        base += ["--trace-dir", args.trace_dir]
     return base
 
 
@@ -276,7 +308,12 @@ def run_sharded(args: argparse.Namespace) -> int:
         )
         for shard in range(args.workers)
     ]
-    supervisor = ShardSupervisor(workers)
+    # One shared registry for the parent process: the supervisor's
+    # failover counters and the front end's request metrics land in the
+    # same scrape; per-shard worker metrics arrive over HTTP and are
+    # merged in by the front end's /v1/metrics aggregation.
+    metrics, _ = _build_obs(args, "frontend")
+    supervisor = ShardSupervisor(workers, metrics=metrics)
     try:
         supervisor.start()
     except ReproError as error:
@@ -284,7 +321,8 @@ def run_sharded(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     router = ShardRouter(args.workers, policy=args.shard_policy)
-    frontend = ShardFrontEnd(router, supervisor, host=args.host, port=args.port)
+    frontend = ShardFrontEnd(router, supervisor, host=args.host, port=args.port,
+                             metrics=metrics)
     print(f"serving on {frontend.url}", flush=True)
     print(
         f"sharded tier: {args.workers} workers policy={args.shard_policy} "

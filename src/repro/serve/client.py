@@ -40,13 +40,15 @@ ledger answers the replay with the original ack) — which is exactly what
 from __future__ import annotations
 
 import http.client
+import json
 import random
 import threading
 import time
-from typing import Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 from urllib.parse import urlparse
 
 from repro.core.protocol import CheckinMessage, CheckoutRequest, CheckoutResponse
+from repro.obs.metrics import NULL_REGISTRY
 from repro.serve import wire
 from repro.utils.exceptions import AuthenticationError, ProtocolError
 
@@ -144,6 +146,7 @@ class ServiceClient:
         backoff_max: float = 2.0,
         jitter: float = 0.25,
         retry_rng=None,
+        metrics=None,
     ):
         self._base_url = str(base_url).rstrip("/")
         parsed = urlparse(self._base_url)
@@ -172,6 +175,11 @@ class ServiceClient:
         self.connections_opened = 0
         self.reconnects = 0
         self.retries_used = 0
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._m_requests = registry.counter("client_requests_total")
+        self._m_connections = registry.counter("client_connections_opened_total")
+        self._m_reconnects = registry.counter("client_reconnects_total")
+        self._m_retries = registry.counter("client_retries_total")
 
     @property
     def base_url(self) -> str:
@@ -201,6 +209,7 @@ class ServiceClient:
         self._local.conn = conn
         with self._counter_lock:
             self.connections_opened += 1
+        self._m_connections.inc()
         return conn, False
 
     def _discard(self) -> None:
@@ -231,6 +240,7 @@ class ServiceClient:
             self._discard()
         with self._counter_lock:
             self.requests_sent += 1
+        self._m_requests.inc()
         return response.status, data
 
     def _call_once(self, method: str, path: str, body: Optional[bytes]) -> bytes:
@@ -251,6 +261,7 @@ class ServiceClient:
             # fresh connection, transparently.
             with self._counter_lock:
                 self.reconnects += 1
+            self._m_reconnects.inc()
             conn, _ = self._connection()
             try:
                 status, data = self._roundtrip(conn, method, path, body)
@@ -287,6 +298,7 @@ class ServiceClient:
                     raise
             with self._counter_lock:
                 self.retries_used += 1
+            self._m_retries.inc()
             time.sleep(delay * (1.0 + self._jitter * self._rng.random()))
             delay = min(delay * 2.0, self._backoff_max)
         raise AssertionError("unreachable")  # pragma: no cover
@@ -337,3 +349,23 @@ class ServiceClient:
         if include_parameters:
             path += "?parameters=1"
         return wire.decode_status(self._call("GET", path))
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Scrape the remote ``GET /v1/metrics?format=json`` document."""
+        raw = self._call("GET", "/v1/metrics?format=json")
+        return json.loads(raw.decode("utf-8"))
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Uniform plain-dict counter snapshot (:mod:`repro.obs` idiom)."""
+        with self._counter_lock:
+            requests = self.requests_sent
+            connections = self.connections_opened
+            reconnects = self.reconnects
+            retries = self.retries_used
+        return {
+            "requests_sent": requests,
+            "connections_opened": connections,
+            "reconnects": reconnects,
+            "retries_used": retries,
+            "reuse_ratio": requests / connections if connections else 0.0,
+        }

@@ -8,12 +8,24 @@ serialized through a single lock — :class:`ServerCore` is a plain state
 machine, so the lock *is* the arrival order, exactly like the event
 queue's delivery order in simulation.
 
-Routes (all bodies are :mod:`repro.serve.wire` envelopes)::
+Routes (all bodies are :mod:`repro.serve.wire` envelopes except
+``/v1/metrics``, which serves Prometheus text or a plain JSON snapshot
+document)::
 
     POST /v1/join       enroll a device, returns its token (optional)
     POST /v1/checkout   Server Routine 1 — current parameters
     POST /v1/checkins   batch-native check-in → ServerCore.handle_checkins
     GET  /v1/status     counters + stopping state (?parameters=1 for w)
+    GET  /v1/metrics    obs registry scrape (?format=json for the doc)
+
+Observability (:mod:`repro.obs`) is opt-in: pass a
+:class:`~repro.obs.metrics.MetricsRegistry` and/or
+:class:`~repro.obs.trace.TraceRecorder` and every request is counted
+and latency-bucketed per endpoint, lock waits are measured, and the
+check-in path is phase-traced (decode → lock_wait → core_apply →
+checkpoint → encode).  Without them the same call sites hit shared
+no-op singletons, and ``GET /v1/metrics`` still answers 200 with an
+``enabled: false`` document.
 
 Malformed, version-mismatched, unauthenticated, or stale (task already
 stopped) requests are answered with 4xx ``error`` envelopes; no request,
@@ -24,6 +36,8 @@ while the service keeps serving.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -31,11 +45,25 @@ from typing import Dict, Optional
 from urllib.parse import parse_qs, urlparse
 
 from repro.core.server_core import ServerCore
+from repro.obs.metrics import NULL_REGISTRY, render_prometheus
+from repro.obs.trace import NULL_TRACER
 from repro.serve import wire
 from repro.utils.exceptions import AuthenticationError, ProtocolError
 
 #: Requests with a larger declared body are refused outright (413).
 MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Metric label values for the per-endpoint series (fixed set, so label
+#: cardinality is bounded whatever clients request).
+_ENDPOINTS = ("join", "checkout", "checkins", "status", "metrics", "other")
+
+_ROUTE_ENDPOINTS = {
+    "/v1/join": "join",
+    "/v1/checkout": "checkout",
+    "/v1/checkins": "checkins",
+    "/v1/status": "status",
+    "/v1/metrics": "metrics",
+}
 
 
 class CrowdService:
@@ -92,11 +120,41 @@ class CrowdService:
         allow_join: bool = True,
         checkpointer=None,
         shard_epoch: Optional[int] = None,
+        metrics=None,
+        tracer=None,
     ):
         self._core = core
         self._allow_join = bool(allow_join)
         self._checkpointer = checkpointer
         self._shard_epoch = -1 if shard_epoch is None else int(shard_epoch)
+        self._metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._started_at = time.time()
+        if metrics is not None:
+            # The service owns all access to the core (and drives the
+            # checkpointer), so it is the natural place to (re)bind
+            # their instruments into the shared registry.
+            core.attach_metrics(metrics)
+            if checkpointer is not None:
+                checkpointer.attach_metrics(metrics)
+        registry = self._metrics
+        self._m_requests = {
+            endpoint: registry.counter("service_requests_total", endpoint=endpoint)
+            for endpoint in _ENDPOINTS
+        }
+        self._m_errors = {
+            endpoint: registry.counter("service_errors_total", endpoint=endpoint)
+            for endpoint in _ENDPOINTS
+        }
+        self._m_latency = {
+            endpoint: registry.histogram(
+                "service_request_seconds", endpoint=endpoint
+            )
+            for endpoint in _ENDPOINTS
+        }
+        self._m_lock_wait = registry.histogram("service_lock_wait_seconds")
+        self._m_lock_wait_last = registry.gauge("service_last_lock_wait_seconds")
+        self._m_inflight = registry.gauge("service_inflight_requests")
         self._lock = threading.Lock()
         self._counter_lock = threading.Lock()
         self._idle = threading.Condition(self._counter_lock)
@@ -226,9 +284,11 @@ class CrowdService:
         """Route one request; every exit path sends exactly one response."""
         with self._idle:
             self._inflight += 1
+        self._m_inflight.inc()
         try:
             self._dispatch_inner(handler, method)
         finally:
+            self._m_inflight.dec()
             with self._idle:
                 self._inflight -= 1
                 if self._inflight == 0:
@@ -236,8 +296,16 @@ class CrowdService:
 
     def _dispatch_inner(self, handler: BaseHTTPRequestHandler, method: str) -> None:
         code = None
+        content_type = "application/json"
+        parsed = urlparse(handler.path)
+        endpoint = _ROUTE_ENDPOINTS.get(parsed.path, "other")
+        trace = self._tracer.begin(f"{method} {parsed.path}")
+        start = time.perf_counter()
         try:
-            status, payload = self._handle(handler, method)
+            result = self._handle(handler, method, parsed, trace)
+            status, payload = result[0], result[1]
+            if len(result) > 2:
+                content_type = result[2]
         except wire.WireError as error:
             code = error.code
             status, payload = error.http_status, wire.encode_error(code, str(error))
@@ -260,27 +328,34 @@ class CrowdService:
             # kept-alive connection the unread bytes would be parsed as
             # the next request line, so close instead of desyncing.
             handler.close_connection = True
-        self._send(handler, status, payload)
+        self._send(handler, status, payload, content_type)
+        elapsed = time.perf_counter() - start
         with self._counter_lock:
             self.requests_served += 1
             if code is not None:
                 self.errors_returned[code] = self.errors_returned.get(code, 0) + 1
+        self._m_requests[endpoint].inc()
+        if code is not None:
+            self._m_errors[endpoint].inc()
+        self._m_latency[endpoint].observe(elapsed)
+        trace.finish(status)
 
-    def _handle(self, handler: BaseHTTPRequestHandler, method: str):
-        parsed = urlparse(handler.path)
+    def _handle(self, handler: BaseHTTPRequestHandler, method: str, parsed, trace):
         route = (method, parsed.path)
         if route == ("POST", "/v1/join"):
-            return self._handle_join(self._read_body(handler))
+            return self._handle_join(self._read_body(handler), trace)
         if route == ("POST", "/v1/checkout"):
-            return self._handle_checkout(self._read_body(handler))
+            return self._handle_checkout(self._read_body(handler), trace)
         if route == ("POST", "/v1/checkins"):
-            return self._handle_checkins(self._read_body(handler))
+            return self._handle_checkins(self._read_body(handler), trace)
         if route == ("GET", "/v1/status"):
             query = parse_qs(parsed.query)
             include = query.get("parameters", ["0"])[-1] not in ("", "0", "false")
-            return self._handle_status(include)
-        known_paths = {"/v1/join", "/v1/checkout", "/v1/checkins", "/v1/status"}
-        if parsed.path in known_paths:
+            return self._handle_status(include, trace)
+        if route == ("GET", "/v1/metrics"):
+            query = parse_qs(parsed.query)
+            return self._handle_metrics(query.get("format", ["text"])[-1])
+        if parsed.path in _ROUTE_ENDPOINTS:
             raise wire.WireError(
                 wire.ErrorCode.METHOD_NOT_ALLOWED,
                 f"{method} not supported on {parsed.path}",
@@ -301,11 +376,17 @@ class CrowdService:
             )
         return handler.rfile.read(length)
 
-    def _send(self, handler: BaseHTTPRequestHandler, status: int, payload: str) -> None:
+    def _send(
+        self,
+        handler: BaseHTTPRequestHandler,
+        status: int,
+        payload: str,
+        content_type: str = "application/json",
+    ) -> None:
         body = payload.encode("utf-8")
         try:
             handler.send_response(status)
-            handler.send_header("Content-Type", "application/json")
+            handler.send_header("Content-Type", content_type)
             handler.send_header("Content-Length", str(len(body)))
             handler.end_headers()
             handler.wfile.write(body)
@@ -314,22 +395,40 @@ class CrowdService:
 
     # -- route handlers (hold the core lock) ---------------------------- #
 
-    def _handle_join(self, raw: bytes):
-        device_id = wire.decode_join_request(raw)
+    def _acquire_core_lock(self, trace):
+        """Acquire the core lock, recording how long the caller waited."""
+        wait_start = time.perf_counter()
+        self._lock.acquire()
+        waited = time.perf_counter() - wait_start
+        self._m_lock_wait.observe(waited)
+        self._m_lock_wait_last.set(waited)
+        trace.add_phase("lock_wait", waited)
+
+    def _handle_join(self, raw: bytes, trace):
+        with trace.phase("decode"):
+            device_id = wire.decode_join_request(raw)
         if not self._allow_join:
             raise AuthenticationError("join is disabled on this service")
-        with self._lock:
+        self._acquire_core_lock(trace)
+        try:
             token = self._core.register_device(device_id)
             last_seq = self._core.applied_checkin_seq(device_id)
             if self._checkpointer is not None:
                 # Unconditional: a token handed out must survive a crash,
                 # or the device's traffic is rejected after resume.
-                self._checkpointer.checkpoint(self._core)
-        return 200, wire.encode_join_response(device_id, token, last_seq)
+                with trace.phase("checkpoint"):
+                    self._checkpointer.checkpoint(self._core)
+        finally:
+            self._lock.release()
+        with trace.phase("encode"):
+            payload = wire.encode_join_response(device_id, token, last_seq)
+        return 200, payload
 
-    def _handle_checkout(self, raw: bytes):
-        request = wire.decode_checkout_request(raw)
-        with self._lock:
+    def _handle_checkout(self, raw: bytes, trace):
+        with trace.phase("decode"):
+            request = wire.decode_checkout_request(raw)
+        self._acquire_core_lock(trace)
+        try:
             if self._core.stopped:
                 raise wire.WireError(
                     wire.ErrorCode.STOPPED,
@@ -350,14 +449,20 @@ class CrowdService:
                     wire.encode_parameters_fragment(response.parameters),
                 )
                 self._encoded_parameters = cached
-        return 200, wire.encode_checkout_response_cached(
-            response.device_id, cached[1], response.server_iteration,
-            response.issued_time,
-        )
+        finally:
+            self._lock.release()
+        with trace.phase("encode"):
+            payload = wire.encode_checkout_response_cached(
+                response.device_id, cached[1], response.server_iteration,
+                response.issued_time,
+            )
+        return 200, payload
 
-    def _handle_checkins(self, raw: bytes):
-        messages = wire.decode_checkin_batch(raw)
-        with self._lock:
+    def _handle_checkins(self, raw: bytes, trace):
+        with trace.phase("decode"):
+            messages = wire.decode_checkin_batch(raw)
+        self._acquire_core_lock(trace)
+        try:
             if self._core.stopped:
                 # Stale traffic: the whole batch arrived after the task
                 # ended — single-message wire semantics (409), so remote
@@ -366,18 +471,25 @@ class CrowdService:
                     wire.ErrorCode.STOPPED,
                     "task has stopped; no further check-ins",
                 )
-            acks = self._core.handle_checkins(messages)
-            iteration = self._core.iteration
-            stop = self._core.stopping_decision()
+            with trace.phase("core_apply"):
+                acks = self._core.handle_checkins(messages)
+                iteration = self._core.iteration
+                stop = self._core.stopping_decision()
             if self._checkpointer is not None:
                 # Write-ahead: durable before the ack leaves the server.
-                self._checkpointer.after_update(self._core)
-        return 200, wire.encode_checkin_result(
-            acks, iteration, stop, epoch=self._shard_epoch
-        )
+                with trace.phase("checkpoint"):
+                    self._checkpointer.after_update(self._core)
+        finally:
+            self._lock.release()
+        with trace.phase("encode"):
+            payload = wire.encode_checkin_result(
+                acks, iteration, stop, epoch=self._shard_epoch
+            )
+        return 200, payload
 
-    def _handle_status(self, include_parameters: bool):
-        with self._lock:
+    def _handle_status(self, include_parameters: bool, trace):
+        self._acquire_core_lock(trace)
+        try:
             payload = wire.encode_status(
                 iteration=self._core.iteration,
                 stop=self._core.stopping_decision(),
@@ -388,5 +500,45 @@ class CrowdService:
                 duplicates_suppressed=self._core.duplicates_suppressed,
                 parameters=self._core.parameters if include_parameters else None,
                 epoch=self._shard_epoch,
+                uptime_seconds=time.time() - self._started_at,
+                pid=os.getpid(),
             )
+        finally:
+            self._lock.release()
         return 200, payload
+
+    def _handle_metrics(self, fmt: str):
+        snapshot = self.metrics_snapshot()
+        if fmt == "json":
+            return 200, json.dumps(snapshot, sort_keys=True), "application/json"
+        return 200, render_prometheus(snapshot), "text/plain; version=0.0.4"
+
+    # -- observability views -------------------------------------------- #
+
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The registry's snapshot document, with scrape-time gauges.
+
+        Core counters are mirrored into gauges at scrape time (plain-int
+        reads, no lock needed for monitoring) so a scrape sees protocol
+        state without a separate ``/v1/status`` round trip.
+        """
+        registry = self._metrics
+        registry.gauge("core_iteration").set(self._core.iteration)
+        registry.gauge("core_checkouts_served").set(self._core.checkouts_served)
+        registry.gauge("core_rejected_messages").set(self._core.rejected_messages)
+        registry.gauge("core_duplicates_suppressed").set(
+            self._core.duplicates_suppressed
+        )
+        registry.gauge("service_uptime_seconds").set(
+            time.time() - self._started_at
+        )
+        return registry.snapshot()
+
+    def stats_snapshot(self) -> Dict[str, object]:
+        """Uniform plain-dict counter snapshot (:mod:`repro.obs` idiom)."""
+        with self._counter_lock:
+            return {
+                "requests_served": self.requests_served,
+                "errors_returned": dict(self.errors_returned),
+                "total_errors": sum(self.errors_returned.values()),
+            }

@@ -180,6 +180,11 @@ class ServiceStatus:
     #: Per-shard detail rows from an aggregating front end (``None`` on
     #: a plain worker status).
     shards: Optional[Tuple[Dict[str, Any], ...]] = None
+    #: Seconds since this process started serving (``None`` on statuses
+    #: from services predating the field).
+    uptime_seconds: Optional[float] = None
+    #: Serving process's PID — distinguishes incarnations after failover.
+    pid: Optional[int] = None
 
     @property
     def stop_decision(self) -> StopDecision:
@@ -473,6 +478,8 @@ def encode_status(
     parameters: Optional[np.ndarray] = None,
     epoch: int = -1,
     shards: Optional[Sequence[Dict[str, Any]]] = None,
+    uptime_seconds: Optional[float] = None,
+    pid: Optional[int] = None,
 ) -> str:
     body: Dict[str, Any] = {
         "protocol_version": PROTOCOL_VERSION,
@@ -491,6 +498,10 @@ def encode_status(
         body["epoch"] = int(epoch)
     if shards is not None:
         body["shards"] = [dict(entry) for entry in shards]
+    if uptime_seconds is not None:
+        body["uptime_seconds"] = float(uptime_seconds)
+    if pid is not None:
+        body["pid"] = int(pid)
     return encode_envelope("status", body)
 
 
@@ -522,6 +533,11 @@ def decode_status(raw: Union[str, bytes]) -> ServiceStatus:
             parameters=parameters,
             epoch=int(body.get("epoch", -1)),
             shards=shards,
+            uptime_seconds=(
+                float(body["uptime_seconds"])
+                if body.get("uptime_seconds") is not None else None
+            ),
+            pid=int(body["pid"]) if body.get("pid") is not None else None,
         )
         StopReason(status.stop_reason)
     except (KeyError, TypeError, ValueError) as error:

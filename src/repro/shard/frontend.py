@@ -40,6 +40,7 @@ its original acks, so nothing double-applies.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -48,11 +49,27 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.core.sharding import ShardMergeError, merge_status_counts
 from repro.core.stopping import StopDecision, StopReason
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    label_snapshot,
+    merge_snapshots,
+    render_prometheus,
+)
 from repro.serve import wire
 from repro.serve.client import RemoteServiceError, ServiceClient
 from repro.serve.service import MAX_BODY_BYTES
 from repro.shard.routing import ShardRouter
 from repro.utils.exceptions import AuthenticationError, ProtocolError
+
+
+#: Metric label values for the front end's per-endpoint series.
+_FRONTEND_ENDPOINTS = {
+    "/v1/join": "join",
+    "/v1/checkout": "checkout",
+    "/v1/checkins": "checkins",
+    "/v1/status": "status",
+    "/v1/metrics": "metrics",
+}
 
 
 class StaticEndpoints:
@@ -117,12 +134,43 @@ class ShardFrontEnd:
         worker_timeout: float = 30.0,
         worker_retries: int = 2,
         worker_backoff: float = 0.05,
+        metrics=None,
     ):
         self._router = router
         self._resolver = endpoints
         self._worker_timeout = float(worker_timeout)
         self._worker_retries = int(worker_retries)
         self._worker_backoff = float(worker_backoff)
+        self._started_at = time.time()
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._metrics = registry
+        endpoints_labels = ("join", "checkout", "checkins", "status",
+                            "metrics", "other")
+        self._m_requests = {
+            name: registry.counter("frontend_requests_total", endpoint=name)
+            for name in endpoints_labels
+        }
+        self._m_errors = {
+            name: registry.counter("frontend_errors_total", endpoint=name)
+            for name in endpoints_labels
+        }
+        self._m_latency = {
+            name: registry.histogram("frontend_request_seconds", endpoint=name)
+            for name in endpoints_labels
+        }
+        self._m_shard_requests = {
+            shard: registry.counter(
+                "frontend_shard_requests_total", shard=str(shard)
+            )
+            for shard in range(router.num_shards)
+        }
+        self._m_split_batches = registry.counter("frontend_split_batches_total")
+        self._m_stale_epoch = registry.counter(
+            "frontend_stale_epoch_rejections_total"
+        )
+        self._m_scrape_failures = registry.counter(
+            "frontend_metrics_scrape_failures_total"
+        )
         self._clients: Dict[str, ServiceClient] = {}
         self._clients_lock = threading.Lock()
         self._counter_lock = threading.Lock()
@@ -233,8 +281,15 @@ class ShardFrontEnd:
 
     def _dispatch_inner(self, handler: BaseHTTPRequestHandler, method: str) -> None:
         code = None
+        content_type = "application/json"
+        parsed = urlparse(handler.path)
+        endpoint = _FRONTEND_ENDPOINTS.get(parsed.path, "other")
+        start = time.perf_counter()
         try:
-            status, payload = self._handle(handler, method)
+            result = self._handle(handler, method, parsed)
+            status, payload = result[0], result[1]
+            if len(result) > 2:
+                content_type = result[2]
         except wire.WireError as error:
             code = error.code
             status, payload = error.http_status, wire.encode_error(code, str(error))
@@ -251,14 +306,18 @@ class ShardFrontEnd:
             )
         if code is not None:
             handler.close_connection = True
-        self._send(handler, status, payload)
+        self._send(handler, status, payload, content_type)
+        elapsed = time.perf_counter() - start
         with self._counter_lock:
             self.requests_served += 1
             if code is not None:
                 self.errors_returned[code] = self.errors_returned.get(code, 0) + 1
+        self._m_requests[endpoint].inc()
+        if code is not None:
+            self._m_errors[endpoint].inc()
+        self._m_latency[endpoint].observe(elapsed)
 
-    def _handle(self, handler: BaseHTTPRequestHandler, method: str):
-        parsed = urlparse(handler.path)
+    def _handle(self, handler: BaseHTTPRequestHandler, method: str, parsed):
         route = (method, parsed.path)
         if route == ("POST", "/v1/join"):
             return self._handle_routed(self._read_body(handler), "join_request",
@@ -270,8 +329,10 @@ class ShardFrontEnd:
             return self._handle_checkins(self._read_body(handler))
         if route == ("GET", "/v1/status"):
             return self._handle_status(parse_qs(parsed.query))
-        known_paths = {"/v1/join", "/v1/checkout", "/v1/checkins", "/v1/status"}
-        if parsed.path in known_paths:
+        if route == ("GET", "/v1/metrics"):
+            query = parse_qs(parsed.query)
+            return self._handle_metrics(query.get("format", ["text"])[-1])
+        if parsed.path in _FRONTEND_ENDPOINTS:
             raise wire.WireError(
                 wire.ErrorCode.METHOD_NOT_ALLOWED,
                 f"{method} not supported on {parsed.path}",
@@ -292,11 +353,17 @@ class ShardFrontEnd:
             )
         return handler.rfile.read(length)
 
-    def _send(self, handler: BaseHTTPRequestHandler, status: int, payload: str) -> None:
+    def _send(
+        self,
+        handler: BaseHTTPRequestHandler,
+        status: int,
+        payload: str,
+        content_type: str = "application/json",
+    ) -> None:
         body = payload.encode("utf-8")
         try:
             handler.send_response(status)
-            handler.send_header("Content-Type", "application/json")
+            handler.send_header("Content-Type", content_type)
             handler.send_header("Content-Length", str(len(body)))
             handler.end_headers()
             handler.wfile.write(body)
@@ -331,6 +398,7 @@ class ShardFrontEnd:
     def _forward(self, shard: int, method: str, path: str,
                  body: Optional[bytes]) -> bytes:
         url, _ = self._endpoint(shard)
+        self._m_shard_requests[shard].inc()
         try:
             return self._client_for(url).call_raw(method, path, body)
         except RemoteServiceError as error:
@@ -367,6 +435,7 @@ class ShardFrontEnd:
         if isinstance(answered, int) and 0 <= answered < expected:
             with self._counter_lock:
                 self.stale_epoch_rejections += 1
+            self._m_stale_epoch.inc()
             raise wire.WireError(
                 wire.ErrorCode.UNAVAILABLE,
                 f"shard {shard} answered from fenced epoch {answered} "
@@ -430,6 +499,7 @@ class ShardFrontEnd:
     ) -> str:
         with self._counter_lock:
             self.split_batches += 1
+        self._m_split_batches.inc()
         answers: Dict[int, List[Optional[Dict[str, Any]]]] = {}
         iteration_total = 0
         stopped_flags: List[bool] = []
@@ -537,13 +607,21 @@ class ShardFrontEnd:
                 "num_parameters": status.num_parameters,
                 "duplicates_suppressed": status.duplicates_suppressed,
             })
-            rows.append({
+            row: Dict[str, Any] = {
                 "shard": shard,
                 "url": url,
                 "epoch": status.epoch if status.epoch >= 0 else epoch,
                 "iteration": status.iteration,
                 "stopped": status.stopped,
-            })
+            }
+            # Incarnation identity (PR 9): a failover changes the pid
+            # and zeroes the uptime, so operators can tell replacements
+            # apart even when the shard kept its port.
+            if status.uptime_seconds is not None:
+                row["uptime_seconds"] = status.uptime_seconds
+            if status.pid is not None:
+                row["pid"] = status.pid
+            rows.append(row)
         try:
             merged = merge_status_counts(counts)
         except ShardMergeError as error:
@@ -559,7 +637,58 @@ class ShardFrontEnd:
             num_parameters=merged["num_parameters"],
             duplicates_suppressed=merged["duplicates_suppressed"],
             shards=rows,
+            uptime_seconds=time.time() - self._started_at,
+            pid=os.getpid(),
         )
+
+    # -- observability ---------------------------------------------------- #
+
+    def _handle_metrics(self, fmt: str):
+        snapshot = self.metrics_snapshot()
+        if fmt == "json":
+            return 200, json.dumps(snapshot, sort_keys=True), "application/json"
+        return 200, render_prometheus(snapshot), "text/plain; version=0.0.4"
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Aggregate scrape: every shard's registry plus the front end's.
+
+        Each worker's ``/v1/metrics?format=json`` document is tagged
+        with its shard index (:func:`~repro.obs.metrics.label_snapshot`)
+        and merged — counters add, histograms add bucket-wise — so one
+        scrape of the front end answers both per-shard and tier-wide
+        questions.  An unreachable worker is skipped and counted
+        (``frontend_metrics_scrape_failures_total``); the scrape itself
+        always succeeds.
+        """
+        self._metrics.gauge("frontend_uptime_seconds").set(
+            time.time() - self._started_at
+        )
+        snapshots = [self._metrics.snapshot()]
+        table = self._resolver.endpoints()
+        for shard in sorted(table):
+            url, _ = table[shard]
+            try:
+                scraped = self._client_for(url).metrics_snapshot()
+            except Exception:  # noqa: BLE001 - a scrape never fails the tier
+                self._m_scrape_failures.inc()
+                continue
+            if not scraped.get("enabled", False):
+                continue
+            snapshots.append(label_snapshot(scraped, shard=str(shard)))
+        merged = merge_snapshots(snapshots)
+        merged["enabled"] = bool(self._metrics.enabled) or len(snapshots) > 1
+        return merged
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Uniform plain-dict counter snapshot (:mod:`repro.obs` idiom)."""
+        with self._counter_lock:
+            return {
+                "requests_served": self.requests_served,
+                "errors_returned": dict(self.errors_returned),
+                "total_errors": sum(self.errors_returned.values()),
+                "split_batches": self.split_batches,
+                "stale_epoch_rejections": self.stale_epoch_rejections,
+            }
 
 
 __all__ = ["ShardFrontEnd", "StaticEndpoints"]

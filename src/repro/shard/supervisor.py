@@ -36,6 +36,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import NULL_REGISTRY
 from repro.persist.checkpoint import SnapshotStore
 from repro.serve.client import ServiceClient
 from repro.shard.worker import ShardWorker, WorkerSpawnError
@@ -87,6 +88,7 @@ class ShardSupervisor:
         spawn_attempts: int = 3,
         spawn_backoff: float = 0.2,
         kill_zombies: bool = True,
+        metrics=None,
     ):
         if not workers:
             raise ValueError("a supervisor needs at least one worker")
@@ -114,6 +116,19 @@ class ShardSupervisor:
             "sibling_failovers": 0,
             "heartbeat_misses": 0,
         }
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._metrics = registry
+        self._m_stats = {
+            key: registry.counter(f"shard_supervisor_{key}_total")
+            for key in self._stats
+        }
+        self._m_heartbeat_seconds = registry.histogram(
+            "shard_supervisor_heartbeat_seconds"
+        )
+        self._m_fence_epochs = {
+            shard: registry.gauge("shard_fence_epoch", shard=str(shard))
+            for shard in range(len(self.workers))
+        }
 
     # -- lifecycle ------------------------------------------------------- #
 
@@ -129,6 +144,7 @@ class ShardSupervisor:
         try:
             for shard, worker in enumerate(self.workers):
                 epoch = SnapshotStore(worker.shard_dir).advance_fence()
+                self._m_fence_epochs[shard].set(epoch)
                 url = self._spawn_with_retry(worker, epoch, _free_port())
                 self._set_endpoint(shard, url, epoch)
         except WorkerSpawnError:
@@ -193,9 +209,14 @@ class ShardSupervisor:
         with self._stats_lock:
             return dict(self._stats)
 
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Uniform plain-dict counter snapshot (:mod:`repro.obs` idiom)."""
+        return self.stats()
+
     def _bump(self, key: str, by: int = 1) -> None:
         with self._stats_lock:
             self._stats[key] += by
+        self._m_stats[key].inc(by)
 
     # -- failover -------------------------------------------------------- #
 
@@ -219,6 +240,7 @@ class ShardSupervisor:
             # replacement restores is the newest state that can ever
             # exist for the old incarnation.
             epoch = SnapshotStore(worker.shard_dir).advance_fence()
+            self._m_fence_epochs[shard].set(epoch)
             if worker.alive:
                 if self.kill_zombies:
                     worker.sigkill()
@@ -286,7 +308,11 @@ class ShardSupervisor:
             self.failover(shard, reason="unrouted")
             return
         try:
+            heartbeat_start = time.perf_counter()
             self._heartbeat_client(shard, endpoint[0]).status()
+            self._m_heartbeat_seconds.observe(
+                time.perf_counter() - heartbeat_start
+            )
         except Exception:  # noqa: BLE001 - any probe failure is a miss
             self._misses[shard] += 1
             self._bump("heartbeat_misses")

@@ -57,6 +57,7 @@ How the round trip itself executes depends on the transport
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -78,6 +79,7 @@ from repro.network.transport import (
     SimulatedTransport,
     Transport,
 )
+from repro.obs.metrics import NULL_REGISTRY
 from repro.optim import paper_sgd
 from repro.privacy.budget import split_budget
 from repro.simulation.config import SimulationConfig
@@ -154,7 +156,9 @@ class CrowdSimulator:
         test_dataset: Dataset,
         config: SimulationConfig,
         seed: int = 0,
+        metrics=None,
     ):
+        setup_start = time.perf_counter()
         if len(device_datasets) != config.num_devices:
             raise ConfigurationError(
                 f"got {len(device_datasets)} device datasets for "
@@ -263,6 +267,12 @@ class CrowdSimulator:
         self._on_request_handler = self._on_request_arrival
         self._on_checkout_handler = self._on_checkout_arrival
         self._on_checkin_handler = self._on_checkin_arrival
+        # Obs instrumentation lives only at run boundaries (setup /
+        # event-loop / finalize phase timings, whole-run totals) — the
+        # per-event and per-sample hot paths are untouched, keeping
+        # enabled-mode overhead within the benchmark gate.
+        self._metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._setup_seconds = time.perf_counter() - setup_start
 
     @property
     def server(self) -> Optional[CrowdMLServer]:
@@ -740,6 +750,7 @@ class CrowdSimulator:
 
     def run(self) -> RunTrace:
         """Execute the simulation to completion and return its trace."""
+        loop_start = time.perf_counter()
         for actor in self._actors:
             self._schedule_trigger(actor)
         while True:
@@ -755,6 +766,9 @@ class CrowdSimulator:
                 break
             if not self._gateway.drain_stranded():
                 break
+
+        loop_seconds = time.perf_counter() - loop_start
+        finalize_start = time.perf_counter()
 
         if self._stopped_reason is None:
             self._stopped_reason = "data_exhausted"
@@ -794,6 +808,23 @@ class CrowdSimulator:
             # drops — edge-hop losses and capacity overflow — are
             # already counted on the device links above).
             self._comm.messages_dropped += self._gateway.checkins_lost
+
+        # Run-boundary metrics: one counter bump and a few gauge writes
+        # per run, never per event.
+        metrics = self._metrics
+        metrics.counter("sim_runs_total").inc()
+        metrics.counter("sim_events_total").inc(self._queue.fired)
+        metrics.counter("sim_samples_total").inc(self._samples_consumed)
+        metrics.gauge("sim_setup_seconds").set(self._setup_seconds)
+        metrics.gauge("sim_event_loop_seconds").set(loop_seconds)
+        metrics.gauge("sim_finalize_seconds").set(
+            time.perf_counter() - finalize_start
+        )
+        if self._samples_consumed:
+            metrics.gauge("sim_events_per_sample").set(
+                self._queue.fired / self._samples_consumed
+            )
+
         return RunTrace(
             curve=curve,
             online_errors=online,

@@ -1,0 +1,105 @@
+"""``repro-obs`` CLI: show (table/json/prometheus) and diff."""
+
+import json
+
+import pytest
+
+from repro.obs import cli
+from repro.obs.metrics import MetricsRegistry
+
+
+def snapshot_file(tmp_path, name, counter_value, observations=()):
+    registry = MetricsRegistry(name)
+    registry.counter("requests_total", endpoint="checkins").inc(counter_value)
+    hist = registry.histogram("latency", buckets=(1.0, 2.0, 4.0))
+    for value in observations:
+        hist.observe(value)
+    path = tmp_path / f"{name}.json"
+    path.write_text(registry.render_json())
+    return str(path)
+
+
+class TestLoadSnapshot:
+    def test_loads_file(self, tmp_path):
+        path = snapshot_file(tmp_path, "a", 3)
+        snapshot = cli.load_snapshot(path)
+        assert snapshot["registry"] == "a"
+
+    def test_bare_url_gets_metrics_path(self, monkeypatch):
+        seen = {}
+
+        class _Response:
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def read(self):
+                return b'{"enabled": true}'
+
+        def fake_urlopen(url, timeout=10.0):
+            seen["url"] = url
+            return _Response()
+
+        monkeypatch.setattr(cli.urllib.request, "urlopen", fake_urlopen)
+        cli.load_snapshot("http://127.0.0.1:1/")
+        assert seen["url"] == "http://127.0.0.1:1/v1/metrics?format=json"
+        cli.load_snapshot("http://127.0.0.1:1/v1/metrics")
+        assert seen["url"] == "http://127.0.0.1:1/v1/metrics?format=json"
+
+
+class TestShow:
+    def test_table(self, tmp_path, capsys):
+        path = snapshot_file(tmp_path, "a", 3, [0.5, 1.5])
+        assert cli.main(["show", path]) == 0
+        out = capsys.readouterr().out
+        assert "registry: a" in out
+        assert "requests_total{endpoint=checkins}  3" in out
+        assert "histograms:" in out
+
+    def test_json_roundtrips(self, tmp_path, capsys):
+        path = snapshot_file(tmp_path, "a", 3)
+        assert cli.main(["show", path, "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counters"][0]["value"] == 3
+
+    def test_prometheus(self, tmp_path, capsys):
+        path = snapshot_file(tmp_path, "a", 3, [0.5])
+        assert cli.main(["show", path, "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert 'requests_total{endpoint="checkins"} 3' in out
+        assert 'latency_bucket{le="+Inf"} 1' in out
+
+    def test_json_and_prometheus_are_exclusive(self, tmp_path):
+        path = snapshot_file(tmp_path, "a", 1)
+        with pytest.raises(SystemExit):
+            cli.main(["show", path, "--json", "--prometheus"])
+
+
+class TestDiff:
+    def test_counter_and_histogram_deltas(self, tmp_path, capsys):
+        before = snapshot_file(tmp_path, "before", 3, [0.5])
+        after = snapshot_file(tmp_path, "after", 10, [0.5, 1.5, 3.0])
+        assert cli.main(["diff", before, after]) == 0
+        out = capsys.readouterr().out
+        assert "requests_total{endpoint=checkins}  +7" in out
+        assert "histogram deltas" in out
+        assert "+2" in out  # two new latency observations
+
+    def test_no_change(self, tmp_path, capsys):
+        path = snapshot_file(tmp_path, "same", 3)
+        assert cli.main(["diff", path, path]) == 0
+        assert "no counter or histogram changes" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert cli.main(["show", str(tmp_path / "nope.json")]) == 2
+        assert "repro-obs:" in capsys.readouterr().err
+
+    def test_garbage_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert cli.main(["show", str(path)]) == 2
+        assert "repro-obs:" in capsys.readouterr().err

@@ -1,0 +1,187 @@
+"""Unit tests for the metrics primitives and the snapshot algebra."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    default_latency_buckets,
+    default_size_buckets,
+    label_snapshot,
+    merge_snapshots,
+    render_prometheus,
+)
+
+
+class TestInstruments:
+    def test_counter_inc_and_value(self):
+        counter = Counter("c", {})
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+
+    def test_counter_refuses_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c", {}).inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = Gauge("g", {})
+        gauge.set(3.5)
+        gauge.inc(2.0)
+        gauge.dec(0.5)
+        assert gauge.value == 5.0
+
+    def test_histogram_count_sum_min_max(self):
+        hist = Histogram("h", {}, buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 8.0):
+            hist.observe(value)
+        state = hist._state()
+        assert state["count"] == 4
+        assert state["sum"] == pytest.approx(13.0)
+        assert state["min"] == 0.5
+        assert state["max"] == 8.0
+        # cumulative counts per bound: <=1: 1, <=2: 2, <=4: 3 (+Inf = count)
+        assert state["cumulative"] == [1, 2, 3]
+
+    def test_histogram_bucket_edges_are_le(self):
+        hist = Histogram("h", {}, buckets=(1.0, 2.0))
+        hist.observe(1.0)  # exactly on a bound lands in that bucket
+        assert hist._state()["cumulative"] == [1, 1]
+
+    def test_histogram_exact_percentiles_over_window(self):
+        # Nearest-rank over the sorted window: with values 0..99 the
+        # q-th percentile is exactly round(q/100 * 99).
+        hist = Histogram("h", {}, buckets=(1e6,), window=1000)
+        for value in range(100):
+            hist.observe(float(value))
+        assert hist.percentile(50) == 50.0
+        assert hist.percentile(95) == 94.0
+        state = hist._state()
+        assert state["percentiles"]["p50"] == 50.0
+        assert state["percentiles"]["p99"] == 98.0
+
+    def test_histogram_window_bounds_memory(self):
+        hist = Histogram("h", {}, buckets=(1e6,), window=8)
+        for value in range(100):
+            hist.observe(float(value))
+        # Count is lifetime-exact, the percentile window holds the tail.
+        assert hist.count == 100
+        assert hist.percentile(0) == 92.0
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", {}, buckets=(2.0, 1.0))
+
+    def test_default_buckets_are_strictly_increasing(self):
+        for bounds in (default_latency_buckets(), default_size_buckets()):
+            assert list(bounds) == sorted(bounds)
+            assert len(set(bounds)) == len(bounds)
+
+
+class TestRegistry:
+    def test_get_or_create_same_identity_same_object(self):
+        registry = MetricsRegistry("t")
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a", x="1") is registry.counter("a", x="1")
+        assert registry.counter("a", x="1") is not registry.counter("a", x="2")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry("t")
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_snapshot_is_json_clean(self):
+        registry = MetricsRegistry("t")
+        registry.counter("c", endpoint="join").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        snapshot = json.loads(json.dumps(registry.snapshot()))
+        assert snapshot["enabled"] is True
+        assert snapshot["registry"] == "t"
+        [counter] = snapshot["counters"]
+        assert counter == {
+            "name": "c", "labels": {"endpoint": "join"}, "value": 3,
+        }
+        [hist] = snapshot["histograms"]
+        assert hist["count"] == 1
+        assert hist["cumulative"] == [1, 1]
+
+    def test_null_registry_shared_singletons(self):
+        assert NULL_REGISTRY.counter("a") is NULL_REGISTRY.counter("b")
+        assert NULL_REGISTRY.gauge("a") is NULL_REGISTRY.gauge("b")
+        assert NULL_REGISTRY.histogram("a") is NULL_REGISTRY.histogram("b")
+        assert NULL_REGISTRY.enabled is False
+        assert NULL_REGISTRY.snapshot()["enabled"] is False
+
+
+class TestSnapshotAlgebra:
+    def _snapshot(self, name, counter_value, observations):
+        registry = MetricsRegistry(name)
+        registry.counter("requests_total").inc(counter_value)
+        registry.gauge("uptime").set(counter_value)
+        hist = registry.histogram("latency", buckets=(1.0, 2.0, 4.0))
+        for value in observations:
+            hist.observe(value)
+        return registry.snapshot()
+
+    def test_label_snapshot_stamps_every_entry(self):
+        stamped = label_snapshot(self._snapshot("w", 2, [0.5]), shard="3")
+        for kind in ("counters", "gauges", "histograms"):
+            for entry in stamped[kind]:
+                assert entry["labels"]["shard"] == "3"
+
+    def test_merge_adds_counters_and_buckets(self):
+        a = self._snapshot("a", 2, [0.5, 1.5])
+        b = self._snapshot("b", 3, [3.0])
+        merged = merge_snapshots([a, b])
+        [counter] = [
+            c for c in merged["counters"] if c["name"] == "requests_total"
+        ]
+        assert counter["value"] == 5
+        [hist] = [h for h in merged["histograms"] if h["name"] == "latency"]
+        assert hist["count"] == 3
+        assert hist["cumulative"] == [1, 2, 3]
+        assert hist["min"] == 0.5 and hist["max"] == 3.0
+        # Merged percentiles are bucket-upper-bound estimates.
+        assert hist["percentiles"]["p50"] == 2.0
+
+    def test_merge_keeps_distinct_labels_separate(self):
+        a = label_snapshot(self._snapshot("a", 2, []), shard="0")
+        b = label_snapshot(self._snapshot("b", 3, []), shard="1")
+        merged = merge_snapshots([a, b])
+        values = {
+            c["labels"]["shard"]: c["value"]
+            for c in merged["counters"] if c["name"] == "requests_total"
+        }
+        assert values == {"0": 2, "1": 3}
+
+    def test_merge_refuses_mismatched_bounds(self):
+        registry = MetricsRegistry("x")
+        registry.histogram("latency", buckets=(1.0,)).observe(0.5)
+        with pytest.raises(ValueError):
+            merge_snapshots([self._snapshot("a", 1, [0.5]),
+                             registry.snapshot()])
+
+    def test_render_prometheus_format(self):
+        text = render_prometheus(self._snapshot("a", 2, [0.5, 1.5, 3.0]))
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 2" in text
+        assert "# TYPE latency histogram" in text
+        assert 'latency_bucket{le="1.0"} 1' in text
+        assert 'latency_bucket{le="+Inf"} 3' in text
+        assert "latency_count 3" in text
+        assert 'latency{quantile="0.5"}' in text
+        assert text.endswith("\n")
+
+    def test_render_prometheus_escapes_nothing_exotic_in_labels(self):
+        registry = MetricsRegistry("t")
+        registry.counter("c", endpoint="checkins").inc()
+        assert 'c{endpoint="checkins"} 1' in render_prometheus(
+            registry.snapshot()
+        )

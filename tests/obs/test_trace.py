@@ -1,0 +1,89 @@
+"""Unit tests for per-request tracing: phases, retention, spooling."""
+
+import json
+import os
+import time
+
+from repro.obs.trace import NULL_TRACER, NullTraceRecorder, TraceRecorder
+
+
+class TestActiveTrace:
+    def test_phases_and_finish(self):
+        recorder = TraceRecorder(capacity=8)
+        trace = recorder.begin("POST /v1/checkins")
+        with trace.phase("decode"):
+            pass
+        with trace.phase("core_apply"):
+            time.sleep(0.002)
+        trace.add_phase("lock_wait", 0.5)
+        trace.finish(200)
+        [record] = recorder.snapshot()
+        assert record["trace"] == "POST /v1/checkins"
+        assert record["status"] == 200
+        assert record["duration_ms"] >= 2.0
+        assert set(record["phases"]) == {"decode", "core_apply", "lock_wait"}
+        assert record["phases"]["lock_wait"] == 500.0
+        assert record["phases"]["core_apply"] >= 2.0
+        assert record["start"] > 0
+
+    def test_name_is_settable_mid_flight(self):
+        recorder = TraceRecorder(capacity=8)
+        trace = recorder.begin("pending")
+        trace.name = "GET /v1/status"
+        trace.finish(200)
+        assert recorder.snapshot()[0]["trace"] == "GET /v1/status"
+
+
+class TestRecorder:
+    def test_ring_buffer_retains_newest(self):
+        recorder = TraceRecorder(capacity=3)
+        for index in range(10):
+            recorder.begin(f"op-{index}").finish(index)
+        records = recorder.snapshot()
+        assert [r["trace"] for r in records] == ["op-7", "op-8", "op-9"]
+        assert recorder.records_total == 10
+
+    def test_jsonl_spool_one_record_per_line(self, tmp_path):
+        recorder = TraceRecorder(capacity=4, trace_dir=str(tmp_path), name="t")
+        recorder.begin("a").finish(200)
+        recorder.begin("b").finish(500)
+        recorder.close()
+        assert recorder.path == os.path.join(
+            str(tmp_path), f"trace-t-{os.getpid()}.jsonl"
+        )
+        lines = [
+            json.loads(line)
+            for line in open(recorder.path).read().splitlines()
+        ]
+        assert [line["trace"] for line in lines] == ["a", "b"]
+        for line in lines:
+            assert set(line) == {
+                "trace", "start", "duration_ms", "status", "phases",
+            }
+
+    def test_spool_write_failure_never_raises(self, tmp_path):
+        recorder = TraceRecorder(capacity=4, trace_dir=str(tmp_path))
+        recorder.close()
+        recorder._file = open(os.devnull)  # read-only: writes fail
+        recorder.begin("a").finish(200)  # must not raise
+        assert recorder.records_total == 1
+        recorder._file.close()
+        recorder._file = None
+
+
+class TestNullTracer:
+    def test_null_handles_are_shared(self):
+        assert NULL_TRACER.begin("a") is NULL_TRACER.begin("b")
+        phase = NULL_TRACER.begin("a").phase("decode")
+        assert phase is NULL_TRACER.begin("b").phase("encode")
+
+    def test_null_tracer_records_nothing(self):
+        trace = NULL_TRACER.begin("a")
+        with trace.phase("decode"):
+            pass
+        trace.add_phase("x", 1.0)
+        trace.finish(200)
+        assert NULL_TRACER.snapshot() == []
+        assert NULL_TRACER.records_total == 0
+        assert NULL_TRACER.path is None
+        assert isinstance(NULL_TRACER, NullTraceRecorder)

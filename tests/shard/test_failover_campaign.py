@@ -14,11 +14,15 @@ supervisor fails the shards over.  The gates:
   order.
 """
 
+import json
+import urllib.request
+
 import numpy as np
 import pytest
 
 from repro.core.auth import DeviceRegistry
 from repro.core.protocol import CheckinMessage
+from repro.obs.metrics import MetricsRegistry
 from repro.persist import FaultyProxy, SnapshotStore, WorkerKiller, restore_core
 from repro.serve.client import ServiceClient
 from repro.shard import ShardFrontEnd, ShardRouter
@@ -50,11 +54,30 @@ def build_message(device_id: int, token: str, seq: int,
     )
 
 
+def scrape_metrics(url: str) -> dict:
+    """One front-end metrics scrape; raises if the endpoint errors."""
+    with urllib.request.urlopen(f"{url}/v1/metrics?format=json",
+                                timeout=15.0) as response:
+        assert response.status == 200
+        return json.loads(response.read())
+
+
+def counter_total(snapshot: dict, name: str) -> int:
+    return sum(c["value"] for c in snapshot["counters"] if c["name"] == name)
+
+
 @pytest.mark.slow
 def test_failover_campaign_keeps_each_shard_bit_identical(tmp_path):
-    supervisor = start_supervised_tier(tmp_path, num_shards=NUM_SHARDS)
+    # Observed tier: workers run with --metrics, the parent process
+    # shares one registry between supervisor and front end, and the
+    # campaign scrapes the aggregate every round (zero scrape errors is
+    # itself a gate — PR 9's acceptance criterion).
+    tier_metrics = MetricsRegistry("campaign")
+    supervisor = start_supervised_tier(tmp_path, num_shards=NUM_SHARDS,
+                                       extra=("--metrics",),
+                                       metrics=tier_metrics)
     router = ShardRouter(NUM_SHARDS)
-    frontend = ShardFrontEnd(router, supervisor).start()
+    frontend = ShardFrontEnd(router, supervisor, metrics=tier_metrics).start()
     proxy = FaultyProxy(frontend.url, seed=7, drop_response=0.2).start()
     killer = WorkerKiller(supervisor, every=KILL_EVERY, seed=3,
                           max_kills=MAX_KILLS)
@@ -83,6 +106,9 @@ def test_failover_campaign_keeps_each_shard_bit_identical(tmp_path):
                 )
                 sent.append((device_id, message))
                 killer.after_batch()
+            # Mid-campaign scrape, straight at the front end (not the
+            # lossy proxy): must answer 200 every round, kills or not.
+            scrape_metrics(frontend.url)
 
         # The campaign actually injected chaos.
         assert killer.kills == MAX_KILLS, killer.killed_shards
@@ -103,6 +129,44 @@ def test_failover_campaign_keeps_each_shard_bit_identical(tmp_path):
         # Zero unhandled server errors at the front end: retryable 503s
         # during failover windows are fine, 500s are not.
         assert frontend.errors_returned.get("internal", 0) == 0
+
+        # -- the aggregate scrape is non-vacuous after the chaos -------- #
+        final = scrape_metrics(frontend.url)
+        assert final["enabled"] is True
+        # Failovers: the supervisor's mirrored counters recorded every
+        # kill the campaign injected.
+        assert counter_total(
+            final, "shard_supervisor_failovers_total"
+        ) == MAX_KILLS
+        assert counter_total(
+            final, "shard_supervisor_process_exit_failovers_total"
+        ) >= 1
+        # Duplicates: dropped acks forced replays, and every worker's
+        # ledger counted the suppressions (summed across shard labels).
+        assert counter_total(final, "core_duplicates_suppressed_total") > 0
+        # Fencing: a replacement incarnation advanced some shard's
+        # fence epoch past the seed incarnation's 0.
+        fence_epochs = {
+            g["labels"].get("shard"): g["value"]
+            for g in final["gauges"] if g["name"] == "shard_fence_epoch"
+        }
+        assert fence_epochs, "no fence-epoch gauges in the aggregate"
+        assert max(fence_epochs.values()) >= 1
+        # Per-shard worker series really made it through the merge: the
+        # check-in latency histogram exists for every shard label, with
+        # a live bucket count.
+        shard_hists = {
+            h["labels"].get("shard"): h
+            for h in final["histograms"]
+            if h["name"] == "service_request_seconds"
+            and h["labels"].get("endpoint") == "checkins"
+        }
+        assert set(shard_hists) == {str(s) for s in range(NUM_SHARDS)}
+        # A killed worker's in-process counters die with it (the ledger
+        # is what's durable), so the merged counts cover at least the
+        # traffic since each shard's last failover — non-zero for all.
+        for shard, hist in shard_hists.items():
+            assert hist["count"] > 0, f"shard {shard} scrape was vacuous"
     finally:
         proxy.stop()
         frontend.stop()
